@@ -1,0 +1,84 @@
+// Ablation: TDMA (GTS) vs contention access (CSMA/CA) at equal load.
+//
+// Section 3.1 asserts that the star WBSN uses "a collision-free,
+// time-division multiple access (TDMA) policy, which leads to a lower
+// energy consumption with respect to a contention access". This bench
+// quantifies the claim with the packet simulator: identical traffic, one
+// run with per-node GTS slots, one with slotted CSMA/CA in the CAP, and
+// converts the observed radio activity into energy with the hardware
+// power model.
+#include <cstdio>
+
+#include "hw/hw_simulator.hpp"
+#include "model/csma_model.hpp"
+#include "sim/network.hpp"
+#include "sim/timing.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace wsnex;
+
+double radio_energy_mj_per_s(const sim::NodeResult& node, double cca_per_s) {
+  const hw::PlatformPower& p = hw::shimmer_platform();
+  hw::NodeActivity act = node.radio_activity;
+  const hw::EnergyBreakdown e = hw::simulate_node_energy(p, act);
+  // Add the CCA listening the activity profile does not carry.
+  const double cca_energy =
+      cca_per_s * sim::MacTiming::kCcaS * p.radio.startup_power_mw;
+  return e.radio_tx + e.radio_rx + e.radio_overhead + cca_energy;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Ablation — TDMA (GTS) vs contention (CSMA/CA) at equal load "
+      "===\n\n");
+
+  util::Table table({"load [B/s/node]", "access", "on-air [B/s/node]",
+                     "collisions", "CCA probes/s", "radio energy [mJ/s/node]",
+                     "mean delay [ms]", "max delay [ms]"});
+
+  for (double rate : {96.0, 200.0, 320.0}) {
+    for (int mode = 0; mode < 2; ++mode) {
+      sim::NetworkScenario sc;
+      sc.mac.payload_bytes = 16;  // small frames stress the contention
+      sc.mac.bco = 6;
+      sc.mac.sfo = 6;
+      sc.mac.gts_slots.assign(6, mode == 0 ? 1 : 0);
+      sc.traffic.assign(6, sim::NodeTraffic{rate, 1.024});
+      if (mode == 1) sc.access.assign(6, sim::AccessMode::kCsma);
+      sc.duration_s = 300.0;
+      const sim::NetworkResult r = sim::run_network(sc);
+
+      double air = 0.0;
+      double cca = 0.0;
+      double energy = 0.0;
+      double mean_delay = 0.0;
+      double max_delay = 0.0;
+      for (const auto& n : r.nodes) {
+        air += n.radio_activity.tx_bytes_per_s / 6.0;
+        const double node_cca =
+            static_cast<double>(n.counters.csma_attempts) / sc.duration_s;
+        cca += node_cca / 6.0;
+        energy += radio_energy_mj_per_s(n, node_cca) / 6.0;
+        mean_delay += n.frame_latency.mean() * 1e3 / 6.0;
+        max_delay = std::max(max_delay, n.frame_latency.max() * 1e3);
+      }
+      table.add_row({util::Table::num(rate, 0),
+                     mode == 0 ? "TDMA/GTS" : "CSMA/CA",
+                     util::Table::num(air, 1),
+                     std::to_string(r.channel_collisions),
+                     util::Table::num(cca, 1), util::Table::num(energy, 4),
+                     util::Table::num(mean_delay, 0),
+                     util::Table::num(max_delay, 0)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "expected shape (Section 3.1): TDMA transmits fewer on-air bytes (no\n"
+      "collisions/retransmissions) and pays no CCA listening, hence lower\n"
+      "radio energy; contention buys lower mean delay in exchange.\n");
+  return 0;
+}

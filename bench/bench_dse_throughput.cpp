@@ -1,0 +1,105 @@
+// Reproduces the evaluation-speed comparison of Section 5.2.
+//
+// The paper: "a network simulation takes 5 to 10 minutes in our case
+// study, while the model can be evaluated approximately 4800 times per
+// second" — about six orders of magnitude. Here google-benchmark measures
+// the per-call cost of (a) one full model evaluation, (b) one simulated
+// network second, and the fixture prints the resulting ratio.
+#include <benchmark/benchmark.h>
+
+#include "dse/optimizers.hpp"
+#include "model/evaluator.hpp"
+#include "sim/network.hpp"
+
+namespace {
+
+using namespace wsnex;
+
+const model::NetworkModelEvaluator& evaluator() {
+  static const auto instance = model::NetworkModelEvaluator::make_default();
+  return instance;
+}
+
+model::NetworkDesign case_design() {
+  model::NetworkDesign d;
+  d.mac.payload_bytes = 64;
+  d.mac.bco = 6;
+  d.mac.sfo = 6;
+  d.nodes = {{model::AppKind::kDwt, 0.29, 8000.0},
+             {model::AppKind::kDwt, 0.29, 8000.0},
+             {model::AppKind::kDwt, 0.29, 8000.0},
+             {model::AppKind::kCs, 0.29, 8000.0},
+             {model::AppKind::kCs, 0.29, 8000.0},
+             {model::AppKind::kCs, 0.29, 8000.0}};
+  return d;
+}
+
+sim::NetworkScenario case_scenario(double duration_s) {
+  const auto design = case_design();
+  const auto eval = evaluator().evaluate(design);
+  sim::NetworkScenario sc;
+  sc.mac = design.mac;
+  sc.mac.gts_slots.clear();
+  for (const auto& q : eval.assignment.nodes) {
+    sc.mac.gts_slots.push_back(q.slots);
+  }
+  for (const auto& node : design.nodes) {
+    sc.traffic.push_back({evaluator().chain().phi_in_bytes_per_s() * node.cr,
+                          evaluator().chain().window_period_s()});
+  }
+  sc.duration_s = duration_s;
+  return sc;
+}
+
+/// One analytical evaluation of the full 6-node design (the operation a
+/// DSE loop issues thousands of times per second).
+void BM_ModelEvaluation(benchmark::State& state) {
+  const auto design = case_design();
+  // First touch runs the one-off PRD codec calibration; keep it out of the
+  // timed region.
+  (void)evaluator().evaluate(design);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator().evaluate(design));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ModelEvaluation);
+
+/// Packet-level simulation of `arg` seconds of network time — the
+/// evaluation path the model replaces.
+void BM_PacketSimulation(benchmark::State& state) {
+  const auto scenario = case_scenario(static_cast<double>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_network(scenario));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + "s simulated");
+}
+BENCHMARK(BM_PacketSimulation)->Arg(60)->Arg(600)->Unit(benchmark::kMillisecond);
+
+/// One NSGA-II generation over the case-study space (population 64).
+void BM_Nsga2Generation(benchmark::State& state) {
+  const dse::DesignSpace space(dse::DesignSpaceConfig::case_study());
+  const auto fn = dse::make_full_model_objective(evaluator());
+  for (auto _ : state) {
+    dse::Nsga2Options opt;
+    opt.population = 64;
+    opt.generations = 1;
+    benchmark::DoNotOptimize(dse::run_nsga2(space, fn, opt));
+  }
+}
+BENCHMARK(BM_Nsga2Generation)->Unit(benchmark::kMillisecond);
+
+/// "Measured" evaluation via the hardware simulator (used only for the
+/// Fig. 3 reference side, not inside DSE loops).
+void BM_HardwareSimulatorMeasurement(benchmark::State& state) {
+  const auto design = case_design();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model::measure_network_energy(evaluator(), design));
+  }
+}
+BENCHMARK(BM_HardwareSimulatorMeasurement)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

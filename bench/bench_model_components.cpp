@@ -1,0 +1,105 @@
+// Micro-benchmarks of the analytical model's stages (ablation A3 in
+// DESIGN.md): where does the per-evaluation time go?
+#include <benchmark/benchmark.h>
+
+#include "model/evaluator.hpp"
+
+namespace {
+
+using namespace wsnex;
+using namespace wsnex::model;
+
+const NetworkModelEvaluator& evaluator() {
+  static const auto instance = NetworkModelEvaluator::make_default();
+  return instance;
+}
+
+mac::MacConfig mac_config() {
+  mac::MacConfig cfg;
+  cfg.payload_bytes = 64;
+  cfg.bco = 6;
+  cfg.sfo = 6;
+  cfg.gts_slots.assign(6, 1);
+  return cfg;
+}
+
+void BM_SlotAssignment(benchmark::State& state) {
+  const Ieee802154MacModel mac_model(mac_config());
+  const std::vector<double> phi(6, 108.75);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mac_model.assign_slots(phi));
+  }
+}
+BENCHMARK(BM_SlotAssignment);
+
+void BM_DelayBound(benchmark::State& state) {
+  const Ieee802154MacModel mac_model(mac_config());
+  const SlotAssignment assignment =
+      mac_model.assign_slots(std::vector<double>(6, 108.75));
+  for (auto _ : state) {
+    for (std::size_t n = 0; n < 6; ++n) {
+      benchmark::DoNotOptimize(mac_model.delay_bound_s(assignment, n));
+    }
+  }
+}
+BENCHMARK(BM_DelayBound);
+
+void BM_NodeEnergyEquation(benchmark::State& state) {
+  const auto& ev = evaluator();
+  const Ieee802154MacModel mac_model(mac_config());
+  const CalibratedRadio radio =
+      calibrate_radio(ev.platform(), default_calibration_activity());
+  const SlotAssignment assignment =
+      mac_model.assign_slots(std::vector<double>(6, 108.75));
+  NodeConfig node;
+  node.app = AppKind::kCs;
+  node.cr = 0.29;
+  node.mcu_freq_khz = 8000.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        estimate_node_energy(ev.platform(), radio, ev.chain(),
+                             ev.app_for(AppKind::kCs), node,
+                             assignment.nodes[0]));
+  }
+}
+BENCHMARK(BM_NodeEnergyEquation);
+
+void BM_PrdPolynomial(benchmark::State& state) {
+  const auto& ev = evaluator();
+  NodeConfig node;
+  node.cr = 0.29;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ev.app_for(AppKind::kCs).quality_loss(375.0, node));
+  }
+}
+BENCHMARK(BM_PrdPolynomial);
+
+void BM_FullEvaluation(benchmark::State& state) {
+  NetworkDesign design;
+  design.mac = mac_config();
+  design.mac.gts_slots.clear();
+  design.nodes.assign(6, NodeConfig{AppKind::kCs, 0.29, 8000.0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator().evaluate(design));
+  }
+}
+BENCHMARK(BM_FullEvaluation);
+
+void BM_ActivityDerivation(benchmark::State& state) {
+  const auto& ev = evaluator();
+  const Ieee802154MacModel mac_model(mac_config());
+  NodeConfig node;
+  node.app = AppKind::kDwt;
+  node.cr = 0.29;
+  node.mcu_freq_khz = 8000.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(derive_node_activity(
+        ev.chain(), ev.app_for(AppKind::kDwt), node, mac_model));
+  }
+}
+BENCHMARK(BM_ActivityDerivation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

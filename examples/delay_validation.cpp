@@ -1,0 +1,110 @@
+// Single-scenario deep dive: analytical delay bound vs packet simulation.
+//
+// Evaluates one network with the model, replays it in the discrete-event
+// simulator, and prints a per-node comparison plus an ASCII latency
+// histogram — a compact version of the Section 5.1 validation that also
+// shows *where* the latency mass sits inside the superframe cycle.
+//
+//   ./examples/delay_validation [bco=6]
+#include <cstdio>
+#include <cstdlib>
+
+#include "model/evaluator.hpp"
+#include "sim/network.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wsnex;
+  const unsigned bco = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 6;
+  if (bco < 3 || bco > 10) {
+    std::printf("bco must be in [3, 10]\n");
+    return 1;
+  }
+
+  const auto evaluator = model::NetworkModelEvaluator::make_default();
+  model::NetworkDesign design;
+  design.mac.payload_bytes = 64;
+  design.mac.bco = bco;
+  design.mac.sfo = bco;
+  design.nodes = {
+      {model::AppKind::kDwt, 0.20, 8000.0},
+      {model::AppKind::kDwt, 0.29, 8000.0},
+      {model::AppKind::kDwt, 0.38, 8000.0},
+      {model::AppKind::kCs, 0.20, 8000.0},
+      {model::AppKind::kCs, 0.29, 8000.0},
+      {model::AppKind::kCs, 0.38, 8000.0},
+  };
+  const auto eval = evaluator.evaluate(design);
+  if (!eval.feasible) {
+    std::printf("infeasible: %s\n", eval.infeasibility_reason.c_str());
+    return 1;
+  }
+
+  sim::NetworkScenario sc;
+  sc.mac = design.mac;
+  sc.mac.gts_slots.clear();
+  for (const auto& q : eval.assignment.nodes) sc.mac.gts_slots.push_back(q.slots);
+  for (const auto& node : design.nodes) {
+    sc.traffic.push_back({evaluator.chain().phi_in_bytes_per_s() * node.cr,
+                          evaluator.chain().window_period_s()});
+  }
+  sc.duration_s = 600.0;
+  const sim::NetworkResult result = sim::run_network(sc);
+
+  const double bi_ms = design.mac.superframe().beacon_interval_s() * 1e3;
+  std::printf("BCO=%u: beacon interval %.1f ms, slot %.2f ms, %llu beacons\n\n",
+              bco, bi_ms, design.mac.superframe().slot_s() * 1e3,
+              static_cast<unsigned long long>(result.beacons_sent));
+
+  util::Table table({"node", "app", "GTS", "frames", "mean [ms]", "p99 [ms]",
+                     "max [ms]", "Eq.9 bound [ms]", "margin [ms]"});
+  std::vector<double> all_latencies;
+  for (std::size_t n = 0; n < result.nodes.size(); ++n) {
+    const auto& nr = result.nodes[n];
+    std::vector<double> lat;
+    for (const auto& d : result.deliveries) {
+      if (d.node == n + 1) lat.push_back(d.latency_s * 1e3);
+    }
+    all_latencies.insert(all_latencies.end(), lat.begin(), lat.end());
+    const double bound_ms = eval.nodes[n].delay_bound_s * 1e3;
+    table.add_row({std::to_string(n), model::to_string(design.nodes[n].app),
+                   std::to_string(eval.nodes[n].gts_slots),
+                   std::to_string(nr.frame_latency.count()),
+                   util::Table::num(nr.frame_latency.mean() * 1e3, 1),
+                   util::Table::num(util::percentile(lat, 99.0), 1),
+                   util::Table::num(nr.frame_latency.max() * 1e3, 1),
+                   util::Table::num(bound_ms, 1),
+                   util::Table::num(bound_ms - nr.frame_latency.max() * 1e3,
+                                    1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // ASCII histogram of all frame latencies over [0, bound].
+  const double hist_max = eval.delay_metric_s * 1e3;
+  const auto counts = util::histogram(all_latencies, 0.0, hist_max, 20);
+  std::size_t peak = 1;
+  for (std::size_t c : counts) peak = std::max(peak, c);
+  std::printf("frame latency distribution (0 .. %.0f ms):\n", hist_max);
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const int bar = static_cast<int>(60.0 * static_cast<double>(counts[b]) /
+                                     static_cast<double>(peak));
+    std::printf("%7.0f ms | %-60.*s %zu\n",
+                (static_cast<double>(b) + 0.5) * hist_max / 20.0, bar,
+                "############################################################",
+                counts[b]);
+  }
+  std::printf("\nstable: %s, collisions: %llu, bound violations: %s\n",
+              result.stable() ? "yes" : "NO",
+              static_cast<unsigned long long>(result.channel_collisions),
+              [&] {
+                for (std::size_t n = 0; n < result.nodes.size(); ++n) {
+                  if (result.nodes[n].frame_latency.max() >
+                      eval.nodes[n].delay_bound_s) {
+                    return "YES";
+                  }
+                }
+                return "none";
+              }());
+  return 0;
+}

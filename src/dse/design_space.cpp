@@ -1,0 +1,111 @@
+#include "dse/design_space.hpp"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace wsnex::dse {
+
+DesignSpaceConfig DesignSpaceConfig::case_study(std::size_t node_count) {
+  DesignSpaceConfig cfg;
+  cfg.node_count = node_count;
+  cfg.apps.resize(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    cfg.apps[i] = i < (node_count + 1) / 2 ? model::AppKind::kDwt
+                                           : model::AppKind::kCs;
+  }
+  return cfg;
+}
+
+DesignSpace::DesignSpace(DesignSpaceConfig config)
+    : config_(std::move(config)) {
+  if (config_.apps.size() != config_.node_count) {
+    throw std::invalid_argument("DesignSpace: apps size != node_count");
+  }
+  if (config_.cr_grid.empty() || config_.mcu_freq_khz_grid.empty() ||
+      config_.payload_grid.empty() || config_.bco_grid.empty() ||
+      config_.sfo_gap_grid.empty()) {
+    throw std::invalid_argument("DesignSpace: empty domain");
+  }
+}
+
+std::size_t DesignSpace::domain_size(std::size_t gene_index) const {
+  const std::size_t n = config_.node_count;
+  if (gene_index < 2 * n) {
+    return gene_index % 2 == 0 ? config_.cr_grid.size()
+                               : config_.mcu_freq_khz_grid.size();
+  }
+  switch (gene_index - 2 * n) {
+    case 0: return config_.payload_grid.size();
+    case 1: return config_.bco_grid.size();
+    case 2: return config_.sfo_gap_grid.size();
+    default: throw std::out_of_range("DesignSpace::domain_size");
+  }
+}
+
+double DesignSpace::cardinality() const {
+  double total = 1.0;
+  for (std::size_t g = 0; g < genome_length(); ++g) {
+    total *= static_cast<double>(domain_size(g));
+  }
+  return total;
+}
+
+Genome DesignSpace::random_genome(util::Rng& rng) const {
+  Genome genome(genome_length());
+  for (std::size_t g = 0; g < genome.size(); ++g) {
+    genome[g] = static_cast<std::uint16_t>(rng.index(domain_size(g)));
+  }
+  return genome;
+}
+
+void DesignSpace::mutate(Genome& genome, util::Rng& rng, double rate) const {
+  assert(genome.size() == genome_length());
+  for (std::size_t g = 0; g < genome.size(); ++g) {
+    if (rng.bernoulli(rate)) {
+      genome[g] = static_cast<std::uint16_t>(rng.index(domain_size(g)));
+    }
+  }
+}
+
+Genome DesignSpace::crossover(const Genome& a, const Genome& b,
+                              util::Rng& rng) const {
+  assert(a.size() == genome_length() && b.size() == genome_length());
+  Genome child(a.size());
+  for (std::size_t g = 0; g < a.size(); ++g) {
+    child[g] = rng.bernoulli(0.5) ? a[g] : b[g];
+  }
+  return child;
+}
+
+model::NetworkDesign DesignSpace::decode(const Genome& genome) const {
+  assert(genome.size() == genome_length());
+  model::NetworkDesign design;
+  const std::size_t n = config_.node_count;
+  design.nodes.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    model::NodeConfig& node = design.nodes[i];
+    node.app = config_.apps[i];
+    node.cr = config_.cr_grid[genome[2 * i]];
+    node.mcu_freq_khz = config_.mcu_freq_khz_grid[genome[2 * i + 1]];
+  }
+  design.mac.payload_bytes = config_.payload_grid[genome[2 * n]];
+  design.mac.bco = config_.bco_grid[genome[2 * n + 1]];
+  const unsigned gap = config_.sfo_gap_grid[genome[2 * n + 2]];
+  design.mac.sfo = design.mac.bco >= gap ? design.mac.bco - gap : 0;
+  return design;
+}
+
+std::string DesignSpace::describe(const Genome& genome) const {
+  const model::NetworkDesign design = decode(genome);
+  std::ostringstream os;
+  os << "L=" << design.mac.payload_bytes << " BCO=" << design.mac.bco
+     << " SFO=" << design.mac.sfo << " |";
+  for (const model::NodeConfig& node : design.nodes) {
+    os << ' ' << model::to_string(node.app) << "(CR=" << node.cr
+       << ",f=" << node.mcu_freq_khz / 1000.0 << "MHz)";
+  }
+  return os.str();
+}
+
+}  // namespace wsnex::dse

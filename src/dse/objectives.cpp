@@ -1,0 +1,26 @@
+#include "dse/objectives.hpp"
+
+namespace wsnex::dse {
+
+ObjectiveFunction make_full_model_objective(
+    const model::NetworkModelEvaluator& evaluator) {
+  return [&evaluator](
+             const model::NetworkDesign& design) -> std::optional<Objectives> {
+    const model::NetworkEvaluation eval = evaluator.evaluate(design);
+    if (!eval.feasible) return std::nullopt;
+    return Objectives{eval.energy_metric, eval.prd_metric,
+                      eval.delay_metric_s};
+  };
+}
+
+ObjectiveFunction make_baseline_objective(
+    const model::BaselineEnergyDelayModel& baseline) {
+  return [&baseline](
+             const model::NetworkDesign& design) -> std::optional<Objectives> {
+    const model::BaselineEvaluation eval = baseline.evaluate(design);
+    if (!eval.feasible) return std::nullopt;
+    return Objectives{eval.energy_metric, eval.delay_metric_s};
+  };
+}
+
+}  // namespace wsnex::dse

@@ -1,0 +1,44 @@
+// Objective adapters: design -> objective vector.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "dse/design_space.hpp"
+#include "model/baseline.hpp"
+
+namespace wsnex::dse {
+
+using Objectives = std::vector<double>;
+
+/// Evaluation callback: returns the (minimization) objective vector for a
+/// design, or nullopt when the design is infeasible.
+using ObjectiveFunction =
+    std::function<std::optional<Objectives>(const model::NetworkDesign&)>;
+
+/// The paper's three-metric objective: (E_net [mJ/s], PRD_net [%],
+/// D_net [s]) from the full multi-layer model.
+ObjectiveFunction make_full_model_objective(
+    const model::NetworkModelEvaluator& evaluator);
+
+/// The state-of-the-art two-metric baseline [26]: (energy, delay) only.
+ObjectiveFunction make_baseline_objective(
+    const model::BaselineEnergyDelayModel& baseline);
+
+/// Counts evaluations (shared by the DSE throughput accounting).
+class CountingObjective {
+ public:
+  explicit CountingObjective(ObjectiveFunction fn) : fn_(std::move(fn)) {}
+
+  std::optional<Objectives> operator()(const model::NetworkDesign& d) const {
+    ++count_;
+    return fn_(d);
+  }
+  std::size_t count() const { return count_; }
+
+ private:
+  ObjectiveFunction fn_;
+  mutable std::size_t count_ = 0;
+};
+
+}  // namespace wsnex::dse

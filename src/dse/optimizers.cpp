@@ -1,0 +1,252 @@
+#include "dse/optimizers.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace wsnex::dse {
+namespace {
+
+class Stopwatch {
+ public:
+  double elapsed_s() const {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+};
+
+struct Individual {
+  Genome genome;
+  Objectives objectives;  // empty == infeasible
+  std::size_t front = 0;
+  double crowding = 0.0;
+
+  bool feasible() const { return !objectives.empty(); }
+};
+
+/// NSGA-II comparison: feasibility first, then front rank, then crowding.
+bool better(const Individual& a, const Individual& b) {
+  if (a.feasible() != b.feasible()) return a.feasible();
+  if (!a.feasible()) return false;
+  if (a.front != b.front) return a.front < b.front;
+  return a.crowding > b.crowding;
+}
+
+void rank_population(std::vector<Individual>& pop) {
+  std::vector<std::size_t> feasible_idx;
+  std::vector<Objectives> feasible_obj;
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    if (pop[i].feasible()) {
+      feasible_idx.push_back(i);
+      feasible_obj.push_back(pop[i].objectives);
+    } else {
+      pop[i].front = std::numeric_limits<std::size_t>::max();
+      pop[i].crowding = 0.0;
+    }
+  }
+  const std::vector<std::size_t> fronts = non_dominated_fronts(feasible_obj);
+  std::size_t max_front = 0;
+  for (std::size_t f : fronts) max_front = std::max(max_front, f);
+  for (std::size_t rank = 0; rank <= max_front; ++rank) {
+    std::vector<std::size_t> members;
+    std::vector<Objectives> member_obj;
+    for (std::size_t k = 0; k < feasible_idx.size(); ++k) {
+      if (fronts[k] == rank) {
+        members.push_back(feasible_idx[k]);
+        member_obj.push_back(feasible_obj[k]);
+      }
+    }
+    const std::vector<double> crowd = crowding_distances(member_obj);
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      pop[members[k]].front = rank;
+      pop[members[k]].crowding = crowd[k];
+    }
+  }
+}
+
+}  // namespace
+
+DseResult run_nsga2(const DesignSpace& space, const ObjectiveFunction& fn,
+                    const Nsga2Options& options) {
+  if (options.population < 4) {
+    throw std::invalid_argument("run_nsga2: population must be >= 4");
+  }
+  const Stopwatch watch;
+  util::Rng rng(options.seed);
+  DseResult result;
+
+  auto evaluate = [&](Individual& ind) {
+    const auto obj = fn(space.decode(ind.genome));
+    ++result.evaluations;
+    if (obj) {
+      ind.objectives = *obj;
+      result.archive.insert(ind.genome, *obj);
+    } else {
+      ind.objectives.clear();
+      ++result.infeasible_count;
+    }
+  };
+
+  std::vector<Individual> population(options.population);
+  for (Individual& ind : population) {
+    ind.genome = space.random_genome(rng);
+    evaluate(ind);
+  }
+  rank_population(population);
+
+  auto tournament = [&]() -> const Individual& {
+    const Individual& a = population[rng.index(population.size())];
+    const Individual& b = population[rng.index(population.size())];
+    return better(a, b) ? a : b;
+  };
+
+  for (std::size_t gen = 0; gen < options.generations; ++gen) {
+    std::vector<Individual> offspring;
+    offspring.reserve(options.population);
+    while (offspring.size() < options.population) {
+      Individual child;
+      if (rng.bernoulli(options.crossover_rate)) {
+        child.genome =
+            space.crossover(tournament().genome, tournament().genome, rng);
+      } else {
+        child.genome = tournament().genome;
+      }
+      space.mutate(child.genome, rng, options.mutation_rate);
+      evaluate(child);
+      offspring.push_back(std::move(child));
+    }
+    // Environmental selection over parents + offspring.
+    population.insert(population.end(),
+                      std::make_move_iterator(offspring.begin()),
+                      std::make_move_iterator(offspring.end()));
+    rank_population(population);
+    std::sort(population.begin(), population.end(),
+              [](const Individual& a, const Individual& b) {
+                return better(a, b);
+              });
+    population.resize(options.population);
+  }
+  result.wallclock_s = watch.elapsed_s();
+  return result;
+}
+
+DseResult run_mosa(const DesignSpace& space, const ObjectiveFunction& fn,
+                   const MosaOptions& options) {
+  const Stopwatch watch;
+  util::Rng rng(options.seed);
+  DseResult result;
+
+  auto evaluate = [&](const Genome& genome) -> std::optional<Objectives> {
+    const auto obj = fn(space.decode(genome));
+    ++result.evaluations;
+    if (obj) {
+      result.archive.insert(genome, *obj);
+    } else {
+      ++result.infeasible_count;
+    }
+    return obj;
+  };
+
+  // Start from a feasible point (bounded retries).
+  Genome current = space.random_genome(rng);
+  std::optional<Objectives> current_obj = evaluate(current);
+  for (int tries = 0; !current_obj && tries < 512; ++tries) {
+    current = space.random_genome(rng);
+    current_obj = evaluate(current);
+  }
+  if (!current_obj) {
+    result.wallclock_s = watch.elapsed_s();
+    return result;  // space appears infeasible everywhere sampled
+  }
+
+  double temperature = options.initial_temperature;
+  for (std::size_t it = 0; it < options.iterations; ++it) {
+    Genome neighbour = current;
+    space.mutate(neighbour, rng, options.mutation_rate);
+    const std::optional<Objectives> neighbour_obj = evaluate(neighbour);
+    temperature *= options.cooling;
+    if (!neighbour_obj) continue;
+
+    bool accept;
+    if (!dominates(*current_obj, *neighbour_obj)) {
+      // Neighbour is non-dominated w.r.t. current (or dominates it).
+      accept = true;
+    } else {
+      // Dominated: accept with probability exp(-relative worsening / T).
+      double worsening = 0.0;
+      for (std::size_t k = 0; k < current_obj->size(); ++k) {
+        const double denom = std::abs((*current_obj)[k]) + 1e-12;
+        worsening += ((*neighbour_obj)[k] - (*current_obj)[k]) / denom;
+      }
+      accept = rng.bernoulli(std::exp(-worsening / std::max(temperature,
+                                                            1e-9)));
+    }
+    if (accept) {
+      current = std::move(neighbour);
+      current_obj = neighbour_obj;
+    }
+  }
+  result.wallclock_s = watch.elapsed_s();
+  return result;
+}
+
+DseResult run_random_search(const DesignSpace& space,
+                            const ObjectiveFunction& fn,
+                            const RandomSearchOptions& options) {
+  const Stopwatch watch;
+  util::Rng rng(options.seed);
+  DseResult result;
+  for (std::size_t i = 0; i < options.samples; ++i) {
+    const Genome genome = space.random_genome(rng);
+    const auto obj = fn(space.decode(genome));
+    ++result.evaluations;
+    if (obj) {
+      result.archive.insert(genome, *obj);
+    } else {
+      ++result.infeasible_count;
+    }
+  }
+  result.wallclock_s = watch.elapsed_s();
+  return result;
+}
+
+DseResult run_exhaustive(const DesignSpace& space, const ObjectiveFunction& fn,
+                         const ExhaustiveOptions& options) {
+  if (space.cardinality() > options.max_cardinality) {
+    throw std::invalid_argument(
+        "run_exhaustive: design space too large to enumerate");
+  }
+  const Stopwatch watch;
+  DseResult result;
+  Genome genome(space.genome_length(), 0);
+  for (;;) {
+    const auto obj = fn(space.decode(genome));
+    ++result.evaluations;
+    if (obj) {
+      result.archive.insert(genome, *obj);
+    } else {
+      ++result.infeasible_count;
+    }
+    // Odometer increment over the mixed-radix genome.
+    std::size_t g = 0;
+    for (; g < genome.size(); ++g) {
+      if (genome[g] + 1u < space.domain_size(g)) {
+        ++genome[g];
+        break;
+      }
+      genome[g] = 0;
+    }
+    if (g == genome.size()) break;
+  }
+  result.wallclock_s = watch.elapsed_s();
+  return result;
+}
+
+}  // namespace wsnex::dse

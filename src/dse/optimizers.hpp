@@ -1,0 +1,75 @@
+// Multi-objective optimizers over the discrete design space.
+//
+// The paper drives its model with genetic algorithms and multi-objective
+// simulated annealing "without experiencing any relevant difference in
+// terms of quality of the solutions" (Section 5.2); a random sampler is
+// included as the ablation baseline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dse/objectives.hpp"
+#include "dse/pareto.hpp"
+
+namespace wsnex::dse {
+
+/// Common result of one DSE run.
+struct DseResult {
+  ParetoArchive archive;
+  std::size_t evaluations = 0;       ///< objective calls issued
+  std::size_t infeasible_count = 0;  ///< designs rejected as infeasible
+  double wallclock_s = 0.0;
+};
+
+struct Nsga2Options {
+  std::size_t population = 64;
+  std::size_t generations = 60;
+  double crossover_rate = 0.9;
+  double mutation_rate = 0.08;  ///< per gene
+  std::uint64_t seed = 1;
+};
+
+/// NSGA-II (Deb et al. 2002): fast non-dominated sorting, crowding-distance
+/// diversity, binary tournament selection. All discovered non-dominated
+/// feasible points are accumulated into the returned archive.
+DseResult run_nsga2(const DesignSpace& space, const ObjectiveFunction& fn,
+                    const Nsga2Options& options);
+
+struct MosaOptions {
+  std::size_t iterations = 4000;
+  double initial_temperature = 1.0;
+  double cooling = 0.999;  ///< geometric cooling per iteration
+  double mutation_rate = 0.15;
+  std::uint64_t seed = 1;
+};
+
+/// Archive-based multi-objective simulated annealing: a mutated neighbour
+/// is accepted if it is not dominated by the current point; dominated
+/// neighbours are accepted with a temperature-controlled probability
+/// driven by the normalized domination amount (in the spirit of Nam/Park's
+/// multiobjective SA, the algorithm the paper cites [27]).
+DseResult run_mosa(const DesignSpace& space, const ObjectiveFunction& fn,
+                   const MosaOptions& options);
+
+struct RandomSearchOptions {
+  std::size_t samples = 4000;
+  std::uint64_t seed = 1;
+};
+
+/// Uniform random sampling baseline.
+DseResult run_random_search(const DesignSpace& space,
+                            const ObjectiveFunction& fn,
+                            const RandomSearchOptions& options);
+
+struct ExhaustiveOptions {
+  /// Safety valve: refuse to enumerate spaces larger than this.
+  double max_cardinality = 2e6;
+};
+
+/// Full enumeration (only for reduced spaces, e.g. correctness tests that
+/// compare heuristic fronts against ground truth).
+DseResult run_exhaustive(const DesignSpace& space, const ObjectiveFunction& fn,
+                         const ExhaustiveOptions& options = {});
+
+}  // namespace wsnex::dse

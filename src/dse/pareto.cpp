@@ -1,0 +1,179 @@
+#include "dse/pareto.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace wsnex::dse {
+
+bool dominates(const Objectives& a, const Objectives& b) {
+  assert(a.size() == b.size());
+  bool strictly_better = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+std::vector<std::size_t> non_dominated_fronts(
+    const std::vector<Objectives>& points) {
+  const std::size_t n = points.size();
+  std::vector<std::size_t> front(n, 0);
+  std::vector<std::size_t> dominated_by(n, 0);   // count of dominators
+  std::vector<std::vector<std::size_t>> dominated(n);  // points i dominates
+
+  std::vector<std::size_t> current;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (dominates(points[i], points[j])) {
+        dominated[i].push_back(j);
+        ++dominated_by[j];
+      } else if (dominates(points[j], points[i])) {
+        dominated[j].push_back(i);
+        ++dominated_by[i];
+      }
+    }
+    if (dominated_by[i] == 0) {
+      // May be decremented later; recomputed below.
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dominated_by[i] == 0) current.push_back(i);
+  }
+  std::size_t rank = 0;
+  while (!current.empty()) {
+    std::vector<std::size_t> next;
+    for (std::size_t i : current) {
+      front[i] = rank;
+      for (std::size_t j : dominated[i]) {
+        if (--dominated_by[j] == 0) next.push_back(j);
+      }
+    }
+    current = std::move(next);
+    ++rank;
+  }
+  return front;
+}
+
+std::vector<double> crowding_distances(const std::vector<Objectives>& front) {
+  const std::size_t n = front.size();
+  std::vector<double> distance(n, 0.0);
+  if (n == 0) return distance;
+  const std::size_t m = front[0].size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t obj = 0; obj < m; ++obj) {
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return front[a][obj] < front[b][obj];
+    });
+    const double lo = front[order.front()][obj];
+    const double hi = front[order.back()][obj];
+    distance[order.front()] = std::numeric_limits<double>::infinity();
+    distance[order.back()] = std::numeric_limits<double>::infinity();
+    if (hi == lo) continue;
+    for (std::size_t k = 1; k + 1 < n; ++k) {
+      distance[order[k]] +=
+          (front[order[k + 1]][obj] - front[order[k - 1]][obj]) / (hi - lo);
+    }
+  }
+  return distance;
+}
+
+bool ParetoArchive::insert(Genome genome, Objectives objectives) {
+  for (const ArchiveEntry& e : entries_) {
+    if (e.objectives == objectives || dominates(e.objectives, objectives)) {
+      return false;
+    }
+  }
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const ArchiveEntry& e) {
+                                  return dominates(objectives, e.objectives);
+                                }),
+                 entries_.end());
+  entries_.push_back({std::move(genome), std::move(objectives)});
+  return true;
+}
+
+bool ParetoArchive::covered(const Objectives& objectives) const {
+  for (const ArchiveEntry& e : entries_) {
+    if (e.objectives == objectives || dominates(e.objectives, objectives)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double coverage_fraction(const std::vector<Objectives>& candidate,
+                         const std::vector<Objectives>& reference) {
+  if (reference.empty()) return 0.0;
+  std::size_t covered = 0;
+  for (const Objectives& r : reference) {
+    for (const Objectives& c : candidate) {
+      if (c == r || dominates(c, r)) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(covered) / static_cast<double>(reference.size());
+}
+
+namespace {
+
+/// 2-D hypervolume by sweeping the sorted front.
+double hypervolume_2d(std::vector<Objectives> front, const Objectives& ref) {
+  std::sort(front.begin(), front.end(),
+            [](const Objectives& a, const Objectives& b) {
+              return a[0] < b[0];
+            });
+  double volume = 0.0;
+  double best_y = ref[1];
+  for (const Objectives& p : front) {
+    if (p[0] >= ref[0] || p[1] >= best_y) continue;
+    volume += (ref[0] - p[0]) * (best_y - p[1]);
+    best_y = p[1];
+  }
+  return volume;
+}
+
+}  // namespace
+
+double hypervolume(const std::vector<Objectives>& front,
+                   const Objectives& ref) {
+  if (front.empty()) return 0.0;
+  const std::size_t m = ref.size();
+  for (const Objectives& p : front) {
+    if (p.size() != m) throw std::invalid_argument("hypervolume: dim mismatch");
+  }
+  if (m == 2) return hypervolume_2d(front, ref);
+  if (m != 3) {
+    throw std::invalid_argument("hypervolume: only 2 or 3 objectives");
+  }
+  // 3-D: slice along the third objective. Sort unique z-levels; between
+  // consecutive levels the dominated area in (x, y) is constant and equals
+  // the 2-D hypervolume of the points with z <= level.
+  std::vector<double> levels;
+  for (const Objectives& p : front) {
+    if (p[2] < ref[2]) levels.push_back(p[2]);
+  }
+  if (levels.empty()) return 0.0;
+  std::sort(levels.begin(), levels.end());
+  levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+
+  double volume = 0.0;
+  for (std::size_t k = 0; k < levels.size(); ++k) {
+    const double z_lo = levels[k];
+    const double z_hi = k + 1 < levels.size() ? levels[k + 1] : ref[2];
+    std::vector<Objectives> slice;
+    for (const Objectives& p : front) {
+      if (p[2] <= z_lo) slice.push_back({p[0], p[1]});
+    }
+    volume += hypervolume_2d(std::move(slice), {ref[0], ref[1]}) *
+              (z_hi - z_lo);
+  }
+  return volume;
+}
+
+}  // namespace wsnex::dse

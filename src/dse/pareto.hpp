@@ -1,0 +1,67 @@
+// Pareto dominance, non-dominated sorting and the Pareto archive.
+//
+// All objectives are minimized. Infeasible points never enter an archive.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dse/design_space.hpp"
+
+namespace wsnex::dse {
+
+/// Objective vector (minimization).
+using Objectives = std::vector<double>;
+
+/// True iff `a` dominates `b`: a <= b componentwise with at least one
+/// strict improvement. Vectors must be equal length.
+bool dominates(const Objectives& a, const Objectives& b);
+
+/// Fast non-dominated sort (Deb et al.): returns the front index (0 =
+/// non-dominated) of each point.
+std::vector<std::size_t> non_dominated_fronts(
+    const std::vector<Objectives>& points);
+
+/// Crowding distance of each point within one front (NSGA-II diversity).
+std::vector<double> crowding_distances(const std::vector<Objectives>& front);
+
+/// One archived solution.
+struct ArchiveEntry {
+  Genome genome;
+  Objectives objectives;
+};
+
+/// Maintains a set of mutually non-dominated solutions. Duplicate
+/// objective vectors are kept only once (first wins).
+class ParetoArchive {
+ public:
+  /// Attempts to insert; returns true if the point entered the archive
+  /// (i.e. it is not dominated by and not identical to any member).
+  /// Members dominated by the new point are evicted.
+  bool insert(Genome genome, Objectives objectives);
+
+  const std::vector<ArchiveEntry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// True iff `objectives` is dominated by (or equal to) a member.
+  bool covered(const Objectives& objectives) const;
+
+ private:
+  std::vector<ArchiveEntry> entries_;
+};
+
+/// Fraction of `reference` front points that are covered (dominated or
+/// matched) by `candidate` — the C-metric used to compare the Pareto sets
+/// of the full model and the energy/delay baseline (Fig. 5: the baseline
+/// reaches only ~7% of the tradeoffs).
+double coverage_fraction(const std::vector<Objectives>& candidate,
+                         const std::vector<Objectives>& reference);
+
+/// Hypervolume (minimization) dominated by `front` w.r.t. `reference_point`,
+/// exact for 2 and 3 objectives. Points at or beyond the reference point
+/// in any coordinate contribute nothing. Returns 0 for an empty front.
+double hypervolume(const std::vector<Objectives>& front,
+                   const Objectives& reference_point);
+
+}  // namespace wsnex::dse

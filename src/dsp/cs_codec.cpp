@@ -1,0 +1,320 @@
+#include "dsp/cs_codec.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+#include "util/linalg.hpp"
+#include "util/random.hpp"
+
+namespace wsnex::dsp {
+
+SparseBinarySensingMatrix::SparseBinarySensingMatrix(std::size_t rows,
+                                                     std::size_t cols,
+                                                     std::size_t ones_per_column,
+                                                     std::uint64_t seed)
+    : rows_(rows), cols_(cols), ones_(ones_per_column) {
+  if (ones_ == 0 || ones_ > rows_) {
+    throw std::invalid_argument(
+        "SparseBinarySensingMatrix: ones_per_column out of range");
+  }
+  util::Rng rng(seed);
+  rows_of_ones_.reserve(cols_ * ones_);
+  std::vector<std::uint32_t> picks;
+  for (std::size_t c = 0; c < cols_; ++c) {
+    picks.clear();
+    // Sample `ones_` distinct rows for this column.
+    while (picks.size() < ones_) {
+      const auto r = static_cast<std::uint32_t>(rng.index(rows_));
+      if (std::find(picks.begin(), picks.end(), r) == picks.end()) {
+        picks.push_back(r);
+      }
+    }
+    std::sort(picks.begin(), picks.end());
+    rows_of_ones_.insert(rows_of_ones_.end(), picks.begin(), picks.end());
+  }
+}
+
+std::vector<double> SparseBinarySensingMatrix::project(
+    std::span<const double> x) const {
+  assert(x.size() == cols_);
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    const double v = x[c];
+    if (v == 0.0) continue;
+    for (std::uint32_t r : column(c)) y[r] += v;
+  }
+  return y;
+}
+
+std::span<const std::uint32_t> SparseBinarySensingMatrix::column(
+    std::size_t c) const {
+  assert(c < cols_);
+  return {rows_of_ones_.data() + c * ones_, ones_};
+}
+
+/// Cached per-M decoding state: the sensing matrix and the dictionary
+/// D = Phi * Psi with columns normalized to unit l2 norm (the per-column
+/// scale is kept separately so coefficients can be un-normalized).
+struct CsCodec::DictionaryCache {
+  std::size_t m = 0;
+  std::unique_ptr<SparseBinarySensingMatrix> phi;
+  // Column-major normalized dictionary: column j (length m).
+  std::vector<double> dict;
+  std::vector<double> column_norm;  ///< original (pre-normalization) norms
+  double lipschitz = 1.0;           ///< ||D^T D||_2 for FISTA step size
+
+  std::span<const double> column(std::size_t j) const {
+    return {dict.data() + j * m, m};
+  }
+};
+
+CsCodec::CsCodec(const CsCodecConfig& config)
+    : config_(config), transform_(config.wavelet, config.levels) {
+  if (config_.window == 0 ||
+      config_.window % (std::size_t{1} << config_.levels) != 0) {
+    throw std::invalid_argument(
+        "CsCodec: window must be divisible by 2^levels");
+  }
+  basis_ = std::make_unique<WaveletBasis>(config_.wavelet, config_.levels,
+                                          config_.window);
+}
+
+CsCodec::~CsCodec() = default;
+
+std::size_t CsCodec::measurements_for_cr(double cr) const {
+  if (cr <= 0.0 || cr > 1.0) {
+    throw std::invalid_argument("CsCodec: cr must be in (0, 1]");
+  }
+  const double budget_bits =
+      cr * static_cast<double>(config_.window) * config_.sample_bits;
+  const double usable = budget_bits - config_.header_bits;
+  const auto m = static_cast<std::size_t>(
+      std::max(1.0, usable / config_.value_bits));
+  return std::min(m, config_.window);
+}
+
+const CsCodec::DictionaryCache& CsCodec::dictionary_for(std::size_t m) const {
+  for (const auto& entry : cache_) {
+    if (entry->m == m) return *entry;
+  }
+  auto entry = std::make_unique<DictionaryCache>();
+  entry->m = m;
+  entry->phi = std::make_unique<SparseBinarySensingMatrix>(
+      m, config_.window, config_.ones_per_column, config_.matrix_seed);
+  const std::size_t n = config_.window;
+  entry->dict.assign(m * n, 0.0);
+  entry->column_norm.assign(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::vector<double> col = entry->phi->project(basis_->atom(j));
+    const double nrm = util::norm2(col);
+    entry->column_norm[j] = nrm;
+    if (nrm > 0.0) {
+      auto* dst = entry->dict.data() + j * m;
+      for (std::size_t i = 0; i < m; ++i) dst[i] = col[i] / nrm;
+    }
+  }
+  // Lipschitz constant of the gradient: largest eigenvalue of D^T D via
+  // power iteration (a slight overestimate is harmless, so few iterations
+  // suffice).
+  {
+    std::vector<double> v(n, 1.0 / std::sqrt(static_cast<double>(n)));
+    std::vector<double> dv(m);
+    double lambda = 1.0;
+    for (int it = 0; it < 40; ++it) {
+      std::fill(dv.begin(), dv.end(), 0.0);
+      for (std::size_t j = 0; j < n; ++j) {
+        util::axpy(v[j], entry->column(j), dv);
+      }
+      std::vector<double> w(n);
+      for (std::size_t j = 0; j < n; ++j) w[j] = util::dot(entry->column(j), dv);
+      lambda = util::norm2(w);
+      if (lambda == 0.0) break;
+      for (std::size_t j = 0; j < n; ++j) v[j] = w[j] / lambda;
+    }
+    entry->lipschitz = std::max(lambda, 1e-12);
+  }
+  cache_.push_back(std::move(entry));
+  return *cache_.back();
+}
+
+CsBlock CsCodec::encode(std::span<const double> window, double cr) const {
+  if (window.size() != config_.window) {
+    throw std::invalid_argument("CsCodec::encode: bad window length");
+  }
+  const std::size_t m = measurements_for_cr(cr);
+  const DictionaryCache& cache = dictionary_for(m);
+  const std::vector<double> y = cache.phi->project(window);
+
+  double max_abs = 0.0;
+  for (double v : y) max_abs = std::max(max_abs, std::abs(v));
+
+  CsBlock block;
+  block.window = config_.window;
+  const double levels = static_cast<double>(
+      (std::int64_t{1} << (config_.value_bits - 1)) - 1);
+  block.scale = max_abs > 0.0 ? max_abs / levels : 1.0;
+  block.quantized.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    block.quantized[i] =
+        static_cast<std::int32_t>(std::lround(y[i] / block.scale));
+  }
+  block.payload_bits = config_.header_bits + m * config_.value_bits;
+  block.achieved_cr =
+      static_cast<double>(block.payload_bits) /
+      (static_cast<double>(config_.window) * config_.sample_bits);
+  return block;
+}
+
+namespace {
+
+/// Least-squares refit of `y` on the dictionary columns in `support`
+/// (normalized columns). Writes the refit coefficients into `coeffs` at the
+/// support positions; on numerical failure leaves `coeffs` untouched.
+void debias_on_support(const std::vector<std::size_t>& support,
+                       std::span<const double> y,
+                       const std::function<std::span<const double>(std::size_t)>&
+                           column,
+                       std::vector<double>& coeffs) {
+  const std::size_t k = support.size();
+  if (k == 0 || k >= y.size()) return;
+  util::Matrix normal(k, k);
+  std::vector<double> rhs(k, 0.0);
+  for (std::size_t a = 0; a < k; ++a) {
+    const auto col_a = column(support[a]);
+    rhs[a] = util::dot(col_a, y);
+    for (std::size_t b = a; b < k; ++b) {
+      normal(a, b) = util::dot(col_a, column(support[b]));
+      normal(b, a) = normal(a, b);
+    }
+  }
+  std::vector<double> solution;
+  if (!util::cholesky_solve(normal, rhs, solution)) return;
+  for (std::size_t a = 0; a < k; ++a) coeffs[support[a]] = solution[a];
+}
+
+}  // namespace
+
+std::vector<double> CsCodec::recover_omp(const DictionaryCache& cache,
+                                         std::span<const double> y) const {
+  const std::size_t m = cache.m;
+  const std::size_t n = config_.window;
+  std::vector<double> residual(y.begin(), y.end());
+  const double stop_norm = config_.omp_residual_tol * util::norm2(y);
+  std::vector<std::size_t> support;
+  std::vector<char> in_support(n, 0);
+  std::vector<double> normalized(n, 0.0);  // coefficients w.r.t. unit columns
+
+  const std::size_t max_atoms = std::min({config_.omp_max_atoms, m, n});
+  while (support.size() < max_atoms && util::norm2(residual) > stop_norm) {
+    std::size_t best = n;
+    double best_score = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (in_support[j] || cache.column_norm[j] == 0.0) continue;
+      const double score = std::abs(util::dot(cache.column(j), residual));
+      if (score > best_score) {
+        best_score = score;
+        best = j;
+      }
+    }
+    if (best == n || best_score == 0.0) break;
+    support.push_back(best);
+    in_support[best] = 1;
+
+    debias_on_support(
+        support, y, [&](std::size_t j) { return cache.column(j); },
+        normalized);
+    residual.assign(y.begin(), y.end());
+    for (std::size_t j : support) {
+      util::axpy(-normalized[j], cache.column(j), residual);
+    }
+  }
+  return normalized;
+}
+
+std::vector<double> CsCodec::recover_fista(const DictionaryCache& cache,
+                                           std::span<const double> y) const {
+  const std::size_t m = cache.m;
+  const std::size_t n = config_.window;
+  const double step = 1.0 / cache.lipschitz;
+
+  // lambda_max: above it the l1 solution is identically zero.
+  double lambda_max = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    lambda_max = std::max(lambda_max, std::abs(util::dot(cache.column(j), y)));
+  }
+  if (lambda_max == 0.0) return std::vector<double>(n, 0.0);
+
+  std::vector<double> a(n, 0.0);       // current iterate
+  std::vector<double> a_prev(n, 0.0);
+  std::vector<double> z(n, 0.0);       // extrapolated point
+  std::vector<double> dz(m);           // D z - y
+
+  for (double stage : config_.fista_lambda_stages) {
+    const double lambda = stage * lambda_max;
+    double t = 1.0;
+    for (std::size_t it = 0; it < config_.fista_iters_per_stage; ++it) {
+      std::fill(dz.begin(), dz.end(), 0.0);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (z[j] != 0.0) util::axpy(z[j], cache.column(j), dz);
+      }
+      for (std::size_t i = 0; i < m; ++i) dz[i] -= y[i];
+      for (std::size_t j = 0; j < n; ++j) {
+        const double grad = util::dot(cache.column(j), dz);
+        const double u = z[j] - step * grad;
+        const double shrink = std::abs(u) - step * lambda;
+        a[j] = shrink > 0.0 ? std::copysign(shrink, u) : 0.0;
+      }
+      const double t_next = 0.5 * (1.0 + std::sqrt(1.0 + 4.0 * t * t));
+      const double momentum = (t - 1.0) / t_next;
+      for (std::size_t j = 0; j < n; ++j) {
+        z[j] = a[j] + momentum * (a[j] - a_prev[j]);
+      }
+      a_prev = a;
+      t = t_next;
+    }
+  }
+
+  // Debias: refit the detected support by least squares.
+  std::vector<std::size_t> support;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (a[j] != 0.0) support.push_back(j);
+  }
+  debias_on_support(
+      support, y, [&](std::size_t j) { return cache.column(j); }, a);
+  return a;
+}
+
+std::vector<double> CsCodec::decode(const CsBlock& block) const {
+  assert(block.window == config_.window);
+  const std::size_t m = block.quantized.size();
+  const std::size_t n = config_.window;
+  const DictionaryCache& cache = dictionary_for(m);
+
+  std::vector<double> y(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    y[i] = static_cast<double>(block.quantized[i]) * block.scale;
+  }
+
+  const std::vector<double> normalized =
+      config_.decoder == CsDecoder::kOmp ? recover_omp(cache, y)
+                                         : recover_fista(cache, y);
+
+  // Undo the column normalization and synthesize: x_hat = Psi * alpha.
+  std::vector<double> coeffs(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (normalized[j] != 0.0 && cache.column_norm[j] > 0.0) {
+      coeffs[j] = normalized[j] / cache.column_norm[j];
+    }
+  }
+  return transform_.inverse(coeffs);
+}
+
+std::vector<double> CsCodec::round_trip(std::span<const double> window,
+                                        double cr) const {
+  return decode(encode(window, cr));
+}
+
+}  // namespace wsnex::dsp

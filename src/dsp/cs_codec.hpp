@@ -1,0 +1,121 @@
+// Compressed-sensing ECG codec (the "CS" node application).
+//
+// Encoder side (what runs on the node in Mamaghanian et al. [13]): a sparse
+// binary sensing matrix Phi (d ones per column) projects a window of N
+// samples onto M << N measurements; this costs only additions, which is why
+// CS has a much lower duty cycle than DWT on the node (Section 4.3 of the
+// paper). Decoder side (coordinator): orthogonal matching pursuit over the
+// wavelet synthesis dictionary recovers the sparse coefficient vector.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "dsp/wavelet.hpp"
+
+namespace wsnex::dsp {
+
+/// Sparse binary sensing matrix: each column has exactly `ones_per_column`
+/// ones at deterministic pseudo-random rows. Multiplication by Phi is
+/// addition-only, matching the node-side firmware.
+class SparseBinarySensingMatrix {
+ public:
+  SparseBinarySensingMatrix(std::size_t rows, std::size_t cols,
+                            std::size_t ones_per_column, std::uint64_t seed);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// y = Phi * x (length rows()).
+  std::vector<double> project(std::span<const double> x) const;
+
+  /// Row indices of the ones in column `c`.
+  std::span<const std::uint32_t> column(std::size_t c) const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::size_t ones_;
+  std::vector<std::uint32_t> rows_of_ones_;  // cols_ * ones_ entries
+};
+
+/// Reconstruction algorithm run by the coordinator.
+enum class CsDecoder {
+  kFista,  ///< l1 (BPDN) via FISTA with continuation + LS debiasing
+  kOmp,    ///< greedy orthogonal matching pursuit
+};
+
+struct CsCodecConfig {
+  WaveletKind wavelet = WaveletKind::kDb4;
+  std::size_t levels = 5;
+  std::size_t window = 256;       ///< N, samples per block
+  std::size_t ones_per_column = 4;
+  unsigned sample_bits = 12;      ///< bits per raw sample
+  unsigned value_bits = 12;       ///< bits per quantized measurement
+  unsigned header_bits = 48;      ///< per-block header (scale + count)
+  std::uint64_t matrix_seed = 7;  ///< Phi is fixed at design time
+  CsDecoder decoder = CsDecoder::kFista;
+  /// OMP stops after this many atoms or when the residual falls below
+  /// `omp_residual_tol` times the measurement norm.
+  std::size_t omp_max_atoms = 96;
+  double omp_residual_tol = 0.02;
+  /// FISTA: lambda continuation stages (fractions of lambda_max) and
+  /// iterations per stage.
+  std::vector<double> fista_lambda_stages = {0.2, 0.08, 0.03, 0.012};
+  std::size_t fista_iters_per_stage = 120;
+};
+
+/// One encoded CS block.
+struct CsBlock {
+  std::vector<std::int32_t> quantized;  ///< quantized measurements (size M)
+  double scale = 0.0;
+  std::size_t window = 0;
+  std::size_t payload_bits = 0;
+  double achieved_cr = 0.0;
+};
+
+/// Compressed-sensing codec. Sensing matrices and OMP dictionaries are
+/// cached per measurement count, so sweeping CR is cheap.
+class CsCodec {
+ public:
+  explicit CsCodec(const CsCodecConfig& config = {});
+  ~CsCodec();
+
+  CsCodec(const CsCodec&) = delete;
+  CsCodec& operator=(const CsCodec&) = delete;
+
+  const CsCodecConfig& config() const { return config_; }
+
+  /// Number of measurements M for compression ratio `cr` in (0, 1].
+  std::size_t measurements_for_cr(double cr) const;
+
+  /// Encodes one window (window() samples, zero-mean, physical units).
+  CsBlock encode(std::span<const double> window, double cr) const;
+
+  /// Reconstructs the window from an encoded block via OMP.
+  std::vector<double> decode(const CsBlock& block) const;
+
+  std::vector<double> round_trip(std::span<const double> window,
+                                 double cr) const;
+
+ private:
+  struct DictionaryCache;
+
+  const DictionaryCache& dictionary_for(std::size_t m) const;
+  /// Sparse coefficient recovery (decoder-specific); returns the wavelet
+  /// coefficient estimate for measurements `y` of size m.
+  std::vector<double> recover_omp(const DictionaryCache& cache,
+                                  std::span<const double> y) const;
+  std::vector<double> recover_fista(const DictionaryCache& cache,
+                                    std::span<const double> y) const;
+
+  CsCodecConfig config_;
+  WaveletTransform transform_;
+  std::unique_ptr<WaveletBasis> basis_;
+  mutable std::vector<std::unique_ptr<DictionaryCache>> cache_;
+};
+
+}  // namespace wsnex::dsp

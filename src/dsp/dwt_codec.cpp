@@ -1,0 +1,110 @@
+#include "dsp/dwt_codec.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace wsnex::dsp {
+namespace {
+
+unsigned bits_for_index(std::size_t n) {
+  unsigned bits = 0;
+  std::size_t v = n - 1;
+  while (v > 0) {
+    ++bits;
+    v >>= 1;
+  }
+  return bits == 0 ? 1 : bits;
+}
+
+}  // namespace
+
+DwtCodec::DwtCodec(const DwtCodecConfig& config)
+    : config_(config),
+      transform_(config.wavelet, config.levels),
+      index_bits_(bits_for_index(config.window)) {
+  if (config_.window == 0 ||
+      config_.window % (std::size_t{1} << config_.levels) != 0) {
+    throw std::invalid_argument(
+        "DwtCodec: window must be divisible by 2^levels");
+  }
+}
+
+unsigned DwtCodec::bits_per_coefficient() const {
+  return config_.value_bits + index_bits_;
+}
+
+std::size_t DwtCodec::coefficients_for_cr(double cr) const {
+  if (cr <= 0.0 || cr > 1.0) {
+    throw std::invalid_argument("DwtCodec: cr must be in (0, 1]");
+  }
+  const double budget_bits =
+      cr * static_cast<double>(config_.window) * config_.sample_bits;
+  const double usable = budget_bits - config_.header_bits;
+  if (usable <= 0.0) return 1;
+  const auto k =
+      static_cast<std::size_t>(usable / bits_per_coefficient());
+  return std::clamp<std::size_t>(k, 1, config_.window);
+}
+
+DwtBlock DwtCodec::encode(std::span<const double> window, double cr) const {
+  if (window.size() != config_.window) {
+    throw std::invalid_argument("DwtCodec::encode: bad window length");
+  }
+  const std::vector<double> coeffs = transform_.forward(window);
+  const std::size_t keep = coefficients_for_cr(cr);
+
+  // Rank coefficients by magnitude.
+  std::vector<std::uint32_t> order(coeffs.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::nth_element(order.begin(),
+                   order.begin() + static_cast<std::ptrdiff_t>(keep - 1),
+                   order.end(), [&](std::uint32_t a, std::uint32_t b) {
+                     return std::abs(coeffs[a]) > std::abs(coeffs[b]);
+                   });
+  order.resize(keep);
+  std::sort(order.begin(), order.end());
+
+  double max_abs = 0.0;
+  for (std::uint32_t idx : order) {
+    max_abs = std::max(max_abs, std::abs(coeffs[idx]));
+  }
+
+  DwtBlock block;
+  block.window = config_.window;
+  block.positions = order;
+  block.quantized.resize(keep);
+  // Symmetric uniform quantizer over [-max_abs, max_abs].
+  const double levels = static_cast<double>(
+      (std::int64_t{1} << (config_.value_bits - 1)) - 1);
+  block.scale = max_abs > 0.0 ? max_abs / levels : 1.0;
+  for (std::size_t i = 0; i < keep; ++i) {
+    block.quantized[i] = static_cast<std::int32_t>(
+        std::lround(coeffs[order[i]] / block.scale));
+  }
+  block.payload_bits =
+      config_.header_bits + keep * bits_per_coefficient();
+  block.achieved_cr =
+      static_cast<double>(block.payload_bits) /
+      (static_cast<double>(config_.window) * config_.sample_bits);
+  return block;
+}
+
+std::vector<double> DwtCodec::decode(const DwtBlock& block) const {
+  assert(block.window == config_.window);
+  std::vector<double> coeffs(config_.window, 0.0);
+  for (std::size_t i = 0; i < block.positions.size(); ++i) {
+    coeffs[block.positions[i]] =
+        static_cast<double>(block.quantized[i]) * block.scale;
+  }
+  return transform_.inverse(coeffs);
+}
+
+std::vector<double> DwtCodec::round_trip(std::span<const double> window,
+                                         double cr) const {
+  return decode(encode(window, cr));
+}
+
+}  // namespace wsnex::dsp

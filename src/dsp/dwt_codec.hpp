@@ -1,0 +1,71 @@
+// Wavelet-thresholding ECG compressor (the "DWT" node application).
+//
+// Implements the scheme of Benzid et al. [23] as used by the paper's case
+// study: transform a window of samples, keep only the largest-magnitude
+// coefficients, and transmit (quantized value, position) pairs. The number
+// of retained coefficients is chosen so the encoded bitstream meets the
+// target compression ratio CR = output_bytes / input_bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dsp/wavelet.hpp"
+
+namespace wsnex::dsp {
+
+/// Encoder/decoder configuration.
+struct DwtCodecConfig {
+  WaveletKind wavelet = WaveletKind::kDb4;
+  std::size_t levels = 4;
+  std::size_t window = 256;    ///< samples per compression block
+  unsigned sample_bits = 12;   ///< bits per raw ADC sample
+  unsigned value_bits = 12;    ///< bits per retained coefficient value
+  unsigned header_bits = 48;   ///< per-block header (scale + kept count)
+};
+
+/// One encoded block: the retained coefficients plus exact size accounting.
+struct DwtBlock {
+  std::vector<std::uint32_t> positions;  ///< coefficient indices, ascending
+  std::vector<std::int32_t> quantized;   ///< quantized coefficient values
+  double scale = 0.0;                    ///< dequantization step
+  std::size_t window = 0;
+  std::size_t payload_bits = 0;          ///< total encoded size, exact
+  /// Achieved compression ratio: payload_bits / (window * sample_bits).
+  double achieved_cr = 0.0;
+};
+
+/// Wavelet threshold codec. Stateless apart from the cached transform, so a
+/// single instance may encode any number of blocks.
+class DwtCodec {
+ public:
+  explicit DwtCodec(const DwtCodecConfig& config = {});
+
+  const DwtCodecConfig& config() const { return config_; }
+
+  /// Number of coefficients retained at compression ratio `cr`.
+  std::size_t coefficients_for_cr(double cr) const;
+
+  /// Encodes one window (window() samples) at compression ratio `cr` in
+  /// (0, 1]. The input is the zero-mean signal in physical units (mV).
+  DwtBlock encode(std::span<const double> window, double cr) const;
+
+  /// Reconstructs the window from an encoded block.
+  std::vector<double> decode(const DwtBlock& block) const;
+
+  /// Convenience: encode + decode.
+  std::vector<double> round_trip(std::span<const double> window,
+                                 double cr) const;
+
+  /// Bits per retained coefficient (value + position).
+  unsigned bits_per_coefficient() const;
+
+ private:
+  DwtCodecConfig config_;
+  WaveletTransform transform_;
+  unsigned index_bits_;
+};
+
+}  // namespace wsnex::dsp

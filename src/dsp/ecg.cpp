@@ -1,0 +1,95 @@
+#include "dsp/ecg.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace wsnex::dsp {
+
+EcgSynthesizer::EcgSynthesizer(const EcgConfig& config)
+    : config_(config), rng_(config.seed) {
+  assert(config_.sampling_hz > 0.0);
+  assert(config_.heart_rate_bpm > 0.0);
+  // Lead-II-like PQRST morphology (amplitudes/timings in the physiologic
+  // range reported in the ECGSYN literature).
+  waves_ = {
+      {0.12, -0.200, 0.025},   // P
+      {-0.14, -0.035, 0.010},  // Q
+      {1.10, 0.000, 0.011},    // R
+      {-0.25, 0.035, 0.010},   // S
+      {0.31, 0.220, 0.045},    // T
+  };
+  start_new_beat();
+}
+
+void EcgSynthesizer::start_new_beat() {
+  const double mean_rr = 60.0 / config_.heart_rate_bpm;
+  current_rr_s_ =
+      std::max(0.4, rng_.normal(mean_rr, config_.rr_stddev_s));
+  // Keep the full PQRST inside the beat window.
+  r_offset_s_ = 0.28;
+}
+
+double EcgSynthesizer::beat_value(double t_since_r) const {
+  double v = 0.0;
+  for (const EcgWave& w : waves_) {
+    const double d = (t_since_r - w.center_s) / w.width_s;
+    v += w.amplitude_mv * std::exp(-0.5 * d * d);
+  }
+  return v;
+}
+
+double EcgSynthesizer::next_sample_mv() {
+  const double t_in_beat = time_s_ - beat_start_s_;
+  double v = beat_value(t_in_beat - r_offset_s_);
+  // A beat can bleed into its neighbours (long T waves, early P waves), so
+  // also evaluate the previous and next beats' kernels.
+  v += beat_value(t_in_beat - r_offset_s_ + current_rr_s_);
+  v += beat_value(t_in_beat - r_offset_s_ - current_rr_s_);
+
+  v += config_.baseline_wander_mv *
+       std::sin(2.0 * std::numbers::pi * config_.baseline_wander_hz * time_s_);
+  v += rng_.normal(0.0, config_.noise_stddev_mv);
+
+  time_s_ += 1.0 / config_.sampling_hz;
+  if (time_s_ - beat_start_s_ >= current_rr_s_) {
+    beat_start_s_ += current_rr_s_;
+    start_new_beat();
+  }
+  return v;
+}
+
+std::vector<double> EcgSynthesizer::generate_mv(std::size_t n) {
+  std::vector<double> out(n);
+  for (double& s : out) s = next_sample_mv();
+  return out;
+}
+
+std::vector<std::uint16_t> EcgSynthesizer::generate_counts(
+    std::size_t n, const AdcFrontEnd& adc) {
+  assert(adc.bits >= 2 && adc.bits <= 16);
+  const double max_count = static_cast<double>((1u << adc.bits) - 1);
+  const double lsb_mv = adc.full_scale_mv / (max_count + 1.0);
+  std::vector<std::uint16_t> out(n);
+  for (auto& c : out) {
+    const double mv = next_sample_mv();
+    double code = std::round(mv / lsb_mv + max_count / 2.0);
+    code = std::clamp(code, 0.0, max_count);
+    c = static_cast<std::uint16_t>(code);
+  }
+  return out;
+}
+
+std::vector<double> EcgSynthesizer::counts_to_mv(
+    const std::vector<std::uint16_t>& counts, const AdcFrontEnd& adc) {
+  const double max_count = static_cast<double>((1u << adc.bits) - 1);
+  const double lsb_mv = adc.full_scale_mv / (max_count + 1.0);
+  std::vector<double> out(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    out[i] = (static_cast<double>(counts[i]) - max_count / 2.0) * lsb_mv;
+  }
+  return out;
+}
+
+}  // namespace wsnex::dsp

@@ -1,0 +1,80 @@
+// Synthetic electrocardiogram generation.
+//
+// The paper's case study compresses ECG sampled at 250 Hz / 12 bit on the
+// node. We have no access to the authors' recordings, so this module
+// synthesizes morphologically realistic ECG: each beat is a sum of Gaussian
+// kernels for the P, Q, R, S and T waves (the same construction as the
+// McSharry/Clifford ECGSYN model, restricted to its amplitude profile),
+// with beat-to-beat RR variability, baseline wander and sensor noise.
+// What matters for the reproduction is that the signal has the wavelet-
+// domain sparsity structure real ECG has, so the DWT and CS codecs behave
+// as they do in the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace wsnex::dsp {
+
+/// One wave component of the PQRST complex.
+struct EcgWave {
+  double amplitude_mv;   ///< peak amplitude in millivolts (signed)
+  double center_s;       ///< offset of the peak from the R peak, in seconds
+  double width_s;        ///< Gaussian width (sigma), in seconds
+};
+
+/// Generator parameters. Defaults model a resting adult lead-II ECG.
+struct EcgConfig {
+  double sampling_hz = 250.0;
+  double heart_rate_bpm = 72.0;
+  double rr_stddev_s = 0.04;          ///< beat-to-beat RR jitter
+  double baseline_wander_mv = 0.08;   ///< respiratory baseline amplitude
+  double baseline_wander_hz = 0.25;
+  double noise_stddev_mv = 0.012;     ///< broadband sensor/muscle noise
+  std::uint64_t seed = 1;
+};
+
+/// ADC front-end parameters matching the case study (12-bit converter).
+struct AdcFrontEnd {
+  unsigned bits = 12;
+  double full_scale_mv = 5.0;  ///< symmetric range [-fs/2, +fs/2]
+};
+
+/// Streaming synthetic ECG source.
+class EcgSynthesizer {
+ public:
+  explicit EcgSynthesizer(const EcgConfig& config = {});
+
+  /// Next sample in millivolts.
+  double next_sample_mv();
+
+  /// Generates `n` consecutive samples in millivolts.
+  std::vector<double> generate_mv(std::size_t n);
+
+  /// Generates `n` samples quantized by `adc` to unsigned counts in
+  /// [0, 2^bits - 1], mid-scale == 0 mV, saturating at the rails.
+  std::vector<std::uint16_t> generate_counts(std::size_t n,
+                                             const AdcFrontEnd& adc);
+
+  /// Converts ADC counts back to millivolts (the coordinator-side view).
+  static std::vector<double> counts_to_mv(
+      const std::vector<std::uint16_t>& counts, const AdcFrontEnd& adc);
+
+  const EcgConfig& config() const { return config_; }
+
+ private:
+  void start_new_beat();
+  double beat_value(double t_since_r) const;
+
+  EcgConfig config_;
+  util::Rng rng_;
+  std::vector<EcgWave> waves_;
+  double time_s_ = 0.0;
+  double current_rr_s_ = 0.0;
+  double beat_start_s_ = 0.0;
+  double r_offset_s_ = 0.0;  ///< R peak position within the current beat
+};
+
+}  // namespace wsnex::dsp

@@ -1,0 +1,91 @@
+#include "dsp/prd_calibration.hpp"
+
+#include <cassert>
+
+#include "dsp/quality.hpp"
+#include "util/stats.hpp"
+
+namespace wsnex::dsp {
+namespace {
+
+/// Generates `count` zero-mean ECG windows of `window` samples.
+std::vector<std::vector<double>> make_windows(std::size_t count,
+                                              std::size_t window,
+                                              std::uint64_t seed) {
+  EcgConfig config;
+  config.seed = seed;
+  EcgSynthesizer ecg(config);
+  std::vector<std::vector<double>> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<double> w = ecg.generate_mv(window);
+    const double mu = util::mean(w);
+    for (double& s : w) s -= mu;
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+template <typename RoundTrip>
+PrdCurve calibrate_impl(std::size_t window, const PrdCalibrationConfig& calib,
+                        RoundTrip&& round_trip) {
+  assert(!calib.cr_grid.empty());
+  assert(calib.windows_per_point > 0);
+  const auto windows =
+      make_windows(calib.windows_per_point, window, calib.ecg_seed);
+
+  PrdCurve curve;
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (double cr : calib.cr_grid) {
+    util::RunningStats stats;
+    for (const auto& w : windows) {
+      const std::vector<double> rec = round_trip(w, cr);
+      stats.add(prd_percent(w, rec));
+    }
+    PrdMeasurement point;
+    point.cr = cr;
+    point.prd_percent = stats.mean();
+    point.prd_stddev = stats.stddev();
+    curve.measurements.push_back(point);
+    xs.push_back(cr);
+    ys.push_back(point.prd_percent);
+  }
+  const unsigned degree =
+      std::min<std::size_t>(calib.fit_degree, xs.size() - 1);
+  curve.fitted = util::fit_polynomial(xs, ys, degree);
+  curve.fit_r_squared = util::r_squared(curve.fitted, xs, ys);
+  return curve;
+}
+
+}  // namespace
+
+PrdCurve calibrate_dwt(const DwtCodecConfig& codec,
+                       const PrdCalibrationConfig& calib) {
+  const DwtCodec dwt(codec);
+  return calibrate_impl(codec.window, calib,
+                        [&](const std::vector<double>& w, double cr) {
+                          return dwt.round_trip(w, cr);
+                        });
+}
+
+PrdCurve calibrate_cs(const CsCodecConfig& codec,
+                      const PrdCalibrationConfig& calib) {
+  const CsCodec cs(codec);
+  return calibrate_impl(codec.window, calib,
+                        [&](const std::vector<double>& w, double cr) {
+                          return cs.round_trip(w, cr);
+                        });
+}
+
+const DefaultPrdCurves& default_prd_curves() {
+  static const DefaultPrdCurves curves = [] {
+    DefaultPrdCurves c;
+    c.dwt = calibrate_dwt();
+    c.cs = calibrate_cs();
+    return c;
+  }();
+  return curves;
+}
+
+}  // namespace wsnex::dsp

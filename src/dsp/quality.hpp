@@ -1,0 +1,30 @@
+// Signal reconstruction quality metrics.
+//
+// The paper's application-level metric is the percentage root-mean-square
+// difference (PRD) between the ECG sensed on the node and the signal
+// reconstructed by the coordinator (Section 4.3, following [13]).
+#pragma once
+
+#include <span>
+
+namespace wsnex::dsp {
+
+/// PRD in percent: 100 * ||x - x_hat|| / ||x||. Returns 0 for an all-zero
+/// reference.
+double prd_percent(std::span<const double> original,
+                   std::span<const double> reconstructed);
+
+/// Normalized PRD (PRDN): the reference is first made zero-mean, which
+/// removes the dependence on the ADC offset.
+double prdn_percent(std::span<const double> original,
+                    std::span<const double> reconstructed);
+
+/// Root-mean-square error.
+double rmse(std::span<const double> original,
+            std::span<const double> reconstructed);
+
+/// Reconstruction SNR in dB: 20 log10(||x|| / ||x - x_hat||).
+double snr_db(std::span<const double> original,
+              std::span<const double> reconstructed);
+
+}  // namespace wsnex::dsp

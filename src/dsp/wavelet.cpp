@@ -1,0 +1,155 @@
+#include "dsp/wavelet.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace wsnex::dsp {
+namespace {
+
+std::vector<double> lowpass_taps(WaveletKind kind) {
+  switch (kind) {
+    case WaveletKind::kHaar: {
+      const double s = 1.0 / std::sqrt(2.0);
+      return {s, s};
+    }
+    case WaveletKind::kDb2: {
+      // Classic D4 coefficients.
+      const double s3 = std::sqrt(3.0);
+      const double norm = 4.0 * std::sqrt(2.0);
+      return {(1.0 + s3) / norm, (3.0 + s3) / norm, (3.0 - s3) / norm,
+              (1.0 - s3) / norm};
+    }
+    case WaveletKind::kDb4:
+      // 8-tap Daubechies, 4 vanishing moments (values from the standard
+      // tabulation, normalized so the taps sum to sqrt(2)).
+      return {0.23037781330885523, 0.7148465705525415, 0.6308807679295904,
+              -0.02798376941698385, -0.18703481171888114,
+              0.030841381835986965, 0.032883011666982945,
+              -0.010597401784997278};
+  }
+  throw std::invalid_argument("unknown wavelet kind");
+}
+
+}  // namespace
+
+WaveletTransform::WaveletTransform(WaveletKind kind, std::size_t levels)
+    : kind_(kind), levels_(levels), lowpass_(lowpass_taps(kind)) {
+  assert(levels_ >= 1);
+  // Quadrature mirror filter: g[k] = (-1)^k h[taps-1-k].
+  highpass_.resize(lowpass_.size());
+  for (std::size_t k = 0; k < lowpass_.size(); ++k) {
+    const double sign = (k % 2 == 0) ? 1.0 : -1.0;
+    highpass_[k] = sign * lowpass_[lowpass_.size() - 1 - k];
+  }
+}
+
+std::size_t WaveletTransform::max_levels(std::size_t n) {
+  std::size_t levels = 0;
+  while (n >= 2 && n % 2 == 0) {
+    n /= 2;
+    ++levels;
+  }
+  return levels;
+}
+
+void WaveletTransform::analyze_step(std::span<const double> in,
+                                    std::span<double> approx,
+                                    std::span<double> detail) const {
+  const std::size_t n = in.size();
+  const std::size_t half = n / 2;
+  assert(approx.size() == half && detail.size() == half);
+  const std::size_t taps = lowpass_.size();
+  for (std::size_t i = 0; i < half; ++i) {
+    double a = 0.0;
+    double d = 0.0;
+    for (std::size_t k = 0; k < taps; ++k) {
+      const double x = in[(2 * i + k) % n];  // periodic extension
+      a += lowpass_[k] * x;
+      d += highpass_[k] * x;
+    }
+    approx[i] = a;
+    detail[i] = d;
+  }
+}
+
+void WaveletTransform::synthesize_step(std::span<const double> approx,
+                                       std::span<const double> detail,
+                                       std::span<double> out) const {
+  const std::size_t half = approx.size();
+  const std::size_t n = out.size();
+  assert(n == 2 * half && detail.size() == half);
+  const std::size_t taps = lowpass_.size();
+  std::fill(out.begin(), out.end(), 0.0);
+  for (std::size_t i = 0; i < half; ++i) {
+    for (std::size_t k = 0; k < taps; ++k) {
+      const std::size_t pos = (2 * i + k) % n;
+      out[pos] += lowpass_[k] * approx[i] + highpass_[k] * detail[i];
+    }
+  }
+}
+
+std::vector<double> WaveletTransform::forward(
+    std::span<const double> signal) const {
+  const std::size_t n = signal.size();
+  if (n == 0 || n % (std::size_t{1} << levels_) != 0) {
+    throw std::invalid_argument(
+        "WaveletTransform::forward: length must be divisible by 2^levels");
+  }
+  std::vector<double> coeffs(n);
+  std::vector<double> work(signal.begin(), signal.end());
+  // Layout: [approx_L | detail_L | detail_{L-1} | ... | detail_1].
+  std::size_t current = n;
+  for (std::size_t level = 0; level < levels_; ++level) {
+    const std::size_t half = current / 2;
+    std::vector<double> approx(half);
+    analyze_step({work.data(), current}, approx,
+                 {coeffs.data() + half, half});
+    std::copy(approx.begin(), approx.end(), work.begin());
+    current = half;
+  }
+  std::copy(work.begin(), work.begin() + static_cast<std::ptrdiff_t>(current),
+            coeffs.begin());
+  return coeffs;
+}
+
+std::vector<double> WaveletTransform::inverse(
+    std::span<const double> coeffs) const {
+  const std::size_t n = coeffs.size();
+  if (n == 0 || n % (std::size_t{1} << levels_) != 0) {
+    throw std::invalid_argument(
+        "WaveletTransform::inverse: length must be divisible by 2^levels");
+  }
+  const std::size_t coarsest = n >> levels_;
+  std::vector<double> work(coeffs.begin(),
+                           coeffs.begin() + static_cast<std::ptrdiff_t>(coarsest));
+  std::size_t current = coarsest;
+  for (std::size_t level = 0; level < levels_; ++level) {
+    std::vector<double> out(current * 2);
+    synthesize_step({work.data(), current},
+                    {coeffs.data() + current, current}, out);
+    work = std::move(out);
+    current *= 2;
+  }
+  return work;
+}
+
+WaveletBasis::WaveletBasis(WaveletKind kind, std::size_t levels,
+                           std::size_t length)
+    : length_(length), atoms_(length * length) {
+  const WaveletTransform transform(kind, levels);
+  std::vector<double> unit(length, 0.0);
+  for (std::size_t j = 0; j < length; ++j) {
+    unit[j] = 1.0;
+    const std::vector<double> psi = transform.inverse(unit);
+    std::copy(psi.begin(), psi.end(), atoms_.begin() + static_cast<std::ptrdiff_t>(j * length));
+    unit[j] = 0.0;
+  }
+}
+
+std::span<const double> WaveletBasis::atom(std::size_t j) const {
+  assert(j < length_);
+  return {atoms_.data() + j * length_, length_};
+}
+
+}  // namespace wsnex::dsp

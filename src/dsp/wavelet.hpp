@@ -1,0 +1,78 @@
+// Orthogonal discrete wavelet transform (Daubechies family, periodic
+// extension).
+//
+// Both node applications in the case study are wavelet-based: the DWT codec
+// thresholds wavelet coefficients directly (Benzid et al. [23]) and the CS
+// decoder recovers the signal in a wavelet basis (Mamaghanian et al. [13]).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace wsnex::dsp {
+
+/// Supported orthogonal wavelet filters.
+enum class WaveletKind {
+  kHaar,  ///< 2-tap Haar
+  kDb2,   ///< 4-tap Daubechies (2 vanishing moments, the classic "D4")
+  kDb4,   ///< 8-tap Daubechies (4 vanishing moments)
+};
+
+/// Multilevel orthogonal DWT with periodic boundary handling.
+///
+/// The transform is its own inverse up to floating-point error
+/// (orthogonality), which the tests check as a perfect-reconstruction
+/// property over random signals.
+class WaveletTransform {
+ public:
+  /// `levels` decompositions are applied; the signal length passed to
+  /// forward()/inverse() must be divisible by 2^levels.
+  WaveletTransform(WaveletKind kind, std::size_t levels);
+
+  std::size_t levels() const { return levels_; }
+  WaveletKind kind() const { return kind_; }
+
+  /// Analysis: returns the coefficient vector laid out as
+  /// [approx_L | detail_L | detail_{L-1} | ... | detail_1], same length as
+  /// the input.
+  std::vector<double> forward(std::span<const double> signal) const;
+
+  /// Synthesis: inverse of forward().
+  std::vector<double> inverse(std::span<const double> coeffs) const;
+
+  /// Largest level count usable for a signal of length n.
+  static std::size_t max_levels(std::size_t n);
+
+ private:
+  void analyze_step(std::span<const double> in, std::span<double> approx,
+                    std::span<double> detail) const;
+  void synthesize_step(std::span<const double> approx,
+                       std::span<const double> detail,
+                       std::span<double> out) const;
+
+  WaveletKind kind_;
+  std::size_t levels_;
+  std::vector<double> lowpass_;   // analysis low-pass taps
+  std::vector<double> highpass_;  // analysis high-pass taps (QMF of lowpass)
+};
+
+/// Synthesis basis matrix cache: row j is the signal produced by the
+/// inverse transform of the j-th unit coefficient vector. Used by the CS
+/// decoder to form its sensing dictionary. The basis is computed lazily and
+/// memoized per (kind, levels, length).
+class WaveletBasis {
+ public:
+  WaveletBasis(WaveletKind kind, std::size_t levels, std::size_t length);
+
+  std::size_t length() const { return length_; }
+
+  /// psi_j, the inverse transform of e_j; valid for j < length().
+  std::span<const double> atom(std::size_t j) const;
+
+ private:
+  std::size_t length_;
+  std::vector<double> atoms_;  // row-major length x length
+};
+
+}  // namespace wsnex::dsp

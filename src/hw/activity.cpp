@@ -1,0 +1,40 @@
+#include "hw/activity.hpp"
+
+#include <sstream>
+
+namespace wsnex::hw {
+
+double mcu_duty_cycle(const NodeActivity& activity) {
+  if (activity.mcu_freq_khz <= 0.0) return 0.0;
+  return activity.compute_cycles_per_s / (activity.mcu_freq_khz * 1000.0);
+}
+
+ActivityCheck check_activity(const NodeActivity& activity) {
+  ActivityCheck check;
+  const double* rates[] = {
+      &activity.sample_rate_hz,     &activity.mcu_freq_khz,
+      &activity.compute_cycles_per_s, &activity.mcu_wakeups_per_s,
+      &activity.mem_accesses_per_s, &activity.mem_bytes_used,
+      &activity.tx_bytes_per_s,     &activity.tx_frames_per_s,
+      &activity.rx_bytes_per_s,     &activity.rx_frames_per_s,
+      &activity.radio_bursts_per_s,
+  };
+  for (const double* r : rates) {
+    if (*r < 0.0) {
+      check.feasible = false;
+      check.reason = "negative rate in activity profile";
+      return check;
+    }
+  }
+  const double duty = mcu_duty_cycle(activity);
+  if (duty > 1.0) {
+    std::ostringstream os;
+    os << "application duty cycle " << duty * 100.0
+       << "% exceeds 100% at f_uC = " << activity.mcu_freq_khz << " kHz";
+    check.feasible = false;
+    check.reason = os.str();
+  }
+  return check;
+}
+
+}  // namespace wsnex::hw

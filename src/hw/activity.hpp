@@ -1,0 +1,53 @@
+// Steady-state activity description of one node.
+//
+// The hardware simulator consumes an abstract per-second activity profile
+// rather than raw firmware: how often the node samples, how many cycles it
+// computes, what it moves over the radio. The profile is produced either by
+// the analytical model's configuration mapping (for model-vs-hardware
+// comparisons) or directly by the packet-level network simulator.
+#pragma once
+
+#include <string>
+
+namespace wsnex::hw {
+
+/// One second of steady-state node operation. All rates are per second of
+/// wall-clock time.
+struct NodeActivity {
+  // --- sensing ---
+  double sample_rate_hz = 0.0;
+
+  // --- computation ---
+  double mcu_freq_khz = 0.0;           ///< configured clock f_uC
+  double compute_cycles_per_s = 0.0;   ///< application cycles demanded
+  double mcu_wakeups_per_s = 0.0;      ///< sleep->active transitions
+
+  // --- memory ---
+  double mem_accesses_per_s = 0.0;     ///< gamma_app
+  double mem_bytes_used = 0.0;         ///< M_app (resident footprint)
+
+  // --- radio ---
+  double tx_bytes_per_s = 0.0;   ///< MAC-level bytes out (payload + overhead)
+  double tx_frames_per_s = 0.0;  ///< frames carrying those bytes
+  double rx_bytes_per_s = 0.0;   ///< MAC-level bytes in (beacons + acks)
+  double rx_frames_per_s = 0.0;
+  double radio_bursts_per_s = 0.0;  ///< radio power-up events (GTS windows)
+};
+
+/// Validation result for an activity profile.
+struct ActivityCheck {
+  bool feasible = true;
+  std::string reason;  ///< empty when feasible
+};
+
+/// Checks physical feasibility: the MCU duty cycle implied by
+/// compute_cycles_per_s must not exceed 100% of the configured clock, and
+/// all rates must be non-negative. (The paper's model flags exactly this
+/// case: "DWT cannot complete its execution with f_uC = 1 MHz because its
+/// duty cycle exceeds 100%".)
+ActivityCheck check_activity(const NodeActivity& activity);
+
+/// MCU duty cycle implied by the profile (may exceed 1 when infeasible).
+double mcu_duty_cycle(const NodeActivity& activity);
+
+}  // namespace wsnex::hw

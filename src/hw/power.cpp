@@ -1,0 +1,10 @@
+#include "hw/power.hpp"
+
+namespace wsnex::hw {
+
+const PlatformPower& shimmer_platform() {
+  static const PlatformPower platform{};
+  return platform;
+}
+
+}  // namespace wsnex::hw

@@ -1,0 +1,16 @@
+#include "mac/ieee802154.hpp"
+
+namespace wsnex::mac {
+
+Superframe::Superframe(unsigned bco, unsigned sfo) : bco_(bco), sfo_(sfo) {
+  if (sfo > bco || bco > SuperframeLimits::kMaxOrder) {
+    throw std::invalid_argument(
+        "Superframe: requires 0 <= SFO <= BCO <= 14");
+  }
+  bi_s_ = SuperframeLimits::kBaseSuperframeSeconds *
+          static_cast<double>(1u << bco);
+  sd_s_ = SuperframeLimits::kBaseSuperframeSeconds *
+          static_cast<double>(1u << sfo);
+}
+
+}  // namespace wsnex::mac

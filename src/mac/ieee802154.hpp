@@ -1,0 +1,101 @@
+// IEEE 802.15.4-2006 constants and superframe arithmetic (2.4 GHz O-QPSK).
+//
+// Shared by the analytical network model (Section 4.2 of the paper) and the
+// packet-level simulator, so both sides agree on timing to the symbol.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+
+namespace wsnex::mac {
+
+/// 2.4 GHz O-QPSK PHY figures.
+struct Phy {
+  static constexpr double kSymbolSeconds = 16e-6;        ///< 62.5 ksymbol/s
+  static constexpr double kBitsPerSecond = 250000.0;     ///< air bit rate
+  static constexpr double kSecondsPerByte = 8.0 / kBitsPerSecond;
+  static constexpr std::size_t kMaxPhyPacketBytes = 127; ///< aMaxPHYPacketSize
+  /// Synchronization header + PHY header: 4 B preamble + 1 B SFD + 1 B len.
+  static constexpr std::size_t kPhyOverheadBytes = 6;
+
+  /// On-air time for a MAC frame of `mpdu_bytes` (PHY overhead included).
+  static constexpr double frame_airtime_s(std::size_t mpdu_bytes) {
+    return static_cast<double>(mpdu_bytes + kPhyOverheadBytes) *
+           kSecondsPerByte;
+  }
+};
+
+/// MAC-level frame sizing as used by the paper's case study (Section 4.2):
+/// 13 bytes of data-frame overhead (11 header + 2 FCS) and 4-byte ACKs.
+struct FrameSizes {
+  static constexpr std::size_t kDataOverheadBytes = 13;
+  static constexpr std::size_t kAckBytes = 4;
+  /// Beacon MPDU: fixed part plus one 3-byte descriptor per allocated GTS.
+  static constexpr std::size_t kBeaconBaseBytes = 17;
+  static constexpr std::size_t kGtsDescriptorBytes = 3;
+
+  static constexpr std::size_t beacon_bytes(std::size_t gts_count) {
+    return kBeaconBaseBytes + kGtsDescriptorBytes * gts_count;
+  }
+
+  /// Largest usable data payload per frame.
+  static constexpr std::size_t kMaxPayloadBytes =
+      Phy::kMaxPhyPacketBytes - kDataOverheadBytes;  // 114
+};
+
+/// MAC sublayer constants for the beacon-enabled mode.
+struct SuperframeLimits {
+  static constexpr unsigned kMaxOrder = 14;       ///< BCO, SFO in [0, 14]
+  static constexpr std::size_t kSlotsPerSuperframe = 16;
+  static constexpr std::size_t kMaxGts = 7;       ///< at most 7 GTSs
+  /// Minimum slots that must remain CAP (802.15.4: aMinCAPLength ensures a
+  /// contention period; with 7 GTSs, 9 slots stay CAP).
+  static constexpr std::size_t kMinCapSlots =
+      kSlotsPerSuperframe - kMaxGts;  // 9
+  /// aBaseSuperframeDuration = 960 symbols = 15.36 ms.
+  static constexpr double kBaseSuperframeSeconds = 960.0 * Phy::kSymbolSeconds;
+};
+
+/// Superframe structure derived from the beacon order (BCO) and superframe
+/// order (SFO); see Fig. 2 of the paper.
+///
+/// BI = 15.36 ms * 2^BCO, SD = 15.36 ms * 2^SFO, slot = SD / 16.
+class Superframe {
+ public:
+  /// Requires 0 <= sfo <= bco <= 14; throws std::invalid_argument otherwise.
+  Superframe(unsigned bco, unsigned sfo);
+
+  unsigned bco() const { return bco_; }
+  unsigned sfo() const { return sfo_; }
+
+  /// Beacon interval in seconds.
+  double beacon_interval_s() const { return bi_s_; }
+  /// Active (superframe) duration in seconds.
+  double superframe_duration_s() const { return sd_s_; }
+  /// Inactive period per beacon interval.
+  double inactive_s() const { return bi_s_ - sd_s_; }
+  /// One slot: SD / 16. This is the base time unit delta of the model.
+  double slot_s() const {
+    return sd_s_ / SuperframeLimits::kSlotsPerSuperframe;
+  }
+  /// Superframes (= beacons) per second.
+  double superframes_per_s() const { return 1.0 / bi_s_; }
+  /// Fraction of time the channel is inside the active portion.
+  double active_fraction() const { return sd_s_ / bi_s_; }
+
+ private:
+  unsigned bco_;
+  unsigned sfo_;
+  double bi_s_;
+  double sd_s_;
+};
+
+/// A guaranteed time slot allocation for one node.
+struct GtsAllocation {
+  std::uint32_t node = 0;       ///< node index in the network
+  std::size_t start_slot = 0;   ///< first slot index (0-based within SD)
+  std::size_t slot_count = 0;   ///< contiguous slots granted
+};
+
+}  // namespace wsnex::mac

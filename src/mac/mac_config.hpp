@@ -1,0 +1,66 @@
+// The MAC configuration chi_mac of the paper's case study (Section 4.2):
+// chi_mac = { L_payload, SFO, BCO, Delta_tx^(1), ..., Delta_tx^(N) }.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mac/ieee802154.hpp"
+
+namespace wsnex::mac {
+
+/// Beacon-enabled IEEE 802.15.4 MAC configuration for an N-node star WBSN.
+struct MacConfig {
+  std::size_t payload_bytes = 64;  ///< L_payload, data bytes per frame
+  unsigned bco = 6;                ///< beacon order
+  unsigned sfo = 4;                ///< superframe order
+  /// Slots granted to each node per superframe (k^(n) of Eq. 1, expressed
+  /// in the protocol's base unit delta = one slot). Size N.
+  std::vector<std::size_t> gts_slots;
+
+  Superframe superframe() const { return {bco, sfo}; }
+
+  /// Total GTS slots allocated across the network.
+  std::size_t total_gts_slots() const {
+    std::size_t total = 0;
+    for (std::size_t s : gts_slots) total += s;
+    return total;
+  }
+
+  /// Number of nodes holding at least one slot.
+  std::size_t active_gts_count() const {
+    std::size_t count = 0;
+    for (std::size_t s : gts_slots) count += (s > 0);
+    return count;
+  }
+
+  /// Protocol validity: payload within frame limits, orders in range and
+  /// the 7-slot GTS budget respected (Section 4.2's constraint
+  /// sum Delta_tx <= 7/16 * SD/BI translated back to slots).
+  bool valid() const {
+    if (payload_bytes == 0 ||
+        payload_bytes > FrameSizes::kMaxPayloadBytes) {
+      return false;
+    }
+    if (sfo > bco || bco > SuperframeLimits::kMaxOrder) return false;
+    if (total_gts_slots() > SuperframeLimits::kMaxGts) return false;
+    return true;
+  }
+
+  /// Concrete slot layout: GTSs are packed at the end of the active period
+  /// (as in 802.15.4: the CFP trails the CAP), in node order.
+  std::vector<GtsAllocation> layout() const {
+    std::vector<GtsAllocation> out;
+    std::size_t next_start =
+        SuperframeLimits::kSlotsPerSuperframe - total_gts_slots();
+    for (std::size_t n = 0; n < gts_slots.size(); ++n) {
+      if (gts_slots[n] == 0) continue;
+      out.push_back({static_cast<std::uint32_t>(n), next_start,
+                     gts_slots[n]});
+      next_start += gts_slots[n];
+    }
+    return out;
+  }
+};
+
+}  // namespace wsnex::mac

@@ -1,0 +1,72 @@
+#include "model/app_model.hpp"
+
+#include <cassert>
+
+#include "dsp/prd_calibration.hpp"
+
+namespace wsnex::model {
+
+CompressionAppModel::CompressionAppModel(AppKind kind, FirmwareProfile profile,
+                                         util::Polynomial prd_poly)
+    : kind_(kind), profile_(profile), prd_poly_(std::move(prd_poly)) {}
+
+double CompressionAppModel::output_bytes_per_s(double phi_in,
+                                               const NodeConfig& node) const {
+  assert(node.cr > 0.0 && node.cr <= 1.0);
+  return phi_in * node.cr;  // phi_out = h(phi_in, chi_node) = phi_in * CR
+}
+
+ResourceUsage CompressionAppModel::resource_usage(
+    double /*phi_in*/, const NodeConfig& node) const {
+  ResourceUsage usage;
+  // Section 4.3: duty depends on f_uC only (marginal dependency on CR).
+  usage.duty_cycle = profile_.duty_numerator / node.mcu_freq_khz;
+  usage.cycles_per_s = profile_.duty_numerator * 1000.0;  // duty * f, in Hz
+  usage.memory_bytes = profile_.memory_bytes;
+  usage.mem_accesses_per_s = profile_.mem_accesses_per_s;
+  return usage;
+}
+
+double CompressionAppModel::quality_loss(double /*phi_in*/,
+                                         const NodeConfig& node) const {
+  return prd_poly_(node.cr);
+}
+
+const FirmwareProfile& shimmer_dwt_profile() {
+  // duty_numerator verbatim from Section 4.3 (k_DWT = 2265.6 / f_uC).
+  // Memory/access figures model the windowed transform: the 256-sample
+  // window plus coefficient buffers resident in SRAM, and roughly 0.3
+  // memory operations per executed cycle.
+  static const FirmwareProfile profile{2265.6, 3072.0, 6.8e5};
+  return profile;
+}
+
+const FirmwareProfile& shimmer_cs_profile() {
+  // k_CS = 388.8 / f_uC; CS needs only the sample window and the
+  // measurement accumulator, and its addition-only inner loop is lighter
+  // on memory traffic.
+  static const FirmwareProfile profile{388.8, 1792.0, 1.2e5};
+  return profile;
+}
+
+std::shared_ptr<const ApplicationModel> make_shimmer_dwt_model(
+    util::Polynomial prd_poly) {
+  return std::make_shared<CompressionAppModel>(
+      AppKind::kDwt, shimmer_dwt_profile(), std::move(prd_poly));
+}
+
+std::shared_ptr<const ApplicationModel> make_shimmer_dwt_model() {
+  return make_shimmer_dwt_model(dsp::default_prd_curves().dwt.fitted);
+}
+
+std::shared_ptr<const ApplicationModel> make_shimmer_cs_model(
+    util::Polynomial prd_poly) {
+  return std::make_shared<CompressionAppModel>(
+      AppKind::kCs, shimmer_cs_profile(), std::move(prd_poly));
+}
+
+std::shared_ptr<const ApplicationModel> make_shimmer_cs_model() {
+  return make_shimmer_cs_model(dsp::default_prd_curves().cs.fitted);
+}
+
+}  // namespace wsnex::model

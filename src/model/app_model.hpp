@@ -1,0 +1,97 @@
+// Application-layer characterization (Section 3.3).
+//
+// An application is described by three functions of (phi_in, chi_node):
+//   h -> the output stream phi_out,
+//   k -> the resource-usage vector u = (Duty_app, M_app, gamma_app),
+//   e -> the loss of quality of the transmitted data.
+// The case-study instantiations (Section 4.3) are the Shimmer DWT and CS
+// implementations: phi_out = phi_in * CR for both; duty cycles
+// k_DWT = 2265.6 / f_uC[kHz] and k_CS = 388.8 / f_uC[kHz]; quality is the
+// PRD estimated by fifth-order polynomials fitted to measured data.
+#pragma once
+
+#include <memory>
+
+#include "model/types.hpp"
+#include "util/polynomial.hpp"
+
+namespace wsnex::model {
+
+/// Resource-usage vector u (Section 3.3). Only the three named components
+/// are needed on the Shimmer platform.
+struct ResourceUsage {
+  double duty_cycle = 0.0;        ///< Duty_app, fraction of MCU time
+  double memory_bytes = 0.0;      ///< M_app
+  double mem_accesses_per_s = 0.0;///< gamma_app
+  /// Cycles demanded per second of signal (duty * f, constant in f).
+  double cycles_per_s = 0.0;
+};
+
+/// Abstract application model: the functions h, k and e.
+class ApplicationModel {
+ public:
+  virtual ~ApplicationModel() = default;
+
+  virtual AppKind kind() const = 0;
+
+  /// h(phi_in, chi_node): output stream in B/s.
+  virtual double output_bytes_per_s(double phi_in,
+                                    const NodeConfig& node) const = 0;
+
+  /// k(phi_in, chi_node): the resource-usage vector.
+  virtual ResourceUsage resource_usage(double phi_in,
+                                       const NodeConfig& node) const = 0;
+
+  /// e(phi_in, chi_node): loss of quality (PRD, percent).
+  virtual double quality_loss(double phi_in, const NodeConfig& node) const = 0;
+};
+
+/// Cycle/memory characterization of one firmware implementation.
+struct FirmwareProfile {
+  /// Constant from Section 4.3: duty = duty_numerator / f_uC[kHz]; equals
+  /// the demanded kcycles per second of signal.
+  double duty_numerator = 0.0;
+  double memory_bytes = 0.0;
+  double mem_accesses_per_s = 0.0;
+};
+
+/// Case-study application: phi_out = phi_in * CR, fixed firmware profile,
+/// PRD estimated by a fitted polynomial P5(CR).
+class CompressionAppModel final : public ApplicationModel {
+ public:
+  CompressionAppModel(AppKind kind, FirmwareProfile profile,
+                      util::Polynomial prd_poly);
+
+  AppKind kind() const override { return kind_; }
+  double output_bytes_per_s(double phi_in,
+                            const NodeConfig& node) const override;
+  ResourceUsage resource_usage(double phi_in,
+                               const NodeConfig& node) const override;
+  double quality_loss(double phi_in, const NodeConfig& node) const override;
+
+  const util::Polynomial& prd_polynomial() const { return prd_poly_; }
+
+ private:
+  AppKind kind_;
+  FirmwareProfile profile_;
+  util::Polynomial prd_poly_;
+};
+
+/// The Shimmer DWT implementation (duty 2265.6 / f[kHz]); the PRD
+/// polynomial comes from the default codec calibration unless supplied.
+std::shared_ptr<const ApplicationModel> make_shimmer_dwt_model();
+std::shared_ptr<const ApplicationModel> make_shimmer_dwt_model(
+    util::Polynomial prd_poly);
+
+/// The Shimmer CS implementation (duty 388.8 / f[kHz]).
+std::shared_ptr<const ApplicationModel> make_shimmer_cs_model();
+std::shared_ptr<const ApplicationModel> make_shimmer_cs_model(
+    util::Polynomial prd_poly);
+
+/// Firmware profiles used by the factory functions (also consumed by the
+/// hardware-simulation mapping so model and "measurement" agree on the
+/// application's demands).
+const FirmwareProfile& shimmer_dwt_profile();
+const FirmwareProfile& shimmer_cs_profile();
+
+}  // namespace wsnex::model

@@ -1,0 +1,29 @@
+#include "model/baseline.hpp"
+
+#include "util/stats.hpp"
+
+namespace wsnex::model {
+
+BaselineEvaluation BaselineEnergyDelayModel::evaluate(
+    const NetworkDesign& design) const {
+  BaselineEvaluation out;
+  const NetworkEvaluation full = full_->evaluate(design);
+  if (!full.feasible) {
+    out.infeasibility_reason = full.infeasibility_reason;
+    return out;
+  }
+  // Energy view of [26]: computation + communication only, plain average
+  // (no sensing front-end detail, no memory term, no balance weighting).
+  std::vector<double> energies(full.nodes.size());
+  std::vector<double> delays(full.nodes.size());
+  for (std::size_t n = 0; n < full.nodes.size(); ++n) {
+    energies[n] = full.nodes[n].energy.mcu + full.nodes[n].energy.radio;
+    delays[n] = full.nodes[n].delay_bound_s;
+  }
+  out.energy_metric = util::mean(energies);
+  out.delay_metric_s = util::max_value(delays);
+  out.feasible = true;
+  return out;
+}
+
+}  // namespace wsnex::model

@@ -1,0 +1,40 @@
+// State-of-the-art energy/delay baseline model (Section 5.2, ref [26]).
+//
+// The comparison model of Fig. 5: an end-to-end energy/delay
+// characterization in the style of Kumar et al., aware of the processing
+// and communication energy and of the transmission delay, but blind to the
+// application quality (no PRD term) and to the node-balance concern (plain
+// averages instead of the Eq. 8 combinator). A DSE driven by this model
+// can only approximate the energy/delay curve; it cannot distinguish
+// designs that trade PRD, which is why its Pareto set covers only a small
+// fraction of the tradeoffs found with the full multi-layer model.
+#pragma once
+
+#include "model/evaluator.hpp"
+
+namespace wsnex::model {
+
+/// Two-objective evaluation of a design point.
+struct BaselineEvaluation {
+  bool feasible = false;
+  std::string infeasibility_reason;
+  double energy_metric = 0.0;   ///< mean node energy (processing + radio)
+  double delay_metric_s = 0.0;  ///< max worst-case delay bound
+};
+
+/// Energy/delay-only evaluator over the same design space.
+class BaselineEnergyDelayModel {
+ public:
+  explicit BaselineEnergyDelayModel(const NetworkModelEvaluator& full_model)
+      : full_(&full_model) {}
+
+  /// Evaluates energy (MCU + radio terms only, unbalanced mean) and delay.
+  /// Feasibility rules match the full model: the same designs are legal,
+  /// the baseline just scores them with less information.
+  BaselineEvaluation evaluate(const NetworkDesign& design) const;
+
+ private:
+  const NetworkModelEvaluator* full_;
+};
+
+}  // namespace wsnex::model

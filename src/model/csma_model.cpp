@@ -1,0 +1,88 @@
+#include "model/csma_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/timing.hpp"
+
+namespace wsnex::model {
+
+CsmaCapModel::CsmaCapModel(const mac::MacConfig& superframe_cfg)
+    : config_(superframe_cfg), superframe_(superframe_cfg.superframe()) {}
+
+double CsmaCapModel::cap_s_per_s() const {
+  // Every active-period slot not allocated to a GTS is CAP; the beacon
+  // occupies the head of it.
+  const double cap_slots = static_cast<double>(
+      mac::SuperframeLimits::kSlotsPerSuperframe - config_.total_gts_slots());
+  const double beacon_airtime = mac::Phy::frame_airtime_s(
+      mac::FrameSizes::beacon_bytes(config_.active_gts_count()));
+  const double cap_per_superframe =
+      std::max(0.0, cap_slots * superframe_.slot_s() - beacon_airtime);
+  return cap_per_superframe / superframe_.beacon_interval_s();
+}
+
+CsmaAssignment CsmaCapModel::characterize(
+    const std::vector<double>& phi_out) const {
+  CsmaAssignment out;
+  out.cap_s_per_s = cap_s_per_s();
+  const double payload = static_cast<double>(config_.payload_bytes);
+  const std::size_t mpdu =
+      config_.payload_bytes + mac::FrameSizes::kDataOverheadBytes;
+  const double exchange = sim::MacTiming::data_exchange_s(mpdu);
+
+  // Aggregate airtime demand against the CAP budget.
+  double total_frames_per_s = 0.0;
+  for (double phi : phi_out) total_frames_per_s += phi / payload;
+  out.utilization = out.cap_s_per_s > 0.0
+                        ? total_frames_per_s * exchange / out.cap_s_per_s
+                        : 2.0;
+
+  // First-order contention probabilities (Buratti-style): a CCA finds the
+  // channel busy with probability ~= the channel utilization; two nodes
+  // picking the same backoff boundary collide with a probability that
+  // grows with the utilization. kCollisionShare calibrates the fraction of
+  // busy periods that turn into collisions rather than deferrals (fitted
+  // once against the packet simulator at mid load).
+  constexpr double kCollisionShare = 0.35;
+  out.busy_cca_probability = std::min(0.95, out.utilization);
+  out.collision_probability =
+      std::min(0.9, kCollisionShare * out.utilization);
+
+  if (out.utilization >= 1.0) {
+    out.saturated = true;
+    out.reason = "offered CAP load exceeds the contention capacity";
+  }
+
+  const double retx = 1.0 / (1.0 - out.collision_probability);
+  const double cca_per_tx = 1.0 / (1.0 - out.busy_cca_probability);
+  // Mean initial backoff of slotted CSMA/CA: (2^macMinBE - 1) / 2 periods.
+  const double mean_backoff_s =
+      0.5 * ((1 << sim::MacTiming::kMacMinBe) - 1) *
+      sim::MacTiming::kBackoffPeriodS;
+  const double cap_fraction =
+      std::min(1.0, out.cap_s_per_s);  // share of wall time with open CAP
+
+  out.nodes.resize(phi_out.size());
+  for (std::size_t n = 0; n < phi_out.size(); ++n) {
+    CsmaNodeQuantities& q = out.nodes[n];
+    q.frames_per_s = phi_out[n] / payload;
+    q.tx_multiplier = retx;
+    q.cca_attempts_per_s = q.frames_per_s * retx * cca_per_tx;
+    q.tx_bytes_per_s =
+        (phi_out[n] + static_cast<double>(mac::FrameSizes::kDataOverheadBytes) *
+                          q.frames_per_s) *
+        retx;
+    // Statistical Delta_tx (Section 3.2): the average channel time the
+    // node occupies per second, successes and collisions included.
+    q.delta_tx_s_per_s = q.frames_per_s * retx * exchange;
+    // Mean access delay: wait for an open CAP (closed-share of the beacon
+    // interval on average) plus backoffs inflated by busy CCAs.
+    const double closed_wait =
+        (1.0 - cap_fraction) * 0.5 * superframe_.beacon_interval_s();
+    q.expected_delay_s = closed_wait + mean_backoff_s * cca_per_tx * retx;
+  }
+  return out;
+}
+
+}  // namespace wsnex::model

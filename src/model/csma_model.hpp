@@ -1,0 +1,63 @@
+// Contention-access (CSMA/CA) adaptation of the network model.
+//
+// Section 3.2: the transmission-interval abstraction "can be also adapted
+// to a contention access protocol (in fact, the Delta_tx's can be
+// statistically determined as the average amount of time a node can
+// successfully transmit per second, as shown in [19] for the CSMA/CA)".
+// This module provides that statistical characterization, first-order in
+// the spirit of Buratti's beacon-enabled analysis: channel utilization
+// drives the CCA-busy and collision probabilities, which inflate the
+// on-air traffic and add CCA listening energy. Together with the Fig. 3
+// energy pipeline it quantifies the claim of Section 3.1 that collision-
+// free TDMA "leads to a lower energy consumption with respect to a
+// contention access".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "mac/mac_config.hpp"
+
+namespace wsnex::model {
+
+/// Per-node statistical quantities of CAP contention.
+struct CsmaNodeQuantities {
+  double frames_per_s = 0.0;         ///< offered data frames
+  double tx_multiplier = 1.0;        ///< E[transmissions per frame]
+  double cca_attempts_per_s = 0.0;   ///< expected CCA probes
+  double tx_bytes_per_s = 0.0;       ///< on-air MAC bytes incl. reattempts
+  double expected_delay_s = 0.0;     ///< mean access delay estimate
+  double delta_tx_s_per_s = 0.0;     ///< statistical Delta_tx (Section 3.2)
+};
+
+/// Network-level contention state.
+struct CsmaAssignment {
+  bool saturated = false;            ///< offered load exceeds CAP capacity
+  std::string reason;
+  double cap_s_per_s = 0.0;          ///< contention-access time per second
+  double utilization = 0.0;          ///< airtime demand / CAP time
+  double busy_cca_probability = 0.0;
+  double collision_probability = 0.0;
+  std::vector<CsmaNodeQuantities> nodes;
+};
+
+/// First-order analytical model of slotted CSMA/CA in the CAP of a
+/// beacon-enabled superframe. All nodes contend (no GTS is allocated).
+class CsmaCapModel {
+ public:
+  explicit CsmaCapModel(const mac::MacConfig& superframe_cfg);
+
+  /// Statistical characterization for per-node on-air streams phi_out
+  /// (B/s, retransmission-free application output).
+  CsmaAssignment characterize(const std::vector<double>& phi_out) const;
+
+  /// Seconds of CAP contention time available per second of operation.
+  double cap_s_per_s() const;
+
+ private:
+  mac::MacConfig config_;
+  mac::Superframe superframe_;
+};
+
+}  // namespace wsnex::model

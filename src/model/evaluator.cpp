@@ -1,0 +1,133 @@
+#include "model/evaluator.hpp"
+
+#include <cassert>
+
+#include "hw/hw_simulator.hpp"
+
+namespace wsnex::model {
+
+NetworkModelEvaluator::NetworkModelEvaluator(
+    const hw::PlatformPower& platform, SignalChain chain,
+    std::shared_ptr<const ApplicationModel> dwt,
+    std::shared_ptr<const ApplicationModel> cs, EvaluatorOptions options)
+    : platform_(platform),
+      chain_(chain),
+      dwt_(std::move(dwt)),
+      cs_(std::move(cs)),
+      options_(options),
+      radio_(calibrate_radio(platform, default_calibration_activity())) {
+  assert(dwt_ && dwt_->kind() == AppKind::kDwt);
+  assert(cs_ && cs_->kind() == AppKind::kCs);
+}
+
+NetworkModelEvaluator NetworkModelEvaluator::make_default(
+    EvaluatorOptions options) {
+  return NetworkModelEvaluator(hw::shimmer_platform(), SignalChain{},
+                               make_shimmer_dwt_model(),
+                               make_shimmer_cs_model(), options);
+}
+
+NetworkEvaluation NetworkModelEvaluator::evaluate(
+    const NetworkDesign& design) const {
+  NetworkEvaluation out;
+  if (design.nodes.empty()) {
+    out.infeasibility_reason = "empty design";
+    return out;
+  }
+  if (options_.frame_error_rate < 0.0 || options_.frame_error_rate >= 1.0) {
+    out.infeasibility_reason = "frame error rate must be in [0, 1)";
+    return out;
+  }
+  if (!design.mac.valid() && design.mac.gts_slots.empty()) {
+    // gts_slots is filled by the assignment below; validate the rest.
+    mac::MacConfig probe = design.mac;
+    probe.gts_slots.assign(design.nodes.size(), 0);
+    if (!probe.valid()) {
+      out.infeasibility_reason = "invalid MAC configuration";
+      return out;
+    }
+  }
+
+  const Ieee802154MacModel mac_model(design.mac);
+  const double phi_in = chain_.phi_in_bytes_per_s();
+
+  // 1. Application layer: phi_out and PRD per node.
+  std::vector<double> phi_out(design.nodes.size());
+  for (std::size_t n = 0; n < design.nodes.size(); ++n) {
+    phi_out[n] =
+        app_for(design.nodes[n].app).output_bytes_per_s(phi_in,
+                                                        design.nodes[n]);
+  }
+
+  // 2. MAC layer: Eq. 1-2 slot assignment over the on-air stream
+  // (retransmission-inflated when a frame error rate is configured).
+  std::vector<double> phi_tx = phi_out;
+  if (options_.frame_error_rate > 0.0) {
+    // A transmission succeeds only if the data frame AND its ACK survive:
+    // E[transmissions per frame] = 1 / (1 - p)^2.
+    const double q = 1.0 - options_.frame_error_rate;
+    const double inflate = 1.0 / (q * q);
+    for (double& phi : phi_tx) phi *= inflate;
+  }
+  out.assignment = mac_model.assign_slots(phi_tx, options_.accounting);
+  if (!out.assignment.feasible) {
+    out.infeasibility_reason = out.assignment.infeasibility_reason;
+    return out;
+  }
+
+  // 3-4. Node energy and delay bound.
+  out.nodes.resize(design.nodes.size());
+  std::vector<double> energies(design.nodes.size());
+  std::vector<double> prds(design.nodes.size());
+  std::vector<double> delays(design.nodes.size());
+  for (std::size_t n = 0; n < design.nodes.size(); ++n) {
+    const ApplicationModel& app = app_for(design.nodes[n].app);
+    NodeEvaluation& ne = out.nodes[n];
+    ne.phi_out_bytes_per_s = phi_out[n];
+    ne.energy = estimate_node_energy(platform_, radio_, chain_, app,
+                                     design.nodes[n],
+                                     out.assignment.nodes[n]);
+    if (!ne.energy.feasible) {
+      out.infeasibility_reason =
+          std::string(to_string(design.nodes[n].app)) +
+          " duty cycle exceeds 100% at the configured f_uC";
+      return out;
+    }
+    ne.prd_percent = app.quality_loss(phi_in, design.nodes[n]);
+    ne.delay_bound_s = mac_model.delay_bound_s(out.assignment, n);
+    ne.gts_slots = out.assignment.nodes[n].slots;
+    energies[n] = ne.energy.total();
+    prds[n] = ne.prd_percent;
+    delays[n] = ne.delay_bound_s;
+  }
+
+  // 5. System-level metrics (Eq. 8).
+  out.energy_metric = balanced_metric(energies, options_.theta);
+  out.prd_metric = balanced_metric(prds, options_.theta);
+  out.delay_metric_s =
+      delay_metric(delays, options_.theta, options_.delay_aggregation);
+  out.feasible = true;
+  return out;
+}
+
+std::vector<MeasuredNodeEnergy> measure_network_energy(
+    const NetworkModelEvaluator& evaluator, const NetworkDesign& design,
+    double duration_s) {
+  const Ieee802154MacModel mac_model(design.mac);
+  std::vector<MeasuredNodeEnergy> out(design.nodes.size());
+  hw::HwSimConfig sim_config;
+  sim_config.duration_s = duration_s;
+  for (std::size_t n = 0; n < design.nodes.size(); ++n) {
+    const ApplicationModel& app = evaluator.app_for(design.nodes[n].app);
+    const hw::NodeActivity activity =
+        derive_node_activity(evaluator.chain(), app, design.nodes[n],
+                             mac_model,
+                             evaluator.options().frame_error_rate);
+    out[n].breakdown =
+        hw::simulate_node_energy(evaluator.platform(), activity, sim_config);
+    out[n].feasible = out[n].breakdown.feasible;
+  }
+  return out;
+}
+
+}  // namespace wsnex::model

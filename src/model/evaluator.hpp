@@ -1,0 +1,111 @@
+// Full-network model-based evaluation — the paper's primary contribution.
+//
+// Given a complete design point (per-node chi_node + chi_mac), the
+// evaluator runs the analytical pipeline:
+//   1. application models    -> phi_out, duty, PRD per node
+//   2. MAC model             -> Omega/Psi terms + slot assignment (Eq. 1-2)
+//   3. node energy model     -> E_node per node (Eq. 3-7)
+//   4. delay bound           -> d^(n) per node (Eq. 9)
+//   5. system-level metrics  -> E_net, PRD_net, D_net (Eq. 8)
+// This is the function a DSE loop calls thousands of times per second in
+// place of a 5-10 minute packet simulation (Section 5.2).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/hw_simulator.hpp"
+#include "hw/power.hpp"
+#include "model/app_model.hpp"
+#include "model/mac_model.hpp"
+#include "model/metrics.hpp"
+#include "model/node_model.hpp"
+#include "model/types.hpp"
+
+namespace wsnex::model {
+
+/// A complete design point of the case study.
+struct NetworkDesign {
+  std::vector<NodeConfig> nodes;  ///< chi_node per node
+  mac::MacConfig mac;             ///< L_payload, BCO, SFO (slots computed)
+};
+
+/// Per-node outputs of one evaluation.
+struct NodeEvaluation {
+  double phi_out_bytes_per_s = 0.0;
+  NodeEnergyEstimate energy;
+  double prd_percent = 0.0;
+  double delay_bound_s = 0.0;
+  std::size_t gts_slots = 0;
+};
+
+/// Network-level outputs.
+struct NetworkEvaluation {
+  bool feasible = false;
+  std::string infeasibility_reason;
+  std::vector<NodeEvaluation> nodes;
+  double energy_metric = 0.0;  ///< E_net (Eq. 8), mJ/s
+  double prd_metric = 0.0;     ///< PRD_net (Eq. 8 combinator), percent
+  double delay_metric_s = 0.0; ///< D_net, seconds
+  SlotAssignment assignment;
+};
+
+/// Evaluator options.
+struct EvaluatorOptions {
+  double theta = 0.5;  ///< balance weight of Eq. 8
+  DelayAggregation delay_aggregation = DelayAggregation::kMax;
+  TxTimeAccounting accounting = TxTimeAccounting::kFullExchange;
+  /// Expected frame error rate of the channel. A node retransmits until
+  /// acknowledged — and an exchange succeeds only when the data frame and
+  /// its ACK both survive — so the on-air stream is inflated to
+  /// phi_out / (1 - p)^2 before MAC sizing and radio-energy accounting
+  /// (Section 3.3). Must be in [0, 1).
+  double frame_error_rate = 0.0;
+};
+
+/// Reusable model-based evaluator for a fixed platform/signal chain and a
+/// fixed pair of application models. Thread-compatible: evaluate() is
+/// const and allocation-light.
+class NetworkModelEvaluator {
+ public:
+  NetworkModelEvaluator(const hw::PlatformPower& platform, SignalChain chain,
+                        std::shared_ptr<const ApplicationModel> dwt,
+                        std::shared_ptr<const ApplicationModel> cs,
+                        EvaluatorOptions options = {});
+
+  /// Convenience: default Shimmer platform, 250 Hz / 12-bit chain and the
+  /// default calibrated application models.
+  static NetworkModelEvaluator make_default(EvaluatorOptions options = {});
+
+  /// Full analytical evaluation of one design point.
+  NetworkEvaluation evaluate(const NetworkDesign& design) const;
+
+  const ApplicationModel& app_for(AppKind kind) const {
+    return kind == AppKind::kDwt ? *dwt_ : *cs_;
+  }
+  const SignalChain& chain() const { return chain_; }
+  const hw::PlatformPower& platform() const { return platform_; }
+  const EvaluatorOptions& options() const { return options_; }
+
+ private:
+  hw::PlatformPower platform_;
+  SignalChain chain_;
+  std::shared_ptr<const ApplicationModel> dwt_;
+  std::shared_ptr<const ApplicationModel> cs_;
+  EvaluatorOptions options_;
+  CalibratedRadio radio_;
+};
+
+/// "Measured" evaluation of the same design point: maps every node to its
+/// concrete activity profile and runs the activity-trace hardware
+/// simulator. This is the reference side of the Fig. 3 experiment.
+struct MeasuredNodeEnergy {
+  bool feasible = true;
+  hw::EnergyBreakdown breakdown;
+};
+std::vector<MeasuredNodeEnergy> measure_network_energy(
+    const NetworkModelEvaluator& evaluator, const NetworkDesign& design,
+    double duration_s = 10.0);
+
+}  // namespace wsnex::model

@@ -1,0 +1,26 @@
+#include <limits>
+#include <vector>
+
+#include "model/lifetime.hpp"
+
+namespace wsnex::model {
+
+double lifetime_hours(const Battery& battery, double e_node_mj_per_s) {
+  if (e_node_mj_per_s <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return battery.usable_energy_mj() / e_node_mj_per_s / 3600.0;
+}
+
+double lifetime_days(const Battery& battery, double e_node_mj_per_s) {
+  return lifetime_hours(battery, e_node_mj_per_s) / 24.0;
+}
+
+double network_lifetime_hours(const Battery& battery,
+                              const std::vector<double>& e_node_mj_per_s) {
+  double worst = 0.0;
+  for (double e : e_node_mj_per_s) worst = std::max(worst, e);
+  return lifetime_hours(battery, worst);
+}
+
+}  // namespace wsnex::model

@@ -1,0 +1,41 @@
+// Battery lifetime estimation.
+//
+// The paper's introduction frames the whole exploration as a
+// performance-vs-*lifetime* tradeoff; this helper converts the model's
+// E_node (mJ per second) into an expected node lifetime for a given
+// battery, so fronts can be reported in days instead of mJ/s.
+#pragma once
+
+#include <vector>
+
+namespace wsnex::model {
+
+/// Battery and power-path description. Defaults: the 450 mAh Li-ion cell
+/// the Shimmer ships with, 3.7 V nominal, a conservative 85% regulator
+/// efficiency and 10% reserved capacity.
+struct Battery {
+  double capacity_mah = 450.0;
+  double nominal_voltage_v = 3.7;
+  double regulator_efficiency = 0.85;  ///< fraction delivered to the load
+  double usable_fraction = 0.90;       ///< capacity above cutoff
+
+  /// Total usable energy in millijoule: mAh * 3.6 * V * eff * usable.
+  double usable_energy_mj() const {
+    return capacity_mah * 3.6 * nominal_voltage_v * regulator_efficiency *
+           usable_fraction * 1000.0;
+  }
+};
+
+/// Expected lifetime in hours for a node drawing `e_node_mj_per_s`.
+/// Returns +inf for a zero draw.
+double lifetime_hours(const Battery& battery, double e_node_mj_per_s);
+
+/// Same, in days.
+double lifetime_days(const Battery& battery, double e_node_mj_per_s);
+
+/// Network lifetime under the "first node dies" criterion: the minimum
+/// over the per-node draws.
+double network_lifetime_hours(const Battery& battery,
+                              const std::vector<double>& e_node_mj_per_s);
+
+}  // namespace wsnex::model

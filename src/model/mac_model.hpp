@@ -1,0 +1,111 @@
+// Network/MAC layer of the analytical model (Sections 3.2 and 4.2).
+//
+// The MAC abstraction captures four recurring structures of sensor-network
+// MAC protocols, all normalized per second of operation:
+//   * Omega(phi_out, chi_mac)  - data overhead (packet headers/tails), B/s
+//   * Psi_{n->c}, Psi_{c->n}   - control message volume, B/s
+//   * Delta_control(chi_mac)   - channel time unavailable to data, s/s
+//   * delta                    - the base time unit of the protocol, s
+// plus the transmission-interval assignment problem of Eq. 1-2 and the
+// protocol-specific worst-case delay function d(chi_mac) (Eq. 9).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mac/mac_config.hpp"
+
+namespace wsnex::model {
+
+/// Per-second quantities the MAC abstraction exposes for one node.
+struct MacNodeQuantities {
+  /// Bytes/s the radio actually transmits (phi_out inflated by the
+  /// expected retransmissions, Section 3.3).
+  double phi_tx_bytes_per_s = 0.0;
+  double omega_bytes_per_s = 0.0;      ///< Omega(phi_out, chi_mac)
+  double psi_n_to_c_bytes_per_s = 0.0; ///< node -> coordinator control
+  double psi_c_to_n_bytes_per_s = 0.0; ///< coordinator -> node control
+  double delta_tx_s_per_s = 0.0;       ///< assigned transmission interval
+  std::size_t slots = 0;               ///< k^(n), Delta_tx in units of delta
+};
+
+/// Result of the transmission-interval assignment (Eq. 1-2).
+struct SlotAssignment {
+  bool feasible = false;
+  std::string infeasibility_reason;
+  std::vector<MacNodeQuantities> nodes;
+  double delta_s = 0.0;           ///< base time unit (slot length)
+  double delta_control_s_per_s = 0.0;  ///< Delta_control, per second
+  /// Eq. 2 check value: sum(Delta_tx) + Delta_control (== 1 when the
+  /// unassigned-GTS idle time is accounted inside Delta_control).
+  double budget_check = 0.0;
+};
+
+/// Slot-demand accounting mode.
+enum class TxTimeAccounting {
+  /// Paper mode: T_tx is the pure airtime of the MAC bytes (Eq. 1).
+  kAirtimeOnly,
+  /// Engineering mode: adds the per-frame exchange cost a real GTS pays
+  /// (PHY preamble, rx/tx turnaround, ACK, inter-frame spacing), which is
+  /// what the packet simulator enforces. Use this when an assignment must
+  /// be sustainable in simulation.
+  kFullExchange,
+};
+
+/// Analytical model of the beacon-enabled IEEE 802.15.4 MAC (Section 4.2).
+class Ieee802154MacModel {
+ public:
+  /// `superframe_cfg` fixes L_payload, BCO and SFO; the Delta_tx's are
+  /// computed by assign_slots(). The gts_slots field of the config is
+  /// ignored here.
+  explicit Ieee802154MacModel(const mac::MacConfig& superframe_cfg);
+
+  const mac::MacConfig& config() const { return config_; }
+
+  /// Omega: 13 bytes per frame (11 header + 2 FCS) -> 13 * phi_out / L.
+  double omega(double phi_out_bytes_per_s) const;
+
+  /// Psi_{n->c} = 0: nodes send no control messages in this MAC.
+  double psi_n_to_c(double phi_out_bytes_per_s) const;
+
+  /// Psi_{c->n} = 4 * phi_out / L (ACKs) + L_beacon / BI.
+  double psi_c_to_n(double phi_out_bytes_per_s) const;
+
+  /// The base time unit delta = SD / 16 (the slot), in seconds.
+  double delta_s() const;
+
+  /// Beacon MPDU size for `gts_count` allocated GTS descriptors.
+  std::size_t beacon_bytes(std::size_t gts_count) const;
+
+  /// T_tx(bytes/s): seconds of channel time per second needed to carry the
+  /// given MAC-level byte stream under the chosen accounting.
+  double tx_time_s_per_s(double mac_bytes_per_s, double frames_per_s,
+                         TxTimeAccounting accounting) const;
+
+  /// Solves Eq. 1-2: finds the minimal k^(n) per node so each node can
+  /// deliver phi_out + Omega within its transmission interval, subject to
+  /// the 7-GTS budget (sum Delta_tx <= 7/16 * SD/BI).
+  SlotAssignment assign_slots(const std::vector<double>& phi_out_bytes_per_s,
+                              TxTimeAccounting accounting =
+                                  TxTimeAccounting::kFullExchange) const;
+
+  /// Worst-case delay bound d^(n) (Eq. 9) in seconds for node `n` under a
+  /// completed assignment: the other nodes exhaust their slots (and every
+  /// spanned superframe contributes its control overhead) before node n
+  /// transmits its block.
+  double delay_bound_s(const SlotAssignment& assignment, std::size_t n) const;
+
+  /// Delta_control per superframe in seconds: beacon airtime, CAP slots
+  /// (16 - total allocated GTS slots) and the inactive period — everything
+  /// unavailable to data.
+  double control_time_per_superframe_s(std::size_t total_slots,
+                                       std::size_t gts_count) const;
+
+ private:
+  mac::MacConfig config_;
+  mac::Superframe superframe_;
+};
+
+}  // namespace wsnex::model

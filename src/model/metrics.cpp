@@ -1,0 +1,19 @@
+#include "model/metrics.hpp"
+
+#include "util/stats.hpp"
+
+namespace wsnex::model {
+
+double balanced_metric(std::span<const double> per_node, double theta) {
+  return util::mean(per_node) + theta * util::sample_stddev(per_node);
+}
+
+double delay_metric(std::span<const double> per_node_delays, double theta,
+                    DelayAggregation aggregation) {
+  if (aggregation == DelayAggregation::kBalanced) {
+    return balanced_metric(per_node_delays, theta);
+  }
+  return util::max_value(per_node_delays);
+}
+
+}  // namespace wsnex::model

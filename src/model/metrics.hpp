@@ -1,0 +1,28 @@
+// System-level evaluation metrics (Section 3.4).
+//
+// Eq. 8 combines per-node quantities into a network-level objective that
+// penalizes imbalance: E_net = mean + theta * sample_stddev. The same
+// combinator applies to the application-quality (PRD) metric; the network
+// delay metric aggregates the per-node worst-case bounds.
+#pragma once
+
+#include <span>
+
+namespace wsnex::model {
+
+/// Aggregation used for the network delay metric.
+enum class DelayAggregation {
+  kMax,       ///< worst node (conservative, default)
+  kBalanced,  ///< Eq. 8-style mean + theta * stddev
+};
+
+/// Eq. 8: weighted combination of the average per-node value and the
+/// sample standard deviation across the network. `theta` sets the
+/// importance of balance among the nodes (theta >= 0).
+double balanced_metric(std::span<const double> per_node, double theta);
+
+/// Network delay metric over the per-node delay bounds.
+double delay_metric(std::span<const double> per_node_delays, double theta,
+                    DelayAggregation aggregation = DelayAggregation::kMax);
+
+}  // namespace wsnex::model

@@ -1,0 +1,80 @@
+// Analytical node energy model (Section 3.3, Eq. 3-7).
+//
+// E_node = E_sensor + E_uC + E_mem + E_radio, with
+//   E_sensor = E_transducer + alpha_s1 * f_s + alpha_s0            (Eq. 3)
+//   E_uC     = Duty_app * (alpha_uC1 * f_uC + alpha_uC0)           (Eq. 4)
+//   E_mem    = gamma T_mem E_acc + (1 - gamma T_mem) 8 M E_bitidle (Eq. 5)
+//   E_radio  = 8 (phi_out + Omega + Psi_{n->c}) E_tx
+//            + 8 Psi_{c->n} E_rx                                   (Eq. 6)
+// All terms are energy per second of operation (mJ/s).
+#pragma once
+
+#include <memory>
+
+#include "hw/activity.hpp"
+#include "hw/power.hpp"
+#include "model/app_model.hpp"
+#include "model/mac_model.hpp"
+#include "model/types.hpp"
+
+namespace wsnex::model {
+
+/// Per-term estimate of one node's consumption, mJ/s.
+struct NodeEnergyEstimate {
+  bool feasible = true;  ///< false when Duty_app > 100% (Section 5.1)
+  double sensor = 0.0;
+  double mcu = 0.0;
+  double memory = 0.0;
+  double radio = 0.0;
+  double total() const { return sensor + mcu + memory + radio; }
+};
+
+/// Radio per-bit energies as seen by the model. Following the paper's
+/// methodology the per-bit costs are *calibrated from frame measurements*,
+/// which amortizes the PHY preamble of a reference frame into the per-bit
+/// figure (the raw datasheet constants stay in hw::RadioPower for the
+/// hardware simulator).
+struct CalibratedRadio {
+  double tx_mj_per_bit = 0.0;
+  double rx_mj_per_bit = 0.0;
+};
+
+/// Derives calibrated per-bit energies from a reference traffic profile:
+/// the effective per-bit cost is the raw datasheet figure inflated by the
+/// PHY-preamble share of the reference activity's byte/frame mix,
+///   E_tx_eff = E_tx_raw * (tx_bytes + 6 * tx_frames) / tx_bytes,
+/// which is what dividing a measured frame-energy campaign by its MAC bits
+/// produces. Configurations whose traffic mix differs from the reference
+/// inherit a small calibration-shift error — the same error structure the
+/// paper's measured constants have.
+CalibratedRadio calibrate_radio(const hw::PlatformPower& platform,
+                                const hw::NodeActivity& reference);
+
+/// Reference activity used by default: the case-study midpoint (CR = 0.275
+/// at L_payload = 64, BCO = SFO = 6, one 6-node-network beacon per
+/// superframe).
+const hw::NodeActivity& default_calibration_activity();
+
+/// Evaluates Eq. 3-7 for one node.
+///
+/// `mac_q` supplies the Omega/Psi terms of Eq. 6 for the node's phi_out
+/// under the network's MAC configuration.
+NodeEnergyEstimate estimate_node_energy(const hw::PlatformPower& platform,
+                                        const CalibratedRadio& radio,
+                                        const SignalChain& chain,
+                                        const ApplicationModel& app,
+                                        const NodeConfig& node,
+                                        const MacNodeQuantities& mac_q);
+
+/// Maps a node configuration to the concrete activity profile a real node
+/// would exhibit (the input of the hardware energy simulator). This is the
+/// "ground truth" side of the Fig. 3 comparison: per-block frame counts
+/// use integer packetization (ceil), beacons/ACK receptions are whole
+/// frames, and radio bursts/wakeups are made explicit.
+hw::NodeActivity derive_node_activity(const SignalChain& chain,
+                                      const ApplicationModel& app,
+                                      const NodeConfig& node,
+                                      const Ieee802154MacModel& mac,
+                                      double frame_error_rate = 0.0);
+
+}  // namespace wsnex::model

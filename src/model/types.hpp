@@ -1,0 +1,41 @@
+// Configuration types of the analytical model (Sections 3 and 4).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace wsnex::model {
+
+/// Node application (the two ECG compressors of the case study).
+enum class AppKind { kDwt, kCs };
+
+inline const char* to_string(AppKind kind) {
+  return kind == AppKind::kDwt ? "DWT" : "CS";
+}
+
+/// chi_node of Section 4.3: the tunable node parameters are the compression
+/// ratio and the microcontroller frequency.
+struct NodeConfig {
+  AppKind app = AppKind::kDwt;
+  double cr = 0.30;           ///< compression ratio, phi_out = phi_in * CR
+  double mcu_freq_khz = 8000; ///< f_uC
+};
+
+/// Fixed signal-chain parameters of the ECG case study (Section 4.3):
+/// f_s = 250 Hz, 12-bit ADC -> phi_in = 375 B/s.
+struct SignalChain {
+  double sampling_hz = 250.0;
+  unsigned adc_bits = 12;
+  std::size_t window_samples = 256;  ///< compression block length
+
+  /// Input stream phi_in in bytes per second.
+  double phi_in_bytes_per_s() const {
+    return sampling_hz * static_cast<double>(adc_bits) / 8.0;
+  }
+  /// Seconds covered by one compression window.
+  double window_period_s() const {
+    return static_cast<double>(window_samples) / sampling_hz;
+  }
+};
+
+}  // namespace wsnex::model

@@ -1,0 +1,57 @@
+#include "sim/channel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "mac/ieee802154.hpp"
+
+namespace wsnex::sim {
+
+Channel::Channel(Engine& engine, double frame_error_rate, std::uint64_t seed)
+    : engine_(engine), frame_error_rate_(frame_error_rate), rng_(seed) {
+  assert(frame_error_rate >= 0.0 && frame_error_rate <= 1.0);
+}
+
+void Channel::attach(Address address, ReceiveHandler handler) {
+  for (const Receiver& r : receivers_) {
+    if (r.address == address) {
+      throw std::invalid_argument("Channel: duplicate address");
+    }
+  }
+  receivers_.push_back({address, std::move(handler)});
+}
+
+double Channel::transmit(const Frame& frame, double reserve_extra_s) {
+  const double airtime = mac::Phy::frame_airtime_s(frame.mac_bytes);
+  if (busy()) {
+    // Destructive collision: the overlapping energy corrupts both frames.
+    ++collisions_;
+    if (has_pending_) {
+      engine_.cancel(pending_delivery_);
+      has_pending_ = false;
+    }
+    busy_until_ = std::max(busy_until_, engine_.now() + airtime);
+    return airtime;
+  }
+  busy_until_ = engine_.now() + airtime + reserve_extra_s;
+
+  if (frame_error_rate_ > 0.0 && rng_.bernoulli(frame_error_rate_)) {
+    ++drops_;
+    return airtime;
+  }
+
+  pending_delivery_ = engine_.schedule_in(airtime, [this, frame] {
+    has_pending_ = false;
+    for (const Receiver& r : receivers_) {
+      if (r.address == frame.src) continue;
+      if (frame.dst == kBroadcast || frame.dst == r.address) {
+        r.handler(frame);
+      }
+    }
+  });
+  has_pending_ = true;
+  return airtime;
+}
+
+}  // namespace wsnex::sim

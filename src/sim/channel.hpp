@@ -1,0 +1,76 @@
+// Shared wireless channel.
+//
+// The case study's star WBSN uses collision-free TDMA and a carrier power
+// chosen for a negligible packet error rate (Section 4.3), so the channel
+// models airtime, propagation and an optional Bernoulli frame-error process
+// (used by fault-injection tests), but no interference: GTS scheduling
+// guarantees a single transmitter. A busy-assertion still catches scheduler
+// bugs that would overlap transmissions.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/packet.hpp"
+#include "util/random.hpp"
+
+namespace wsnex::sim {
+
+/// Receiver callback: invoked when the last bit of a frame arrives.
+using ReceiveHandler = std::function<void(const Frame&)>;
+
+class Channel {
+ public:
+  /// `frame_error_rate` drops each frame independently with the given
+  /// probability (0 reproduces the paper's negligible-error assumption).
+  Channel(Engine& engine, double frame_error_rate = 0.0,
+          std::uint64_t seed = 1);
+
+  /// Registers a receiver; `address` must be unique.
+  void attach(Address address, ReceiveHandler handler);
+
+  /// Starts transmitting `frame`; delivery happens after the on-air time.
+  /// Frames addressed to kBroadcast reach every attached receiver except
+  /// the sender. Returns the on-air duration in seconds.
+  ///
+  /// Overlapping transmissions collide destructively: both the in-flight
+  /// frame and the new one are lost (and counted). A correct GTS schedule
+  /// never overlaps; CSMA/CA contention can.
+  ///
+  /// `reserve_extra_s` keeps the channel asserted busy for that long after
+  /// the frame's last bit — data frames reserve the rx/tx turnaround so a
+  /// CCA cannot slip a transmission in front of the pending ACK.
+  double transmit(const Frame& frame, double reserve_extra_s = 0.0);
+
+  /// Clear-channel assessment as a CSMA/CA transmitter sees it.
+  bool clear() const { return !busy(); }
+
+  /// True while a transmission is in flight.
+  bool busy() const { return busy_until_ > engine_.now(); }
+
+  /// Number of frames that overlapped an ongoing transmission (protocol
+  /// bugs; always 0 for a correct GTS schedule).
+  std::uint64_t collisions() const { return collisions_; }
+
+  /// Frames dropped by the error process.
+  std::uint64_t drops() const { return drops_; }
+
+ private:
+  struct Receiver {
+    Address address;
+    ReceiveHandler handler;
+  };
+
+  Engine& engine_;
+  double frame_error_rate_;
+  util::Rng rng_;
+  std::vector<Receiver> receivers_;
+  SimTime busy_until_ = 0.0;
+  std::uint64_t pending_delivery_ = 0;  ///< event id of the in-flight frame
+  bool has_pending_ = false;
+  std::uint64_t collisions_ = 0;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace wsnex::sim

@@ -1,0 +1,61 @@
+#include "sim/coordinator.hpp"
+
+#include "sim/timing.hpp"
+
+namespace wsnex::sim {
+
+Coordinator::Coordinator(Engine& engine, Channel& channel,
+                         const mac::MacConfig& mac_config,
+                         std::size_t node_count)
+    : engine_(engine),
+      channel_(channel),
+      mac_config_(mac_config),
+      beacon_bytes_(
+          mac::FrameSizes::beacon_bytes(mac_config.active_gts_count())),
+      latency_stats_(node_count) {}
+
+void Coordinator::start() {
+  channel_.attach(kCoordinator, [this](const Frame& f) { on_receive(f); });
+  send_beacon();
+}
+
+void Coordinator::send_beacon() {
+  Frame beacon;
+  beacon.kind = FrameKind::kBeacon;
+  beacon.src = kCoordinator;
+  beacon.dst = kBroadcast;
+  beacon.mac_bytes = beacon_bytes_;
+  beacon.seq = next_seq_++;
+  channel_.transmit(beacon);
+  ++beacons_sent_;
+  engine_.schedule_in(mac_config_.superframe().beacon_interval_s(),
+                      [this] { send_beacon(); });
+}
+
+void Coordinator::on_receive(const Frame& frame) {
+  if (frame.kind != FrameKind::kData) return;
+  ++data_frames_;
+  payload_bytes_ += frame.payload_bytes;
+
+  FrameDelivery delivery;
+  delivery.node = frame.src;
+  delivery.seq = frame.seq;
+  delivery.latency_s = engine_.now() - frame.enqueued_at;
+  deliveries_.push_back(delivery);
+  const std::size_t node_index = frame.src - 1;  // node addresses are 1..N
+  if (node_index < latency_stats_.size()) {
+    latency_stats_[node_index].add(delivery.latency_s);
+  }
+
+  // Acknowledge after the rx/tx turnaround.
+  Frame ack;
+  ack.kind = FrameKind::kAck;
+  ack.src = kCoordinator;
+  ack.dst = frame.src;
+  ack.mac_bytes = mac::FrameSizes::kAckBytes;
+  ack.seq = frame.seq;
+  engine_.schedule_in(MacTiming::kTurnaroundS,
+                      [this, ack] { channel_.transmit(ack); });
+}
+
+}  // namespace wsnex::sim

@@ -1,0 +1,14 @@
+#include "sim/engine.hpp"
+
+namespace wsnex::sim {
+
+void Engine::run_until(SimTime t_end) {
+  while (!queue_.empty() && queue_.next_time() <= t_end) {
+    now_ = queue_.next_time();
+    queue_.run_next();
+    ++events_executed_;
+  }
+  if (now_ < t_end) now_ = t_end;
+}
+
+}  // namespace wsnex::sim

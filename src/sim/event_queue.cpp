@@ -1,0 +1,51 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wsnex::sim {
+
+std::uint64_t EventQueue::schedule(SimTime at, Callback fn) {
+  const std::uint64_t id = next_id_++;
+  heap_.push(Entry{at, next_seq_++, id, std::move(fn)});
+  ++live_count_;
+  return id;
+}
+
+void EventQueue::cancel(std::uint64_t id) {
+  // Lazy deletion: remember the id and skip the entry when it surfaces.
+  const auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), id);
+  if (it != cancelled_.end() && *it == id) return;
+  if (id >= next_id_) return;
+  cancelled_.insert(it, id);
+  if (live_count_ > 0) --live_count_;
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty()) {
+    const auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(),
+                                     heap_.top().id);
+    if (it == cancelled_.end() || *it != heap_.top().id) break;
+    const_cast<EventQueue*>(this)->cancelled_.erase(it);
+    const_cast<EventQueue*>(this)->heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled();
+  assert(!heap_.empty());
+  return heap_.top().at;
+}
+
+SimTime EventQueue::run_next() {
+  drop_cancelled();
+  assert(!heap_.empty());
+  // Move the entry out before running: the callback may schedule new events.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  --live_count_;
+  entry.fn();
+  return entry.at;
+}
+
+}  // namespace wsnex::sim

@@ -1,0 +1,59 @@
+// Discrete-event simulation core: time-ordered event queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace wsnex::sim {
+
+/// Simulation time in seconds.
+using SimTime = double;
+
+/// Time-ordered callback queue. Events at equal times fire in insertion
+/// order (a monotonically increasing sequence number breaks ties), which
+/// keeps runs deterministic.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `at`. Returns an id usable to cancel.
+  std::uint64_t schedule(SimTime at, Callback fn);
+
+  /// Cancels a scheduled event; a no-op if already fired or cancelled.
+  void cancel(std::uint64_t id);
+
+  bool empty() const { return live_count_ == 0; }
+  std::size_t size() const { return live_count_; }
+
+  /// Time of the earliest pending event; only valid when !empty().
+  SimTime next_time() const;
+
+  /// Pops and runs the earliest event; returns its timestamp.
+  SimTime run_next();
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    std::uint64_t id;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::size_t live_count_ = 0;
+  std::vector<std::uint64_t> cancelled_;  // sorted ids pending removal
+};
+
+}  // namespace wsnex::sim

@@ -1,0 +1,33 @@
+// Frame and data-block types exchanged in the packet simulator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+
+namespace wsnex::sim {
+
+/// Node addresses: the coordinator is address 0, sensor node n is n + 1.
+using Address = std::uint32_t;
+inline constexpr Address kCoordinator = 0;
+inline constexpr Address kBroadcast = 0xFFFFFFFF;
+
+enum class FrameKind : std::uint8_t { kBeacon, kData, kAck };
+
+/// A MAC frame on the wire. `mac_bytes` is the full MPDU (header + payload
+/// + FCS); the PHY adds its synchronization overhead on top.
+struct Frame {
+  FrameKind kind = FrameKind::kData;
+  Address src = 0;
+  Address dst = 0;
+  std::size_t mac_bytes = 0;
+  std::size_t payload_bytes = 0;  ///< application bytes inside (data frames)
+  std::uint64_t seq = 0;          ///< per-sender sequence number
+  /// Data frames: instant the frame became ready in the sender's MAC queue
+  /// (its payload was completed by the application). Latency is measured
+  /// from here to delivery, matching the Eq. 9 bound.
+  SimTime enqueued_at = 0.0;
+};
+
+}  // namespace wsnex::sim

@@ -1,0 +1,41 @@
+// MAC timing constants used by the packet simulator's state machines.
+#pragma once
+
+#include "mac/ieee802154.hpp"
+
+namespace wsnex::sim {
+
+/// IEEE 802.15.4 inter-frame timing (2.4 GHz PHY symbol = 16 us).
+struct MacTiming {
+  /// aTurnaroundTime = 12 symbols: rx/tx switch before an ACK.
+  static constexpr double kTurnaroundS = 12 * 16e-6;
+  /// Short inter-frame spacing (MPDU <= 18 bytes).
+  static constexpr double kSifsS = 12 * 16e-6;
+  /// Long inter-frame spacing (MPDU > 18 bytes).
+  static constexpr double kLifsS = 40 * 16e-6;
+  /// Max retransmissions of one data frame (macMaxFrameRetries).
+  static constexpr unsigned kMaxRetries = 3;
+
+  static constexpr double ifs_for(std::size_t mpdu_bytes) {
+    return mpdu_bytes > 18 ? kLifsS : kSifsS;
+  }
+
+  /// Full cost of one data-frame exchange inside a GTS: frame airtime,
+  /// turnaround, ACK airtime and the trailing IFS.
+  static double data_exchange_s(std::size_t mpdu_bytes) {
+    return mac::Phy::frame_airtime_s(mpdu_bytes) + kTurnaroundS +
+           mac::Phy::frame_airtime_s(mac::FrameSizes::kAckBytes) +
+           ifs_for(mpdu_bytes);
+  }
+
+  // --- slotted CSMA/CA constants (802.15.4 beacon-enabled CAP) ---
+  /// aUnitBackoffPeriod = 20 symbols.
+  static constexpr double kBackoffPeriodS = 20 * 16e-6;
+  static constexpr unsigned kMacMinBe = 3;
+  static constexpr unsigned kMacMaxBe = 5;
+  static constexpr unsigned kMaxCsmaBackoffs = 4;
+  /// CCA duration: 8 symbols.
+  static constexpr double kCcaS = 8 * 16e-6;
+};
+
+}  // namespace wsnex::sim

@@ -1,0 +1,71 @@
+// Small dense linear algebra kernels.
+//
+// wsnex only needs modest sizes (polynomial fitting, OMP least squares on
+// a few dozen atoms), so the implementation favours clarity and numerical
+// robustness over blocking/vectorization.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace wsnex::util {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  std::span<double> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  Matrix transposed() const;
+  Matrix operator*(const Matrix& rhs) const;
+  std::vector<double> operator*(std::span<const double> v) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b for symmetric positive-definite A by Cholesky
+/// factorization. Returns false (and leaves x unspecified) if A is not
+/// numerically positive definite.
+bool cholesky_solve(const Matrix& a, std::span<const double> b,
+                    std::vector<double>& x);
+
+/// Solves A x = b by LU factorization with partial pivoting. Returns false
+/// if A is numerically singular.
+bool lu_solve(Matrix a, std::vector<double> b, std::vector<double>& x);
+
+/// Least-squares solution of the overdetermined system A x ~= b via the
+/// normal equations with Tikhonov damping `ridge` (0 for plain LS).
+/// Returns false if the normal matrix is numerically singular.
+bool least_squares(const Matrix& a, std::span<const double> b,
+                   std::vector<double>& x, double ridge = 0.0);
+
+double dot(std::span<const double> a, std::span<const double> b);
+double norm2(std::span<const double> a);
+
+/// y += alpha * x
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+}  // namespace wsnex::util

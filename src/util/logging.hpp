@@ -1,0 +1,53 @@
+// Tiny leveled logger. Off by default in benches; the simulator uses it for
+// trace-level debugging of MAC state machines.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace wsnex::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits `message` to stderr if `level` passes the global threshold.
+void log(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace wsnex::util
+
+#define WSNEX_LOG(level)                                        \
+  if (static_cast<int>(level) < static_cast<int>(::wsnex::util::log_level())) \
+    ;                                                           \
+  else                                                          \
+    ::wsnex::util::detail::LogLine(level)
+
+#define WSNEX_TRACE() WSNEX_LOG(::wsnex::util::LogLevel::kTrace)
+#define WSNEX_DEBUG() WSNEX_LOG(::wsnex::util::LogLevel::kDebug)
+#define WSNEX_INFO() WSNEX_LOG(::wsnex::util::LogLevel::kInfo)
+#define WSNEX_WARN() WSNEX_LOG(::wsnex::util::LogLevel::kWarn)
+#define WSNEX_ERROR() WSNEX_LOG(::wsnex::util::LogLevel::kError)

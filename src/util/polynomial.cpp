@@ -1,0 +1,146 @@
+#include "util/polynomial.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+#include "util/linalg.hpp"
+#include "util/stats.hpp"
+
+namespace wsnex::util {
+
+Polynomial::Polynomial(std::vector<double> coefficients)
+    : coeffs_(std::move(coefficients)) {
+  while (!coeffs_.empty() && coeffs_.back() == 0.0) coeffs_.pop_back();
+}
+
+std::size_t Polynomial::degree() const {
+  return coeffs_.empty() ? 0 : coeffs_.size() - 1;
+}
+
+double Polynomial::operator()(double x) const {
+  double acc = 0.0;
+  for (std::size_t i = coeffs_.size(); i-- > 0;) acc = acc * x + coeffs_[i];
+  return acc;
+}
+
+Polynomial Polynomial::derivative() const {
+  if (coeffs_.size() <= 1) return Polynomial{};
+  std::vector<double> d(coeffs_.size() - 1);
+  for (std::size_t i = 1; i < coeffs_.size(); ++i) {
+    d[i - 1] = coeffs_[i] * static_cast<double>(i);
+  }
+  return Polynomial(std::move(d));
+}
+
+double Polynomial::integral(double lo, double hi) const {
+  double acc_hi = 0.0;
+  double acc_lo = 0.0;
+  double ph = hi;
+  double pl = lo;
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) {
+    const double c = coeffs_[i] / static_cast<double>(i + 1);
+    acc_hi += c * ph;
+    acc_lo += c * pl;
+    ph *= hi;
+    pl *= lo;
+  }
+  return acc_hi - acc_lo;
+}
+
+Polynomial Polynomial::operator+(const Polynomial& rhs) const {
+  std::vector<double> out(std::max(coeffs_.size(), rhs.coeffs_.size()), 0.0);
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) out[i] += coeffs_[i];
+  for (std::size_t i = 0; i < rhs.coeffs_.size(); ++i) out[i] += rhs.coeffs_[i];
+  return Polynomial(std::move(out));
+}
+
+Polynomial Polynomial::operator-(const Polynomial& rhs) const {
+  return *this + rhs * -1.0;
+}
+
+Polynomial Polynomial::operator*(double scale) const {
+  std::vector<double> out = coeffs_;
+  for (double& c : out) c *= scale;
+  return Polynomial(std::move(out));
+}
+
+std::string Polynomial::to_string() const {
+  if (coeffs_.empty()) return "0";
+  std::ostringstream os;
+  bool first = true;
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) {
+    const double c = coeffs_[i];
+    if (c == 0.0 && coeffs_.size() > 1) continue;
+    if (!first) os << (c < 0 ? " - " : " + ");
+    else if (c < 0) os << "-";
+    first = false;
+    os << std::abs(c);
+    if (i == 1) os << "x";
+    else if (i > 1) os << "x^" << i;
+  }
+  return os.str();
+}
+
+Polynomial fit_polynomial(std::span<const double> xs,
+                          std::span<const double> ys, std::size_t degree) {
+  assert(xs.size() == ys.size());
+  assert(xs.size() >= degree + 1);
+
+  // Centre/scale the abscissae: Vandermonde systems on raw CR values in
+  // [0.17, 0.38] at degree 5 are badly conditioned otherwise.
+  const double shift = mean(xs);
+  double spread = 0.0;
+  for (double x : xs) spread = std::max(spread, std::abs(x - shift));
+  if (spread == 0.0) spread = 1.0;
+
+  Matrix vander(xs.size(), degree + 1);
+  for (std::size_t r = 0; r < xs.size(); ++r) {
+    const double t = (xs[r] - shift) / spread;
+    double p = 1.0;
+    for (std::size_t c = 0; c <= degree; ++c) {
+      vander(r, c) = p;
+      p *= t;
+    }
+  }
+  std::vector<double> scaled_coeffs;
+  const bool ok = least_squares(vander, ys, scaled_coeffs);
+  assert(ok);
+  (void)ok;
+
+  // Expand q(t) with t = (x - shift)/spread back into powers of x by
+  // repeated synthetic multiplication.
+  std::vector<double> out(degree + 1, 0.0);
+  std::vector<double> basis{1.0};  // ((x - shift)/spread)^k in powers of x
+  for (std::size_t k = 0; k <= degree; ++k) {
+    for (std::size_t i = 0; i < basis.size(); ++i) {
+      out[i] += scaled_coeffs[k] * basis[i];
+    }
+    // basis <- basis * (x - shift)/spread
+    std::vector<double> next(basis.size() + 1, 0.0);
+    for (std::size_t i = 0; i < basis.size(); ++i) {
+      next[i] += basis[i] * (-shift / spread);
+      next[i + 1] += basis[i] / spread;
+    }
+    basis = std::move(next);
+  }
+  return Polynomial(std::move(out));
+}
+
+double r_squared(const Polynomial& model, std::span<const double> xs,
+                 std::span<const double> ys) {
+  assert(xs.size() == ys.size());
+  if (xs.empty()) return 0.0;
+  const double mu = mean(ys);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double r = ys[i] - model(xs[i]);
+    ss_res += r * r;
+    ss_tot += (ys[i] - mu) * (ys[i] - mu);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace wsnex::util

@@ -1,0 +1,58 @@
+// Polynomials and least-squares polynomial fitting.
+//
+// The paper (Section 4.3) estimates the application quality (PRD) with two
+// fifth-order polynomials fitted to measured data; this module provides the
+// general machinery those models are built from.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace wsnex::util {
+
+/// Dense univariate polynomial with coefficients in ascending-power order:
+/// p(x) = c[0] + c[1] x + ... + c[n] x^n.
+class Polynomial {
+ public:
+  Polynomial() = default;
+  explicit Polynomial(std::vector<double> coefficients);
+
+  /// Degree of the polynomial (0 for the zero polynomial).
+  std::size_t degree() const;
+
+  std::span<const double> coefficients() const { return coeffs_; }
+
+  /// Horner evaluation.
+  double operator()(double x) const;
+
+  /// First derivative.
+  Polynomial derivative() const;
+
+  /// Definite integral over [lo, hi].
+  double integral(double lo, double hi) const;
+
+  Polynomial operator+(const Polynomial& rhs) const;
+  Polynomial operator-(const Polynomial& rhs) const;
+  Polynomial operator*(double scale) const;
+
+  /// Human-readable form, e.g. "1.5 + 2x - 0.25x^2".
+  std::string to_string() const;
+
+ private:
+  std::vector<double> coeffs_;  // ascending powers; empty == zero polynomial
+};
+
+/// Least-squares fit of a degree-`degree` polynomial through the points
+/// (xs[i], ys[i]). For numerical conditioning the abscissae are internally
+/// centred and scaled; the returned polynomial is expressed in the original
+/// variable. Requires xs.size() == ys.size() and xs.size() >= degree + 1.
+Polynomial fit_polynomial(std::span<const double> xs,
+                          std::span<const double> ys, std::size_t degree);
+
+/// Coefficient of determination (R^2) of `model` against the points.
+double r_squared(const Polynomial& model, std::span<const double> xs,
+                 std::span<const double> ys);
+
+}  // namespace wsnex::util

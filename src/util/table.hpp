@@ -1,0 +1,36 @@
+// ASCII table rendering for bench output.
+//
+// Every bench binary reproduces one of the paper's tables/figures as a
+// plain-text table; this keeps their formatting consistent.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wsnex::util {
+
+/// Column-aligned ASCII table. Cells are strings; numeric helpers format
+/// with a fixed number of decimals.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `decimals` digits after the point.
+  static std::string num(double value, int decimals = 3);
+
+  /// Renders the table with a header rule, e.g.
+  ///   config      | model [mJ/s] | measured [mJ/s] | err [%]
+  ///   ------------+--------------+-----------------+--------
+  ///   1MHz CR0.17 |        2.119 |           2.121 |    0.09
+  std::string render() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wsnex::util

@@ -1,0 +1,127 @@
+#include "dse/design_space.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wsnex::dse {
+namespace {
+
+TEST(DesignSpace, CaseStudySplitsAppsHalfAndHalf) {
+  const DesignSpaceConfig cfg = DesignSpaceConfig::case_study(6);
+  ASSERT_EQ(cfg.apps.size(), 6u);
+  int dwt = 0;
+  for (auto app : cfg.apps) dwt += (app == model::AppKind::kDwt);
+  EXPECT_EQ(dwt, 3);
+}
+
+TEST(DesignSpace, GenomeLength) {
+  const DesignSpace space(DesignSpaceConfig::case_study(6));
+  EXPECT_EQ(space.genome_length(), 15u);  // 2 * 6 + 3
+}
+
+TEST(DesignSpace, CardinalityExceedsTensOfMillions) {
+  // Section 4.1: "the number of possible network configurations of this
+  // case study exceeds the tens of millions".
+  const DesignSpace space(DesignSpaceConfig::case_study(6));
+  EXPECT_GT(space.cardinality(), 1e7);
+}
+
+TEST(DesignSpace, RandomGenomesRespectDomains) {
+  const DesignSpace space(DesignSpaceConfig::case_study(6));
+  util::Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Genome g = space.random_genome(rng);
+    ASSERT_EQ(g.size(), space.genome_length());
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      ASSERT_LT(g[i], space.domain_size(i));
+    }
+  }
+}
+
+TEST(DesignSpace, DecodeProducesValidDesigns) {
+  const DesignSpace space(DesignSpaceConfig::case_study(6));
+  util::Rng rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    const model::NetworkDesign d = space.decode(space.random_genome(rng));
+    ASSERT_EQ(d.nodes.size(), 6u);
+    for (const model::NodeConfig& n : d.nodes) {
+      ASSERT_GE(n.cr, 0.17);
+      ASSERT_LE(n.cr, 0.38);
+      ASSERT_GE(n.mcu_freq_khz, 1000.0);
+      ASSERT_LE(n.mcu_freq_khz, 8000.0);
+    }
+    ASSERT_LE(d.mac.sfo, d.mac.bco);
+    ASSERT_LE(d.mac.bco, 14u);
+    ASSERT_GE(d.mac.payload_bytes, 32u);
+    ASSERT_LE(d.mac.payload_bytes, 114u);
+  }
+}
+
+TEST(DesignSpace, MutationStaysInDomainAndChangesGenes) {
+  const DesignSpace space(DesignSpaceConfig::case_study(6));
+  util::Rng rng(3);
+  Genome g = space.random_genome(rng);
+  Genome original = g;
+  int changed_runs = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    space.mutate(g, rng, 0.5);
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      ASSERT_LT(g[i], space.domain_size(i));
+    }
+    if (g != original) ++changed_runs;
+  }
+  EXPECT_GT(changed_runs, 40);
+}
+
+TEST(DesignSpace, ZeroRateMutationIsIdentity) {
+  const DesignSpace space(DesignSpaceConfig::case_study(6));
+  util::Rng rng(4);
+  Genome g = space.random_genome(rng);
+  const Genome before = g;
+  space.mutate(g, rng, 0.0);
+  EXPECT_EQ(g, before);
+}
+
+TEST(DesignSpace, CrossoverMixesParents) {
+  const DesignSpace space(DesignSpaceConfig::case_study(6));
+  util::Rng rng(5);
+  const Genome a(space.genome_length(), 0);
+  Genome b(space.genome_length());
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = static_cast<std::uint16_t>(space.domain_size(i) - 1);
+  }
+  const Genome child = space.crossover(a, b, rng);
+  for (std::size_t i = 0; i < child.size(); ++i) {
+    ASSERT_TRUE(child[i] == a[i] || child[i] == b[i]);
+  }
+}
+
+TEST(DesignSpace, DescribeMentionsEveryNode) {
+  const DesignSpace space(DesignSpaceConfig::case_study(4));
+  util::Rng rng(6);
+  const std::string text = space.describe(space.random_genome(rng));
+  EXPECT_NE(text.find("DWT"), std::string::npos);
+  EXPECT_NE(text.find("CS"), std::string::npos);
+  EXPECT_NE(text.find("BCO"), std::string::npos);
+}
+
+TEST(DesignSpace, RejectsMalformedConfig) {
+  DesignSpaceConfig cfg = DesignSpaceConfig::case_study(6);
+  cfg.apps.pop_back();
+  EXPECT_THROW(DesignSpace{cfg}, std::invalid_argument);
+  DesignSpaceConfig empty_domain = DesignSpaceConfig::case_study(6);
+  empty_domain.cr_grid.clear();
+  EXPECT_THROW(DesignSpace{empty_domain}, std::invalid_argument);
+}
+
+TEST(DesignSpace, SfoGapClampsAtZero) {
+  DesignSpaceConfig cfg = DesignSpaceConfig::case_study(2);
+  cfg.bco_grid = {0};
+  cfg.sfo_gap_grid = {2};
+  const DesignSpace space(cfg);
+  util::Rng rng(7);
+  const model::NetworkDesign d = space.decode(space.random_genome(rng));
+  EXPECT_EQ(d.mac.sfo, 0u);
+}
+
+}  // namespace
+}  // namespace wsnex::dse

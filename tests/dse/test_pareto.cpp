@@ -1,0 +1,172 @@
+#include "dse/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.hpp"
+
+namespace wsnex::dse {
+namespace {
+
+TEST(Dominance, TruthTable) {
+  EXPECT_TRUE(dominates({1.0, 1.0}, {2.0, 2.0}));
+  EXPECT_TRUE(dominates({1.0, 2.0}, {2.0, 2.0}));   // weakly better + one strict
+  EXPECT_FALSE(dominates({1.0, 3.0}, {2.0, 2.0}));  // incomparable
+  EXPECT_FALSE(dominates({2.0, 2.0}, {2.0, 2.0}));  // equal: no domination
+  EXPECT_FALSE(dominates({3.0, 3.0}, {2.0, 2.0}));
+}
+
+TEST(Dominance, IsAntisymmetricAndTransitiveOnSamples) {
+  util::Rng rng(1);
+  std::vector<Objectives> pts;
+  for (int i = 0; i < 40; ++i) {
+    pts.push_back({rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 1)});
+  }
+  for (const auto& a : pts) {
+    for (const auto& b : pts) {
+      EXPECT_FALSE(dominates(a, b) && dominates(b, a));
+      for (const auto& c : pts) {
+        if (dominates(a, b) && dominates(b, c)) {
+          EXPECT_TRUE(dominates(a, c));
+        }
+      }
+    }
+  }
+}
+
+TEST(Fronts, KnownLayering) {
+  const std::vector<Objectives> pts{
+      {1.0, 4.0},  // front 0
+      {2.0, 2.0},  // front 0
+      {4.0, 1.0},  // front 0
+      {2.0, 5.0},  // dominated by (1,4) -> front 1
+      {5.0, 5.0},  // dominated by everything -> front 2
+  };
+  const auto fronts = non_dominated_fronts(pts);
+  EXPECT_EQ(fronts[0], 0u);
+  EXPECT_EQ(fronts[1], 0u);
+  EXPECT_EQ(fronts[2], 0u);
+  EXPECT_EQ(fronts[3], 1u);
+  EXPECT_EQ(fronts[4], 2u);
+}
+
+TEST(Fronts, AllEqualPointsShareFrontZero) {
+  const std::vector<Objectives> pts(5, Objectives{1.0, 1.0});
+  for (std::size_t f : non_dominated_fronts(pts)) EXPECT_EQ(f, 0u);
+}
+
+TEST(Crowding, BoundaryPointsInfinite) {
+  const std::vector<Objectives> front{{1.0, 4.0}, {2.0, 2.0}, {4.0, 1.0}};
+  const auto crowd = crowding_distances(front);
+  EXPECT_TRUE(std::isinf(crowd[0]));
+  EXPECT_TRUE(std::isinf(crowd[2]));
+  EXPECT_TRUE(std::isfinite(crowd[1]));
+  EXPECT_GT(crowd[1], 0.0);
+}
+
+TEST(Crowding, DenserPointsScoreLower) {
+  const std::vector<Objectives> front{
+      {0.0, 10.0}, {1.0, 8.9}, {1.2, 8.8}, {5.0, 5.0}, {10.0, 0.0}};
+  const auto crowd = crowding_distances(front);
+  // Points 1 and 2 sit close together; point 3 is isolated.
+  EXPECT_LT(crowd[1], crowd[3]);
+  EXPECT_LT(crowd[2], crowd[3]);
+}
+
+TEST(Archive, KeepsOnlyNonDominated) {
+  ParetoArchive archive;
+  EXPECT_TRUE(archive.insert({}, {2.0, 2.0}));
+  EXPECT_FALSE(archive.insert({}, {3.0, 3.0}));  // dominated
+  EXPECT_TRUE(archive.insert({}, {1.0, 3.0}));   // incomparable
+  EXPECT_TRUE(archive.insert({}, {0.5, 0.5}));   // dominates everything
+  EXPECT_EQ(archive.size(), 1u);
+  EXPECT_TRUE(archive.covered({0.6, 0.6}));
+  EXPECT_FALSE(archive.covered({0.4, 0.6}));
+}
+
+TEST(Archive, RejectsDuplicates) {
+  ParetoArchive archive;
+  EXPECT_TRUE(archive.insert({}, {1.0, 2.0}));
+  EXPECT_FALSE(archive.insert({}, {1.0, 2.0}));
+  EXPECT_EQ(archive.size(), 1u);
+}
+
+TEST(Archive, InvariantUnderRandomInsertions) {
+  ParetoArchive archive;
+  util::Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    archive.insert({}, {rng.uniform(0, 1), rng.uniform(0, 1),
+                        rng.uniform(0, 1)});
+  }
+  // Property: members are mutually non-dominated.
+  const auto& entries = archive.entries();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    for (std::size_t j = 0; j < entries.size(); ++j) {
+      if (i == j) continue;
+      ASSERT_FALSE(dominates(entries[i].objectives, entries[j].objectives));
+    }
+  }
+  EXPECT_GT(archive.size(), 5u);
+}
+
+TEST(Coverage, FullAndEmpty) {
+  const std::vector<Objectives> ref{{1.0, 1.0}, {2.0, 0.5}};
+  EXPECT_DOUBLE_EQ(coverage_fraction(ref, ref), 1.0);  // equal counts
+  EXPECT_DOUBLE_EQ(coverage_fraction({}, ref), 0.0);
+  EXPECT_DOUBLE_EQ(coverage_fraction(ref, {}), 0.0);
+}
+
+TEST(Coverage, PartialCoverage) {
+  const std::vector<Objectives> ref{{1.0, 1.0}, {5.0, 0.2}};
+  const std::vector<Objectives> cand{{0.5, 0.9}};  // covers only (1,1)
+  EXPECT_DOUBLE_EQ(coverage_fraction(cand, ref), 0.5);
+}
+
+TEST(Hypervolume, KnownTwoD) {
+  // Single point (1,1) with reference (3,3): box 2x2.
+  EXPECT_NEAR(hypervolume({{1.0, 1.0}}, {3.0, 3.0}), 4.0, 1e-12);
+  // Staircase {(1,2),(2,1)} ref (3,3): 2*1 + 1*... = area 3.
+  EXPECT_NEAR(hypervolume({{1.0, 2.0}, {2.0, 1.0}}, {3.0, 3.0}), 3.0, 1e-12);
+}
+
+TEST(Hypervolume, PointsOutsideReferenceIgnored) {
+  EXPECT_NEAR(hypervolume({{4.0, 4.0}}, {3.0, 3.0}), 0.0, 1e-12);
+  // A point past the reference in x dominates nothing inside the box.
+  EXPECT_NEAR(hypervolume({{1.0, 1.0}, {4.0, 0.0}}, {3.0, 3.0}), 4.0, 1e-12);
+}
+
+TEST(Hypervolume, KnownThreeD) {
+  // Single point (1,1,1), reference (2,2,2): unit cube.
+  EXPECT_NEAR(hypervolume({{1.0, 1.0, 1.0}}, {2.0, 2.0, 2.0}), 1.0, 1e-12);
+  // Two disjointly-dominating points.
+  const double hv =
+      hypervolume({{0.0, 1.0, 1.0}, {1.0, 0.0, 1.0}}, {2.0, 2.0, 2.0});
+  // Each dominates a 2x1x1... region; union = 2*1*1 + 2*1*1 - 1*1*1 = 3.
+  EXPECT_NEAR(hv, 3.0, 1e-12);
+}
+
+TEST(Hypervolume, MonotoneUnderAddingPoints) {
+  util::Rng rng(11);
+  std::vector<Objectives> front;
+  const Objectives ref{1.0, 1.0, 1.0};
+  double previous = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    front.push_back({rng.uniform(0, 1), rng.uniform(0, 1),
+                     rng.uniform(0, 1)});
+    const double hv = hypervolume(front, ref);
+    ASSERT_GE(hv, previous - 1e-12);
+    previous = hv;
+  }
+}
+
+TEST(Hypervolume, RejectsUnsupportedDimensions) {
+  EXPECT_THROW(hypervolume({{1.0}}, {2.0}), std::invalid_argument);
+  EXPECT_THROW(hypervolume({{1, 1, 1, 1}}, {2, 2, 2, 2}),
+               std::invalid_argument);
+  EXPECT_THROW(hypervolume({{1.0, 1.0, 1.0}}, {2.0, 2.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wsnex::dse

@@ -1,0 +1,145 @@
+#include "dsp/dwt_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/ecg.hpp"
+#include "dsp/quality.hpp"
+#include "util/stats.hpp"
+
+namespace wsnex::dsp {
+namespace {
+
+std::vector<double> test_window(std::size_t n, std::uint64_t seed = 42) {
+  EcgConfig cfg;
+  cfg.seed = seed;
+  EcgSynthesizer ecg(cfg);
+  auto w = ecg.generate_mv(n);
+  const double mu = util::mean(w);
+  for (double& s : w) s -= mu;
+  return w;
+}
+
+TEST(DwtCodec, RejectsBadWindowConfig) {
+  DwtCodecConfig cfg;
+  cfg.window = 100;  // not divisible by 2^4
+  EXPECT_THROW(DwtCodec{cfg}, std::invalid_argument);
+}
+
+TEST(DwtCodec, RejectsBadCr) {
+  const DwtCodec codec;
+  const auto w = test_window(256);
+  EXPECT_THROW(codec.encode(w, 0.0), std::invalid_argument);
+  EXPECT_THROW(codec.encode(w, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)codec.coefficients_for_cr(-0.1), std::invalid_argument);
+}
+
+TEST(DwtCodec, RejectsWrongWindowLength) {
+  const DwtCodec codec;
+  EXPECT_THROW(codec.encode(std::vector<double>(128), 0.3),
+               std::invalid_argument);
+}
+
+TEST(DwtCodec, AchievedCrMeetsBudget) {
+  const DwtCodec codec;
+  const auto w = test_window(256);
+  for (double cr : {0.17, 0.25, 0.38, 0.8}) {
+    const DwtBlock block = codec.encode(w, cr);
+    EXPECT_LE(block.achieved_cr, cr + 1e-9) << "cr=" << cr;
+    // The budget should be used, not wasted: within one coefficient.
+    const double one_coeff =
+        static_cast<double>(codec.bits_per_coefficient()) /
+        (256.0 * codec.config().sample_bits);
+    EXPECT_GT(block.achieved_cr, cr - 2.0 * one_coeff);
+  }
+}
+
+TEST(DwtCodec, PayloadAccountingConsistent) {
+  const DwtCodec codec;
+  const auto w = test_window(256);
+  const DwtBlock block = codec.encode(w, 0.3);
+  EXPECT_EQ(block.payload_bits,
+            codec.config().header_bits +
+                block.positions.size() * codec.bits_per_coefficient());
+  EXPECT_EQ(block.positions.size(), block.quantized.size());
+  EXPECT_EQ(block.positions.size(), codec.coefficients_for_cr(0.3));
+}
+
+TEST(DwtCodec, PositionsSortedAndUnique) {
+  const DwtCodec codec;
+  const auto w = test_window(256);
+  const DwtBlock block = codec.encode(w, 0.3);
+  for (std::size_t i = 1; i < block.positions.size(); ++i) {
+    ASSERT_LT(block.positions[i - 1], block.positions[i]);
+  }
+}
+
+TEST(DwtCodec, KeepsLargestCoefficients) {
+  const DwtCodec codec;
+  const auto w = test_window(256);
+  const DwtBlock block = codec.encode(w, 0.2);
+  // Reconstruction from the kept set must beat any random set of the same
+  // size by a wide margin; cheap proxy: PRD must be far below 100%.
+  const auto rec = codec.decode(block);
+  EXPECT_LT(prd_percent(w, rec), 25.0);
+}
+
+TEST(DwtCodec, PrdDecreasesWithCr) {
+  const DwtCodec codec;
+  const auto w = test_window(256);
+  double previous = 1e9;
+  for (double cr : {0.17, 0.23, 0.29, 0.35, 0.5, 0.8}) {
+    const double prd = prd_percent(w, codec.round_trip(w, cr));
+    EXPECT_LT(prd, previous + 1.0) << "PRD should not grow with CR";
+    previous = prd;
+  }
+}
+
+TEST(DwtCodec, HighRateIsNearLossless) {
+  // Even at CR = 1.0 the position overhead caps the kept-coefficient count
+  // (~half the window), but ECG energy is so concentrated that the
+  // reconstruction is nearly exact.
+  DwtCodecConfig cfg;
+  cfg.value_bits = 16;
+  const DwtCodec codec(cfg);
+  const auto w = test_window(256);
+  const double prd = prd_percent(w, codec.round_trip(w, 1.0));
+  EXPECT_LT(prd, 5.0);
+}
+
+TEST(DwtCodec, DecodeIsDeterministic) {
+  const DwtCodec codec;
+  const auto w = test_window(256);
+  const DwtBlock block = codec.encode(w, 0.3);
+  EXPECT_EQ(codec.decode(block), codec.decode(block));
+}
+
+TEST(DwtCodec, ZeroSignalEncodes) {
+  const DwtCodec codec;
+  const std::vector<double> zeros(256, 0.0);
+  const auto rec = codec.round_trip(zeros, 0.2);
+  for (double v : rec) ASSERT_NEAR(v, 0.0, 1e-12);
+}
+
+class DwtCrSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DwtCrSweep, RoundTripQualityReasonable) {
+  const double cr = GetParam();
+  const DwtCodec codec;
+  util::RunningStats prd;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto w = test_window(256, seed);
+    prd.add(prd_percent(w, codec.round_trip(w, cr)));
+  }
+  // ECG at 250 Hz is wavelet-compressible: even the strongest case-study
+  // compression stays under 25% PRD and quality improves with CR.
+  EXPECT_LT(prd.mean(), 25.0);
+  EXPECT_GT(prd.mean(), 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(CaseStudyRange, DwtCrSweep,
+                         ::testing::Values(0.17, 0.23, 0.29, 0.32, 0.38));
+
+}  // namespace
+}  // namespace wsnex::dsp

@@ -1,0 +1,127 @@
+#include "dsp/ecg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace wsnex::dsp {
+namespace {
+
+TEST(Ecg, DeterministicPerSeed) {
+  EcgConfig cfg;
+  cfg.seed = 99;
+  EcgSynthesizer a(cfg);
+  EcgSynthesizer b(cfg);
+  const auto xa = a.generate_mv(500);
+  const auto xb = b.generate_mv(500);
+  EXPECT_EQ(xa, xb);
+}
+
+TEST(Ecg, DifferentSeedsDiffer) {
+  EcgConfig cfg;
+  cfg.seed = 1;
+  EcgSynthesizer a(cfg);
+  cfg.seed = 2;
+  EcgSynthesizer b(cfg);
+  EXPECT_NE(a.generate_mv(500), b.generate_mv(500));
+}
+
+TEST(Ecg, AmplitudeInPhysiologicRange) {
+  EcgSynthesizer ecg;
+  const auto x = ecg.generate_mv(5000);  // 20 s
+  const double peak = util::max_value(x);
+  const double trough = util::min_value(x);
+  EXPECT_GT(peak, 0.7);   // R wave around 1.1 mV
+  EXPECT_LT(peak, 1.6);
+  EXPECT_LT(trough, 0.0);  // Q/S dips below baseline
+  EXPECT_GT(trough, -0.8);
+}
+
+TEST(Ecg, BeatRateMatchesConfiguredHeartRate) {
+  EcgConfig cfg;
+  cfg.heart_rate_bpm = 72.0;
+  cfg.noise_stddev_mv = 0.0;
+  cfg.baseline_wander_mv = 0.0;
+  EcgSynthesizer ecg(cfg);
+  const auto x = ecg.generate_mv(250 * 60);  // one minute
+  // Count R peaks: threshold crossings above 0.6 mV with refractory gap.
+  int beats = 0;
+  int refractory = 0;
+  for (double v : x) {
+    if (refractory > 0) --refractory;
+    if (v > 0.6 && refractory == 0) {
+      ++beats;
+      refractory = 100;  // 0.4 s
+    }
+  }
+  EXPECT_NEAR(beats, 72, 5);
+}
+
+TEST(Ecg, ContinuousAcrossBeatBoundaries) {
+  EcgConfig cfg;
+  cfg.noise_stddev_mv = 0.0;
+  EcgSynthesizer ecg(cfg);
+  const auto x = ecg.generate_mv(2500);
+  double max_step = 0.0;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    max_step = std::max(max_step, std::abs(x[i] - x[i - 1]));
+  }
+  // The steepest slope is the R upstroke; a discontinuity at the beat
+  // boundary would show as a far larger step.
+  EXPECT_LT(max_step, 0.5);
+}
+
+TEST(Ecg, AdcQuantizationRoundTrip) {
+  AdcFrontEnd adc;
+  EcgConfig cfg;
+  cfg.seed = 5;
+  EcgSynthesizer gen_counts(cfg);
+  EcgSynthesizer gen_mv(cfg);
+  const auto counts = gen_counts.generate_counts(1000, adc);
+  const auto mv = gen_mv.generate_mv(1000);
+  const auto decoded = EcgSynthesizer::counts_to_mv(counts, adc);
+  const double lsb = adc.full_scale_mv / 4096.0;
+  for (std::size_t i = 0; i < mv.size(); ++i) {
+    ASSERT_NEAR(decoded[i], mv[i], lsb);  // within one LSB
+  }
+}
+
+TEST(Ecg, AdcSaturatesAtRails) {
+  AdcFrontEnd adc;
+  adc.full_scale_mv = 0.5;  // tiny range to force clipping
+  EcgSynthesizer ecg;
+  const auto counts = ecg.generate_counts(2000, adc);
+  const auto max_it = std::max_element(counts.begin(), counts.end());
+  EXPECT_EQ(*max_it, 4095);  // clipped R peaks
+  for (auto c : counts) ASSERT_LE(c, 4095);
+}
+
+TEST(Ecg, MeanNearZeroOverLongWindow) {
+  EcgConfig cfg;
+  cfg.baseline_wander_mv = 0.0;
+  EcgSynthesizer ecg(cfg);
+  const auto x = ecg.generate_mv(250 * 30);
+  // PQRST integrates to a small positive value; mean stays well below the
+  // R amplitude.
+  EXPECT_LT(std::abs(util::mean(x)), 0.15);
+}
+
+class EcgRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EcgRateSweep, SamplingRateIndependentMorphology) {
+  EcgConfig cfg;
+  cfg.sampling_hz = GetParam();
+  cfg.noise_stddev_mv = 0.0;
+  EcgSynthesizer ecg(cfg);
+  const auto x = ecg.generate_mv(static_cast<std::size_t>(cfg.sampling_hz * 10));
+  EXPECT_NEAR(util::max_value(x), 1.1, 0.25);  // R peak present at any fs
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, EcgRateSweep,
+                         ::testing::Values(125.0, 250.0, 500.0, 1000.0));
+
+}  // namespace
+}  // namespace wsnex::dsp

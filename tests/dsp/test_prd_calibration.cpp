@@ -1,0 +1,79 @@
+#include "dsp/prd_calibration.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wsnex::dsp {
+namespace {
+
+PrdCalibrationConfig fast_calibration() {
+  PrdCalibrationConfig calib;
+  calib.cr_grid = {0.17, 0.24, 0.31, 0.38};
+  calib.windows_per_point = 4;
+  return calib;
+}
+
+TEST(PrdCalibration, DwtCurveShape) {
+  const PrdCurve curve = calibrate_dwt({}, fast_calibration());
+  ASSERT_EQ(curve.measurements.size(), 4u);
+  // PRD decreases monotonically with CR over the case-study range.
+  for (std::size_t i = 1; i < curve.measurements.size(); ++i) {
+    EXPECT_LT(curve.measurements[i].prd_percent,
+              curve.measurements[i - 1].prd_percent);
+  }
+  EXPECT_GT(curve.fit_r_squared, 0.98);
+}
+
+TEST(PrdCalibration, CsCurveShapeAndDominatedByDwt) {
+  const PrdCalibrationConfig calib = fast_calibration();
+  const PrdCurve cs = calibrate_cs({}, calib);
+  const PrdCurve dwt = calibrate_dwt({}, calib);
+  for (std::size_t i = 0; i < calib.cr_grid.size(); ++i) {
+    // CS pays for its trivial encoder with far worse reconstruction.
+    EXPECT_GT(cs.measurements[i].prd_percent,
+              dwt.measurements[i].prd_percent);
+  }
+  EXPECT_LT(cs.measurements.back().prd_percent,
+            cs.measurements.front().prd_percent);
+}
+
+TEST(PrdCalibration, FittedPolynomialTracksMeasurements) {
+  const PrdCurve curve = calibrate_dwt({}, fast_calibration());
+  for (const PrdMeasurement& m : curve.measurements) {
+    const double rel_err =
+        std::abs(curve.fitted(m.cr) - m.prd_percent) / m.prd_percent;
+    EXPECT_LT(rel_err, 0.05) << "cr=" << m.cr;
+  }
+}
+
+TEST(PrdCalibration, FitDegreeClampedToPointCount) {
+  PrdCalibrationConfig calib = fast_calibration();
+  calib.cr_grid = {0.2, 0.3};  // 2 points cannot support degree 5
+  calib.fit_degree = 5;
+  const PrdCurve curve = calibrate_dwt({}, calib);
+  EXPECT_LE(curve.fitted.degree(), 1u);
+}
+
+TEST(PrdCalibration, DefaultCurvesCachedAndConsistent) {
+  const DefaultPrdCurves& a = default_prd_curves();
+  const DefaultPrdCurves& b = default_prd_curves();
+  EXPECT_EQ(&a, &b);  // one calibration per process
+  ASSERT_EQ(a.dwt.measurements.size(), 8u);
+  EXPECT_GT(a.dwt.fit_r_squared, 0.99);
+  EXPECT_GT(a.cs.fit_r_squared, 0.97);
+  // Fitted polynomials evaluable over the whole case-study range.
+  for (double cr = 0.17; cr <= 0.38; cr += 0.01) {
+    EXPECT_GT(a.dwt.fitted(cr), 0.0);
+    EXPECT_GT(a.cs.fitted(cr), a.dwt.fitted(cr));
+  }
+}
+
+TEST(PrdCalibration, MeasurementSpreadReported) {
+  const PrdCurve curve = calibrate_dwt({}, fast_calibration());
+  for (const PrdMeasurement& m : curve.measurements) {
+    EXPECT_GE(m.prd_stddev, 0.0);
+    EXPECT_LT(m.prd_stddev, m.prd_percent);  // windows are similar
+  }
+}
+
+}  // namespace
+}  // namespace wsnex::dsp

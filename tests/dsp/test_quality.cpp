@@ -1,0 +1,75 @@
+#include "dsp/quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace wsnex::dsp {
+namespace {
+
+TEST(Prd, ZeroForPerfectReconstruction) {
+  const std::vector<double> x{1.0, -2.0, 3.0};
+  EXPECT_DOUBLE_EQ(prd_percent(x, x), 0.0);
+}
+
+TEST(Prd, KnownValue) {
+  const std::vector<double> x{3.0, 4.0};       // ||x|| = 5
+  const std::vector<double> y{3.0, 3.0};       // error norm = 1
+  EXPECT_NEAR(prd_percent(x, y), 20.0, 1e-12);
+}
+
+TEST(Prd, ZeroReferenceReturnsZero) {
+  const std::vector<double> zeros(4, 0.0);
+  const std::vector<double> y{1.0, 1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(prd_percent(zeros, y), 0.0);
+}
+
+TEST(Prd, ScaleInvariant) {
+  const std::vector<double> x{1.0, 2.0, -1.0, 0.5};
+  const std::vector<double> y{1.1, 1.9, -1.2, 0.4};
+  std::vector<double> x10 = x;
+  std::vector<double> y10 = y;
+  for (double& v : x10) v *= 10.0;
+  for (double& v : y10) v *= 10.0;
+  EXPECT_NEAR(prd_percent(x, y), prd_percent(x10, y10), 1e-10);
+}
+
+TEST(Prdn, RemovesDcDependence) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{1.1, 2.1, 2.9, 4.1};
+  std::vector<double> x_off = x;
+  std::vector<double> y_off = y;
+  for (double& v : x_off) v += 100.0;
+  for (double& v : y_off) v += 100.0;
+  // Plain PRD deflates with the offset; PRDN must not.
+  EXPECT_LT(prd_percent(x_off, y_off), prd_percent(x, y));
+  EXPECT_NEAR(prdn_percent(x_off, y_off), prdn_percent(x, y), 1e-9);
+}
+
+TEST(Rmse, KnownValue) {
+  const std::vector<double> x{0.0, 0.0};
+  const std::vector<double> y{3.0, 4.0};
+  EXPECT_NEAR(rmse(x, y), std::sqrt(12.5), 1e-12);
+  EXPECT_DOUBLE_EQ(rmse({}, {}), 0.0);
+}
+
+TEST(Snr, InfiniteForExactAndConsistentWithPrd) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  EXPECT_TRUE(std::isinf(snr_db(x, x)));
+  const std::vector<double> y{1.1, 1.9, 3.2};
+  // SNR_dB = -20 log10(PRD/100).
+  const double prd = prd_percent(x, y);
+  EXPECT_NEAR(snr_db(x, y), -20.0 * std::log10(prd / 100.0), 1e-9);
+}
+
+TEST(Snr, NegativeInfinityForZeroSignal) {
+  const std::vector<double> zeros(3, 0.0);
+  const std::vector<double> y{1.0, 0.0, 0.0};
+  EXPECT_TRUE(std::isinf(snr_db(zeros, y)));
+  EXPECT_LT(snr_db(zeros, y), 0.0);
+}
+
+}  // namespace
+}  // namespace wsnex::dsp

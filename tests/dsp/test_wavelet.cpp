@@ -1,0 +1,148 @@
+#include "dsp/wavelet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "util/random.hpp"
+#include "util/stats.hpp"
+
+namespace wsnex::dsp {
+namespace {
+
+double energy(const std::vector<double>& x) {
+  double acc = 0.0;
+  for (double v : x) acc += v * v;
+  return acc;
+}
+
+using KindLevels = std::tuple<WaveletKind, std::size_t>;
+
+class WaveletSweep : public ::testing::TestWithParam<KindLevels> {};
+
+TEST_P(WaveletSweep, PerfectReconstruction) {
+  const auto [kind, levels] = GetParam();
+  const WaveletTransform wt(kind, levels);
+  util::Rng rng(static_cast<std::uint64_t>(levels) * 7 + 1);
+  std::vector<double> x(256);
+  for (double& v : x) v = rng.normal();
+  const auto coeffs = wt.forward(x);
+  const auto back = wt.inverse(coeffs);
+  ASSERT_EQ(back.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ASSERT_NEAR(back[i], x[i], 1e-10);
+  }
+}
+
+TEST_P(WaveletSweep, EnergyPreserved) {
+  const auto [kind, levels] = GetParam();
+  const WaveletTransform wt(kind, levels);
+  util::Rng rng(42);
+  std::vector<double> x(128);
+  for (double& v : x) v = rng.normal();
+  const auto coeffs = wt.forward(x);
+  EXPECT_NEAR(energy(coeffs), energy(x), 1e-9 * energy(x));
+}
+
+TEST_P(WaveletSweep, Linearity) {
+  const auto [kind, levels] = GetParam();
+  const WaveletTransform wt(kind, levels);
+  util::Rng rng(3);
+  std::vector<double> x(64);
+  std::vector<double> y(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    x[i] = rng.normal();
+    y[i] = rng.normal();
+  }
+  std::vector<double> combo(64);
+  for (std::size_t i = 0; i < 64; ++i) combo[i] = 2.0 * x[i] - 3.0 * y[i];
+  const auto cx = wt.forward(x);
+  const auto cy = wt.forward(y);
+  const auto cc = wt.forward(combo);
+  for (std::size_t i = 0; i < 64; ++i) {
+    ASSERT_NEAR(cc[i], 2.0 * cx[i] - 3.0 * cy[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndLevels, WaveletSweep,
+    ::testing::Combine(::testing::Values(WaveletKind::kHaar, WaveletKind::kDb2,
+                                         WaveletKind::kDb4),
+                       ::testing::Values(std::size_t{1}, std::size_t{3},
+                                         std::size_t{5})));
+
+TEST(Wavelet, ConstantSignalConcentratesInApproximation) {
+  const WaveletTransform wt(WaveletKind::kDb2, 3);
+  std::vector<double> x(64, 1.0);
+  const auto coeffs = wt.forward(x);
+  // Detail coefficients of a constant are ~0 (vanishing moments).
+  const std::size_t coarsest = 64 >> 3;
+  double detail_energy = 0.0;
+  for (std::size_t i = coarsest; i < coeffs.size(); ++i) {
+    detail_energy += coeffs[i] * coeffs[i];
+  }
+  EXPECT_NEAR(detail_energy, 0.0, 1e-18);
+}
+
+TEST(Wavelet, HaarMatchesHandComputation) {
+  const WaveletTransform wt(WaveletKind::kHaar, 1);
+  const std::vector<double> x{1.0, 3.0, 5.0, 7.0};
+  const auto c = wt.forward(x);
+  const double s = std::sqrt(2.0);
+  // Layout [approx | detail]: approx = (x0+x1)/sqrt2, (x2+x3)/sqrt2;
+  // detail = (x0-x1)/sqrt2, (x2-x3)/sqrt2.
+  EXPECT_NEAR(c[0], 4.0 / s, 1e-12);
+  EXPECT_NEAR(c[1], 12.0 / s, 1e-12);
+  EXPECT_NEAR(c[2], (1.0 - 3.0) / s, 1e-12);
+  EXPECT_NEAR(c[3], (5.0 - 7.0) / s, 1e-12);
+}
+
+TEST(Wavelet, RejectsBadLengths) {
+  const WaveletTransform wt(WaveletKind::kDb2, 3);
+  std::vector<double> bad(100);  // not divisible by 8
+  EXPECT_THROW(wt.forward(bad), std::invalid_argument);
+  EXPECT_THROW(wt.inverse(bad), std::invalid_argument);
+  EXPECT_THROW(wt.forward(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Wavelet, MaxLevels) {
+  EXPECT_EQ(WaveletTransform::max_levels(256), 8u);
+  EXPECT_EQ(WaveletTransform::max_levels(96), 5u);
+  EXPECT_EQ(WaveletTransform::max_levels(1), 0u);
+  EXPECT_EQ(WaveletTransform::max_levels(0), 0u);
+}
+
+TEST(WaveletBasis, AtomsAreInverseUnitVectors) {
+  const std::size_t n = 32;
+  const WaveletTransform wt(WaveletKind::kDb4, 2);
+  const WaveletBasis basis(WaveletKind::kDb4, 2, n);
+  util::Rng rng(1);
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::size_t j = rng.index(n);
+    std::vector<double> unit(n, 0.0);
+    unit[j] = 1.0;
+    const auto psi = wt.inverse(unit);
+    const auto atom = basis.atom(j);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_NEAR(atom[i], psi[i], 1e-12);
+  }
+}
+
+TEST(WaveletBasis, SynthesisIsLinearCombinationOfAtoms) {
+  const std::size_t n = 64;
+  const WaveletTransform wt(WaveletKind::kDb2, 3);
+  const WaveletBasis basis(WaveletKind::kDb2, 3, n);
+  util::Rng rng(2);
+  std::vector<double> coeffs(n);
+  for (double& c : coeffs) c = rng.normal();
+  const auto direct = wt.inverse(coeffs);
+  std::vector<double> combo(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto atom = basis.atom(j);
+    for (std::size_t i = 0; i < n; ++i) combo[i] += coeffs[j] * atom[i];
+  }
+  for (std::size_t i = 0; i < n; ++i) ASSERT_NEAR(combo[i], direct[i], 1e-9);
+}
+
+}  // namespace
+}  // namespace wsnex::dsp

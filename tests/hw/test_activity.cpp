@@ -1,0 +1,64 @@
+#include "hw/activity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wsnex::hw {
+namespace {
+
+NodeActivity nominal() {
+  NodeActivity a;
+  a.sample_rate_hz = 250.0;
+  a.mcu_freq_khz = 8000.0;
+  a.compute_cycles_per_s = 2.2656e6;
+  a.mem_accesses_per_s = 6.8e5;
+  a.mem_bytes_used = 3072.0;
+  a.tx_bytes_per_s = 130.0;
+  a.tx_frames_per_s = 1.6;
+  a.rx_bytes_per_s = 44.0;
+  a.rx_frames_per_s = 2.6;
+  a.radio_bursts_per_s = 2.0;
+  a.mcu_wakeups_per_s = 2.0;
+  return a;
+}
+
+TEST(Activity, NominalIsFeasible) {
+  const ActivityCheck check = check_activity(nominal());
+  EXPECT_TRUE(check.feasible);
+  EXPECT_TRUE(check.reason.empty());
+}
+
+TEST(Activity, DutyCycleComputation) {
+  NodeActivity a = nominal();
+  EXPECT_NEAR(mcu_duty_cycle(a), 2.2656e6 / 8.0e6, 1e-12);
+  a.mcu_freq_khz = 0.0;
+  EXPECT_EQ(mcu_duty_cycle(a), 0.0);
+}
+
+TEST(Activity, OverloadedMcuIsInfeasible) {
+  NodeActivity a = nominal();
+  a.mcu_freq_khz = 1000.0;  // DWT at 1 MHz: duty 226% (Section 5.1)
+  const ActivityCheck check = check_activity(a);
+  EXPECT_FALSE(check.feasible);
+  EXPECT_NE(check.reason.find("exceeds 100%"), std::string::npos);
+}
+
+TEST(Activity, ExactlyFullDutyIsFeasible) {
+  NodeActivity a = nominal();
+  a.compute_cycles_per_s = 8.0e6;  // duty exactly 1.0
+  EXPECT_TRUE(check_activity(a).feasible);
+}
+
+TEST(Activity, NegativeRateRejected) {
+  NodeActivity a = nominal();
+  a.tx_bytes_per_s = -1.0;
+  const ActivityCheck check = check_activity(a);
+  EXPECT_FALSE(check.feasible);
+  EXPECT_NE(check.reason.find("negative"), std::string::npos);
+}
+
+TEST(Activity, AllZeroIsFeasible) {
+  EXPECT_TRUE(check_activity(NodeActivity{}).feasible);
+}
+
+}  // namespace
+}  // namespace wsnex::hw

@@ -1,0 +1,70 @@
+#include "mac/ieee802154.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wsnex::mac {
+namespace {
+
+TEST(Phy, AirtimeIncludesPhyOverhead) {
+  // A 77-byte MPDU plus 6 PHY bytes at 250 kbps: 83 * 32 us.
+  EXPECT_NEAR(Phy::frame_airtime_s(77), 83.0 * 32e-6, 1e-12);
+  EXPECT_NEAR(Phy::kSecondsPerByte, 32e-6, 1e-15);
+}
+
+TEST(FrameSizes, PaperConstants) {
+  // Section 4.2: 13 bytes of data overhead (11 header + 2 FCS), 4-byte ACK.
+  EXPECT_EQ(FrameSizes::kDataOverheadBytes, 13u);
+  EXPECT_EQ(FrameSizes::kAckBytes, 4u);
+  EXPECT_EQ(FrameSizes::kMaxPayloadBytes, 114u);
+  EXPECT_EQ(FrameSizes::beacon_bytes(0), 17u);
+  EXPECT_EQ(FrameSizes::beacon_bytes(6), 35u);
+}
+
+TEST(Superframe, BaseDurationIsFifteenPointThreeSixMs) {
+  // Fig. 2 of the paper: SD = 15.36 ms * 2^SFO, BI = 15.36 ms * 2^BCO.
+  EXPECT_NEAR(SuperframeLimits::kBaseSuperframeSeconds, 15.36e-3, 1e-12);
+  const Superframe sf(0, 0);
+  EXPECT_NEAR(sf.beacon_interval_s(), 15.36e-3, 1e-12);
+  EXPECT_NEAR(sf.superframe_duration_s(), 15.36e-3, 1e-12);
+  EXPECT_NEAR(sf.inactive_s(), 0.0, 1e-15);
+}
+
+TEST(Superframe, ExponentialScaling) {
+  const Superframe sf(6, 4);
+  EXPECT_NEAR(sf.beacon_interval_s(), 15.36e-3 * 64, 1e-9);
+  EXPECT_NEAR(sf.superframe_duration_s(), 15.36e-3 * 16, 1e-9);
+  EXPECT_NEAR(sf.inactive_s(), 15.36e-3 * 48, 1e-9);
+  EXPECT_NEAR(sf.slot_s(), 15.36e-3, 1e-9);  // SD / 16
+  EXPECT_NEAR(sf.active_fraction(), 0.25, 1e-12);
+  EXPECT_NEAR(sf.superframes_per_s(), 1.0 / (15.36e-3 * 64), 1e-6);
+}
+
+TEST(Superframe, RejectsInvalidOrders) {
+  EXPECT_THROW(Superframe(3, 4), std::invalid_argument);   // SFO > BCO
+  EXPECT_THROW(Superframe(15, 2), std::invalid_argument);  // BCO > 14
+  EXPECT_NO_THROW(Superframe(14, 14));
+  EXPECT_NO_THROW(Superframe(14, 0));
+}
+
+class OrderSweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(OrderSweep, SlotTimesSixteenEqualsActive) {
+  const auto [bco, sfo_gap] = GetParam();
+  const unsigned sfo = bco >= sfo_gap ? bco - sfo_gap : 0;
+  const Superframe sf(bco, sfo);
+  EXPECT_NEAR(sf.slot_s() * 16.0, sf.superframe_duration_s(), 1e-12);
+  EXPECT_GE(sf.beacon_interval_s(), sf.superframe_duration_s());
+  EXPECT_NEAR(sf.superframe_duration_s() + sf.inactive_s(),
+              sf.beacon_interval_s(), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Orders, OrderSweep,
+    ::testing::Combine(::testing::Values(0u, 2u, 5u, 8u, 14u),
+                       ::testing::Values(0u, 1u, 3u)));
+
+}  // namespace
+}  // namespace wsnex::mac

@@ -1,0 +1,87 @@
+#include "mac/mac_config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wsnex::mac {
+namespace {
+
+MacConfig nominal() {
+  MacConfig cfg;
+  cfg.payload_bytes = 64;
+  cfg.bco = 6;
+  cfg.sfo = 5;
+  cfg.gts_slots = {1, 1, 1, 1, 1, 1};
+  return cfg;
+}
+
+TEST(MacConfig, NominalIsValid) { EXPECT_TRUE(nominal().valid()); }
+
+TEST(MacConfig, TotalsAndActiveCounts) {
+  MacConfig cfg = nominal();
+  cfg.gts_slots = {2, 0, 1, 0, 3, 0};
+  EXPECT_EQ(cfg.total_gts_slots(), 6u);
+  EXPECT_EQ(cfg.active_gts_count(), 3u);
+}
+
+TEST(MacConfig, SevenSlotBudgetEnforced) {
+  MacConfig cfg = nominal();
+  cfg.gts_slots = {2, 2, 2, 2, 0, 0};  // 8 > 7
+  EXPECT_FALSE(cfg.valid());
+  cfg.gts_slots = {2, 2, 2, 1, 0, 0};  // exactly 7
+  EXPECT_TRUE(cfg.valid());
+}
+
+TEST(MacConfig, PayloadBounds) {
+  MacConfig cfg = nominal();
+  cfg.payload_bytes = 0;
+  EXPECT_FALSE(cfg.valid());
+  cfg.payload_bytes = 115;  // above aMaxPHYPacketSize - overhead
+  EXPECT_FALSE(cfg.valid());
+  cfg.payload_bytes = 114;
+  EXPECT_TRUE(cfg.valid());
+}
+
+TEST(MacConfig, OrderBounds) {
+  MacConfig cfg = nominal();
+  cfg.sfo = 7;  // > BCO
+  EXPECT_FALSE(cfg.valid());
+  cfg.sfo = 6;
+  cfg.bco = 15;
+  EXPECT_FALSE(cfg.valid());
+}
+
+TEST(MacConfig, LayoutPacksCfpAtTail) {
+  MacConfig cfg = nominal();
+  cfg.gts_slots = {2, 0, 1, 0, 0, 0};  // 3 slots total
+  const auto layout = cfg.layout();
+  ASSERT_EQ(layout.size(), 2u);
+  // CFP occupies the last 3 of 16 slots: nodes packed in order from 13.
+  EXPECT_EQ(layout[0].node, 0u);
+  EXPECT_EQ(layout[0].start_slot, 13u);
+  EXPECT_EQ(layout[0].slot_count, 2u);
+  EXPECT_EQ(layout[1].node, 2u);
+  EXPECT_EQ(layout[1].start_slot, 15u);
+  EXPECT_EQ(layout[1].slot_count, 1u);
+}
+
+TEST(MacConfig, LayoutWindowsDisjointAndInRange) {
+  MacConfig cfg = nominal();
+  cfg.gts_slots = {1, 2, 1, 1, 1, 1};  // 7 slots
+  const auto layout = cfg.layout();
+  std::size_t expected_start = 16 - 7;
+  for (const GtsAllocation& a : layout) {
+    EXPECT_EQ(a.start_slot, expected_start);
+    expected_start += a.slot_count;
+  }
+  EXPECT_EQ(expected_start, 16u);
+}
+
+TEST(MacConfig, EmptyGtsLayout) {
+  MacConfig cfg = nominal();
+  cfg.gts_slots = {0, 0, 0};
+  EXPECT_TRUE(cfg.layout().empty());
+  EXPECT_TRUE(cfg.valid());
+}
+
+}  // namespace
+}  // namespace wsnex::mac

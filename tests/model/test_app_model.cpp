@@ -1,0 +1,94 @@
+#include "model/app_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wsnex::model {
+namespace {
+
+/// Fixed PRD polynomials keep these tests independent of the codec
+/// calibration (and fast).
+util::Polynomial flat_poly(double value) {
+  return util::Polynomial({value});
+}
+
+TEST(AppModel, OutputIsPhiInTimesCr) {
+  const CompressionAppModel dwt(AppKind::kDwt, shimmer_dwt_profile(),
+                                flat_poly(5.0));
+  NodeConfig node;
+  node.cr = 0.25;
+  EXPECT_DOUBLE_EQ(dwt.output_bytes_per_s(375.0, node), 93.75);
+  node.cr = 1.0;
+  EXPECT_DOUBLE_EQ(dwt.output_bytes_per_s(375.0, node), 375.0);
+}
+
+TEST(AppModel, DwtDutyCycleMatchesSectionFourThree) {
+  const CompressionAppModel dwt(AppKind::kDwt, shimmer_dwt_profile(),
+                                flat_poly(0.0));
+  NodeConfig node;
+  node.mcu_freq_khz = 8000.0;
+  EXPECT_NEAR(dwt.resource_usage(375.0, node).duty_cycle, 2265.6 / 8000.0,
+              1e-12);
+  node.mcu_freq_khz = 1000.0;
+  // k_DWT = 2265.6 / f[kHz] -> 226.56% at 1 MHz: cannot complete (Fig. 3).
+  EXPECT_GT(dwt.resource_usage(375.0, node).duty_cycle, 1.0);
+}
+
+TEST(AppModel, CsDutyCycleMatchesSectionFourThree) {
+  const CompressionAppModel cs(AppKind::kCs, shimmer_cs_profile(),
+                               flat_poly(0.0));
+  NodeConfig node;
+  node.mcu_freq_khz = 1000.0;
+  EXPECT_NEAR(cs.resource_usage(375.0, node).duty_cycle, 0.3888, 1e-9);
+  node.mcu_freq_khz = 8000.0;
+  EXPECT_NEAR(cs.resource_usage(375.0, node).duty_cycle, 0.0486, 1e-9);
+}
+
+TEST(AppModel, CyclesPerSecondIndependentOfClock) {
+  const CompressionAppModel dwt(AppKind::kDwt, shimmer_dwt_profile(),
+                                flat_poly(0.0));
+  NodeConfig fast;
+  fast.mcu_freq_khz = 8000.0;
+  NodeConfig slow;
+  slow.mcu_freq_khz = 2000.0;
+  EXPECT_DOUBLE_EQ(dwt.resource_usage(375.0, fast).cycles_per_s,
+                   dwt.resource_usage(375.0, slow).cycles_per_s);
+  EXPECT_NEAR(dwt.resource_usage(375.0, fast).cycles_per_s, 2.2656e6, 1.0);
+}
+
+TEST(AppModel, QualityLossEvaluatesPolynomialAtCr) {
+  const util::Polynomial poly({1.0, 10.0});  // 1 + 10 CR
+  const CompressionAppModel cs(AppKind::kCs, shimmer_cs_profile(), poly);
+  NodeConfig node;
+  node.cr = 0.3;
+  EXPECT_NEAR(cs.quality_loss(375.0, node), 4.0, 1e-12);
+}
+
+TEST(AppModel, CsLighterThanDwtEverywhere) {
+  // The whole premise of CS on the node: cheaper encoder.
+  EXPECT_LT(shimmer_cs_profile().duty_numerator,
+            shimmer_dwt_profile().duty_numerator);
+  EXPECT_LT(shimmer_cs_profile().mem_accesses_per_s,
+            shimmer_dwt_profile().mem_accesses_per_s);
+}
+
+TEST(AppModel, FactoriesProduceCalibratedModels) {
+  const auto dwt = make_shimmer_dwt_model();
+  const auto cs = make_shimmer_cs_model();
+  EXPECT_EQ(dwt->kind(), AppKind::kDwt);
+  EXPECT_EQ(cs->kind(), AppKind::kCs);
+  NodeConfig node;
+  node.cr = 0.3;
+  // Calibrated PRD curves: positive, CS worse than DWT.
+  const double dwt_prd = dwt->quality_loss(375.0, node);
+  const double cs_prd = cs->quality_loss(375.0, node);
+  EXPECT_GT(dwt_prd, 0.0);
+  EXPECT_GT(cs_prd, dwt_prd);
+}
+
+TEST(AppModel, MemoryFitsShimmerSram) {
+  EXPECT_LE(shimmer_dwt_profile().memory_bytes, 10240.0);
+  EXPECT_LE(shimmer_cs_profile().memory_bytes, 10240.0);
+}
+
+}  // namespace
+}  // namespace wsnex::model

@@ -1,0 +1,69 @@
+#include "model/baseline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wsnex::model {
+namespace {
+
+const NetworkModelEvaluator& shared_evaluator() {
+  static const NetworkModelEvaluator evaluator =
+      NetworkModelEvaluator::make_default();
+  return evaluator;
+}
+
+NetworkDesign design(double cr, double f_khz = 8000.0) {
+  NetworkDesign d;
+  d.mac.payload_bytes = 64;
+  d.mac.bco = 6;
+  d.mac.sfo = 6;
+  d.nodes = {{AppKind::kDwt, cr, f_khz}, {AppKind::kDwt, cr, f_khz},
+             {AppKind::kDwt, cr, f_khz}, {AppKind::kCs, cr, f_khz},
+             {AppKind::kCs, cr, f_khz},  {AppKind::kCs, cr, f_khz}};
+  return d;
+}
+
+TEST(Baseline, FeasibilityMatchesFullModel) {
+  const BaselineEnergyDelayModel baseline(shared_evaluator());
+  EXPECT_TRUE(baseline.evaluate(design(0.29)).feasible);
+  EXPECT_FALSE(baseline.evaluate(design(0.29, 1000.0)).feasible);
+}
+
+TEST(Baseline, EnergyOmitsSensingFloor) {
+  const BaselineEnergyDelayModel baseline(shared_evaluator());
+  const BaselineEvaluation base = baseline.evaluate(design(0.29));
+  const NetworkEvaluation full = shared_evaluator().evaluate(design(0.29));
+  ASSERT_TRUE(base.feasible && full.feasible);
+  // [26]-style model sees computation + radio only: strictly below the
+  // full multi-layer energy.
+  EXPECT_LT(base.energy_metric, full.energy_metric);
+  EXPECT_GT(base.energy_metric, 0.0);
+}
+
+TEST(Baseline, DelayMatchesFullModelMaxBound) {
+  const BaselineEnergyDelayModel baseline(shared_evaluator());
+  const BaselineEvaluation base = baseline.evaluate(design(0.29));
+  const NetworkEvaluation full = shared_evaluator().evaluate(design(0.29));
+  EXPECT_NEAR(base.delay_metric_s, full.delay_metric_s, 1e-12);
+}
+
+TEST(Baseline, BlindToQualityDifferences) {
+  // Two designs differing only in CR: the full model separates them on the
+  // PRD axis; the baseline's two objectives move together (more data =
+  // more energy and same-or-more delay) so the quality tradeoff is
+  // invisible to it. This is the mechanism behind Fig. 5.
+  const BaselineEnergyDelayModel baseline(shared_evaluator());
+  const BaselineEvaluation coarse = baseline.evaluate(design(0.17));
+  const BaselineEvaluation fine = baseline.evaluate(design(0.38));
+  ASSERT_TRUE(coarse.feasible && fine.feasible);
+  // Baseline strictly prefers the low-CR design (less energy, no PRD view):
+  EXPECT_LT(coarse.energy_metric, fine.energy_metric);
+  const NetworkEvaluation full_coarse =
+      shared_evaluator().evaluate(design(0.17));
+  const NetworkEvaluation full_fine =
+      shared_evaluator().evaluate(design(0.38));
+  // ...while the full model knows the quality price:
+  EXPECT_GT(full_coarse.prd_metric, full_fine.prd_metric);
+}
+
+}  // namespace
+}  // namespace wsnex::model

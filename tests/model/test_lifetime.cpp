@@ -1,0 +1,62 @@
+#include "model/lifetime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wsnex::model {
+namespace {
+
+TEST(Lifetime, UsableEnergyComposition) {
+  Battery b;
+  b.capacity_mah = 100.0;
+  b.nominal_voltage_v = 3.0;
+  b.regulator_efficiency = 1.0;
+  b.usable_fraction = 1.0;
+  // 100 mAh * 3.6 C/mAh * 3 V = 1080 J = 1.08e6 mJ.
+  EXPECT_NEAR(b.usable_energy_mj(), 1.08e6, 1.0);
+}
+
+TEST(Lifetime, HoursForKnownDraw) {
+  Battery b;
+  b.capacity_mah = 100.0;
+  b.nominal_voltage_v = 3.0;
+  b.regulator_efficiency = 1.0;
+  b.usable_fraction = 1.0;
+  // 1.08e6 mJ at 1 mJ/s -> 1.08e6 s = 300 h.
+  EXPECT_NEAR(lifetime_hours(b, 1.0), 300.0, 1e-6);
+  EXPECT_NEAR(lifetime_days(b, 1.0), 12.5, 1e-6);
+}
+
+TEST(Lifetime, ZeroDrawIsInfinite) {
+  EXPECT_TRUE(std::isinf(lifetime_hours(Battery{}, 0.0)));
+}
+
+TEST(Lifetime, DefaultShimmerCellInPlausibleBand) {
+  // A 450 mAh cell at the case study's 2-4 mJ/s should last days-to-weeks.
+  const double days_heavy = lifetime_days(Battery{}, 4.2);
+  const double days_light = lifetime_days(Battery{}, 1.5);
+  EXPECT_GT(days_heavy, 2.0);
+  EXPECT_LT(days_heavy, 60.0);
+  EXPECT_GT(days_light, days_heavy);
+}
+
+TEST(Lifetime, NetworkLifetimeIsFirstNodeDeath) {
+  Battery b;
+  const std::vector<double> draws{1.0, 3.0, 2.0};
+  EXPECT_NEAR(network_lifetime_hours(b, draws), lifetime_hours(b, 3.0),
+              1e-9);
+}
+
+TEST(Lifetime, MonotoneInDraw) {
+  Battery b;
+  double previous = lifetime_hours(b, 0.5);
+  for (double draw : {1.0, 2.0, 4.0, 8.0}) {
+    const double h = lifetime_hours(b, draw);
+    EXPECT_LT(h, previous);
+    previous = h;
+  }
+}
+
+}  // namespace
+}  // namespace wsnex::model

@@ -1,0 +1,157 @@
+#include "model/mac_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wsnex::model {
+namespace {
+
+mac::MacConfig nominal_mac() {
+  mac::MacConfig cfg;
+  cfg.payload_bytes = 64;
+  cfg.bco = 6;
+  cfg.sfo = 6;
+  cfg.gts_slots.assign(6, 1);  // used only for active_gts_count in Psi
+  return cfg;
+}
+
+TEST(MacModel, OmegaMatchesPaperFormula) {
+  const Ieee802154MacModel model(nominal_mac());
+  // Omega = 13 * phi_out / L_payload (Section 4.2).
+  EXPECT_NEAR(model.omega(96.0), 13.0 * 96.0 / 64.0, 1e-12);
+  EXPECT_EQ(model.omega(0.0), 0.0);
+}
+
+TEST(MacModel, PsiNodeToCoordinatorIsZero) {
+  const Ieee802154MacModel model(nominal_mac());
+  EXPECT_EQ(model.psi_n_to_c(100.0), 0.0);
+}
+
+TEST(MacModel, PsiCoordinatorToNodeMatchesPaperFormula) {
+  const Ieee802154MacModel model(nominal_mac());
+  const mac::Superframe sf = nominal_mac().superframe();
+  // Psi = 4 * phi_out / L + L_beacon / BI.
+  const double beacon =
+      static_cast<double>(mac::FrameSizes::beacon_bytes(6)) /
+      sf.beacon_interval_s();
+  EXPECT_NEAR(model.psi_c_to_n(96.0), 4.0 * 96.0 / 64.0 + beacon, 1e-9);
+}
+
+TEST(MacModel, DeltaIsSlotLength) {
+  const Ieee802154MacModel model(nominal_mac());
+  EXPECT_NEAR(model.delta_s(), nominal_mac().superframe().slot_s(), 1e-12);
+}
+
+TEST(MacModel, AssignmentSatisfiesEquationOne) {
+  const Ieee802154MacModel model(nominal_mac());
+  const std::vector<double> phi{63.75, 90.0, 120.0, 63.75, 90.0, 120.0};
+  const SlotAssignment a = model.assign_slots(phi);
+  ASSERT_TRUE(a.feasible);
+  const double bi = nominal_mac().superframe().beacon_interval_s();
+  for (std::size_t n = 0; n < phi.size(); ++n) {
+    // Eq. 1: Delta_tx >= T_tx(phi_out + Omega).
+    const double required = model.tx_time_s_per_s(
+        phi[n] + a.nodes[n].omega_bytes_per_s, phi[n] / 64.0,
+        TxTimeAccounting::kFullExchange);
+    EXPECT_GE(a.nodes[n].delta_tx_s_per_s + 1e-12, required);
+    // Minimality: one slot less would violate Eq. 1.
+    const double one_less =
+        static_cast<double>(a.nodes[n].slots - 1) * a.delta_s / bi;
+    EXPECT_LT(one_less, required);
+  }
+}
+
+TEST(MacModel, EquationTwoBudgetClosesToOne) {
+  const Ieee802154MacModel model(nominal_mac());
+  const SlotAssignment a =
+      model.assign_slots({63.75, 90.0, 120.0, 63.75, 90.0, 120.0});
+  ASSERT_TRUE(a.feasible);
+  // Eq. 2: sum Delta_tx + Delta_control = 1 (idle GTS time is part of the
+  // control/idle share).
+  EXPECT_NEAR(a.budget_check, 1.0, 1e-9);
+}
+
+TEST(MacModel, SevenSlotBudgetInfeasibility) {
+  mac::MacConfig cfg = nominal_mac();
+  cfg.bco = 4;
+  cfg.sfo = 0;  // 0.96 ms slots: each node needs 3, far beyond the budget
+  const Ieee802154MacModel model(cfg);
+  const SlotAssignment a =
+      model.assign_slots(std::vector<double>(6, 142.5));  // CR=0.38 everywhere
+  EXPECT_FALSE(a.feasible);
+  EXPECT_NE(a.infeasibility_reason.find("7-slot"), std::string::npos);
+}
+
+TEST(MacModel, AirtimeAccountingNeedsFewerSlots) {
+  const Ieee802154MacModel model(nominal_mac());
+  const std::vector<double> phi(6, 130.0);
+  const SlotAssignment engineering =
+      model.assign_slots(phi, TxTimeAccounting::kFullExchange);
+  const SlotAssignment paper =
+      model.assign_slots(phi, TxTimeAccounting::kAirtimeOnly);
+  ASSERT_TRUE(paper.feasible);
+  for (std::size_t n = 0; n < phi.size(); ++n) {
+    EXPECT_LE(paper.nodes[n].slots, engineering.nodes[n].slots);
+  }
+}
+
+TEST(MacModel, ZeroTrafficNodeGetsNoSlot) {
+  const Ieee802154MacModel model(nominal_mac());
+  const SlotAssignment a = model.assign_slots({100.0, 0.0, 100.0});
+  ASSERT_TRUE(a.feasible);
+  EXPECT_GT(a.nodes[0].slots, 0u);
+  EXPECT_EQ(a.nodes[1].slots, 0u);
+  EXPECT_EQ(a.nodes[1].delta_tx_s_per_s, 0.0);
+}
+
+TEST(MacModel, DelayBoundGrowsWithOtherNodesLoad) {
+  const Ieee802154MacModel model(nominal_mac());
+  const SlotAssignment light = model.assign_slots({60.0, 60.0, 60.0});
+  const SlotAssignment heavy = model.assign_slots({60.0, 140.0, 140.0});
+  ASSERT_TRUE(light.feasible);
+  ASSERT_TRUE(heavy.feasible);
+  EXPECT_GE(model.delay_bound_s(heavy, 0), model.delay_bound_s(light, 0));
+}
+
+TEST(MacModel, DelayBoundScalesWithBeaconInterval) {
+  mac::MacConfig small = nominal_mac();
+  small.bco = 5;
+  small.sfo = 5;
+  mac::MacConfig large = nominal_mac();
+  large.bco = 7;
+  large.sfo = 7;
+  const std::vector<double> phi(6, 90.0);
+  const Ieee802154MacModel m_small(small);
+  const Ieee802154MacModel m_large(large);
+  const SlotAssignment a_small = m_small.assign_slots(phi);
+  const SlotAssignment a_large = m_large.assign_slots(phi);
+  ASSERT_TRUE(a_small.feasible && a_large.feasible);
+  EXPECT_GT(m_large.delay_bound_s(a_large, 0),
+            m_small.delay_bound_s(a_small, 0));
+}
+
+TEST(MacModel, ControlTimePerSuperframeComposition) {
+  const Ieee802154MacModel model(nominal_mac());
+  const mac::Superframe sf = nominal_mac().superframe();
+  // With 6 slots allocated, CAP = 10 slots; BCO == SFO -> no inactive time.
+  EXPECT_NEAR(model.control_time_per_superframe_s(6, 6), 10.0 * sf.slot_s(),
+              1e-9);
+}
+
+class PayloadSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PayloadSweep, OmegaInverselyProportionalToPayload) {
+  mac::MacConfig cfg = nominal_mac();
+  cfg.payload_bytes = GetParam();
+  const Ieee802154MacModel model(cfg);
+  EXPECT_NEAR(model.omega(100.0), 1300.0 / static_cast<double>(GetParam()),
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Payloads, PayloadSweep,
+                         ::testing::Values(std::size_t{16}, std::size_t{32},
+                                           std::size_t{64}, std::size_t{114}));
+
+}  // namespace
+}  // namespace wsnex::model

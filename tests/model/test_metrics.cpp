@@ -1,0 +1,63 @@
+#include "model/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace wsnex::model {
+namespace {
+
+TEST(Metrics, ThetaZeroIsPlainMean) {
+  const std::vector<double> xs{2.0, 4.0, 6.0};
+  EXPECT_NEAR(balanced_metric(xs, 0.0), 4.0, 1e-12);
+}
+
+TEST(Metrics, MatchesEquationEight) {
+  const std::vector<double> xs{1.0, 3.0, 5.0, 9.0};
+  const double theta = 0.7;
+  const double expected =
+      util::mean(xs) + theta * util::sample_stddev(xs);
+  EXPECT_NEAR(balanced_metric(xs, theta), expected, 1e-12);
+}
+
+TEST(Metrics, BalancePenalizesImbalance) {
+  // Same mean, different spread: Eq. 8 must prefer the balanced network.
+  const std::vector<double> balanced{4.0, 4.0, 4.0, 4.0};
+  const std::vector<double> skewed{1.0, 1.0, 1.0, 13.0};
+  EXPECT_LT(balanced_metric(balanced, 0.5), balanced_metric(skewed, 0.5));
+  // With theta = 0 they tie.
+  EXPECT_NEAR(balanced_metric(balanced, 0.0), balanced_metric(skewed, 0.0),
+              1e-12);
+}
+
+TEST(Metrics, SingleNodeHasNoSpreadTerm) {
+  const std::vector<double> xs{7.0};
+  EXPECT_NEAR(balanced_metric(xs, 5.0), 7.0, 1e-12);
+}
+
+TEST(Metrics, DelayMaxAggregation) {
+  const std::vector<double> delays{0.1, 0.9, 0.5};
+  EXPECT_DOUBLE_EQ(delay_metric(delays, 0.5, DelayAggregation::kMax), 0.9);
+}
+
+TEST(Metrics, DelayBalancedAggregation) {
+  const std::vector<double> delays{0.1, 0.9, 0.5};
+  EXPECT_NEAR(delay_metric(delays, 0.5, DelayAggregation::kBalanced),
+              balanced_metric(delays, 0.5), 1e-12);
+}
+
+TEST(Metrics, MonotoneInTheta) {
+  const std::vector<double> xs{1.0, 2.0, 10.0};
+  double previous = balanced_metric(xs, 0.0);
+  for (double theta : {0.2, 0.5, 1.0, 2.0}) {
+    const double value = balanced_metric(xs, theta);
+    EXPECT_GT(value, previous);
+    previous = value;
+  }
+}
+
+}  // namespace
+}  // namespace wsnex::model

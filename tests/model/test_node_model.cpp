@@ -1,0 +1,158 @@
+#include "model/node_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wsnex::model {
+namespace {
+
+/// Fixtures shared by the Eq. 3-7 hand checks.
+struct NodeModelFixture : ::testing::Test {
+  hw::PlatformPower platform = hw::shimmer_platform();
+  CalibratedRadio radio = calibrate_radio(platform,
+                                          default_calibration_activity());
+  SignalChain chain;
+  CompressionAppModel cs{AppKind::kCs, shimmer_cs_profile(),
+                         util::Polynomial({10.0})};
+  CompressionAppModel dwt{AppKind::kDwt, shimmer_dwt_profile(),
+                          util::Polynomial({5.0})};
+
+  MacNodeQuantities mac_q(double phi_out) const {
+    mac::MacConfig cfg;
+    cfg.payload_bytes = 64;
+    cfg.bco = 6;
+    cfg.sfo = 6;
+    cfg.gts_slots.assign(6, 1);
+    const Ieee802154MacModel model(cfg);
+    MacNodeQuantities q;
+    q.phi_tx_bytes_per_s = phi_out;
+    q.omega_bytes_per_s = model.omega(phi_out);
+    q.psi_c_to_n_bytes_per_s = model.psi_c_to_n(phi_out);
+    q.psi_n_to_c_bytes_per_s = model.psi_n_to_c(phi_out);
+    return q;
+  }
+};
+
+TEST_F(NodeModelFixture, SignalChainConstants) {
+  // Section 4.3: fs = 250 Hz, 12-bit ADC -> phi_in = 375 B/s.
+  EXPECT_DOUBLE_EQ(chain.phi_in_bytes_per_s(), 375.0);
+  EXPECT_NEAR(chain.window_period_s(), 1.024, 1e-12);
+}
+
+TEST_F(NodeModelFixture, SensorTermMatchesEquationThree) {
+  NodeConfig node;
+  node.app = AppKind::kCs;
+  node.cr = 0.2;
+  node.mcu_freq_khz = 8000.0;
+  const auto e = estimate_node_energy(platform, radio, chain, cs, node,
+                                      mac_q(75.0));
+  const double expected = platform.sensor.transducer_mj_per_s +
+                          platform.sensor.adc_mj_per_hz * 250.0 +
+                          platform.sensor.adc_idle_mj_per_s;
+  EXPECT_NEAR(e.sensor, expected, 1e-12);
+}
+
+TEST_F(NodeModelFixture, McuTermMatchesEquationFour) {
+  NodeConfig node;
+  node.cr = 0.2;
+  node.mcu_freq_khz = 4000.0;
+  const auto e = estimate_node_energy(platform, radio, chain, cs, node,
+                                      mac_q(75.0));
+  const double duty = 388.8 / 4000.0;
+  const double expected =
+      duty * (platform.mcu.alpha1_mj_per_s_khz * 4000.0 +
+              platform.mcu.alpha0_mj_per_s);
+  EXPECT_NEAR(e.mcu, expected, 1e-12);
+}
+
+TEST_F(NodeModelFixture, MemoryTermMatchesEquationFive) {
+  NodeConfig node;
+  node.cr = 0.2;
+  node.mcu_freq_khz = 8000.0;
+  const auto e = estimate_node_energy(platform, radio, chain, cs, node,
+                                      mac_q(75.0));
+  const double gamma = shimmer_cs_profile().mem_accesses_per_s;
+  const double gamma_tmem = gamma * platform.memory.access_time_s;
+  const double expected =
+      gamma * platform.memory.access_energy_mj +
+      (1.0 - gamma_tmem) * 8.0 * shimmer_cs_profile().memory_bytes *
+          platform.memory.idle_bit_mj_per_s;
+  EXPECT_NEAR(e.memory, expected, 1e-15);
+}
+
+TEST_F(NodeModelFixture, RadioTermMatchesEquationSix) {
+  NodeConfig node;
+  node.cr = 0.2;
+  node.mcu_freq_khz = 8000.0;
+  const double phi_out = 75.0;
+  const MacNodeQuantities q = mac_q(phi_out);
+  const auto e =
+      estimate_node_energy(platform, radio, chain, cs, node, q);
+  const double expected =
+      8.0 * (phi_out + q.omega_bytes_per_s) * radio.tx_mj_per_bit +
+      8.0 * q.psi_c_to_n_bytes_per_s * radio.rx_mj_per_bit;
+  EXPECT_NEAR(e.radio, expected, 1e-12);
+}
+
+TEST_F(NodeModelFixture, DwtInfeasibleAtOneMegahertz) {
+  NodeConfig node;
+  node.app = AppKind::kDwt;
+  node.cr = 0.2;
+  node.mcu_freq_khz = 1000.0;
+  const auto e = estimate_node_energy(platform, radio, chain, dwt, node,
+                                      mac_q(75.0));
+  EXPECT_FALSE(e.feasible);
+}
+
+TEST_F(NodeModelFixture, CalibrationInflatesPerBitEnergies) {
+  EXPECT_GT(radio.tx_mj_per_bit, platform.radio.tx_mj_per_bit);
+  EXPECT_GT(radio.rx_mj_per_bit, platform.radio.rx_mj_per_bit);
+  // The reference traffic is ACK/beacon heavy on rx, so the rx inflation
+  // factor exceeds the tx one.
+  EXPECT_GT(radio.rx_mj_per_bit / platform.radio.rx_mj_per_bit,
+            radio.tx_mj_per_bit / platform.radio.tx_mj_per_bit);
+}
+
+TEST_F(NodeModelFixture, CalibrationHandlesSilentProfiles) {
+  hw::NodeActivity silent;
+  const CalibratedRadio raw = calibrate_radio(platform, silent);
+  EXPECT_DOUBLE_EQ(raw.tx_mj_per_bit, platform.radio.tx_mj_per_bit);
+  EXPECT_DOUBLE_EQ(raw.rx_mj_per_bit, platform.radio.rx_mj_per_bit);
+}
+
+TEST_F(NodeModelFixture, DerivedActivityConsistentWithModel) {
+  mac::MacConfig cfg;
+  cfg.payload_bytes = 64;
+  cfg.bco = 6;
+  cfg.sfo = 6;
+  cfg.gts_slots.assign(6, 1);
+  const Ieee802154MacModel mac_model(cfg);
+  NodeConfig node;
+  node.app = AppKind::kCs;
+  node.cr = 0.32;
+  node.mcu_freq_khz = 8000.0;
+  const hw::NodeActivity act =
+      derive_node_activity(chain, cs, node, mac_model);
+
+  const double phi_out = 375.0 * 0.32;
+  EXPECT_NEAR(act.tx_frames_per_s, phi_out / 64.0, 1e-9);
+  EXPECT_NEAR(act.tx_bytes_per_s, phi_out + 13.0 * phi_out / 64.0, 1e-9);
+  EXPECT_NEAR(act.compute_cycles_per_s, 388.8e3, 1e-6);
+  EXPECT_NEAR(act.sample_rate_hz, 250.0, 1e-12);
+  EXPECT_GT(act.rx_bytes_per_s, 0.0);
+  EXPECT_GT(act.radio_bursts_per_s, 0.0);
+  EXPECT_TRUE(hw::check_activity(act).feasible);
+}
+
+TEST_F(NodeModelFixture, TotalIsSumOfTerms) {
+  NodeConfig node;
+  node.cr = 0.25;
+  node.mcu_freq_khz = 2000.0;
+  const auto e = estimate_node_energy(platform, radio, chain, cs, node,
+                                      mac_q(93.75));
+  EXPECT_NEAR(e.total(), e.sensor + e.mcu + e.memory + e.radio, 1e-15);
+}
+
+}  // namespace
+}  // namespace wsnex::model

@@ -1,0 +1,100 @@
+// Retransmission-aware traffic (Section 3.3): "the average amount of
+// retransmitted data can be added to the original phi_out".
+#include <gtest/gtest.h>
+
+#include "model/evaluator.hpp"
+#include "sim/network.hpp"
+
+namespace wsnex::model {
+namespace {
+
+NetworkDesign design_with(double cr = 0.29) {
+  NetworkDesign d;
+  d.mac.payload_bytes = 64;
+  d.mac.bco = 6;
+  d.mac.sfo = 6;
+  d.nodes.assign(6, NodeConfig{AppKind::kCs, cr, 8000.0});
+  return d;
+}
+
+NetworkModelEvaluator evaluator_with_fer(double fer) {
+  EvaluatorOptions options;
+  options.frame_error_rate = fer;
+  return NetworkModelEvaluator::make_default(options);
+}
+
+TEST(Retransmission, InvalidErrorRateRejected) {
+  EXPECT_FALSE(evaluator_with_fer(1.0).evaluate(design_with()).feasible);
+  EXPECT_FALSE(evaluator_with_fer(-0.1).evaluate(design_with()).feasible);
+}
+
+TEST(Retransmission, EnergyGrowsWithErrorRate) {
+  const auto clean = evaluator_with_fer(0.0).evaluate(design_with());
+  const auto lossy = evaluator_with_fer(0.2).evaluate(design_with());
+  ASSERT_TRUE(clean.feasible && lossy.feasible);
+  EXPECT_GT(lossy.energy_metric, clean.energy_metric);
+  // Only the radio term changes; sensing/MCU are unaffected.
+  EXPECT_GT(lossy.nodes[0].energy.radio, clean.nodes[0].energy.radio);
+  EXPECT_DOUBLE_EQ(lossy.nodes[0].energy.mcu, clean.nodes[0].energy.mcu);
+  EXPECT_DOUBLE_EQ(lossy.nodes[0].energy.sensor, clean.nodes[0].energy.sensor);
+}
+
+TEST(Retransmission, OnAirStreamInflatedByExpectedFactor) {
+  const double fer = 0.25;
+  const auto eval = evaluator_with_fer(fer).evaluate(design_with());
+  ASSERT_TRUE(eval.feasible);
+  const double phi_out = 375.0 * 0.29;
+  EXPECT_NEAR(eval.assignment.nodes[0].phi_tx_bytes_per_s,
+              phi_out / ((1.0 - fer) * (1.0 - fer)), 1e-9);
+}
+
+TEST(Retransmission, SlotDemandGrowsWithErrorRate) {
+  // A high error rate can force an extra GTS slot per node.
+  const auto clean = evaluator_with_fer(0.0).evaluate(design_with(0.38));
+  const auto lossy = evaluator_with_fer(0.45).evaluate(design_with(0.38));
+  ASSERT_TRUE(clean.feasible);
+  if (lossy.feasible) {
+    std::size_t clean_slots = 0;
+    std::size_t lossy_slots = 0;
+    for (std::size_t n = 0; n < 6; ++n) {
+      clean_slots += clean.nodes[n].gts_slots;
+      lossy_slots += lossy.nodes[n].gts_slots;
+    }
+    EXPECT_GE(lossy_slots, clean_slots);
+  }
+  // At extreme rates the 7-slot budget must eventually overflow.
+  EXPECT_FALSE(evaluator_with_fer(0.8).evaluate(design_with(0.38)).feasible);
+}
+
+TEST(Retransmission, ModelTracksSimulatedOnAirTraffic) {
+  const double fer = 0.10;
+  const auto evaluator = evaluator_with_fer(fer);
+  const auto design = design_with();
+  const auto eval = evaluator.evaluate(design);
+  ASSERT_TRUE(eval.feasible);
+
+  sim::NetworkScenario sc;
+  sc.mac = design.mac;
+  sc.mac.gts_slots.clear();
+  for (const auto& q : eval.assignment.nodes) {
+    sc.mac.gts_slots.push_back(q.slots);
+  }
+  for (const auto& node : design.nodes) {
+    sc.traffic.push_back({evaluator.chain().phi_in_bytes_per_s() * node.cr,
+                          evaluator.chain().window_period_s()});
+  }
+  sc.frame_error_rate = fer;
+  sc.duration_s = 400.0;
+  const auto result = sim::run_network(sc);
+  ASSERT_TRUE(result.stable());
+
+  for (std::size_t n = 0; n < 6; ++n) {
+    const double predicted = eval.assignment.nodes[n].phi_tx_bytes_per_s +
+                             eval.assignment.nodes[n].omega_bytes_per_s;
+    const double observed = result.nodes[n].radio_activity.tx_bytes_per_s;
+    EXPECT_NEAR(observed, predicted, 0.08 * predicted) << "node " << n;
+  }
+}
+
+}  // namespace
+}  // namespace wsnex::model

@@ -1,0 +1,139 @@
+#include "sim/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mac/ieee802154.hpp"
+
+namespace wsnex::sim {
+namespace {
+
+Frame data_frame(Address src, Address dst, std::size_t mac_bytes) {
+  Frame f;
+  f.kind = FrameKind::kData;
+  f.src = src;
+  f.dst = dst;
+  f.mac_bytes = mac_bytes;
+  return f;
+}
+
+TEST(Channel, DeliversAfterAirtime) {
+  Engine engine;
+  Channel channel(engine);
+  double delivered_at = -1.0;
+  channel.attach(1, [&](const Frame&) { delivered_at = engine.now(); });
+  channel.attach(2, [](const Frame&) {});
+
+  const double airtime = channel.transmit(data_frame(2, 1, 77));
+  EXPECT_NEAR(airtime, mac::Phy::frame_airtime_s(77), 1e-12);
+  engine.run_until(1.0);
+  EXPECT_NEAR(delivered_at, airtime, 1e-12);
+}
+
+TEST(Channel, UnicastReachesOnlyDestination) {
+  Engine engine;
+  Channel channel(engine);
+  int to_1 = 0;
+  int to_2 = 0;
+  int to_3 = 0;
+  channel.attach(1, [&](const Frame&) { ++to_1; });
+  channel.attach(2, [&](const Frame&) { ++to_2; });
+  channel.attach(3, [&](const Frame&) { ++to_3; });
+  channel.transmit(data_frame(3, 1, 20));
+  engine.run_until(1.0);
+  EXPECT_EQ(to_1, 1);
+  EXPECT_EQ(to_2, 0);
+  EXPECT_EQ(to_3, 0);  // sender never hears itself
+}
+
+TEST(Channel, BroadcastReachesAllButSender) {
+  Engine engine;
+  Channel channel(engine);
+  int received = 0;
+  for (Address a = 1; a <= 4; ++a) {
+    channel.attach(a, [&](const Frame&) { ++received; });
+  }
+  Frame beacon = data_frame(1, kBroadcast, 35);
+  beacon.kind = FrameKind::kBeacon;
+  channel.transmit(beacon);
+  engine.run_until(1.0);
+  EXPECT_EQ(received, 3);
+}
+
+TEST(Channel, DuplicateAddressRejected) {
+  Engine engine;
+  Channel channel(engine);
+  channel.attach(1, [](const Frame&) {});
+  EXPECT_THROW(channel.attach(1, [](const Frame&) {}), std::invalid_argument);
+}
+
+TEST(Channel, OverlappingTransmissionsCollideDestructively) {
+  Engine engine;
+  Channel channel(engine);
+  int received = 0;
+  channel.attach(1, [&](const Frame&) { ++received; });
+  channel.attach(2, [](const Frame&) {});
+  channel.attach(3, [](const Frame&) {});
+  channel.transmit(data_frame(2, 1, 100));
+  channel.transmit(data_frame(3, 1, 100));  // overlap corrupts both frames
+  engine.run_until(1.0);
+  EXPECT_EQ(channel.collisions(), 1u);
+  EXPECT_EQ(received, 0);
+  EXPECT_FALSE(channel.busy());  // the channel recovers afterwards
+}
+
+TEST(Channel, ClearChannelAssessment) {
+  Engine engine;
+  Channel channel(engine);
+  channel.attach(1, [](const Frame&) {});
+  channel.attach(2, [](const Frame&) {});
+  EXPECT_TRUE(channel.clear());
+  const double airtime = channel.transmit(data_frame(2, 1, 40));
+  EXPECT_FALSE(channel.clear());
+  engine.run_until(airtime + 1e-9);
+  EXPECT_TRUE(channel.clear());
+}
+
+TEST(Channel, BusyClearsAfterAirtime) {
+  Engine engine;
+  Channel channel(engine);
+  channel.attach(1, [](const Frame&) {});
+  channel.attach(2, [](const Frame&) {});
+  const double airtime = channel.transmit(data_frame(2, 1, 50));
+  EXPECT_TRUE(channel.busy());
+  engine.run_until(airtime + 1e-9);
+  EXPECT_FALSE(channel.busy());
+  channel.transmit(data_frame(2, 1, 50));
+  EXPECT_EQ(channel.collisions(), 0u);
+}
+
+TEST(Channel, FrameErrorRateDropsFrames) {
+  Engine engine;
+  Channel channel(engine, 0.5, 1234);
+  int received = 0;
+  channel.attach(1, [&](const Frame&) { ++received; });
+  channel.attach(2, [](const Frame&) {});
+  const int sent = 1000;
+  for (int i = 0; i < sent; ++i) {
+    channel.transmit(data_frame(2, 1, 10));
+    engine.run_until(engine.now() + 1.0);  // let the channel clear
+  }
+  EXPECT_NEAR(static_cast<double>(channel.drops()), 500.0, 60.0);
+  EXPECT_EQ(received + static_cast<int>(channel.drops()), sent);
+}
+
+TEST(Channel, ZeroErrorRateDropsNothing) {
+  Engine engine;
+  Channel channel(engine, 0.0);
+  int received = 0;
+  channel.attach(1, [&](const Frame&) { ++received; });
+  channel.attach(2, [](const Frame&) {});
+  for (int i = 0; i < 100; ++i) {
+    channel.transmit(data_frame(2, 1, 10));
+    engine.run_until(engine.now() + 1.0);
+  }
+  EXPECT_EQ(received, 100);
+  EXPECT_EQ(channel.drops(), 0u);
+}
+
+}  // namespace
+}  // namespace wsnex::sim

@@ -1,0 +1,94 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wsnex::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesRunInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunNextReturnsTimestamp) {
+  EventQueue q;
+  q.schedule(2.5, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.5);
+  EXPECT_DOUBLE_EQ(q.run_next(), 2.5);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  int fired = 0;
+  const auto id = q.schedule(1.0, [&] { ++fired; });
+  q.schedule(2.0, [&] { ++fired; });
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelIsIdempotent) {
+  EventQueue q;
+  const auto id = q.schedule(1.0, [] {});
+  q.cancel(id);
+  q.cancel(id);
+  q.cancel(9999);  // unknown id: no-op
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelAlreadyFired) {
+  EventQueue q;
+  const auto id = q.schedule(1.0, [] {});
+  q.run_next();
+  q.cancel(id);  // must not corrupt the live count
+  EXPECT_TRUE(q.empty());
+  int fired = 0;
+  q.schedule(2.0, [&] { ++fired; });
+  EXPECT_EQ(q.size(), 1u);
+  q.run_next();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CallbackMaySchedule) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] {
+    order.push_back(1);
+    q.schedule(2.0, [&] { order.push_back(2); });
+  });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const auto a = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.run_next();
+  EXPECT_EQ(q.size(), 0u);
+}
+
+}  // namespace
+}  // namespace wsnex::sim

@@ -1,0 +1,179 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace wsnex::sim {
+namespace {
+
+NetworkScenario nominal_scenario() {
+  NetworkScenario sc;
+  sc.mac.payload_bytes = 64;
+  sc.mac.bco = 6;
+  sc.mac.sfo = 6;
+  sc.mac.gts_slots = {1, 1, 1, 1, 1, 1};
+  sc.traffic.assign(6, NodeTraffic{96.0, 1.024});
+  sc.duration_s = 60.0;
+  return sc;
+}
+
+TEST(Network, NominalRunIsStableAndCollisionFree) {
+  const NetworkResult r = run_network(nominal_scenario());
+  EXPECT_TRUE(r.stable());
+  EXPECT_EQ(r.channel_collisions, 0u);  // GTS schedule never overlaps
+  EXPECT_EQ(r.channel_drops, 0u);
+  EXPECT_GT(r.data_frames_received, 0u);
+}
+
+TEST(Network, BeaconCountMatchesBeaconInterval) {
+  NetworkScenario sc = nominal_scenario();
+  sc.duration_s = 64.0;
+  const NetworkResult r = run_network(sc);
+  const double bi = sc.mac.superframe().beacon_interval_s();
+  EXPECT_NEAR(static_cast<double>(r.beacons_sent), 64.0 / bi, 2.0);
+}
+
+TEST(Network, FrameConservation) {
+  const NetworkResult r = run_network(nominal_scenario());
+  std::uint64_t enqueued = 0;
+  std::uint64_t acked = 0;
+  std::uint64_t residual = 0;
+  for (const NodeResult& n : r.nodes) {
+    enqueued += n.counters.frames_enqueued;
+    acked += n.counters.frames_acked;
+    residual += n.residual_queue_frames;
+  }
+  // Every enqueued frame is either acked or still queued (or in flight,
+  // covered by the +- small tolerance at the horizon).
+  EXPECT_NEAR(static_cast<double>(enqueued),
+              static_cast<double>(acked + residual), 6.0);
+  EXPECT_EQ(r.data_frames_received, acked);  // no loss without errors
+}
+
+TEST(Network, ThroughputMatchesOfferedLoad) {
+  NetworkScenario sc = nominal_scenario();
+  sc.duration_s = 200.0;
+  const NetworkResult r = run_network(sc);
+  const double offered = 6.0 * 96.0;  // B/s
+  const double delivered =
+      static_cast<double>(r.payload_bytes_received) / sc.duration_s;
+  EXPECT_NEAR(delivered, offered, 0.05 * offered);
+}
+
+TEST(Network, LatencyBelowBeaconIntervalWhenUnderloaded) {
+  const NetworkResult r = run_network(nominal_scenario());
+  const double bi = r.nodes.empty()
+                        ? 0.0
+                        : nominal_scenario().mac.superframe().beacon_interval_s();
+  for (const NodeResult& n : r.nodes) {
+    ASSERT_GT(n.frame_latency.count(), 0u);
+    // A frame never waits more than one full superframe cycle plus its own
+    // window when capacity exceeds load.
+    EXPECT_LT(n.frame_latency.max(), bi * 1.1);
+    EXPECT_GT(n.frame_latency.min(), 0.0);
+  }
+}
+
+TEST(Network, NodeWithoutGtsDeliversNothing) {
+  NetworkScenario sc = nominal_scenario();
+  sc.mac.gts_slots = {1, 1, 1, 1, 1, 0};  // node 5 has no slot
+  const NetworkResult r = run_network(sc);
+  EXPECT_EQ(r.nodes[5].counters.frames_acked, 0u);
+  EXPECT_GT(r.nodes[5].residual_queue_frames, 0u);
+  EXPECT_FALSE(r.stable());
+  // Other nodes are unaffected.
+  EXPECT_GT(r.nodes[0].counters.frames_acked, 0u);
+}
+
+TEST(Network, OverloadedNodeAccumulatesBacklog) {
+  NetworkScenario sc = nominal_scenario();
+  sc.traffic[2].bytes_per_second = 5000.0;  // far beyond one slot
+  const NetworkResult r = run_network(sc);
+  EXPECT_FALSE(r.stable());
+  EXPECT_GT(r.nodes[2].residual_queue_frames, 10u);
+}
+
+TEST(Network, FrameErrorsTriggerRetries) {
+  NetworkScenario sc = nominal_scenario();
+  sc.frame_error_rate = 0.05;
+  sc.duration_s = 120.0;
+  const NetworkResult r = run_network(sc);
+  std::uint64_t retries = 0;
+  for (const NodeResult& n : r.nodes) retries += n.counters.retries;
+  EXPECT_GT(retries, 0u);
+  EXPECT_GT(r.channel_drops, 0u);
+}
+
+TEST(Network, HeavyErrorsExhaustRetryBudget) {
+  NetworkScenario sc = nominal_scenario();
+  sc.frame_error_rate = 0.9;
+  sc.duration_s = 120.0;
+  const NetworkResult r = run_network(sc);
+  std::uint64_t dropped = 0;
+  for (const NodeResult& n : r.nodes) dropped += n.counters.frames_dropped;
+  EXPECT_GT(dropped, 0u);
+}
+
+TEST(Network, RadioActivityProfileConsistent) {
+  NetworkScenario sc = nominal_scenario();
+  sc.duration_s = 100.0;
+  const NetworkResult r = run_network(sc);
+  for (const NodeResult& n : r.nodes) {
+    // 96 B/s payload over 64-byte frames: 1.5 data frames/s, 77 MAC bytes
+    // each -> ~115.5 B/s on air.
+    EXPECT_NEAR(n.radio_activity.tx_frames_per_s, 1.5, 0.1);
+    EXPECT_NEAR(n.radio_activity.tx_bytes_per_s, 1.5 * 77.0, 6.0);
+    EXPECT_GT(n.radio_activity.rx_bytes_per_s, 0.0);  // beacons + acks
+    EXPECT_GT(n.radio_activity.radio_bursts_per_s, 0.0);
+  }
+}
+
+TEST(Network, RejectsMalformedScenarios) {
+  NetworkScenario sc = nominal_scenario();
+  sc.traffic.pop_back();  // size mismatch
+  EXPECT_THROW(run_network(sc), std::invalid_argument);
+
+  NetworkScenario bad_mac = nominal_scenario();
+  bad_mac.mac.gts_slots = {2, 2, 2, 2, 0, 0};  // 8 GTS slots > 7
+  EXPECT_THROW(run_network(bad_mac), std::invalid_argument);
+}
+
+TEST(Network, DeterministicAcrossRuns) {
+  const NetworkResult a = run_network(nominal_scenario());
+  const NetworkResult b = run_network(nominal_scenario());
+  EXPECT_EQ(a.data_frames_received, b.data_frames_received);
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.nodes[i].frame_latency.mean(),
+                     b.nodes[i].frame_latency.mean());
+  }
+}
+
+using ScenarioParam = std::tuple<unsigned, std::size_t, double>;
+
+class ScenarioSweep : public ::testing::TestWithParam<ScenarioParam> {};
+
+TEST_P(ScenarioSweep, StableAndCollisionFreeAcrossConfigs) {
+  const auto [bco, payload, rate] = GetParam();
+  NetworkScenario sc;
+  sc.mac.payload_bytes = payload;
+  sc.mac.bco = bco;
+  sc.mac.sfo = bco;
+  sc.mac.gts_slots = {1, 1, 1, 1, 1, 1};
+  sc.traffic.assign(6, NodeTraffic{rate, 1.024});
+  sc.duration_s = 80.0;
+  const NetworkResult r = run_network(sc);
+  EXPECT_EQ(r.channel_collisions, 0u);
+  EXPECT_TRUE(r.stable()) << "bco=" << bco << " L=" << payload
+                          << " rate=" << rate;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ScenarioSweep,
+    ::testing::Combine(::testing::Values(5u, 6u, 7u),
+                       ::testing::Values(std::size_t{32}, std::size_t{64},
+                                         std::size_t{114}),
+                       ::testing::Values(64.0, 96.0, 140.0)));
+
+}  // namespace
+}  // namespace wsnex::sim

@@ -1,0 +1,197 @@
+#include "util/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.hpp"
+
+namespace wsnex::util {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix eye = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(eye(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m(2, 3);
+  m(0, 0) = 1;
+  m(0, 2) = 5;
+  m(1, 1) = -4;
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 5.0);
+  EXPECT_DOUBLE_EQ(t(1, 1), -4.0);
+}
+
+TEST(Matrix, MultiplyKnownProduct) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  const Matrix sq = a * a;
+  EXPECT_DOUBLE_EQ(sq(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(sq(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(sq(1, 0), 15.0);
+  EXPECT_DOUBLE_EQ(sq(1, 1), 22.0);
+}
+
+TEST(Matrix, MatVec) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  const std::vector<double> v{1.0, 0.0, -1.0};
+  const std::vector<double> out = a * v;
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], -2.0);
+  EXPECT_DOUBLE_EQ(out[1], -2.0);
+}
+
+TEST(Cholesky, SolvesSpdSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 4;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  const std::vector<double> b{1.0, 2.0};
+  std::vector<double> x;
+  ASSERT_TRUE(cholesky_solve(a, b, x));
+  EXPECT_NEAR(4 * x[0] + x[1], 1.0, 1e-12);
+  EXPECT_NEAR(x[0] + 3 * x[1], 2.0, 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 1;  // eigenvalues 3, -1
+  std::vector<double> x;
+  EXPECT_FALSE(cholesky_solve(a, std::vector<double>{1.0, 1.0}, x));
+}
+
+TEST(Lu, SolvesGeneralSystem) {
+  Matrix a(3, 3);
+  a(0, 0) = 0;  // forces pivoting
+  a(0, 1) = 2;
+  a(0, 2) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = -1;
+  a(1, 2) = 0;
+  a(2, 0) = 3;
+  a(2, 1) = 0;
+  a(2, 2) = -2;
+  const std::vector<double> x_true{1.0, -2.0, 3.0};
+  std::vector<double> b(3, 0.0);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) b[r] += a(r, c) * x_true[c];
+  }
+  std::vector<double> x;
+  ASSERT_TRUE(lu_solve(a, b, x));
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-10);
+}
+
+TEST(Lu, DetectsSingular) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  std::vector<double> x;
+  EXPECT_FALSE(lu_solve(a, std::vector<double>{1.0, 2.0}, x));
+}
+
+TEST(LeastSquares, ExactForConsistentSystem) {
+  // Overdetermined but consistent: y = 2x + 1 sampled at 4 points.
+  Matrix a(4, 2);
+  std::vector<double> b(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double x = static_cast<double>(i);
+    a(i, 0) = 1.0;
+    a(i, 1) = x;
+    b[i] = 2.0 * x + 1.0;
+  }
+  std::vector<double> coef;
+  ASSERT_TRUE(least_squares(a, b, coef));
+  EXPECT_NEAR(coef[0], 1.0, 1e-10);
+  EXPECT_NEAR(coef[1], 2.0, 1e-10);
+}
+
+TEST(LeastSquares, ResidualOrthogonalToColumns) {
+  Rng rng(3);
+  Matrix a(10, 3);
+  std::vector<double> b(10);
+  for (std::size_t r = 0; r < 10; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = rng.normal();
+    b[r] = rng.normal();
+  }
+  std::vector<double> x;
+  ASSERT_TRUE(least_squares(a, b, x));
+  std::vector<double> residual = b;
+  for (std::size_t r = 0; r < 10; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) residual[r] -= a(r, c) * x[c];
+  }
+  for (std::size_t c = 0; c < 3; ++c) {
+    double proj = 0.0;
+    for (std::size_t r = 0; r < 10; ++r) proj += a(r, c) * residual[r];
+    EXPECT_NEAR(proj, 0.0, 1e-8);
+  }
+}
+
+TEST(VectorOps, DotNormAxpy) {
+  const std::vector<double> a{1.0, 2.0, 2.0};
+  const std::vector<double> b{2.0, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 4.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 3.0);
+  std::vector<double> y{1.0, 1.0, 1.0};
+  axpy(2.0, a, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 5.0);
+  EXPECT_DOUBLE_EQ(y[2], 5.0);
+}
+
+class RandomSpdSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RandomSpdSweep, CholeskySolvesRandomSpd) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  // A = B^T B + n I is SPD.
+  Matrix b(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) b(r, c) = rng.normal();
+  }
+  Matrix a = b.transposed() * b;
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  std::vector<double> x_true(n);
+  for (double& v : x_true) v = rng.normal();
+  const std::vector<double> rhs = a * x_true;
+  std::vector<double> x;
+  ASSERT_TRUE(cholesky_solve(a, rhs, x));
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomSpdSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 32));
+
+}  // namespace
+}  // namespace wsnex::util

@@ -1,0 +1,128 @@
+#include "util/polynomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace wsnex::util {
+namespace {
+
+TEST(Polynomial, ZeroPolynomial) {
+  const Polynomial p;
+  EXPECT_EQ(p.degree(), 0u);
+  EXPECT_EQ(p(3.0), 0.0);
+  EXPECT_EQ(p.to_string(), "0");
+}
+
+TEST(Polynomial, HornerEvaluation) {
+  const Polynomial p({1.0, -2.0, 3.0});  // 1 - 2x + 3x^2
+  EXPECT_DOUBLE_EQ(p(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(p(2.0), 9.0);
+  EXPECT_DOUBLE_EQ(p(-1.0), 6.0);
+}
+
+TEST(Polynomial, TrailingZerosTrimmed) {
+  const Polynomial p({1.0, 2.0, 0.0, 0.0});
+  EXPECT_EQ(p.degree(), 1u);
+}
+
+TEST(Polynomial, Derivative) {
+  const Polynomial p({5.0, 3.0, -2.0, 1.0});  // 5 + 3x - 2x^2 + x^3
+  const Polynomial d = p.derivative();
+  EXPECT_DOUBLE_EQ(d(0.0), 3.0);          // 3 - 4x + 3x^2
+  EXPECT_DOUBLE_EQ(d(1.0), 2.0);
+  EXPECT_EQ(Polynomial({7.0}).derivative().degree(), 0u);
+}
+
+TEST(Polynomial, DefiniteIntegral) {
+  const Polynomial p({0.0, 2.0});  // 2x -> integral x^2
+  EXPECT_NEAR(p.integral(0.0, 3.0), 9.0, 1e-12);
+  EXPECT_NEAR(p.integral(3.0, 0.0), -9.0, 1e-12);
+}
+
+TEST(Polynomial, Arithmetic) {
+  const Polynomial a({1.0, 1.0});
+  const Polynomial b({0.0, 2.0, 1.0});
+  const Polynomial sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(2.0), a(2.0) + b(2.0));
+  const Polynomial diff = a - b;
+  EXPECT_DOUBLE_EQ(diff(3.0), a(3.0) - b(3.0));
+  const Polynomial scaled = a * 4.0;
+  EXPECT_DOUBLE_EQ(scaled(5.0), 4.0 * a(5.0));
+}
+
+TEST(Fit, RecoversExactPolynomial) {
+  const Polynomial truth({2.0, -1.0, 0.5});
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i <= 10; ++i) {
+    const double x = 0.1 * i;
+    xs.push_back(x);
+    ys.push_back(truth(x));
+  }
+  const Polynomial fit = fit_polynomial(xs, ys, 2);
+  for (double x : xs) EXPECT_NEAR(fit(x), truth(x), 1e-9);
+  EXPECT_NEAR(r_squared(fit, xs, ys), 1.0, 1e-12);
+}
+
+TEST(Fit, NarrowAbscissaRangeIsWellConditioned) {
+  // The paper's CR domain [0.17, 0.38] at degree 5: raw Vandermonde would
+  // be badly conditioned; the centred/scaled fit must stay accurate.
+  const Polynomial truth({30.0, -200.0, 700.0, -1200.0, 1000.0, -300.0});
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 16; ++i) {
+    const double x = 0.17 + 0.014 * i;
+    xs.push_back(x);
+    ys.push_back(truth(x));
+  }
+  const Polynomial fit = fit_polynomial(xs, ys, 5);
+  for (double x : xs) {
+    EXPECT_NEAR(fit(x), truth(x), 1e-6 * std::abs(truth(x)) + 1e-6);
+  }
+}
+
+TEST(Fit, DegreeZeroIsMean) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{5.0, 7.0, 9.0};
+  const Polynomial fit = fit_polynomial(xs, ys, 0);
+  EXPECT_NEAR(fit(100.0), 7.0, 1e-12);
+}
+
+TEST(RSquared, PenalizesBadModel) {
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> ys{0.0, 1.0, 4.0, 9.0};
+  const Polynomial bad({0.0});  // constant zero
+  EXPECT_LT(r_squared(bad, xs, ys), 0.2);
+  const Polynomial good = fit_polynomial(xs, ys, 2);
+  EXPECT_GT(r_squared(good, xs, ys), 0.999);
+}
+
+class FitDegreeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FitDegreeSweep, NoisyFitStaysClose) {
+  const std::size_t degree = GetParam();
+  Rng rng(degree);
+  std::vector<double> coeffs(degree + 1);
+  for (double& c : coeffs) c = rng.uniform(-2.0, 2.0);
+  const Polynomial truth(std::move(coeffs));
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 60; ++i) {
+    const double x = rng.uniform(-1.0, 1.0);
+    xs.push_back(x);
+    ys.push_back(truth(x) + rng.normal(0.0, 1e-3));
+  }
+  const Polynomial fit = fit_polynomial(xs, ys, degree);
+  EXPECT_GT(r_squared(fit, xs, ys), 0.99);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, FitDegreeSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace wsnex::util

@@ -1,0 +1,162 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace wsnex::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0, -3.0};
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  EXPECT_NEAR(s.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(s.stddev(), sample_stddev(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 16.0);
+  EXPECT_NEAR(s.sum(), 28.0, 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsCombinedStream) {
+  Rng rng(1);
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(5.0, 3.0);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_NEAR(b.mean(), 1.5, 1e-12);
+}
+
+TEST(RunningStats, Reset) {
+  RunningStats s;
+  s.add(1.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Stats, MeanEmpty) { EXPECT_EQ(mean({}), 0.0); }
+
+TEST(Stats, SampleStddevUsesNMinus1) {
+  const std::vector<double> xs{2.0, 4.0};  // mean 3, ss 2 -> var 2, sd sqrt2
+  EXPECT_NEAR(sample_stddev(xs), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Stats, SampleStddevDegenerate) {
+  EXPECT_EQ(sample_stddev({}), 0.0);
+  const std::vector<double> one{5.0};
+  EXPECT_EQ(sample_stddev(one), 0.0);
+}
+
+TEST(Stats, PopulationVsSample) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_LT(population_stddev(xs), sample_stddev(xs));
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  const std::vector<double> xs{40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+}
+
+TEST(Stats, Rms) {
+  const std::vector<double> xs{3.0, 4.0};
+  EXPECT_NEAR(rms(xs), std::sqrt(12.5), 1e-12);
+  EXPECT_EQ(rms({}), 0.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs{3.0, -1.0, 7.0};
+  EXPECT_EQ(min_value(xs), -1.0);
+  EXPECT_EQ(max_value(xs), 7.0);
+}
+
+TEST(Stats, PercentErrors) {
+  const std::vector<double> ref{100.0, 200.0};
+  const std::vector<double> est{101.0, 196.0};
+  EXPECT_NEAR(mean_abs_percent_error(ref, est), 1.5, 1e-12);
+  EXPECT_NEAR(max_abs_percent_error(ref, est), 2.0, 1e-12);
+}
+
+TEST(Stats, PercentErrorsSkipZeroReference) {
+  const std::vector<double> ref{0.0, 100.0};
+  const std::vector<double> est{5.0, 110.0};
+  EXPECT_NEAR(mean_abs_percent_error(ref, est), 10.0, 1e-12);
+}
+
+TEST(Stats, HistogramBucketsAndClamping) {
+  const std::vector<double> xs{-1.0, 0.1, 0.5, 0.9, 2.0};
+  const auto h = histogram(xs, 0.0, 1.0, 2);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0], 2u);  // -1 clamps into bucket 0; 0.1 in bucket 0
+  EXPECT_EQ(h[1], 3u);  // 0.5, 0.9, and 2.0 clamped
+}
+
+class WelfordSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WelfordSweep, StableForLargeOffsets) {
+  // Welford must not lose precision when values sit on a huge offset.
+  const double offset = std::pow(10.0, GetParam());
+  RunningStats s;
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) {
+    const double x = offset + i % 5;
+    s.add(x);
+    xs.push_back(x);
+  }
+  EXPECT_NEAR(s.stddev(), sample_stddev(xs), 1e-6 * s.stddev() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, WelfordSweep, ::testing::Values(0, 3, 6, 9));
+
+}  // namespace
+}  // namespace wsnex::util

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace wsnex::util {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1.5"});
+  t.add_row({"b", "20"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("-+-"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(Table, NumFormatsDecimals) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(-0.5, 3), "-0.500");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+class CsvFixture : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/wsnex_test.csv";
+
+  std::string read_back() const {
+    std::ifstream in(path_);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvFixture, WritesPlainRows) {
+  {
+    CsvWriter csv(path_);
+    csv.write_row({"a", "b"});
+    csv.write_row({"1", "2"});
+    EXPECT_EQ(csv.rows_written(), 2u);
+  }
+  EXPECT_EQ(read_back(), "a,b\n1,2\n");
+}
+
+TEST_F(CsvFixture, EscapesSpecialCharacters) {
+  {
+    CsvWriter csv(path_);
+    csv.write_row({"has,comma", "has\"quote", "plain"});
+  }
+  EXPECT_EQ(read_back(), "\"has,comma\",\"has\"\"quote\",plain\n");
+}
+
+TEST_F(CsvFixture, NumericRowRoundTrips) {
+  {
+    CsvWriter csv(path_);
+    csv.write_numeric_row({1.5, -2.25});
+  }
+  const std::string contents = read_back();
+  EXPECT_NE(contents.find("1.5"), std::string::npos);
+  EXPECT_NE(contents.find("-2.25"), std::string::npos);
+}
+
+TEST(Csv, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace wsnex::util
