@@ -15,18 +15,37 @@
 namespace wsnex::dse {
 
 /// Common result of one DSE run.
+///
+/// `archive` holds every feasible non-dominated point discovered during
+/// the run. Objective layout and units are whatever the supplied
+/// ObjectiveFunction returns: (E_net [mJ/s], PRD_net [%], D_net [s]) for
+/// make_full_model_objective, (energy, delay [s]) for the two-metric
+/// baseline adapter.
 struct DseResult {
   ParetoArchive archive;
   std::size_t evaluations = 0;       ///< objective calls issued
   std::size_t infeasible_count = 0;  ///< designs rejected as infeasible
-  double wallclock_s = 0.0;
+  double wallclock_s = 0.0;          ///< wall-clock time of the run, seconds
 };
 
+/// Tuning knobs for run_nsga2(). All defaults reproduce the paper's setup
+/// (a few thousand evaluations explore the ~10^4-10^6 point case-study
+/// space in well under a second).
 struct Nsga2Options {
+  /// Individuals per generation. Must be >= 4 (binary tournament plus
+  /// elitist truncation need a non-degenerate pool); run_nsga2 throws
+  /// std::invalid_argument otherwise. Typical range: 16-256.
   std::size_t population = 64;
+  /// Number of generation steps; >= 1. Total objective calls are roughly
+  /// population * (generations + 1).
   std::size_t generations = 60;
+  /// Probability in [0, 1] that two parents exchange genes (uniform
+  /// crossover); at 0 offspring are pure mutants of one parent.
   double crossover_rate = 0.9;
+  /// Per-gene resampling probability in [0, 1]. Values around 1/genome
+  /// length give the classic one-flip-per-child behaviour.
   double mutation_rate = 0.08;  ///< per gene
+  /// PRNG seed; identical seeds give bit-identical runs.
   std::uint64_t seed = 1;
 };
 
@@ -36,11 +55,21 @@ struct Nsga2Options {
 DseResult run_nsga2(const DesignSpace& space, const ObjectiveFunction& fn,
                     const Nsga2Options& options);
 
+/// Tuning knobs for run_mosa().
 struct MosaOptions {
+  /// Neighbour proposals (= objective calls); >= 1. 4000 matches the
+  /// default NSGA-II evaluation budget.
   std::size_t iterations = 4000;
+  /// Starting temperature of the acceptance rule, > 0. Temperatures are
+  /// unitless: domination amounts are normalized per objective before the
+  /// Boltzmann test, so 1.0 is a sensible default for any unit mix.
   double initial_temperature = 1.0;
+  /// Geometric cooling factor in (0, 1]; temperature after k iterations is
+  /// initial_temperature * cooling^k. 1.0 disables cooling.
   double cooling = 0.999;  ///< geometric cooling per iteration
+  /// Per-gene resampling probability in [0, 1] used to propose neighbours.
   double mutation_rate = 0.15;
+  /// PRNG seed; identical seeds give bit-identical runs.
   std::uint64_t seed = 1;
 };
 
@@ -52,8 +81,11 @@ struct MosaOptions {
 DseResult run_mosa(const DesignSpace& space, const ObjectiveFunction& fn,
                    const MosaOptions& options);
 
+/// Tuning knobs for run_random_search().
 struct RandomSearchOptions {
+  /// Uniform draws from the design space (= objective calls); >= 1.
   std::size_t samples = 4000;
+  /// PRNG seed; identical seeds give bit-identical runs.
   std::uint64_t seed = 1;
 };
 
@@ -63,7 +95,10 @@ DseResult run_random_search(const DesignSpace& space,
                             const RandomSearchOptions& options);
 
 struct ExhaustiveOptions {
-  /// Safety valve: refuse to enumerate spaces larger than this.
+  /// Safety valve: run_exhaustive throws std::invalid_argument when
+  /// space.cardinality() exceeds this (2e6 points is a few seconds of
+  /// model-based evaluation; a packet simulation at the paper's reported
+  /// 5-10 minutes per point would take ~38 years).
   double max_cardinality = 2e6;
 };
 

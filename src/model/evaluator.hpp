@@ -26,6 +26,13 @@
 namespace wsnex::model {
 
 /// A complete design point of the case study.
+///
+/// Per-node knobs (`NodeConfig`): codec choice (DWT or CS), compression
+/// ratio CR in (0, 1] (case study sweeps 0.17-0.38), and microcontroller
+/// frequency f_uC in kHz (Shimmer MSP430: 1000-8000 kHz). MAC knobs
+/// (`mac::MacConfig`): payload length in bytes (1-114 for IEEE 802.15.4),
+/// beacon order BCO and superframe order SFO in 0-14 with SFO <= BCO, and
+/// a per-node GTS grant vector summing to at most 7 slots.
 struct NetworkDesign {
   std::vector<NodeConfig> nodes;  ///< chi_node per node
   mac::MacConfig mac;             ///< L_payload, BCO, SFO (slots computed)
@@ -33,11 +40,11 @@ struct NetworkDesign {
 
 /// Per-node outputs of one evaluation.
 struct NodeEvaluation {
-  double phi_out_bytes_per_s = 0.0;
-  NodeEnergyEstimate energy;
-  double prd_percent = 0.0;
-  double delay_bound_s = 0.0;
-  std::size_t gts_slots = 0;
+  double phi_out_bytes_per_s = 0.0;  ///< compressed output stream, bytes/s
+  NodeEnergyEstimate energy;         ///< E_node breakdown, mJ per second
+  double prd_percent = 0.0;   ///< percentage RMS difference, 0-100 %
+  double delay_bound_s = 0.0; ///< worst-case sample-to-sink delay, seconds
+  std::size_t gts_slots = 0;  ///< guaranteed time slots granted (0-7)
 };
 
 /// Network-level outputs.
@@ -53,6 +60,10 @@ struct NetworkEvaluation {
 
 /// Evaluator options.
 struct EvaluatorOptions {
+  /// Balance weight of the Eq. 8 network combinator (metric =
+  /// per-node mean + theta * sample stddev), theta >= 0: 0 scores the
+  /// plain network average; larger values increasingly penalize designs
+  /// that load nodes unevenly.
   double theta = 0.5;  ///< balance weight of Eq. 8
   DelayAggregation delay_aggregation = DelayAggregation::kMax;
   TxTimeAccounting accounting = TxTimeAccounting::kFullExchange;
@@ -67,6 +78,14 @@ struct EvaluatorOptions {
 /// Reusable model-based evaluator for a fixed platform/signal chain and a
 /// fixed pair of application models. Thread-compatible: evaluate() is
 /// const and allocation-light.
+///
+/// Unit conventions used throughout: power in mW, energy in mJ and energy
+/// rates in mJ/s (hw::PlatformPower holds the datasheet coefficients), ECG
+/// signal amplitudes in mV, data rates in bytes/s, frequencies in kHz
+/// (f_uC) or Hz (sampling), delays in seconds, PRD in percent. Nothing
+/// here throws: out-of-range options (e.g. frame_error_rate outside
+/// [0, 1)) surface as feasible == false with a reason string on every
+/// evaluate() call.
 class NetworkModelEvaluator {
  public:
   NetworkModelEvaluator(const hw::PlatformPower& platform, SignalChain chain,
@@ -78,7 +97,10 @@ class NetworkModelEvaluator {
   /// default calibrated application models.
   static NetworkModelEvaluator make_default(EvaluatorOptions options = {});
 
-  /// Full analytical evaluation of one design point.
+  /// Full analytical evaluation of one design point. Infeasible designs
+  /// (GTS capacity exhausted, duty cycle > 1, delay bound unsatisfiable)
+  /// come back with feasible == false and a human-readable reason instead
+  /// of throwing.
   NetworkEvaluation evaluate(const NetworkDesign& design) const;
 
   const ApplicationModel& app_for(AppKind kind) const {

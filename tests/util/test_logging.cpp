@@ -1,0 +1,85 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace wsnex::util {
+namespace {
+
+// Captures everything written to std::cerr for the lifetime of the object.
+class CerrCapture {
+ public:
+  CerrCapture() : old_(std::cerr.rdbuf(buffer_.rdbuf())) {}
+  ~CerrCapture() { std::cerr.rdbuf(old_); }
+  std::string str() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  std::streambuf* old_;
+};
+
+// Restores the global level after each test so ordering doesn't matter.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_level(); }
+  void TearDown() override { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, DefaultLevelIsWarn) {
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+}
+
+TEST_F(LoggingTest, SetLevelRoundTrips) {
+  set_log_level(LogLevel::kTrace);
+  EXPECT_EQ(log_level(), LogLevel::kTrace);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, MessageBelowThresholdIsDiscarded) {
+  set_log_level(LogLevel::kWarn);
+  CerrCapture capture;
+  log(LogLevel::kInfo, "should not appear");
+  EXPECT_TRUE(capture.str().empty());
+}
+
+TEST_F(LoggingTest, MessageAtThresholdIsEmittedWithLevelTag) {
+  set_log_level(LogLevel::kWarn);
+  CerrCapture capture;
+  log(LogLevel::kWarn, "battery low");
+  EXPECT_EQ(capture.str(), "[WARN] battery low\n");
+}
+
+TEST_F(LoggingTest, OffSilencesEvenErrors) {
+  set_log_level(LogLevel::kOff);
+  CerrCapture capture;
+  log(LogLevel::kError, "should not appear");
+  EXPECT_TRUE(capture.str().empty());
+}
+
+TEST_F(LoggingTest, StreamMacroFormatsValues) {
+  set_log_level(LogLevel::kInfo);
+  CerrCapture capture;
+  WSNEX_INFO() << "node " << 3 << " energy " << 1.5 << " uJ";
+  EXPECT_EQ(capture.str(), "[INFO] node 3 energy 1.5 uJ\n");
+}
+
+TEST_F(LoggingTest, StreamMacroSkipsFilteredLevels) {
+  set_log_level(LogLevel::kError);
+  CerrCapture capture;
+  WSNEX_TRACE() << "invisible";
+  WSNEX_DEBUG() << "invisible";
+  WSNEX_WARN() << "invisible";
+  EXPECT_TRUE(capture.str().empty());
+  WSNEX_ERROR() << "visible";
+  EXPECT_EQ(capture.str(), "[ERROR] visible\n");
+}
+
+}  // namespace
+}  // namespace wsnex::util
