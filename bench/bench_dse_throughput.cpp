@@ -1,11 +1,31 @@
-// Reproduces the evaluation-speed comparison of Section 5.2.
+// Reproduces the evaluation-speed comparison of Section 5.2 and tracks
+// the repo's DSE-throughput trajectory.
 //
 // The paper: "a network simulation takes 5 to 10 minutes in our case
 // study, while the model can be evaluated approximately 4800 times per
 // second" — about six orders of magnitude. Here google-benchmark measures
 // the per-call cost of (a) one full model evaluation, (b) one simulated
-// network second, and the fixture prints the resulting ratio.
+// network second; additional benchmarks cover the memoized batch
+// objective and NSGA-II/MOSA end-to-end throughput.
+//
+// Machine-readable mode: `bench_dse_throughput --json[=PATH] [--quick]`
+// skips google-benchmark and instead sweeps
+//   objective in {scalar-uncached, memoized-batch} x threads {1,2,4,8}
+//   x population {64,128,256}
+// over case-study-sized NSGA-II runs (plus a MOSA row per objective),
+// writing evaluations/s per configuration as JSON. The committed
+// BENCH_dse_throughput.json at the repo root embeds this mode's
+// `configs` array inside hand-recorded context blocks (`machine`, and
+// `baseline` = the pre-batching engine measured from the pre-PR tree on
+// the same machine). To refresh it, regenerate the configs with this
+// tool and splice them into the committed file — do not overwrite the
+// file wholesale or the baseline reference is lost.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "dse/optimizers.hpp"
 #include "model/evaluator.hpp"
@@ -18,6 +38,11 @@ using namespace wsnex;
 const model::NetworkModelEvaluator& evaluator() {
   static const auto instance = model::NetworkModelEvaluator::make_default();
   return instance;
+}
+
+const dse::DesignSpace& case_space() {
+  static const dse::DesignSpace space(dse::DesignSpaceConfig::case_study());
+  return space;
 }
 
 model::NetworkDesign case_design() {
@@ -51,8 +76,8 @@ sim::NetworkScenario case_scenario(double duration_s) {
   return sc;
 }
 
-/// One analytical evaluation of the full 6-node design (the operation a
-/// DSE loop issues thousands of times per second).
+/// One analytical evaluation of the full 6-node design through the
+/// original allocating entry point.
 void BM_ModelEvaluation(benchmark::State& state) {
   const auto design = case_design();
   // First touch runs the one-off PRD codec calibration; keep it out of the
@@ -65,6 +90,34 @@ void BM_ModelEvaluation(benchmark::State& state) {
 }
 BENCHMARK(BM_ModelEvaluation);
 
+/// Same evaluation through the zero-allocation scratch overload.
+void BM_ModelEvaluationScratch(benchmark::State& state) {
+  const auto design = case_design();
+  model::EvalScratch scratch;
+  (void)evaluator().evaluate(design, scratch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator().evaluate(design, scratch));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ModelEvaluationScratch);
+
+/// Memoized batch objective: the DSE fast path (genome in, objectives
+/// out, no allocation, no application-layer recomputation).
+void BM_MemoizedBatchEvaluation(benchmark::State& state) {
+  const auto memo =
+      dse::make_memoized_full_model_objective(evaluator(), case_space(), 1);
+  util::Rng rng(1);
+  const dse::Genome genome = case_space().random_genome(rng);
+  double out[dse::kMaxObjectives];
+  (void)memo->evaluate(genome, out, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(memo->evaluate(genome, out, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MemoizedBatchEvaluation);
+
 /// Packet-level simulation of `arg` seconds of network time — the
 /// evaluation path the model replaces.
 void BM_PacketSimulation(benchmark::State& state) {
@@ -76,18 +129,33 @@ void BM_PacketSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_PacketSimulation)->Arg(60)->Arg(600)->Unit(benchmark::kMillisecond);
 
-/// One NSGA-II generation over the case-study space (population 64).
-void BM_Nsga2Generation(benchmark::State& state) {
-  const dse::DesignSpace space(dse::DesignSpaceConfig::case_study());
-  const auto fn = dse::make_full_model_objective(evaluator());
+/// End-to-end NSGA-II throughput: threads x population sweep over the
+/// memoized batch objective. Items processed = objective evaluations.
+void BM_Nsga2Throughput(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const auto population = static_cast<std::size_t>(state.range(1));
+  const auto memo = dse::make_memoized_full_model_objective(
+      evaluator(), case_space(), threads);
+  dse::Nsga2Options opt;
+  opt.population = population;
+  opt.generations = 4000 / population;  // ~case-study evaluation budget
+  opt.threads = threads;
+  std::size_t evaluations = 0;
   for (auto _ : state) {
-    dse::Nsga2Options opt;
-    opt.population = 64;
-    opt.generations = 1;
-    benchmark::DoNotOptimize(dse::run_nsga2(space, fn, opt));
+    const dse::DseResult r = dse::run_nsga2(case_space(), *memo, opt);
+    evaluations += r.evaluations;
+    benchmark::DoNotOptimize(r.archive.size());
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(evaluations));
 }
-BENCHMARK(BM_Nsga2Generation)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Nsga2Throughput)
+    ->ArgNames({"threads", "pop"})
+    ->Args({1, 64})
+    ->Args({1, 128})
+    ->Args({1, 256})
+    ->Args({8, 64})
+    ->Args({8, 256})
+    ->Unit(benchmark::kMillisecond);
 
 /// "Measured" evaluation via the hardware simulator (used only for the
 /// Fig. 3 reference side, not inside DSE loops).
@@ -100,6 +168,137 @@ void BM_HardwareSimulatorMeasurement(benchmark::State& state) {
 }
 BENCHMARK(BM_HardwareSimulatorMeasurement)->Unit(benchmark::kMicrosecond);
 
+// ---------------------------------------------------------------------------
+// --json mode: deterministic sweep, machine-readable output.
+// ---------------------------------------------------------------------------
+
+struct SweepRow {
+  std::string optimizer;   // "nsga2" | "mosa"
+  std::string objective;   // "scalar-uncached" | "memoized-batch"
+  std::size_t threads = 1;
+  std::size_t population = 0;  // 0 for mosa
+  std::size_t evaluations = 0;
+  double best_evals_per_s = 0.0;
+};
+
+SweepRow run_nsga2_config(const std::string& objective, std::size_t threads,
+                          std::size_t population, int reps) {
+  SweepRow row{"nsga2", objective, threads, population, 0, 0.0};
+  const auto scalar = dse::make_full_model_objective(evaluator());
+  const auto memo = objective == "memoized-batch"
+                        ? dse::make_memoized_full_model_objective(
+                              evaluator(), case_space(), threads)
+                        : nullptr;
+  dse::Nsga2Options opt;
+  opt.population = population;
+  opt.generations = 4000 / population;
+  opt.threads = threads;
+  for (int r = 0; r < reps; ++r) {
+    const dse::DseResult res =
+        memo ? dse::run_nsga2(case_space(), *memo, opt)
+             : dse::run_nsga2(case_space(), scalar, opt);
+    row.evaluations = res.evaluations;
+    const double rate =
+        static_cast<double>(res.evaluations) / res.wallclock_s;
+    if (rate > row.best_evals_per_s) row.best_evals_per_s = rate;
+  }
+  return row;
+}
+
+SweepRow run_mosa_config(const std::string& objective, std::size_t threads,
+                         int reps) {
+  SweepRow row{"mosa", objective, threads, 0, 0, 0.0};
+  const auto scalar = dse::make_full_model_objective(evaluator());
+  const auto memo = objective == "memoized-batch"
+                        ? dse::make_memoized_full_model_objective(
+                              evaluator(), case_space(), threads)
+                        : nullptr;
+  dse::MosaOptions opt;
+  opt.iterations = 4000;
+  opt.threads = threads;
+  for (int r = 0; r < reps; ++r) {
+    const dse::DseResult res =
+        memo ? dse::run_mosa(case_space(), *memo, opt)
+             : dse::run_mosa(case_space(), scalar, opt);
+    row.evaluations = res.evaluations;
+    const double rate =
+        static_cast<double>(res.evaluations) / res.wallclock_s;
+    if (rate > row.best_evals_per_s) row.best_evals_per_s = rate;
+  }
+  return row;
+}
+
+int run_json_sweep(const std::string& path, bool quick) {
+  // Validate the output path before spending minutes on the sweep.
+  std::FILE* out = path.empty() ? stdout : std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  const int reps = quick ? 1 : 5;
+  std::vector<SweepRow> rows;
+  const std::vector<std::size_t> thread_counts =
+      quick ? std::vector<std::size_t>{1} : std::vector<std::size_t>{1, 2, 4,
+                                                                     8};
+  const std::vector<std::size_t> populations =
+      quick ? std::vector<std::size_t>{64}
+            : std::vector<std::size_t>{64, 128, 256};
+  for (const char* objective : {"scalar-uncached", "memoized-batch"}) {
+    for (const std::size_t threads : thread_counts) {
+      for (const std::size_t population : populations) {
+        rows.push_back(
+            run_nsga2_config(objective, threads, population, reps));
+        std::fprintf(stderr, "%s %s threads=%zu pop=%zu: %.0f evals/s\n",
+                     rows.back().optimizer.c_str(), objective, threads,
+                     population, rows.back().best_evals_per_s);
+      }
+      rows.push_back(run_mosa_config(objective, threads, reps));
+      std::fprintf(stderr, "mosa %s threads=%zu: %.0f evals/s\n", objective,
+                   threads, rows.back().best_evals_per_s);
+    }
+  }
+
+  std::fprintf(out, "{\n  \"bench\": \"dse_throughput\",\n");
+  std::fprintf(out, "  \"unit\": \"objective evaluations per second\",\n");
+  std::fprintf(out,
+               "  \"note\": \"best of %d case-study-sized runs per config "
+               "(~4000 evaluations each)\",\n",
+               reps);
+  std::fprintf(out, "  \"configs\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    std::fprintf(out,
+                 "    {\"optimizer\": \"%s\", \"objective\": \"%s\", "
+                 "\"threads\": %zu, \"population\": %zu, "
+                 "\"evaluations\": %zu, \"evals_per_s\": %.0f}%s\n",
+                 r.optimizer.c_str(), r.objective.c_str(), r.threads,
+                 r.population, r.evaluations, r.best_evals_per_s,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  if (!path.empty()) std::fclose(out);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool json = false;
+  bool quick = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json = true;
+      path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    }
+  }
+  if (json) return run_json_sweep(path, quick);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

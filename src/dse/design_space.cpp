@@ -70,12 +70,18 @@ void DesignSpace::mutate(Genome& genome, util::Rng& rng, double rate) const {
 
 Genome DesignSpace::crossover(const Genome& a, const Genome& b,
                               util::Rng& rng) const {
+  Genome child;
+  crossover_into(a, b, rng, child);
+  return child;
+}
+
+void DesignSpace::crossover_into(const Genome& a, const Genome& b,
+                                 util::Rng& rng, Genome& child) const {
   assert(a.size() == genome_length() && b.size() == genome_length());
-  Genome child(a.size());
+  child.resize(a.size());
   for (std::size_t g = 0; g < a.size(); ++g) {
     child[g] = rng.bernoulli(0.5) ? a[g] : b[g];
   }
-  return child;
 }
 
 model::NetworkDesign DesignSpace::decode(const Genome& genome) const {

@@ -59,6 +59,11 @@ class DesignSpace {
   /// Uniform crossover of two parents.
   Genome crossover(const Genome& a, const Genome& b, util::Rng& rng) const;
 
+  /// Allocation-free uniform crossover into an existing genome buffer
+  /// (resized to the genome length). Identical gene draws to crossover().
+  void crossover_into(const Genome& a, const Genome& b, util::Rng& rng,
+                      Genome& child) const;
+
   /// Decodes a genome into an evaluable design.
   model::NetworkDesign decode(const Genome& genome) const;
 

@@ -1,18 +1,40 @@
 // Objective adapters: design -> objective vector.
+//
+// Two evaluation surfaces coexist:
+//  * the scalar ObjectiveFunction (design -> optional objective vector),
+//    the original one-design-at-a-time API, and
+//  * BatchObjectiveFunction, the DSE hot-path API: genome-indexed,
+//    allocation-free after warm-up, and evaluable from multiple worker
+//    threads at once (one scratch slot per worker).
+// evaluate_genome_batch() fans a genome batch across a util::ThreadPool
+// with index-ordered result placement, so the outcome of a batch is
+// independent of the worker count — the foundation of the optimizers'
+// threads=1 vs threads=N determinism guarantee.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
+#include <span>
 
 #include "dse/design_space.hpp"
 #include "model/baseline.hpp"
+
+namespace wsnex::util {
+class ThreadPool;  // util/thread_pool.hpp — only referenced by pointer here
+}
 
 namespace wsnex::dse {
 
 using Objectives = std::vector<double>;
 
 /// Evaluation callback: returns the (minimization) objective vector for a
-/// design, or nullopt when the design is infeasible.
+/// design, or nullopt when the design is infeasible. The batch engine
+/// behind run_nsga2/run_mosa stores objectives inline, so vectors are
+/// limited to kMaxObjectives components (the paper uses 3); longer ones
+/// raise std::length_error on first evaluation.
 using ObjectiveFunction =
     std::function<std::optional<Objectives>(const model::NetworkDesign&)>;
 
@@ -25,20 +47,90 @@ ObjectiveFunction make_full_model_objective(
 ObjectiveFunction make_baseline_objective(
     const model::BaselineEnergyDelayModel& baseline);
 
+/// Upper bound on objective-vector length supported by the batch path —
+/// sized so optimizer individuals carry objectives inline (the paper's
+/// full model has 3, the energy/delay baseline 2).
+inline constexpr std::size_t kMaxObjectives = 4;
+
+/// Batched, genome-indexed objective. Implementations own one scratch
+/// slot per worker; calls with distinct `worker` values (each below
+/// worker_slots()) may run concurrently, calls sharing a slot must not.
+class BatchObjectiveFunction {
+ public:
+  virtual ~BatchObjectiveFunction() = default;
+
+  /// Maximum objective values written per design — the stride callers use
+  /// for batch value buffers. Never exceeds kMaxObjectives.
+  virtual std::size_t arity() const = 0;
+
+  /// Number of concurrent worker slots available.
+  virtual std::size_t worker_slots() const = 0;
+
+  /// Evaluates the design encoded by `genome`. Writes the objective
+  /// vector into `out` (whose size must be >= arity()) and returns its
+  /// length, or returns 0 for an infeasible design (`out` is then
+  /// unspecified).
+  virtual std::size_t evaluate(const Genome& genome, std::span<double> out,
+                               std::size_t worker) const = 0;
+};
+
+/// Memoized full-model batch objective — the DSE fast path.
+///
+/// Construction precomputes (a) the application-layer stage (phi_out, PRD,
+/// resource usage) for every (codec, CR, f_uC) grid point of `space` via
+/// model::AppLayerTable, and (b) one Ieee802154MacModel per (payload, BCO,
+/// SFO-gap) combination. evaluate() then runs only the design-dependent
+/// remainder (slot assignment, radio energy, delay bounds, Eq. 8 metrics)
+/// through NetworkModelEvaluator::evaluate_with_app_stage, with zero
+/// steady-state allocations.
+///
+/// Invariants: results are bit-identical to
+/// make_full_model_objective(evaluator) applied to space.decode(genome) —
+/// the memo only caches inputs, every arithmetic operation happens in the
+/// same model-layer functions. Both `evaluator` and `space` must outlive
+/// the returned object, and the space's grids must not change.
+std::unique_ptr<BatchObjectiveFunction> make_memoized_full_model_objective(
+    const model::NetworkModelEvaluator& evaluator, const DesignSpace& space,
+    std::size_t worker_slots = 1);
+
+/// Adapts a scalar ObjectiveFunction to the batch interface by decoding
+/// each genome and forwarding. With more than one worker slot the wrapped
+/// function is called from multiple threads at once and must be
+/// thread-safe (the model-backed objectives above are; beware of stateful
+/// lambdas).
+std::unique_ptr<BatchObjectiveFunction> make_batch_adapter(
+    const DesignSpace& space, const ObjectiveFunction& fn,
+    std::size_t worker_slots = 1);
+
+/// Evaluates genomes[i] into counts[i] / values[i * fn.arity() ...) across
+/// the pool's workers (pool == nullptr runs inline on worker slot 0).
+/// Result placement is by index, so the output is independent of the
+/// worker count. `values` must hold genomes.size() * fn.arity() doubles
+/// and `counts` genomes.size() entries (0 == infeasible). Throws
+/// std::invalid_argument when the pool is wider than fn.worker_slots().
+void evaluate_genome_batch(const BatchObjectiveFunction& fn,
+                           util::ThreadPool* pool,
+                           std::span<const Genome> genomes,
+                           std::span<double> values,
+                           std::span<std::uint8_t> counts);
+
 /// Counts evaluations (shared by the DSE throughput accounting).
+/// Thread-safe: the counter is atomic, so the wrapped function may be
+/// driven through a multi-threaded batch adapter (the wrapped fn itself
+/// must then be thread-safe too).
 class CountingObjective {
  public:
   explicit CountingObjective(ObjectiveFunction fn) : fn_(std::move(fn)) {}
 
   std::optional<Objectives> operator()(const model::NetworkDesign& d) const {
-    ++count_;
+    count_.fetch_add(1, std::memory_order_relaxed);
     return fn_(d);
   }
-  std::size_t count() const { return count_; }
+  std::size_t count() const { return count_.load(std::memory_order_relaxed); }
 
  private:
   ObjectiveFunction fn_;
-  mutable std::size_t count_ = 0;
+  mutable std::atomic<std::size_t> count_ = 0;
 };
 
 }  // namespace wsnex::dse

@@ -1,10 +1,16 @@
 #include "dse/optimizers.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cassert>
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <stdexcept>
+#include <string>
+
+#include "util/thread_pool.hpp"
 
 namespace wsnex::dse {
 namespace {
@@ -22,13 +28,17 @@ class Stopwatch {
       std::chrono::steady_clock::now();
 };
 
+/// Population member. Objectives live inline (no per-individual heap
+/// vector): obj_count == 0 marks infeasibility, mirroring the former
+/// empty-vector convention.
 struct Individual {
   Genome genome;
-  Objectives objectives;  // empty == infeasible
+  std::array<double, kMaxObjectives> obj{};
+  std::uint8_t obj_count = 0;
   std::size_t front = 0;
   double crowding = 0.0;
 
-  bool feasible() const { return !objectives.empty(); }
+  bool feasible() const { return obj_count != 0; }
 };
 
 /// NSGA-II comparison: feasibility first, then front rank, then crowding.
@@ -39,67 +49,166 @@ bool better(const Individual& a, const Individual& b) {
   return a.crowding > b.crowding;
 }
 
-void rank_population(std::vector<Individual>& pop) {
-  std::vector<std::size_t> feasible_idx;
-  std::vector<Objectives> feasible_obj;
-  for (std::size_t i = 0; i < pop.size(); ++i) {
-    if (pop[i].feasible()) {
-      feasible_idx.push_back(i);
-      feasible_obj.push_back(pop[i].objectives);
-    } else {
-      pop[i].front = std::numeric_limits<std::size_t>::max();
-      pop[i].crowding = 0.0;
-    }
-  }
-  const std::vector<std::size_t> fronts = non_dominated_fronts(feasible_obj);
-  std::size_t max_front = 0;
-  for (std::size_t f : fronts) max_front = std::max(max_front, f);
-  for (std::size_t rank = 0; rank <= max_front; ++rank) {
-    std::vector<std::size_t> members;
-    std::vector<Objectives> member_obj;
-    for (std::size_t k = 0; k < feasible_idx.size(); ++k) {
-      if (fronts[k] == rank) {
-        members.push_back(feasible_idx[k]);
-        member_obj.push_back(feasible_obj[k]);
+/// Flat-buffer replacement of the former rank_population(): identical
+/// front ranks and crowding distances (same comparator and evaluation
+/// order as crowding_distances()), with all working memory reused across
+/// generations.
+class PopulationRanker {
+ public:
+  void rank(std::vector<Individual>& pop) {
+    feasible_idx_.clear();
+    flat_.clear();
+    std::size_t m = 0;
+    for (std::size_t i = 0; i < pop.size(); ++i) {
+      if (pop[i].feasible()) {
+        feasible_idx_.push_back(i);
+        m = pop[i].obj_count;
+        flat_.insert(flat_.end(), pop[i].obj.begin(),
+                     pop[i].obj.begin() + pop[i].obj_count);
+      } else {
+        pop[i].front = std::numeric_limits<std::size_t>::max();
+        pop[i].crowding = 0.0;
       }
     }
-    const std::vector<double> crowd = crowding_distances(member_obj);
-    for (std::size_t k = 0; k < members.size(); ++k) {
-      pop[members[k]].front = rank;
-      pop[members[k]].crowding = crowd[k];
+    const std::size_t n = feasible_idx_.size();
+    detail::non_dominated_fronts_flat(flat_.data(), n, m, front_scratch_,
+                                      fronts_);
+    std::size_t max_front = 0;
+    for (const std::size_t f : fronts_) max_front = std::max(max_front, f);
+    for (std::size_t rank = 0; rank <= max_front && n > 0; ++rank) {
+      members_.clear();
+      member_vals_.clear();
+      for (std::size_t k = 0; k < n; ++k) {
+        if (fronts_[k] == rank) {
+          members_.push_back(k);
+          member_vals_.insert(member_vals_.end(),
+                              flat_.begin() + static_cast<std::ptrdiff_t>(
+                                  k * m),
+                              flat_.begin() + static_cast<std::ptrdiff_t>(
+                                  (k + 1) * m));
+        }
+      }
+      // member_vals_ holds the front's rows contiguously; the shared
+      // crowding core gives the same permutations and distances as
+      // crowding_distances() on the same values.
+      detail::crowding_distances_flat(member_vals_.data(), members_.size(),
+                                      m, order_, crowd_);
+      for (std::size_t k = 0; k < members_.size(); ++k) {
+        Individual& ind = pop[feasible_idx_[members_[k]]];
+        ind.front = rank;
+        ind.crowding = crowd_[k];
+      }
     }
   }
-}
 
-}  // namespace
+ private:
+  std::vector<std::size_t> feasible_idx_;
+  std::vector<double> flat_;
+  std::vector<std::size_t> fronts_;
+  detail::FrontScratch front_scratch_;
+  std::vector<std::size_t> members_;
+  std::vector<double> member_vals_;
+  std::vector<std::size_t> order_;
+  std::vector<double> crowd_;
+};
 
-DseResult run_nsga2(const DesignSpace& space, const ObjectiveFunction& fn,
-                    const Nsga2Options& options) {
+/// Shared batch-evaluation state: the pool (absent when one worker
+/// suffices), the flat value/count buffers and the bookkeeping that turns
+/// raw rows into archive entries and counters in index order.
+class BatchRunner {
+ public:
+  BatchRunner(const BatchObjectiveFunction& fn, std::size_t threads)
+      : fn_(&fn), stride_(fn.arity()) {
+    if (stride_ == 0 || stride_ > kMaxObjectives) {
+      // Individuals hold objectives inline; an out-of-contract arity
+      // must fail loudly, not overrun those arrays.
+      throw std::invalid_argument(
+          "BatchObjectiveFunction::arity() must be in 1.." +
+          std::to_string(kMaxObjectives));
+    }
+    const std::size_t resolved = std::min(
+        util::ThreadPool::resolve_threads(threads), fn.worker_slots());
+    if (resolved > 1) pool_ = std::make_unique<util::ThreadPool>(resolved);
+  }
+
+  std::size_t width() const { return pool_ ? pool_->size() : 1; }
+  std::size_t stride() const { return stride_; }
+
+  /// Evaluates all genomes; results land in row order in values()/counts().
+  void evaluate(std::span<const Genome> genomes) {
+    values_.resize(genomes.size() * stride_);
+    counts_.resize(genomes.size());
+    // Waking the pool for a single genome is pure synchronization
+    // overhead (e.g. MOSA's feasible-start retries); results are
+    // index-ordered either way, so running inline changes nothing.
+    util::ThreadPool* pool = genomes.size() > 1 ? pool_.get() : nullptr;
+    evaluate_genome_batch(*fn_, pool, genomes, values_, counts_);
+  }
+
+  const double* row(std::size_t i) const {
+    return values_.data() + i * stride_;
+  }
+  std::size_t count(std::size_t i) const { return counts_[i]; }
+
+  /// Books row i into the result exactly like the former per-call lambda:
+  /// bumps the evaluation counter and either archives the point or bumps
+  /// the infeasible counter.
+  bool book(std::size_t i, const Genome& genome, DseResult& result) const {
+    ++result.evaluations;
+    if (counts_[i] == 0) {
+      ++result.infeasible_count;
+      return false;
+    }
+    result.archive.insert(genome,
+                          std::span<const double>(row(i), counts_[i]));
+    return true;
+  }
+
+ private:
+  const BatchObjectiveFunction* fn_;
+  std::size_t stride_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::vector<double> values_;
+  std::vector<std::uint8_t> counts_;
+};
+
+DseResult run_nsga2_batch(const DesignSpace& space,
+                          const BatchObjectiveFunction& fn,
+                          const Nsga2Options& options) {
   if (options.population < 4) {
     throw std::invalid_argument("run_nsga2: population must be >= 4");
   }
   const Stopwatch watch;
   util::Rng rng(options.seed);
   DseResult result;
+  BatchRunner runner(fn, options.threads);
+  PopulationRanker ranker;
 
-  auto evaluate = [&](Individual& ind) {
-    const auto obj = fn(space.decode(ind.genome));
-    ++result.evaluations;
-    if (obj) {
-      ind.objectives = *obj;
-      result.archive.insert(ind.genome, *obj);
-    } else {
-      ind.objectives.clear();
-      ++result.infeasible_count;
+  // The whole generation is drawn before any evaluation. Objective calls
+  // consume no PRNG state, so pulling them out of the draw loop leaves
+  // the random stream — and therefore the run — bit-identical to the
+  // former draw-evaluate interleaving while exposing a full batch to the
+  // worker pool.
+  std::vector<Genome> pending(options.population);
+  std::vector<Individual> population;
+  population.reserve(2 * options.population);
+
+  const auto absorb_pending = [&](std::vector<Individual>& into) {
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      Individual ind;
+      const std::size_t count = runner.count(i);
+      runner.book(i, pending[i], result);
+      ind.obj_count = static_cast<std::uint8_t>(count);
+      std::copy_n(runner.row(i), count, ind.obj.begin());
+      ind.genome = std::move(pending[i]);
+      into.push_back(std::move(ind));
     }
   };
 
-  std::vector<Individual> population(options.population);
-  for (Individual& ind : population) {
-    ind.genome = space.random_genome(rng);
-    evaluate(ind);
-  }
-  rank_population(population);
+  for (Genome& genome : pending) genome = space.random_genome(rng);
+  runner.evaluate(pending);
+  absorb_pending(population);
+  ranker.rank(population);
 
   auto tournament = [&]() -> const Individual& {
     const Individual& a = population[rng.index(population.size())];
@@ -108,25 +217,24 @@ DseResult run_nsga2(const DesignSpace& space, const ObjectiveFunction& fn,
   };
 
   for (std::size_t gen = 0; gen < options.generations; ++gen) {
-    std::vector<Individual> offspring;
-    offspring.reserve(options.population);
-    while (offspring.size() < options.population) {
-      Individual child;
+    for (Genome& child : pending) {
       if (rng.bernoulli(options.crossover_rate)) {
-        child.genome =
-            space.crossover(tournament().genome, tournament().genome, rng);
+        // Parent draw order is pinned explicitly: the historical
+        // crossover(tournament(), tournament(), rng) call left it to the
+        // (unspecified) argument evaluation order, which gcc resolves
+        // right-to-left — the second tournament winner is parent `a`.
+        const Individual& parent_b = tournament();
+        const Individual& parent_a = tournament();
+        space.crossover_into(parent_a.genome, parent_b.genome, rng, child);
       } else {
-        child.genome = tournament().genome;
+        child = tournament().genome;
       }
-      space.mutate(child.genome, rng, options.mutation_rate);
-      evaluate(child);
-      offspring.push_back(std::move(child));
+      space.mutate(child, rng, options.mutation_rate);
     }
+    runner.evaluate(pending);
     // Environmental selection over parents + offspring.
-    population.insert(population.end(),
-                      std::make_move_iterator(offspring.begin()),
-                      std::make_move_iterator(offspring.end()));
-    rank_population(population);
+    absorb_pending(population);
+    ranker.rank(population);
     std::sort(population.begin(), population.end(),
               [](const Individual& a, const Individual& b) {
                 return better(a, b);
@@ -137,64 +245,151 @@ DseResult run_nsga2(const DesignSpace& space, const ObjectiveFunction& fn,
   return result;
 }
 
-DseResult run_mosa(const DesignSpace& space, const ObjectiveFunction& fn,
-                   const MosaOptions& options) {
+DseResult run_mosa_batch(const DesignSpace& space,
+                         const BatchObjectiveFunction& fn,
+                         const MosaOptions& options) {
   const Stopwatch watch;
   util::Rng rng(options.seed);
   DseResult result;
+  BatchRunner runner(fn, options.threads);
 
-  auto evaluate = [&](const Genome& genome) -> std::optional<Objectives> {
-    const auto obj = fn(space.decode(genome));
-    ++result.evaluations;
-    if (obj) {
-      result.archive.insert(genome, *obj);
-    } else {
-      ++result.infeasible_count;
-    }
-    return obj;
+  std::vector<Genome> single(1);
+  const auto evaluate_one = [&](const Genome& genome) -> bool {
+    single[0] = genome;
+    runner.evaluate(single);
+    return runner.book(0, genome, result);
   };
 
-  // Start from a feasible point (bounded retries).
+  // Start from a feasible point (bounded retries), exactly as before.
   Genome current = space.random_genome(rng);
-  std::optional<Objectives> current_obj = evaluate(current);
-  for (int tries = 0; !current_obj && tries < 512; ++tries) {
+  bool have_current = evaluate_one(current);
+  for (int tries = 0; !have_current && tries < 512; ++tries) {
     current = space.random_genome(rng);
-    current_obj = evaluate(current);
+    have_current = evaluate_one(current);
   }
-  if (!current_obj) {
+  if (!have_current) {
     result.wallclock_s = watch.elapsed_s();
     return result;  // space appears infeasible everywhere sampled
   }
+  const std::size_t m = runner.count(0);
+  std::array<double, kMaxObjectives> current_obj{};
+  std::copy_n(runner.row(0), m, current_obj.begin());
+
+  // Speculative lookahead: draw `width` proposals assuming the chain
+  // rejects each one (the dominant outcome once cooled), evaluate them as
+  // one parallel batch, then replay the exact sequential accept rule.
+  // Each proposal snapshots the PRNG around its acceptance draw so a
+  // misprediction rewinds the stream to precisely where the sequential
+  // algorithm would be; discarded speculative evaluations never reach the
+  // archive or the counters. Width 1 degenerates to the classic loop.
+  struct Proposal {
+    Genome genome;
+    util::Rng rng_after_mutate{0};
+    util::Rng rng_after_u{0};
+    double u = 0.0;
+  };
+  const std::size_t width = runner.width();
+  std::vector<Proposal> proposals(width);
+  std::vector<Genome> batch(width);
 
   double temperature = options.initial_temperature;
-  for (std::size_t it = 0; it < options.iterations; ++it) {
-    Genome neighbour = current;
-    space.mutate(neighbour, rng, options.mutation_rate);
-    const std::optional<Objectives> neighbour_obj = evaluate(neighbour);
-    temperature *= options.cooling;
-    if (!neighbour_obj) continue;
-
-    bool accept;
-    if (!dominates(*current_obj, *neighbour_obj)) {
-      // Neighbour is non-dominated w.r.t. current (or dominates it).
-      accept = true;
-    } else {
-      // Dominated: accept with probability exp(-relative worsening / T).
-      double worsening = 0.0;
-      for (std::size_t k = 0; k < current_obj->size(); ++k) {
-        const double denom = std::abs((*current_obj)[k]) + 1e-12;
-        worsening += ((*neighbour_obj)[k] - (*current_obj)[k]) / denom;
-      }
-      accept = rng.bernoulli(std::exp(-worsening / std::max(temperature,
-                                                            1e-9)));
+  std::size_t it = 0;
+  while (it < options.iterations) {
+    const std::size_t b_count = std::min(width, options.iterations - it);
+    for (std::size_t b = 0; b < b_count; ++b) {
+      Proposal& p = proposals[b];
+      p.genome = current;
+      space.mutate(p.genome, rng, options.mutation_rate);
+      p.rng_after_mutate = rng;
+      // Pre-commit the acceptance uniform: bernoulli(p) == (u < p).
+      p.u = rng.uniform01();
+      p.rng_after_u = rng;
+      batch[b] = p.genome;
     }
-    if (accept) {
-      current = std::move(neighbour);
-      current_obj = neighbour_obj;
+    runner.evaluate(std::span<const Genome>(batch.data(), b_count));
+
+    for (std::size_t b = 0; b < b_count; ++b) {
+      const Proposal& p = proposals[b];
+      const bool feasible = runner.book(b, p.genome, result);
+      temperature *= options.cooling;
+      ++it;
+      if (!feasible) {
+        // Sequential algorithm would not have drawn the acceptance
+        // uniform: rewind and invalidate the rest of the batch.
+        rng = p.rng_after_mutate;
+        break;
+      }
+      const double* neighbour_obj = runner.row(b);
+      bool accept;
+      bool used_u = false;
+      if (!detail::dominates_row(current_obj.data(), neighbour_obj, m)) {
+        // Neighbour is non-dominated w.r.t. current (or dominates it).
+        accept = true;
+      } else {
+        // Dominated: accept with probability exp(-relative worsening / T).
+        double worsening = 0.0;
+        for (std::size_t k = 0; k < m; ++k) {
+          const double denom = std::abs(current_obj[k]) + 1e-12;
+          worsening += (neighbour_obj[k] - current_obj[k]) / denom;
+        }
+        accept = p.u < std::exp(-worsening / std::max(temperature, 1e-9));
+        used_u = true;
+      }
+      if (accept) {
+        current = p.genome;
+        std::copy_n(neighbour_obj, m, current_obj.begin());
+        // The chain moved: later speculative proposals were drawn from
+        // the wrong state. Rewind past exactly the draws consumed here.
+        rng = used_u ? p.rng_after_u : p.rng_after_mutate;
+        break;
+      }
+      // Rejected with the uniform consumed — the speculation assumption
+      // held; the next proposal in the batch is already valid.
     }
   }
   result.wallclock_s = watch.elapsed_s();
   return result;
+}
+
+}  // namespace
+
+namespace {
+
+/// The scalar entry points cannot assume the wrapped std::function is
+/// thread-safe (that contract predates the batch engine), so threads = 0
+/// means "inline" there instead of "hardware concurrency"; callers opt
+/// into parallel scalar evaluation by setting threads explicitly.
+std::size_t scalar_threads(std::size_t threads) {
+  return threads == 0 ? 1 : threads;
+}
+
+}  // namespace
+
+DseResult run_nsga2(const DesignSpace& space, const ObjectiveFunction& fn,
+                    const Nsga2Options& options) {
+  Nsga2Options serial_default = options;
+  serial_default.threads = scalar_threads(options.threads);
+  const auto batch = make_batch_adapter(space, fn, serial_default.threads);
+  return run_nsga2_batch(space, *batch, serial_default);
+}
+
+DseResult run_nsga2(const DesignSpace& space,
+                    const BatchObjectiveFunction& fn,
+                    const Nsga2Options& options) {
+  return run_nsga2_batch(space, fn, options);
+}
+
+DseResult run_mosa(const DesignSpace& space, const ObjectiveFunction& fn,
+                   const MosaOptions& options) {
+  MosaOptions serial_default = options;
+  serial_default.threads = scalar_threads(options.threads);
+  const auto batch = make_batch_adapter(space, fn, serial_default.threads);
+  return run_mosa_batch(space, *batch, serial_default);
+}
+
+DseResult run_mosa(const DesignSpace& space, const BatchObjectiveFunction& fn,
+                   const MosaOptions& options) {
+  return run_mosa_batch(space, fn, options);
 }
 
 DseResult run_random_search(const DesignSpace& space,

@@ -47,12 +47,30 @@ struct Nsga2Options {
   double mutation_rate = 0.08;  ///< per gene
   /// PRNG seed; identical seeds give bit-identical runs.
   std::uint64_t seed = 1;
+  /// Worker threads for objective evaluation: 0 picks the hardware
+  /// concurrency on the batch entry point (the scalar ObjectiveFunction
+  /// entry point treats 0 as 1, because it cannot assume an arbitrary
+  /// std::function is thread-safe); 1 evaluates inline with no pool at
+  /// all. Each generation is drawn up-front and evaluated as one batch
+  /// with index-ordered results, so the outcome (archive contents,
+  /// evaluation counts, population trajectory) is independent of this
+  /// value — threads only change wall-clock time. With threads > 1 the
+  /// objective is called concurrently and must be thread-safe (the
+  /// model-backed objectives are; beware of stateful lambdas).
+  std::size_t threads = 0;
 };
 
 /// NSGA-II (Deb et al. 2002): fast non-dominated sorting, crowding-distance
 /// diversity, binary tournament selection. All discovered non-dominated
 /// feasible points are accumulated into the returned archive.
 DseResult run_nsga2(const DesignSpace& space, const ObjectiveFunction& fn,
+                    const Nsga2Options& options);
+
+/// Batch-API variant — the fast path. Combine with
+/// make_memoized_full_model_objective for the memoized, allocation-free
+/// evaluator. The pool width is clamped to fn.worker_slots().
+DseResult run_nsga2(const DesignSpace& space,
+                    const BatchObjectiveFunction& fn,
                     const Nsga2Options& options);
 
 /// Tuning knobs for run_mosa().
@@ -71,6 +89,21 @@ struct MosaOptions {
   double mutation_rate = 0.15;
   /// PRNG seed; identical seeds give bit-identical runs.
   std::uint64_t seed = 1;
+  /// Worker threads for objective evaluation (0 = hardware concurrency
+  /// on the batch entry point, treated as 1 by the scalar entry point —
+  /// see Nsga2Options::threads; 1 = inline). The annealing chain is
+  /// inherently sequential, so
+  /// threads > 1 evaluates speculative lookahead batches: `threads`
+  /// neighbour proposals are drawn (with their acceptance randomness
+  /// pre-committed) under the assumption that the chain rejects each one,
+  /// evaluated in parallel, then replayed through the exact sequential
+  /// accept rule; on the first acceptance or infeasible proposal the
+  /// remaining speculation is discarded and the PRNG rewound. Discarded
+  /// evaluations never touch the archive or the counters, so results are
+  /// bit-identical for every thread count; speedup tracks the rejection
+  /// rate (high once the temperature has cooled). Thread-safety caveat as
+  /// in Nsga2Options.
+  std::size_t threads = 0;
 };
 
 /// Archive-based multi-objective simulated annealing: a mutated neighbour
@@ -79,6 +112,10 @@ struct MosaOptions {
 /// driven by the normalized domination amount (in the spirit of Nam/Park's
 /// multiobjective SA, the algorithm the paper cites [27]).
 DseResult run_mosa(const DesignSpace& space, const ObjectiveFunction& fn,
+                   const MosaOptions& options);
+
+/// Batch-API variant — see run_nsga2 overload notes.
+DseResult run_mosa(const DesignSpace& space, const BatchObjectiveFunction& fn,
                    const MosaOptions& options);
 
 /// Tuning knobs for run_random_search().

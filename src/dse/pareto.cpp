@@ -17,92 +17,336 @@ bool dominates(const Objectives& a, const Objectives& b) {
   return strictly_better;
 }
 
+namespace detail {
+
+void non_dominated_fronts_flat(const double* flat, std::size_t n,
+                               std::size_t m, FrontScratch& scratch,
+                               std::vector<std::size_t>& front) {
+  front.assign(n, 0);
+  if (n == 0) return;
+  if (m == 0) return;  // zero-arity points are all equal: one shared front
+
+  // ENS-SS (Zhang et al. 2015, "efficient non-dominated sort, sequential
+  // search"): process points in lexicographic order, so a point can only
+  // be dominated by points already placed. For each point, find the first
+  // existing front none of whose members dominates it (members are
+  // scanned newest-first — lexicographically close members are the most
+  // likely dominators, giving the early exit the O(MN^2) worst case
+  // rarely pays). Front indices are a well-defined property of the point
+  // set, so the result is identical to the classic Deb peeling.
+  // Pack the primary sort key next to the index: most comparisons resolve
+  // on the first objective without touching the point matrix. Ties fall
+  // back to the full row; the processing order among exactly-equal rows
+  // is irrelevant (they share a front either way).
+  std::vector<FrontScratch::LexKey>& order = scratch.order;
+  order.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    order[i] = {flat[i * m], static_cast<std::uint32_t>(i)};
+  }
+  std::sort(order.begin(), order.end(),
+            [flat, m](const FrontScratch::LexKey& a,
+                      const FrontScratch::LexKey& b) {
+              if (a.first_objective != b.first_objective) {
+                return a.first_objective < b.first_objective;
+              }
+              const double* pa = flat + a.index * m;
+              const double* pb = flat + b.index * m;
+              for (std::size_t k = 1; k < m; ++k) {
+                if (pa[k] != pb[k]) return pa[k] < pb[k];
+              }
+              return a.index < b.index;
+            });
+
+  if (m == 3) {
+    // Three-objective fast path. Every already-placed point q satisfies
+    // q0 <= p0 (lexicographic processing), so "some member of front F
+    // dominates p" collapses to a 2D query against F's staircase of
+    // minimal (o1, o2) corners: the candidate corner is the one with the
+    // largest o1 <= p1 (binary search; its o2 is the smallest among
+    // eligible corners), and p is dominated iff that corner beats
+    // (p1, p2) with the usual strictness rule — full (o1, o2) ties fall
+    // back to the corner's smallest o0. This replaces the linear member
+    // scan (quadratic once the population converges onto few fronts)
+    // with an O(log |front|) probe.
+    std::size_t fronts_used = 0;
+    for (const FrontScratch::LexKey& key : order) {
+      const std::size_t idx = key.index;
+      const double* p = flat + idx * m;
+      std::size_t f = 0;
+      for (; f < fronts_used; ++f) {
+        const std::vector<FrontScratch::StairStep>& stairs =
+            scratch.staircases[f];
+        // Largest o1 <= p1.
+        std::size_t lo = 0, hi = stairs.size();
+        while (lo < hi) {
+          const std::size_t mid = (lo + hi) / 2;
+          if (stairs[mid].o1 <= p[1]) {
+            lo = mid + 1;
+          } else {
+            hi = mid;
+          }
+        }
+        if (lo == 0) break;  // no corner fits in o1: p joins this front
+        const FrontScratch::StairStep& s = stairs[lo - 1];
+        const bool dominated =
+            s.o2 < p[2] ||
+            (s.o2 == p[2] && (s.o1 < p[1] || s.o0_min < p[0]));
+        if (!dominated) break;
+      }
+      if (f == fronts_used) {
+        if (scratch.staircases.size() == fronts_used) {
+          scratch.staircases.emplace_back();
+        }
+        scratch.staircases[fronts_used].clear();
+        ++fronts_used;
+      }
+      // Merge p's corner into the staircase: corners it covers
+      // (o1 >= p1 and o2 >= p2) form a contiguous run starting at the
+      // first o1 >= p1; an exactly-equal corner already carries an
+      // o0_min <= p0 (lex order), so nothing changes.
+      std::vector<FrontScratch::StairStep>& stairs = scratch.staircases[f];
+      std::size_t lo = 0, hi = stairs.size();
+      while (lo < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (stairs[mid].o1 < p[1]) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      if (!(lo < stairs.size() && stairs[lo].o1 == p[1] &&
+            stairs[lo].o2 == p[2])) {
+        std::size_t last = lo;
+        while (last < stairs.size() && stairs[last].o2 >= p[2]) ++last;
+        if (last == lo) {
+          stairs.insert(stairs.begin() + static_cast<std::ptrdiff_t>(lo),
+                        {p[1], p[2], p[0]});
+        } else {
+          stairs[lo] = {p[1], p[2], p[0]};
+          stairs.erase(stairs.begin() + static_cast<std::ptrdiff_t>(lo + 1),
+                       stairs.begin() + static_cast<std::ptrdiff_t>(last));
+        }
+      }
+      front[idx] = f;
+    }
+    return;
+  }
+
+  std::size_t fronts_used = 0;
+  for (const FrontScratch::LexKey& key : order) {
+    const std::size_t idx = key.index;
+    const double* p = flat + idx * m;
+    std::size_t f = 0;
+    for (; f < fronts_used; ++f) {
+      const std::vector<std::uint32_t>& members = scratch.front_members[f];
+      bool dominated = false;
+      for (std::size_t k = members.size(); k-- > 0;) {
+        if (dominates_row(flat + members[k] * m, p, m)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) break;
+    }
+    if (f == fronts_used) {
+      if (scratch.front_members.size() == fronts_used) {
+        scratch.front_members.emplace_back();
+      }
+      scratch.front_members[fronts_used].clear();
+      ++fronts_used;
+    }
+    scratch.front_members[f].push_back(static_cast<std::uint32_t>(idx));
+    front[idx] = f;
+  }
+}
+
+}  // namespace detail
+
 std::vector<std::size_t> non_dominated_fronts(
     const std::vector<Objectives>& points) {
   const std::size_t n = points.size();
   std::vector<std::size_t> front(n, 0);
-  std::vector<std::size_t> dominated_by(n, 0);   // count of dominators
-  std::vector<std::vector<std::size_t>> dominated(n);  // points i dominates
-
-  std::vector<std::size_t> current;
+  if (n == 0) return front;
+  const std::size_t m = points[0].size();
+  std::vector<double> flat(n * m);
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      if (dominates(points[i], points[j])) {
-        dominated[i].push_back(j);
-        ++dominated_by[j];
-      } else if (dominates(points[j], points[i])) {
-        dominated[j].push_back(i);
-        ++dominated_by[i];
-      }
-    }
-    if (dominated_by[i] == 0) {
-      // May be decremented later; recomputed below.
-    }
+    assert(points[i].size() == m);
+    std::copy(points[i].begin(), points[i].end(), flat.begin() + i * m);
   }
-  for (std::size_t i = 0; i < n; ++i) {
-    if (dominated_by[i] == 0) current.push_back(i);
-  }
-  std::size_t rank = 0;
-  while (!current.empty()) {
-    std::vector<std::size_t> next;
-    for (std::size_t i : current) {
-      front[i] = rank;
-      for (std::size_t j : dominated[i]) {
-        if (--dominated_by[j] == 0) next.push_back(j);
-      }
-    }
-    current = std::move(next);
-    ++rank;
-  }
+  detail::FrontScratch scratch;
+  detail::non_dominated_fronts_flat(flat.data(), n, m, scratch, front);
   return front;
 }
+
+namespace detail {
+
+void crowding_distances_flat(const double* vals, std::size_t n,
+                             std::size_t m,
+                             std::vector<std::size_t>& order_scratch,
+                             std::vector<double>& out) {
+  out.assign(n, 0.0);
+  if (n == 0) return;
+  order_scratch.resize(n);
+  for (std::size_t obj = 0; obj < m; ++obj) {
+    for (std::size_t i = 0; i < n; ++i) order_scratch[i] = i;
+    std::sort(order_scratch.begin(), order_scratch.end(),
+              [vals, m, obj](std::size_t a, std::size_t b) {
+                return vals[a * m + obj] < vals[b * m + obj];
+              });
+    const double lo = vals[order_scratch.front() * m + obj];
+    const double hi = vals[order_scratch.back() * m + obj];
+    out[order_scratch.front()] = std::numeric_limits<double>::infinity();
+    out[order_scratch.back()] = std::numeric_limits<double>::infinity();
+    if (hi == lo) continue;
+    for (std::size_t k = 1; k + 1 < n; ++k) {
+      out[order_scratch[k]] += (vals[order_scratch[k + 1] * m + obj] -
+                                vals[order_scratch[k - 1] * m + obj]) /
+                               (hi - lo);
+    }
+  }
+}
+
+}  // namespace detail
 
 std::vector<double> crowding_distances(const std::vector<Objectives>& front) {
   const std::size_t n = front.size();
   std::vector<double> distance(n, 0.0);
   if (n == 0) return distance;
   const std::size_t m = front[0].size();
-  std::vector<std::size_t> order(n);
-  for (std::size_t obj = 0; obj < m; ++obj) {
-    for (std::size_t i = 0; i < n; ++i) order[i] = i;
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return front[a][obj] < front[b][obj];
-    });
-    const double lo = front[order.front()][obj];
-    const double hi = front[order.back()][obj];
-    distance[order.front()] = std::numeric_limits<double>::infinity();
-    distance[order.back()] = std::numeric_limits<double>::infinity();
-    if (hi == lo) continue;
-    for (std::size_t k = 1; k + 1 < n; ++k) {
-      distance[order[k]] +=
-          (front[order[k + 1]][obj] - front[order[k - 1]][obj]) / (hi - lo);
-    }
+  std::vector<double> flat(n * m);
+  for (std::size_t i = 0; i < n; ++i) {
+    assert(front[i].size() == m);
+    std::copy(front[i].begin(), front[i].end(), flat.begin() + i * m);
   }
+  std::vector<std::size_t> order;
+  detail::crowding_distances_flat(flat.data(), n, m, order, distance);
   return distance;
 }
 
 bool ParetoArchive::insert(Genome genome, Objectives objectives) {
-  for (const ArchiveEntry& e : entries_) {
-    if (e.objectives == objectives || dominates(e.objectives, objectives)) {
-      return false;
-    }
-  }
-  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
-                                [&](const ArchiveEntry& e) {
-                                  return dominates(objectives, e.objectives);
-                                }),
-                 entries_.end());
+  const std::span<const double> view(objectives);
+  // Delegating would copy; reuse the already-materialized vector instead.
+  if (!scan_and_evict(view)) return false;
+  flat_.insert(flat_.end(), objectives.begin(), objectives.end());
   entries_.push_back({std::move(genome), std::move(objectives)});
   return true;
 }
 
-bool ParetoArchive::covered(const Objectives& objectives) const {
-  for (const ArchiveEntry& e : entries_) {
-    if (e.objectives == objectives || dominates(e.objectives, objectives)) {
-      return true;
+bool ParetoArchive::insert(const Genome& genome,
+                           std::span<const double> objectives) {
+  if (!scan_and_evict(objectives)) return false;
+  flat_.insert(flat_.end(), objectives.begin(), objectives.end());
+  entries_.push_back(
+      {genome, Objectives(objectives.begin(), objectives.end())});
+  return true;
+}
+
+bool ParetoArchive::scan_and_evict(std::span<const double> objectives) {
+  const std::size_t m = objectives.size();
+  if (entries_.empty()) arity_ = m;
+  assert(m == arity_ && "ParetoArchive: mixed objective arity");
+
+  // Single pass: each member is compared against the candidate once with
+  // a combined check; members the candidate dominates are evicted by
+  // swapping the last entry into the slot. A member that dominates (or
+  // equals) the candidate cannot coexist with members the candidate
+  // dominates — the archive is mutually non-dominated and dominance is
+  // transitive — so rejection can only happen before any eviction, and
+  // both the accept/reject decision and the surviving member set are
+  // independent of the scan order. The scan runs newest-first: late
+  // arrivals sit near the current front and reject dominated candidates
+  // (the common case) after the fewest comparisons. The three-objective
+  // fast path is branchless.
+  const double* c = objectives.data();
+  // Rejection fast path: consecutive DSE candidates tend to be dominated
+  // by the same elite member, so probe the member that rejected the last
+  // candidate first (scan order does not affect the outcome).
+  if (last_rejector_ < entries_.size()) {
+    const double* e = flat_.data() + last_rejector_ * m;
+    bool e_worse;
+    if (m == 3) {
+      e_worse = (e[0] > c[0]) | (e[1] > c[1]) | (e[2] > c[2]);
+    } else {
+      e_worse = false;
+      for (std::size_t k = 0; k < m; ++k) e_worse |= e[k] > c[k];
+    }
+    if (!e_worse) return false;
+  }
+  std::size_t i = entries_.size();
+  while (i-- > 0) {
+    const double* e = flat_.data() + i * m;
+    bool e_worse;  // any e[k] > candidate[k]
+    bool c_worse;  // any candidate[k] > e[k]
+    if (m == 3) {
+      e_worse = (e[0] > c[0]) | (e[1] > c[1]) | (e[2] > c[2]);
+      c_worse = (c[0] > e[0]) | (c[1] > e[1]) | (c[2] > e[2]);
+    } else {
+      e_worse = c_worse = false;
+      for (std::size_t k = 0; k < m; ++k) {
+        e_worse |= e[k] > c[k];
+        c_worse |= c[k] > e[k];
+      }
+    }
+    if (!e_worse) {
+      last_rejector_ = i;  // member equals or dominates the candidate
+      return false;
+    }
+    if (!c_worse) {
+      // Candidate dominates the member: swap-erase eviction. The entry
+      // swapped in comes from the tail, which this backward scan has
+      // already examined — no re-check needed.
+      const std::size_t last = entries_.size() - 1;
+      if (i != last) {
+        entries_[i] = std::move(entries_[last]);
+        std::copy(flat_.begin() + last * m, flat_.begin() + (last + 1) * m,
+                  flat_.begin() + i * m);
+      }
+      entries_.pop_back();
+      flat_.resize(last * m);
     }
   }
+  return true;
+}
+
+bool ParetoArchive::covered(const Objectives& objectives) const {
+  const std::size_t m = objectives.size();
+  assert(entries_.empty() || m == arity_);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const double* e = flat_.data() + i * m;
+    bool e_worse = false;
+    for (std::size_t k = 0; k < m; ++k) {
+      if (e[k] > objectives[k]) {
+        e_worse = true;
+        break;
+      }
+    }
+    if (!e_worse) return true;  // member equals or dominates `objectives`
+  }
   return false;
+}
+
+bool same_entries(const ParetoArchive& a, const ParetoArchive& b) {
+  if (a.size() != b.size()) return false;
+  auto sorted = [](const ParetoArchive& archive) {
+    std::vector<ArchiveEntry> out = archive.entries();
+    std::sort(out.begin(), out.end(),
+              [](const ArchiveEntry& x, const ArchiveEntry& y) {
+                if (x.objectives != y.objectives) {
+                  return x.objectives < y.objectives;
+                }
+                return x.genome < y.genome;
+              });
+    return out;
+  };
+  const std::vector<ArchiveEntry> sa = sorted(a);
+  const std::vector<ArchiveEntry> sb = sorted(b);
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    if (sa[i].genome != sb[i].genome ||
+        sa[i].objectives != sb[i].objectives) {
+      return false;
+    }
+  }
+  return true;
 }
 
 double coverage_fraction(const std::vector<Objectives>& candidate,

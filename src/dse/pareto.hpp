@@ -4,6 +4,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "dse/design_space.hpp"
@@ -22,6 +24,69 @@ bool dominates(const Objectives& a, const Objectives& b);
 std::vector<std::size_t> non_dominated_fronts(
     const std::vector<Objectives>& points);
 
+namespace detail {
+
+/// Reusable buffers for the flat non-dominated sort (the NSGA-II inner
+/// loop calls it once per generation; persistent scratch keeps the hot
+/// path allocation-free after warm-up).
+struct FrontScratch {
+  struct LexKey {
+    double first_objective;
+    std::uint32_t index;
+  };
+  /// One step of a front's 2D dominance staircase (three-objective fast
+  /// path): the minimal (o1, o2) corners of its members, sorted by o1
+  /// ascending / o2 strictly descending. o0_min carries the smallest
+  /// first objective seen at an exactly-equal (o1, o2) corner, needed to
+  /// resolve full-tie dominance.
+  struct StairStep {
+    double o1;
+    double o2;
+    double o0_min;
+  };
+  std::vector<LexKey> order;  // lexicographic processing order
+  std::vector<std::vector<std::uint32_t>> front_members;
+  std::vector<std::vector<StairStep>> staircases;
+};
+
+/// Flat-memory non-dominated sort over n points of arity m stored
+/// row-major in `flat`. Writes the front index of each point into
+/// `front` (resized to n). Identical output to non_dominated_fronts(),
+/// which delegates here — front indices are a well-defined property of
+/// the point set, independent of the algorithm.
+void non_dominated_fronts_flat(const double* flat, std::size_t n,
+                               std::size_t m, FrontScratch& scratch,
+                               std::vector<std::size_t>& front);
+
+/// Crowding distances over n contiguous rows of arity m, written into
+/// `out` (resized to n); `order_scratch` is reused across calls. Shared
+/// core of crowding_distances() and the optimizers' ranking path, so both
+/// produce identical permutations (hence identical distances) for the
+/// same values.
+void crowding_distances_flat(const double* vals, std::size_t n,
+                             std::size_t m,
+                             std::vector<std::size_t>& order_scratch,
+                             std::vector<double>& out);
+
+/// dominates() over flat rows (does q dominate p?) — the shared hot-path
+/// predicate behind the front sort and the optimizers; same semantics as
+/// the Objectives overload, with a branchless three-objective fast path.
+inline bool dominates_row(const double* q, const double* p, std::size_t m) {
+  if (m == 3) {
+    const bool q_worse = (q[0] > p[0]) | (q[1] > p[1]) | (q[2] > p[2]);
+    const bool strict = (q[0] < p[0]) | (q[1] < p[1]) | (q[2] < p[2]);
+    return !q_worse && strict;
+  }
+  bool strict = false;
+  for (std::size_t k = 0; k < m; ++k) {
+    if (q[k] > p[k]) return false;
+    if (q[k] < p[k]) strict = true;
+  }
+  return strict;
+}
+
+}  // namespace detail
+
 /// Crowding distance of each point within one front (NSGA-II diversity).
 std::vector<double> crowding_distances(const std::vector<Objectives>& front);
 
@@ -33,12 +98,23 @@ struct ArchiveEntry {
 
 /// Maintains a set of mutually non-dominated solutions. Duplicate
 /// objective vectors are kept only once (first wins).
+///
+/// The member *set* is a pure function of the insertion sequence, but the
+/// order of entries() is not part of the contract: eviction swaps the
+/// last entry into the vacated slot (single-pass insert, no shifting).
+/// Use same_entries() for order-insensitive comparisons. All members must
+/// share one objective arity.
 class ParetoArchive {
  public:
   /// Attempts to insert; returns true if the point entered the archive
   /// (i.e. it is not dominated by and not identical to any member).
   /// Members dominated by the new point are evicted.
   bool insert(Genome genome, Objectives objectives);
+
+  /// Allocation-free-on-rejection variant: the genome is copied and the
+  /// objective vector materialized only if the point is accepted. Same
+  /// decisions and final contents as insert() for the same sequence.
+  bool insert(const Genome& genome, std::span<const double> objectives);
 
   const std::vector<ArchiveEntry>& entries() const { return entries_; }
   std::size_t size() const { return entries_.size(); }
@@ -48,8 +124,27 @@ class ParetoArchive {
   bool covered(const Objectives& objectives) const;
 
  private:
+  /// Rejects (false) when a member equals/dominates the candidate, else
+  /// evicts every member the candidate dominates and accepts (true).
+  bool scan_and_evict(std::span<const double> objectives);
+
   std::vector<ArchiveEntry> entries_;
+  /// Contiguous mirror of the members' objective vectors (arity_-strided,
+  /// same order as entries_) so insert()/covered() scan flat memory.
+  std::vector<double> flat_;
+  std::size_t arity_ = 0;
+  /// Index of the member that rejected the last candidate — probed first
+  /// on the next insert (a pure scan-order heuristic; decisions are
+  /// scan-order independent). May be stale after evictions; validated
+  /// against size() before use.
+  std::size_t last_rejector_ = static_cast<std::size_t>(-1);
 };
+
+/// Order-insensitive comparison of two archives: true iff they hold the
+/// same multiset of (genome, objectives) entries, compared exactly. This
+/// is the equality the optimizers' thread-count determinism guarantee is
+/// stated in, since entry order depends on eviction internals.
+bool same_entries(const ParetoArchive& a, const ParetoArchive& b);
 
 /// Fraction of `reference` front points that are covered (dominated or
 /// matched) by `candidate` — the C-metric used to compare the Pareto sets

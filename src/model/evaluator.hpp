@@ -12,6 +12,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -75,6 +76,33 @@ struct EvaluatorOptions {
   double frame_error_rate = 0.0;
 };
 
+/// One node's application-layer stage: everything the evaluator derives
+/// from (codec, CR, f_uC) alone, independent of the MAC configuration.
+/// This is the memoization unit of the DSE fast path — the tuple lives on
+/// a small discrete grid, so the whole axis fits in a flat lookup table.
+struct AppStageResult {
+  AppKind app = AppKind::kDwt;       ///< codec (for diagnostics)
+  double mcu_freq_khz = 0.0;         ///< f_uC of the node
+  double phi_out_bytes_per_s = 0.0;  ///< h(phi_in, chi_node)
+  double prd_percent = 0.0;          ///< e(phi_in, chi_node)
+  ResourceUsage usage;               ///< k(phi_in, chi_node)
+};
+
+/// Reusable buffers for the allocation-free evaluate() overload. One
+/// scratch per thread: the returned NetworkEvaluation reference points
+/// into the scratch, so each concurrent caller needs its own instance.
+/// After warm-up (first call at a given node count) no steady-state
+/// allocations occur.
+struct EvalScratch {
+  NetworkEvaluation eval;
+  std::vector<AppStageResult> app_stage;
+  std::vector<double> phi_tx;
+  std::vector<double> energies;
+  std::vector<double> prds;
+  std::vector<double> delays;
+  mac::MacConfig probe;  ///< MAC validity probe buffer
+};
+
 /// Reusable model-based evaluator for a fixed platform/signal chain and a
 /// fixed pair of application models. Thread-compatible: evaluate() is
 /// const and allocation-light.
@@ -103,6 +131,22 @@ class NetworkModelEvaluator {
   /// of throwing.
   NetworkEvaluation evaluate(const NetworkDesign& design) const;
 
+  /// Allocation-free variant: identical results (bit-for-bit) written into
+  /// `scratch.eval`, whose buffers are reused across calls. The returned
+  /// reference is valid until the next call with the same scratch.
+  const NetworkEvaluation& evaluate(const NetworkDesign& design,
+                                    EvalScratch& scratch) const;
+
+  /// Core of evaluate(): the MAC/energy/delay/metric pipeline downstream
+  /// of the per-node application stage. Both the plain path (which derives
+  /// `app_stage` by querying the application models) and the memoized DSE
+  /// path (which looks it up in an AppLayerTable) funnel through this
+  /// method, so their arithmetic — and therefore their results — agree
+  /// bit-for-bit. `app_stage` must hold one entry per node.
+  const NetworkEvaluation& evaluate_with_app_stage(
+      const Ieee802154MacModel& mac_model,
+      std::span<const AppStageResult> app_stage, EvalScratch& scratch) const;
+
   const ApplicationModel& app_for(AppKind kind) const {
     return kind == AppKind::kDwt ? *dwt_ : *cs_;
   }
@@ -117,6 +161,35 @@ class NetworkModelEvaluator {
   std::shared_ptr<const ApplicationModel> cs_;
   EvaluatorOptions options_;
   CalibratedRadio radio_;
+};
+
+/// Flat memo of the application-layer stage over a discrete node-config
+/// grid: entry (codec, cr_idx, f_idx) caches the AppStageResult of
+/// (cr_grid[cr_idx], f_uc_khz_grid[f_idx]) computed by the evaluator's
+/// application models. The entries are produced by exactly the calls
+/// evaluate() would make, so a lookup is bit-identical to recomputation.
+/// Invariants: the table is immutable after construction (safe to share
+/// across threads) and is only valid for designs whose CR / f_uC values
+/// are grid members — callers index it, they never search it.
+class AppLayerTable {
+ public:
+  AppLayerTable(const NetworkModelEvaluator& evaluator,
+                std::span<const double> cr_grid,
+                std::span<const double> f_uc_khz_grid);
+
+  const AppStageResult& at(AppKind kind, std::size_t cr_idx,
+                           std::size_t f_idx) const {
+    const std::size_t kind_idx = kind == AppKind::kCs ? 1 : 0;
+    return entries_[(kind_idx * cr_count_ + cr_idx) * f_count_ + f_idx];
+  }
+
+  std::size_t cr_count() const { return cr_count_; }
+  std::size_t f_count() const { return f_count_; }
+
+ private:
+  std::size_t cr_count_;
+  std::size_t f_count_;
+  std::vector<AppStageResult> entries_;
 };
 
 /// "Measured" evaluation of the same design point: maps every node to its

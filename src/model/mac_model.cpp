@@ -12,6 +12,13 @@ Ieee802154MacModel::Ieee802154MacModel(const mac::MacConfig& superframe_cfg)
     : config_(superframe_cfg), superframe_(superframe_cfg.superframe()) {
   assert(config_.payload_bytes > 0 &&
          config_.payload_bytes <= mac::FrameSizes::kMaxPayloadBytes);
+  beacon_bytes_per_s_ =
+      static_cast<double>(beacon_bytes(config_.active_gts_count())) *
+      superframe_.superframes_per_s();
+  const std::size_t mpdu =
+      config_.payload_bytes + mac::FrameSizes::kDataOverheadBytes;
+  per_frame_extra_s_ = sim::MacTiming::data_exchange_s(mpdu) -
+                       static_cast<double>(mpdu) * mac::Phy::kSecondsPerByte;
 }
 
 double Ieee802154MacModel::omega(double phi_out) const {
@@ -26,10 +33,7 @@ double Ieee802154MacModel::psi_n_to_c(double /*phi_out*/) const {
 double Ieee802154MacModel::psi_c_to_n(double phi_out) const {
   const double acks = static_cast<double>(mac::FrameSizes::kAckBytes) *
                       phi_out / static_cast<double>(config_.payload_bytes);
-  const double beacons =
-      static_cast<double>(beacon_bytes(config_.active_gts_count())) *
-      superframe_.superframes_per_s();
-  return acks + beacons;
+  return acks + beacon_bytes_per_s_;
 }
 
 double Ieee802154MacModel::delta_s() const { return superframe_.slot_s(); }
@@ -44,13 +48,8 @@ double Ieee802154MacModel::tx_time_s_per_s(double mac_bytes_per_s,
   const double airtime = mac_bytes_per_s * mac::Phy::kSecondsPerByte;
   if (accounting == TxTimeAccounting::kAirtimeOnly) return airtime;
   // Full exchange: each frame additionally costs the PHY preamble, the
-  // turnaround, the ACK and the inter-frame spacing.
-  const std::size_t mpdu =
-      config_.payload_bytes + mac::FrameSizes::kDataOverheadBytes;
-  const double per_frame_extra =
-      sim::MacTiming::data_exchange_s(mpdu) -
-      static_cast<double>(mpdu) * mac::Phy::kSecondsPerByte;
-  return airtime + frames_per_s * per_frame_extra;
+  // turnaround, the ACK and the inter-frame spacing (cached per config).
+  return airtime + frames_per_s * per_frame_extra_s_;
 }
 
 double Ieee802154MacModel::control_time_per_superframe_s(
@@ -69,12 +68,23 @@ double Ieee802154MacModel::control_time_per_superframe_s(
 SlotAssignment Ieee802154MacModel::assign_slots(
     const std::vector<double>& phi_out, TxTimeAccounting accounting) const {
   SlotAssignment out;
+  assign_slots_into(phi_out, accounting, out);
+  return out;
+}
+
+void Ieee802154MacModel::assign_slots_into(const std::vector<double>& phi_out,
+                                           TxTimeAccounting accounting,
+                                           SlotAssignment& out) const {
+  out.feasible = false;
+  out.infeasibility_reason.clear();
+  out.delta_control_s_per_s = 0.0;
+  out.budget_check = 0.0;
   out.delta_s = delta_s();
   const double bi = superframe_.beacon_interval_s();
   const double slot = superframe_.slot_s();
   const double payload = static_cast<double>(config_.payload_bytes);
 
-  out.nodes.resize(phi_out.size());
+  out.nodes.assign(phi_out.size(), MacNodeQuantities{});
   std::size_t total_slots = 0;
   for (std::size_t n = 0; n < phi_out.size(); ++n) {
     MacNodeQuantities& q = out.nodes[n];
@@ -97,12 +107,13 @@ SlotAssignment Ieee802154MacModel::assign_slots(
   }
 
   if (total_slots > mac::SuperframeLimits::kMaxGts) {
-    std::ostringstream os;
-    os << "GTS demand of " << total_slots
-       << " slots exceeds the 7-slot budget (sum Delta_tx <= 7/16 * SD/BI)";
-    out.infeasibility_reason = os.str();
+    // Plain concatenation: this is the hot infeasibility path of the DSE
+    // loop and an ostringstream here costs more than the whole evaluation.
+    out.infeasibility_reason =
+        "GTS demand of " + std::to_string(total_slots) +
+        " slots exceeds the 7-slot budget (sum Delta_tx <= 7/16 * SD/BI)";
     out.feasible = false;
-    return out;
+    return;
   }
   out.feasible = true;
 
@@ -118,7 +129,6 @@ SlotAssignment Ieee802154MacModel::assign_slots(
 
   out.budget_check = out.delta_control_s_per_s;
   for (const auto& q : out.nodes) out.budget_check += q.delta_tx_s_per_s;
-  return out;
 }
 
 double Ieee802154MacModel::delay_bound_s(const SlotAssignment& assignment,
@@ -152,6 +162,40 @@ double Ieee802154MacModel::delay_bound_s(const SlotAssignment& assignment,
   return others_s + 2.0 * own_s +
          superframes_spanned *
              control_time_per_superframe_s(total_slots, gts_count);
+}
+
+void Ieee802154MacModel::delay_bounds_into(const SlotAssignment& assignment,
+                                           std::span<double> out) const {
+  const std::size_t node_count = assignment.nodes.size();
+  assert(out.size() >= node_count);
+  const double slot = assignment.delta_s;
+  const double gts_capacity_s =
+      static_cast<double>(mac::SuperframeLimits::kMaxGts) * slot;
+
+  // The slot census and the control time do not depend on the node, so
+  // hoist them out of the per-node Eq. 9 evaluation.
+  std::size_t gts_count = 0;
+  std::size_t total_slots = 0;
+  for (const MacNodeQuantities& q : assignment.nodes) {
+    gts_count += (q.slots > 0);
+    total_slots += q.slots;
+  }
+  const double control_s =
+      control_time_per_superframe_s(total_slots, gts_count);
+
+  for (std::size_t n = 0; n < node_count; ++n) {
+    // Same accumulation order as delay_bound_s: i ascending, skipping n.
+    double others_s = 0.0;
+    for (std::size_t i = 0; i < node_count; ++i) {
+      if (i == n) continue;
+      others_s += static_cast<double>(assignment.nodes[i].slots) * slot;
+    }
+    const double own_s =
+        static_cast<double>(assignment.nodes[n].slots) * slot;
+    const double superframes_spanned =
+        std::max(1.0, std::ceil((others_s + own_s) / gts_capacity_s));
+    out[n] = others_s + 2.0 * own_s + superframes_spanned * control_s;
+  }
 }
 
 }  // namespace wsnex::model

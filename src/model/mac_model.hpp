@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -91,11 +92,25 @@ class Ieee802154MacModel {
                               TxTimeAccounting accounting =
                                   TxTimeAccounting::kFullExchange) const;
 
+  /// Allocation-free variant of assign_slots(): writes the assignment into
+  /// `out`, reusing its buffers. Results are bit-identical to
+  /// assign_slots(); `out` is fully overwritten (no stale state survives).
+  void assign_slots_into(const std::vector<double>& phi_out_bytes_per_s,
+                         TxTimeAccounting accounting,
+                         SlotAssignment& out) const;
+
   /// Worst-case delay bound d^(n) (Eq. 9) in seconds for node `n` under a
   /// completed assignment: the other nodes exhaust their slots (and every
   /// spanned superframe contributes its control overhead) before node n
   /// transmits its block.
   double delay_bound_s(const SlotAssignment& assignment, std::size_t n) const;
+
+  /// All nodes' Eq. 9 bounds in one pass: values bit-identical to calling
+  /// delay_bound_s() per node, but the (node-independent) slot census and
+  /// control time are computed once instead of N times. `out` must hold
+  /// assignment.nodes.size() entries.
+  void delay_bounds_into(const SlotAssignment& assignment,
+                         std::span<double> out) const;
 
   /// Delta_control per superframe in seconds: beacon airtime, CAP slots
   /// (16 - total allocated GTS slots) and the inactive period — everything
@@ -106,6 +121,10 @@ class Ieee802154MacModel {
  private:
   mac::MacConfig config_;
   mac::Superframe superframe_;
+  /// Constants of the configuration, cached at construction for the DSE
+  /// hot path (values identical to recomputing them per call).
+  double beacon_bytes_per_s_ = 0.0;  ///< Psi_{c->n} beacon term
+  double per_frame_extra_s_ = 0.0;   ///< full-exchange cost beyond airtime
 };
 
 }  // namespace wsnex::model

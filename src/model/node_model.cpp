@@ -52,8 +52,19 @@ NodeEnergyEstimate estimate_node_energy(const hw::PlatformPower& platform,
                                         const ApplicationModel& app,
                                         const NodeConfig& node,
                                         const MacNodeQuantities& mac_q) {
-  NodeEnergyEstimate e;
   const double phi_in = chain.phi_in_bytes_per_s();
+  return estimate_node_energy(platform, radio, chain,
+                              app.resource_usage(phi_in, node),
+                              node.mcu_freq_khz, mac_q);
+}
+
+NodeEnergyEstimate estimate_node_energy(const hw::PlatformPower& platform,
+                                        const CalibratedRadio& radio,
+                                        const SignalChain& chain,
+                                        const ResourceUsage& usage,
+                                        double mcu_freq_khz,
+                                        const MacNodeQuantities& mac_q) {
+  NodeEnergyEstimate e;
 
   // Eq. 3: E_sensor = E_transducer + alpha_s1 * f_s + alpha_s0.
   e.sensor = platform.sensor.transducer_mj_per_s +
@@ -61,12 +72,11 @@ NodeEnergyEstimate estimate_node_energy(const hw::PlatformPower& platform,
              platform.sensor.adc_idle_mj_per_s;
 
   // Eq. 4: E_uC = Duty_app * (alpha_uC1 * f_uC + alpha_uC0).
-  const ResourceUsage usage = app.resource_usage(phi_in, node);
   if (usage.duty_cycle > 1.0) {
     e.feasible = false;  // the application cannot keep up at this clock
   }
   e.mcu = usage.duty_cycle * (platform.mcu.alpha1_mj_per_s_khz *
-                                  node.mcu_freq_khz +
+                                  mcu_freq_khz +
                               platform.mcu.alpha0_mj_per_s);
 
   // Eq. 5: E_mem = gamma T_mem E_acc + (1 - gamma T_mem) 8 M E_bitidle.

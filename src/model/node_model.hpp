@@ -66,6 +66,17 @@ NodeEnergyEstimate estimate_node_energy(const hw::PlatformPower& platform,
                                         const NodeConfig& node,
                                         const MacNodeQuantities& mac_q);
 
+/// Same computation with the application stage already resolved: `usage`
+/// is k(phi_in, chi_node) and `mcu_freq_khz` is the node's f_uC. The
+/// app/node overload above delegates here, so a memoized ResourceUsage
+/// produces bit-identical energy estimates.
+NodeEnergyEstimate estimate_node_energy(const hw::PlatformPower& platform,
+                                        const CalibratedRadio& radio,
+                                        const SignalChain& chain,
+                                        const ResourceUsage& usage,
+                                        double mcu_freq_khz,
+                                        const MacNodeQuantities& mac_q);
+
 /// Maps a node configuration to the concrete activity profile a real node
 /// would exhibit (the input of the hardware energy simulator). This is the
 /// "ground truth" side of the Fig. 3 comparison: per-block frame counts

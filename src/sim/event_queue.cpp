@@ -7,43 +7,57 @@ namespace wsnex::sim {
 
 std::uint64_t EventQueue::schedule(SimTime at, Callback fn) {
   const std::uint64_t id = next_id_++;
-  heap_.push(Entry{at, next_seq_++, id, std::move(fn)});
-  ++live_count_;
+  heap_.push_back(Entry{at, next_seq_++, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  live_.insert(id);
   return id;
 }
 
 void EventQueue::cancel(std::uint64_t id) {
-  // Lazy deletion: remember the id and skip the entry when it surfaces.
-  const auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), id);
-  if (it != cancelled_.end() && *it == id) return;
-  if (id >= next_id_) return;
-  cancelled_.insert(it, id);
-  if (live_count_ > 0) --live_count_;
+  // Lazy deletion: unregister the id and leave the entry as a tombstone.
+  // Ids that never existed, already fired, or are already cancelled are
+  // not live, so this is naturally a no-op for them.
+  if (live_.erase(id) == 0) return;
+  ++tombstones_;
+  if (tombstones_ > live_.size()) compact();
+}
+
+void EventQueue::compact() {
+  // Rebuild the heap from the live entries only. Heap-internal layout
+  // does not affect pop order (the (at, seq) key is a total order), so
+  // compaction is unobservable apart from memory use.
+  std::erase_if(heap_, [this](const Entry& e) { return !is_live(e); });
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  tombstones_ = 0;
 }
 
 void EventQueue::drop_cancelled() const {
-  while (!heap_.empty()) {
-    const auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(),
-                                     heap_.top().id);
-    if (it == cancelled_.end() || *it != heap_.top().id) break;
-    const_cast<EventQueue*>(this)->cancelled_.erase(it);
-    const_cast<EventQueue*>(this)->heap_.pop();
+  while (!heap_.empty() && !is_live(heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+    assert(tombstones_ > 0);
+    --tombstones_;
   }
 }
 
 SimTime EventQueue::next_time() const {
   drop_cancelled();
   assert(!heap_.empty());
-  return heap_.top().at;
+  return heap_.front().at;
 }
 
 SimTime EventQueue::run_next() {
   drop_cancelled();
   assert(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
   // Move the entry out before running: the callback may schedule new events.
-  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
-  heap_.pop();
-  --live_count_;
+  Entry entry = std::move(heap_.back());
+  heap_.pop_back();
+  live_.erase(entry.id);
+  // Popping live entries can also leave tombstones in the majority;
+  // re-check the compaction invariant so the bound holds after any
+  // mutation, not just after cancel().
+  if (tombstones_ > live_.size()) compact();
   entry.fn();
   return entry.at;
 }

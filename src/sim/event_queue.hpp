@@ -3,7 +3,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <unordered_set>
 #include <vector>
 
 namespace wsnex::sim {
@@ -14,6 +14,13 @@ using SimTime = double;
 /// Time-ordered callback queue. Events at equal times fire in insertion
 /// order (a monotonically increasing sequence number breaks ties), which
 /// keeps runs deterministic.
+///
+/// Cancellation is lazy — a cancelled entry stays in the heap as a
+/// tombstone until it either surfaces at the top or a compaction pass
+/// rebuilds the heap. Compaction triggers whenever tombstones outnumber
+/// live entries, so the heap never holds more than 2 * size() + 1
+/// entries: cancel-heavy simulations stay bounded instead of growing
+/// with the total number of cancellations.
 class EventQueue {
  public:
   using Callback = std::function<void()>;
@@ -24,8 +31,12 @@ class EventQueue {
   /// Cancels a scheduled event; a no-op if already fired or cancelled.
   void cancel(std::uint64_t id);
 
-  bool empty() const { return live_count_ == 0; }
-  std::size_t size() const { return live_count_; }
+  bool empty() const { return live_.empty(); }
+  std::size_t size() const { return live_.size(); }
+
+  /// Entries physically held (live + tombstones) — bounded by
+  /// 2 * size() + 1. Exposed for diagnostics and the compaction tests.
+  std::size_t pending_entries() const { return heap_.size(); }
 
   /// Time of the earliest pending event; only valid when !empty().
   SimTime next_time() const;
@@ -47,13 +58,19 @@ class EventQueue {
     }
   };
 
+  bool is_live(const Entry& e) const { return live_.contains(e.id); }
   void drop_cancelled() const;
+  void compact();
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // heap_ and tombstones_ are mutable because next_time() lazily pops
+  // cancelled tops — an internal cleanup invisible to callers. Like the
+  // rest of the queue, the const accessors are NOT safe to call
+  // concurrently with anything else.
+  mutable std::vector<Entry> heap_;  // std::push_heap/pop_heap with Later
+  std::unordered_set<std::uint64_t> live_;  // scheduled and not cancelled
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;
-  std::size_t live_count_ = 0;
-  std::vector<std::uint64_t> cancelled_;  // sorted ids pending removal
+  mutable std::size_t tombstones_ = 0;  // cancelled entries still in heap_
 };
 
 }  // namespace wsnex::sim

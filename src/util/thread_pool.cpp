@@ -1,0 +1,95 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace wsnex::util {
+
+std::size_t ThreadPool::resolve_threads(std::size_t threads) {
+  if (threads != 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : worker_count_(resolve_threads(threads)) {
+  errors_.resize(worker_count_);
+  threads_.reserve(worker_count_ - 1);
+  for (std::size_t w = 1; w < worker_count_; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::run_chunk(const Task& task, std::size_t worker) {
+  const std::size_t n = task.end - task.begin;
+  const std::size_t chunk = (n + worker_count_ - 1) / worker_count_;
+  const std::size_t lo = std::min(n, worker * chunk);
+  const std::size_t hi = std::min(n, lo + chunk);
+  try {
+    for (std::size_t i = lo; i < hi; ++i) {
+      (*task.fn)(task.begin + i, worker);
+    }
+  } catch (...) {
+    errors_[worker] = std::current_exception();
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t worker) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return stopping_ || generation_ != seen_generation;
+      });
+      if (stopping_) return;
+      seen_generation = generation_;
+      task = task_;
+    }
+    run_chunk(task, worker);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--outstanding_ == 0) work_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  if (worker_count_ == 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i, 0);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    task_ = Task{begin, end, &fn};
+    outstanding_ = worker_count_ - 1;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  run_chunk(task_, 0);  // the caller is worker 0
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    work_done_.wait(lock, [&] { return outstanding_ == 0; });
+  }
+  for (std::exception_ptr& err : errors_) {
+    if (err) {
+      const std::exception_ptr first = err;
+      for (auto& e : errors_) e = nullptr;
+      std::rethrow_exception(first);
+    }
+  }
+}
+
+}  // namespace wsnex::util

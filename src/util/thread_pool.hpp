@@ -1,0 +1,73 @@
+// Fixed-size thread pool for deterministic batch fan-out.
+//
+// The pool is deliberately work-stealing-free: parallel_for() splits the
+// index range into one contiguous chunk per worker, so the mapping from
+// index to worker is a pure function of (range, worker count). Callers
+// that write results by index therefore produce identical output for any
+// worker count — the property the DSE batch evaluator relies on for its
+// threads=1 vs threads=N bit-identity guarantee.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wsnex::util {
+
+/// Fixed pool of `size()` workers. Worker 0 is the calling thread: a pool
+/// of size 1 spawns no threads at all and parallel_for() degenerates to a
+/// plain inline loop.
+class ThreadPool {
+ public:
+  /// `threads` == 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker count including the calling thread.
+  std::size_t size() const { return worker_count_; }
+
+  /// Runs fn(index, worker) for every index in [begin, end), partitioned
+  /// into size() contiguous chunks (worker w gets the w-th chunk; trailing
+  /// workers idle when the range is shorter than the pool). Blocks until
+  /// every index has run. Not reentrant: fn must not call parallel_for on
+  /// the same pool. If any invocation throws, the first exception (lowest
+  /// worker id) is rethrown after the whole batch has drained.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t index,
+                                             std::size_t worker)>& fn);
+
+  /// Resolves a thread-count request: 0 -> hardware concurrency (itself
+  /// never 0), anything else unchanged.
+  static std::size_t resolve_threads(std::size_t threads);
+
+ private:
+  struct Task {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+  };
+
+  void worker_loop(std::size_t worker);
+  void run_chunk(const Task& task, std::size_t worker);
+
+  std::size_t worker_count_ = 1;
+  std::vector<std::thread> threads_;  // size worker_count_ - 1
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  Task task_;
+  std::uint64_t generation_ = 0;   // bumps when a new task is published
+  std::size_t outstanding_ = 0;    // workers still running the task
+  bool stopping_ = false;
+  std::vector<std::exception_ptr> errors_;  // slot per worker
+};
+
+}  // namespace wsnex::util

@@ -56,6 +56,15 @@ TEST(Fronts, AllEqualPointsShareFrontZero) {
   for (std::size_t f : non_dominated_fronts(pts)) EXPECT_EQ(f, 0u);
 }
 
+TEST(Fronts, EmptyObjectiveVectorsShareFrontZero) {
+  // Zero-arity points are all mutually equal; they must land in front 0
+  // (and the sort must not read past the empty rows).
+  const std::vector<Objectives> pts(3, Objectives{});
+  const auto fronts = non_dominated_fronts(pts);
+  ASSERT_EQ(fronts.size(), 3u);
+  for (std::size_t f : fronts) EXPECT_EQ(f, 0u);
+}
+
 TEST(Crowding, BoundaryPointsInfinite) {
   const std::vector<Objectives> front{{1.0, 4.0}, {2.0, 2.0}, {4.0, 1.0}};
   const auto crowd = crowding_distances(front);

@@ -79,6 +79,61 @@ TEST(EventQueue, CallbackMaySchedule) {
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
 
+TEST(EventQueue, TombstoneCompactionBoundsPendingEntries) {
+  EventQueue q;
+  // Schedule far-future events and cancel almost all of them: without
+  // compaction the heap would keep every cancelled entry until popped.
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 10000; ++i) {
+    ids.push_back(q.schedule(1e6 + i, [] {}));
+  }
+  for (int i = 0; i < 9999; ++i) q.cancel(ids[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_LE(q.pending_entries(), 2 * q.size() + 1);
+}
+
+TEST(EventQueue, CompactionBoundHoldsUnderChurn) {
+  EventQueue q;
+  std::uint64_t fired = 0;
+  std::vector<std::uint64_t> ids;
+  for (int round = 0; round < 300; ++round) {
+    // Schedule a burst, cancel most of it, run a couple of events.
+    for (int i = 0; i < 20; ++i) {
+      ids.push_back(q.schedule(round * 100.0 + i, [&] { ++fired; }));
+    }
+    for (std::size_t k = ids.size() - 18; k < ids.size(); ++k) {
+      q.cancel(ids[k]);
+    }
+    q.run_next();
+    ASSERT_LE(q.pending_entries(), 2 * q.size() + 1);
+  }
+  EXPECT_GT(fired, 0u);
+  // Drain: survivors must still fire in time order.
+  SimTime last = 0.0;
+  while (!q.empty()) {
+    const SimTime t = q.run_next();
+    ASSERT_GE(t, last);
+    last = t;
+  }
+}
+
+TEST(EventQueue, CancelledBurstThenDrainRunsSurvivorsInOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(q.schedule(i, [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    if (i % 3 != 0) q.cancel(ids[static_cast<std::size_t>(i)]);
+  }
+  while (!q.empty()) q.run_next();
+  ASSERT_EQ(order.size(), 34u);
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    EXPECT_EQ(order[k], static_cast<int>(3 * k));
+  }
+}
+
 TEST(EventQueue, SizeTracksLiveEvents) {
   EventQueue q;
   const auto a = q.schedule(1.0, [] {});
