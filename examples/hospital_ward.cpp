@@ -4,16 +4,20 @@
 //   * reconstruction quality: network PRD metric below a threshold,
 //   * freshness: worst-case delay below a threshold.
 //
-// The example screens the design space with the analytical model (hundreds
-// of thousands of evaluations per second), keeps the feasible designs that
-// meet the service levels, and prints the best energy choices — then
-// cross-checks the winner with the packet-level simulator.
+// Since the scenario subsystem landed, this example is a thin wrapper over
+// the built-in `hospital_ward_<N>` registry preset: the design space,
+// service levels and optimizer budget all come from the declarative spec
+// (the same one `wsnex run hospital_ward_<N>` uses — see
+// examples/scenarios/), and the screening/ranking is the library's
+// feasible_entries(). The packet-level cross-check of the winner stays:
+// that is this example's narrative, not the scenario layer's job.
 //
 //   ./examples/hospital_ward [patients=6]
 #include <cstdio>
 #include <cstdlib>
 
-#include "dse/optimizers.hpp"
+#include "scenario/campaign.hpp"
+#include "scenario/registry.hpp"
 #include "sim/network.hpp"
 #include "util/table.hpp"
 
@@ -26,59 +30,43 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  constexpr double kMaxPrdNet = 40.0;   // clinical quality threshold [%]
-  constexpr double kMaxDelayS = 1.0;    // freshness threshold [s]
+  const scenario::ScenarioSpec spec =
+      scenario::preset("hospital_ward_" + std::to_string(patients));
+  std::printf(
+      "hospital ward: %zu patients, PRD_net <= %.0f%%, delay <= %.1fs\n\n",
+      patients, spec.constraints.max_prd_percent, spec.constraints.max_delay_s);
 
-  std::printf("hospital ward: %zu patients, PRD_net <= %.0f%%, delay <= %.1fs\n\n",
-              patients, kMaxPrdNet, kMaxDelayS);
-
-  const auto evaluator = model::NetworkModelEvaluator::make_default();
-  const dse::DesignSpace space(
-      dse::DesignSpaceConfig::case_study(patients));
-
-  // Model-based screening: random sample + NSGA-II refinement.
-  const auto objective = dse::make_full_model_objective(evaluator);
-  dse::Nsga2Options opt;
-  opt.population = 64;
-  opt.generations = 60;
-  const dse::DseResult result = dse::run_nsga2(space, objective, opt);
+  // Model-based screening through the scenario layer (memoized batch
+  // engine under the hood).
+  const scenario::ScenarioRun run = scenario::run_scenario(spec);
   std::printf("explored %zu designs (%zu infeasible), front size %zu\n\n",
-              result.evaluations, result.infeasible_count,
-              result.archive.size());
+              run.result.evaluations, run.result.infeasible_count,
+              run.result.archive.size());
 
-  // Filter the front by the service levels and rank by energy.
-  struct Candidate {
-    const dse::ArchiveEntry* entry;
-  };
-  std::vector<const dse::ArchiveEntry*> admissible;
-  for (const auto& e : result.archive.entries()) {
-    if (e.objectives[1] <= kMaxPrdNet && e.objectives[2] <= kMaxDelayS) {
-      admissible.push_back(&e);
-    }
-  }
-  std::sort(admissible.begin(), admissible.end(),
-            [](const auto* a, const auto* b) {
-              return a->objectives[0] < b->objectives[0];
-            });
+  const std::vector<std::size_t> admissible =
+      scenario::feasible_entries(run.result.archive, spec.constraints);
   if (admissible.empty()) {
     std::printf("no design meets the service levels — relax the thresholds\n");
     return 1;
   }
 
+  const auto& entries = run.result.archive.entries();
   util::Table table({"rank", "E_net [mJ/s]", "PRD_net [%]", "D_net [ms]",
                      "configuration"});
   for (std::size_t i = 0; i < std::min<std::size_t>(5, admissible.size());
        ++i) {
-    const auto* e = admissible[i];
-    table.add_row({std::to_string(i + 1), util::Table::num(e->objectives[0], 3),
-                   util::Table::num(e->objectives[1], 1),
-                   util::Table::num(e->objectives[2] * 1e3, 0),
-                   space.describe(e->genome)});
+    const dse::ArchiveEntry& e = entries[admissible[i]];
+    table.add_row({std::to_string(i + 1), util::Table::num(e.objectives[0], 3),
+                   util::Table::num(e.objectives[1], 1),
+                   util::Table::num(e.objectives[2] * 1e3, 0),
+                   run.space.describe(e.genome)});
   }
   std::printf("%s\n", table.render().c_str());
 
   // Cross-check the winner in the packet simulator.
-  const auto design = space.decode(admissible.front()->genome);
+  const auto evaluator =
+      model::NetworkModelEvaluator::make_default(spec.evaluator_options());
+  const auto design = run.space.decode(entries[admissible.front()].genome);
   const auto eval = evaluator.evaluate(design);
   sim::NetworkScenario sc;
   sc.mac = design.mac;

@@ -19,14 +19,29 @@ DesignSpaceConfig DesignSpaceConfig::case_study(std::size_t node_count) {
 
 DesignSpace::DesignSpace(DesignSpaceConfig config)
     : config_(std::move(config)) {
+  if (config_.node_count == 0) {
+    throw std::invalid_argument(
+        "DesignSpace: node_count must be >= 1 (an empty network has no "
+        "genome to explore)");
+  }
   if (config_.apps.size() != config_.node_count) {
-    throw std::invalid_argument("DesignSpace: apps size != node_count");
+    throw std::invalid_argument(
+        "DesignSpace: apps has " + std::to_string(config_.apps.size()) +
+        " entries but node_count is " + std::to_string(config_.node_count) +
+        " (every node needs exactly one application assignment)");
   }
-  if (config_.cr_grid.empty() || config_.mcu_freq_khz_grid.empty() ||
-      config_.payload_grid.empty() || config_.bco_grid.empty() ||
-      config_.sfo_gap_grid.empty()) {
-    throw std::invalid_argument("DesignSpace: empty domain");
-  }
+  const auto require_non_empty = [](bool empty, const char* grid) {
+    if (empty) {
+      throw std::invalid_argument(
+          std::string("DesignSpace: ") + grid +
+          " is empty — every decision variable needs at least one value");
+    }
+  };
+  require_non_empty(config_.cr_grid.empty(), "cr_grid");
+  require_non_empty(config_.mcu_freq_khz_grid.empty(), "mcu_freq_khz_grid");
+  require_non_empty(config_.payload_grid.empty(), "payload_grid");
+  require_non_empty(config_.bco_grid.empty(), "bco_grid");
+  require_non_empty(config_.sfo_gap_grid.empty(), "sfo_gap_grid");
 }
 
 std::size_t DesignSpace::domain_size(std::size_t gene_index) const {
@@ -44,6 +59,11 @@ std::size_t DesignSpace::domain_size(std::size_t gene_index) const {
 }
 
 double DesignSpace::cardinality() const {
+  // Deliberately accumulated in double: the product overflows 64-bit
+  // integers already at ~13 nodes with the default grids (32 per-node
+  // combinations each, times the MAC axes), while double holds the
+  // magnitude exactly long past any explorable size (exact up to 2^53,
+  // approximate — never wrapping — beyond).
   double total = 1.0;
   for (std::size_t g = 0; g < genome_length(); ++g) {
     total *= static_cast<double>(domain_size(g));

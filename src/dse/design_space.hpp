@@ -41,13 +41,20 @@ struct DesignSpaceConfig {
 /// Genome <-> design translation and genome generation/variation.
 class DesignSpace {
  public:
+  /// Validates the configuration: node_count >= 1, one application per
+  /// node, and no empty decision-variable grid. Throws
+  /// std::invalid_argument with an actionable message otherwise (empty
+  /// grids or a zero node count would otherwise surface as downstream
+  /// modulo-by-zero / out-of-bounds UB in genome generation).
   explicit DesignSpace(DesignSpaceConfig config);
 
   const DesignSpaceConfig& config() const { return config_; }
 
   std::size_t genome_length() const { return 2 * config_.node_count + 3; }
 
-  /// Cardinality of the whole space (product of domain sizes).
+  /// Cardinality of the whole space (product of domain sizes), computed
+  /// in double so large spaces report an approximate magnitude instead of
+  /// overflowing an integer type.
   double cardinality() const;
 
   /// Uniformly random genome.

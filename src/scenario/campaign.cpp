@@ -1,0 +1,315 @@
+#include "scenario/campaign.hpp"
+
+#include <algorithm>
+
+#include "dse/objectives.hpp"
+#include "model/lifetime.hpp"
+#include "util/csv.hpp"
+#include "util/json.hpp"
+#include "util/thread_pool.hpp"
+
+namespace wsnex::scenario {
+
+namespace {
+
+std::string genome_field(const dse::Genome& genome) {
+  std::string out;
+  for (std::size_t i = 0; i < genome.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += std::to_string(genome[i]);
+  }
+  return out;
+}
+
+/// Canonical archive row order for result files: lexicographic by
+/// objectives, then genome. ParetoArchive entry order is an eviction
+/// implementation detail, so files are sorted to make byte-level
+/// comparisons (resume vs uninterrupted, different engine versions with
+/// the same member set) meaningful.
+std::vector<std::size_t> canonical_order(const dse::ParetoArchive& archive) {
+  std::vector<std::size_t> order(archive.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const auto& entries = archive.entries();
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (entries[a].objectives != entries[b].objectives) {
+      return entries[a].objectives < entries[b].objectives;
+    }
+    return entries[a].genome < entries[b].genome;
+  });
+  return order;
+}
+
+/// Network lifetime (first node dies) in days for one archived design,
+/// recomputed from the full evaluation — the archive stores only the
+/// Eq. 8 combinator, not the per-node draws the battery maths needs.
+double entry_lifetime_days(const model::NetworkModelEvaluator& evaluator,
+                           const dse::DesignSpace& space,
+                           const model::Battery& battery,
+                           const dse::Genome& genome) {
+  const model::NetworkEvaluation eval =
+      evaluator.evaluate(space.decode(genome));
+  if (!eval.feasible) return 0.0;
+  std::vector<double> draws;
+  draws.reserve(eval.nodes.size());
+  for (const model::NodeEvaluation& node : eval.nodes) {
+    draws.push_back(node.energy.total());
+  }
+  return model::network_lifetime_hours(battery, draws) / 24.0;
+}
+
+void write_archive_csv(const std::string& path,
+                       const dse::ParetoArchive& archive,
+                       const std::vector<std::size_t>& rows,
+                       const std::vector<double>& lifetime_days,
+                       const dse::DesignSpace& space) {
+  util::CsvWriter csv(path);
+  csv.write_row({"E_net_mJ_per_s", "PRD_net_percent", "D_net_s",
+                 "lifetime_days", "genome", "config"});
+  const auto& entries = archive.entries();
+  for (const std::size_t i : rows) {
+    const dse::ArchiveEntry& e = entries[i];
+    csv.write_row({util::format_double_shortest(e.objectives[0]),
+                   util::format_double_shortest(e.objectives[1]),
+                   util::format_double_shortest(e.objectives[2]),
+                   util::format_double_shortest(lifetime_days[i]),
+                   genome_field(e.genome), space.describe(e.genome)});
+  }
+}
+
+util::Json make_summary(const ScenarioSpec& spec, const ScenarioRun& run,
+                        const std::vector<std::size_t>& feasible,
+                        const std::vector<double>& lifetime_days) {
+  util::Json summary = util::Json::object();
+  summary.set("name", spec.name);
+  summary.set("optimizer", to_string(spec.optimizer.kind));
+  summary.set("seed", static_cast<std::int64_t>(spec.optimizer.seed));
+  summary.set("frame_error_rate", run.frame_error_rate);
+  summary.set("cardinality", run.space.cardinality());
+  summary.set("evaluations", run.result.evaluations);
+  summary.set("infeasible", run.result.infeasible_count);
+  summary.set("front_size", run.result.archive.size());
+  summary.set("feasible_size", feasible.size());
+  summary.set("wallclock_s", run.result.wallclock_s);
+  if (!feasible.empty()) {
+    const dse::ArchiveEntry& best =
+        run.result.archive.entries()[feasible.front()];
+    util::Json best_json = util::Json::object();
+    best_json.set("e_net_mj_per_s", best.objectives[0]);
+    best_json.set("prd_net_percent", best.objectives[1]);
+    best_json.set("d_net_s", best.objectives[2]);
+    best_json.set("lifetime_days", lifetime_days[feasible.front()]);
+    best_json.set("config", run.space.describe(best.genome));
+    summary.set("best_feasible", std::move(best_json));
+  }
+  return summary;
+}
+
+/// Executes one scenario and persists its results; returns the completed
+/// status entry for the manifest.
+ScenarioStatus execute_and_persist(const ScenarioSpec& spec,
+                                   const CampaignOptions& options,
+                                   ResultStore& store) {
+  const ScenarioRun run =
+      run_scenario(spec, options.quick, options.threads);
+  const std::vector<std::size_t> feasible =
+      feasible_entries(run.result.archive, spec.constraints);
+
+  const auto evaluator =
+      model::NetworkModelEvaluator::make_default(spec.evaluator_options());
+  const auto& entries = run.result.archive.entries();
+  std::vector<double> lifetime_days(entries.size(), 0.0);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    lifetime_days[i] =
+        entry_lifetime_days(evaluator, run.space, spec.battery,
+                            entries[i].genome);
+  }
+
+  store.ensure_result_dir(spec.name);
+  write_archive_csv(store.pareto_csv_path(spec.name), run.result.archive,
+                    canonical_order(run.result.archive), lifetime_days,
+                    run.space);
+  write_archive_csv(store.feasible_csv_path(spec.name), run.result.archive,
+                    feasible, lifetime_days, run.space);
+  store.write_summary(spec.name,
+                      make_summary(spec, run, feasible, lifetime_days));
+
+  ScenarioStatus status;
+  status.name = spec.name;
+  status.complete = true;
+  status.evaluations = run.result.evaluations;
+  status.infeasible = run.result.infeasible_count;
+  status.front_size = run.result.archive.size();
+  status.feasible_size = feasible.size();
+  status.wallclock_s = run.result.wallclock_s;
+  store.record_complete(status);
+  return status;
+}
+
+CampaignReport drive_campaign(const std::vector<ScenarioSpec>& specs,
+                              const CampaignOptions& options,
+                              ResultStore& store,
+                              const std::function<void(const CampaignOutcome&)>&
+                                  progress) {
+  const CampaignManifest manifest = store.load_manifest();
+  CampaignReport report;
+  std::size_t executed = 0;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (options.abort_after != 0 && executed >= options.abort_after &&
+        !manifest.scenarios[i].complete) {
+      // Simulated kill: stop before the next pending scenario.
+      report.complete = false;
+      return report;
+    }
+    CampaignOutcome outcome;
+    outcome.name = specs[i].name;
+    if (manifest.scenarios[i].complete) {
+      outcome.skipped = true;
+      outcome.status = manifest.scenarios[i];
+      ++report.skipped;
+    } else {
+      outcome.status = execute_and_persist(specs[i], options, store);
+      ++executed;
+      ++report.executed;
+    }
+    if (progress) progress(outcome);
+    report.outcomes.push_back(std::move(outcome));
+  }
+  report.complete = true;
+  return report;
+}
+
+void check_unique_names(const std::vector<ScenarioSpec>& specs) {
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    for (std::size_t j = i + 1; j < specs.size(); ++j) {
+      if (specs[i].name == specs[j].name) {
+        throw ScenarioError("campaign holds two scenarios named \"" +
+                            specs[i].name +
+                            "\" (names key the result store; rename one)");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ScenarioSpec quick_variant(ScenarioSpec spec) {
+  spec.optimizer.population = 16;
+  spec.optimizer.generations = 8;
+  spec.optimizer.iterations = 256;
+  return spec;
+}
+
+std::vector<std::size_t> feasible_entries(
+    const dse::ParetoArchive& archive, const ClinicalConstraints& constraints) {
+  std::vector<std::size_t> feasible;
+  const auto& entries = archive.entries();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].objectives[1] <= constraints.max_prd_percent &&
+        entries[i].objectives[2] <= constraints.max_delay_s) {
+      feasible.push_back(i);
+    }
+  }
+  std::sort(feasible.begin(), feasible.end(), [&](std::size_t a, std::size_t b) {
+    if (entries[a].objectives[0] != entries[b].objectives[0]) {
+      return entries[a].objectives[0] < entries[b].objectives[0];
+    }
+    return entries[a].genome < entries[b].genome;
+  });
+  return feasible;
+}
+
+ScenarioRun run_scenario(const ScenarioSpec& spec, bool quick,
+                         std::optional<std::size_t> threads_override) {
+  spec.validate();
+  const ScenarioSpec effective = quick ? quick_variant(spec) : spec;
+  const std::size_t threads =
+      threads_override.value_or(effective.optimizer.threads);
+  const std::size_t workers = util::ThreadPool::resolve_threads(threads);
+
+  const auto evaluator =
+      model::NetworkModelEvaluator::make_default(effective.evaluator_options());
+  dse::DesignSpace space(effective.design_space_config());
+  // The memoized objective precomputes the whole app-layer/MAC memo, so
+  // it is built only inside the branches that actually batch-evaluate.
+  const auto make_memo = [&] {
+    return dse::make_memoized_full_model_objective(evaluator, space, workers);
+  };
+
+  const OptimizerSettings& opt = effective.optimizer;
+  dse::DseResult result;
+  switch (opt.kind) {
+    case OptimizerKind::kNsga2: {
+      dse::Nsga2Options o;
+      o.population = opt.population;
+      o.generations = opt.generations;
+      o.crossover_rate = opt.crossover_rate;
+      if (opt.mutation_rate > 0.0) o.mutation_rate = opt.mutation_rate;
+      o.seed = opt.seed;
+      o.threads = workers;
+      result = dse::run_nsga2(space, *make_memo(), o);
+      break;
+    }
+    case OptimizerKind::kMosa: {
+      dse::MosaOptions o;
+      o.iterations = opt.iterations;
+      o.initial_temperature = opt.initial_temperature;
+      o.cooling = opt.cooling;
+      if (opt.mutation_rate > 0.0) o.mutation_rate = opt.mutation_rate;
+      o.seed = opt.seed;
+      o.threads = workers;
+      result = dse::run_mosa(space, *make_memo(), o);
+      break;
+    }
+    case OptimizerKind::kRandom: {
+      dse::RandomSearchOptions o;
+      o.samples = opt.iterations;
+      o.seed = opt.seed;
+      const auto scalar = dse::make_full_model_objective(evaluator);
+      result = dse::run_random_search(space, scalar, o);
+      break;
+    }
+  }
+  return ScenarioRun{std::move(space), std::move(result),
+                     effective.effective_frame_error_rate()};
+}
+
+CampaignReport run_campaign(
+    const std::vector<ScenarioSpec>& specs, const CampaignOptions& options,
+    const std::function<void(const CampaignOutcome&)>& progress) {
+  if (specs.empty()) {
+    throw ScenarioError("campaign has no scenarios");
+  }
+  if (options.out_dir.empty()) {
+    throw ScenarioError("campaign needs an output directory");
+  }
+  for (const ScenarioSpec& spec : specs) spec.validate();
+  check_unique_names(specs);
+  ResultStore store(options.out_dir);
+  store.initialize(specs, options.quick);
+  return drive_campaign(specs, options, store, progress);
+}
+
+CampaignReport resume_campaign(
+    const std::string& out_dir, std::optional<std::size_t> threads,
+    std::size_t abort_after,
+    const std::function<void(const CampaignOutcome&)>& progress) {
+  if (!ResultStore::exists(out_dir)) {
+    throw ScenarioError(out_dir +
+                        ": no campaign manifest (campaign.json) to resume");
+  }
+  ResultStore store(out_dir);
+  const CampaignManifest manifest = store.load_manifest();
+  std::vector<ScenarioSpec> specs;
+  specs.reserve(manifest.scenarios.size());
+  for (const ScenarioStatus& status : manifest.scenarios) {
+    specs.push_back(store.load_spec(status.name));
+  }
+  CampaignOptions options;
+  options.out_dir = out_dir;
+  options.quick = manifest.quick;
+  options.threads = threads;
+  options.abort_after = abort_after;
+  return drive_campaign(specs, options, store, progress);
+}
+
+}  // namespace wsnex::scenario

@@ -1,0 +1,99 @@
+// Batch campaigns: fan a list of declarative scenarios through the PR 2
+// batched DSE engine and persist every result to a ResultStore, with
+// checkpoint/resume.
+//
+// Reproducibility: each scenario runs the memoized batch objective with
+// the spec's seed; the engine guarantees archives bit-identical across
+// thread counts, and the archive rows are written in a canonical sort
+// order, so a resumed campaign's result files are byte-identical to an
+// uninterrupted run of the same campaign (the CI smoke test and
+// tests/scenario/test_campaign.cpp both assert this).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dse/optimizers.hpp"
+#include "scenario/result_store.hpp"
+#include "scenario/scenario_spec.hpp"
+
+namespace wsnex::scenario {
+
+/// Output of one scenario exploration (the library-level unit the CLI and
+/// the hospital_ward example both build on).
+struct ScenarioRun {
+  dse::DesignSpace space;
+  dse::DseResult result;
+  double frame_error_rate = 0.0;  ///< effective FER the evaluator used
+};
+
+/// Runs one scenario through the memoized batch engine. `threads_override`
+/// replaces the spec's thread setting (results are identical either way;
+/// only wall-clock changes). `quick` shrinks the optimizer budget to a
+/// smoke-test size (deterministically — quick runs are reproducible too).
+ScenarioRun run_scenario(const ScenarioSpec& spec, bool quick = false,
+                         std::optional<std::size_t> threads_override = {});
+
+/// The spec with its optimizer budget shrunk to smoke-test size (NSGA-II
+/// 16x8, MOSA/random 256 evaluations). Used by `wsnex run --quick` and CI.
+ScenarioSpec quick_variant(ScenarioSpec spec);
+
+/// Indices into archive.entries() of the designs meeting the clinical
+/// constraints (objective layout [E_net, PRD_net, D_net]), sorted by
+/// ascending energy — the "which configuration do I actually deploy"
+/// ranking of the hospital_ward example.
+std::vector<std::size_t> feasible_entries(const dse::ParetoArchive& archive,
+                                          const ClinicalConstraints& constraints);
+
+/// Campaign execution options.
+struct CampaignOptions {
+  std::string out_dir;  ///< result-store root (created if absent)
+  bool quick = false;   ///< shrink every scenario's budget (recorded in the
+                        ///< manifest; resume inherits it)
+  /// Replaces every spec's optimizer.threads when set (0 = hardware
+  /// concurrency). Never changes results.
+  std::optional<std::size_t> threads;
+  /// Testing hook: stop (as if killed) after this many scenarios have been
+  /// *executed* in this invocation; the manifest keeps the rest pending so
+  /// a resume can pick them up. 0 = no limit.
+  std::size_t abort_after = 0;
+};
+
+/// What happened to one scenario during a campaign invocation.
+struct CampaignOutcome {
+  std::string name;
+  bool skipped = false;  ///< already complete in the store (resume path)
+  ScenarioStatus status;
+};
+
+struct CampaignReport {
+  std::vector<CampaignOutcome> outcomes;
+  std::size_t executed = 0;
+  std::size_t skipped = 0;
+  /// True when every scenario of the campaign is complete (false when
+  /// abort_after stopped the run early).
+  bool complete = false;
+};
+
+/// Runs a campaign: initializes (or re-attaches to) the result store at
+/// options.out_dir, then runs every scenario not already complete, writing
+/// pareto.csv / feasible.csv / summary.json per scenario and updating the
+/// manifest after each one.
+///
+/// `progress`, when set, is called after each scenario (executed or
+/// skipped) — the CLI uses it for live per-scenario reporting.
+CampaignReport run_campaign(
+    const std::vector<ScenarioSpec>& specs, const CampaignOptions& options,
+    const std::function<void(const CampaignOutcome&)>& progress = {});
+
+/// Resumes the campaign stored at `out_dir`: loads the frozen specs and
+/// the quick flag from the manifest, skips completed scenarios, runs the
+/// rest. `threads` / `abort_after` as in CampaignOptions.
+CampaignReport resume_campaign(
+    const std::string& out_dir, std::optional<std::size_t> threads = {},
+    std::size_t abort_after = 0,
+    const std::function<void(const CampaignOutcome&)>& progress = {});
+
+}  // namespace wsnex::scenario

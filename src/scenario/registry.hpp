@@ -1,0 +1,32 @@
+// Built-in scenario registry: the named deployments the wsnex CLI (and the
+// examples) can run without any JSON authoring.
+//
+// The presets span the paper's Section 4.1 case study and the variations a
+// ward manager actually faces: ward size (2-7 patients), application fleet
+// (the default half-DWT/half-CS mix, all-DWT, all-CS), a degraded radio
+// channel, and a smaller backup battery. Every preset passes
+// ScenarioSpec::validate() (enforced by tests) and is serializable to the
+// examples/scenarios/*.json files via `wsnex export`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/scenario_spec.hpp"
+
+namespace wsnex::scenario {
+
+/// Names of all built-in presets, in stable (list/report) order.
+std::vector<std::string> preset_names();
+
+/// True iff `name` is a built-in preset.
+bool has_preset(const std::string& name);
+
+/// The preset with the given name; throws ScenarioError with the list of
+/// known names when it does not exist.
+ScenarioSpec preset(const std::string& name);
+
+/// All presets, in preset_names() order.
+std::vector<ScenarioSpec> all_presets();
+
+}  // namespace wsnex::scenario

@@ -1,0 +1,230 @@
+#include "scenario/result_store.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace wsnex::scenario {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ScenarioError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Writes `contents` to `path` through a sibling temp file + rename, so a
+/// reader (or a crash) never observes a half-written file.
+void write_file_atomic(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw ScenarioError("cannot write " + tmp);
+    out << contents;
+    out.flush();
+    if (!out) throw ScenarioError("write failed for " + tmp);
+  }
+  fs::rename(tmp, path);
+}
+
+util::Json status_to_json(const ScenarioStatus& s) {
+  util::Json json = util::Json::object();
+  json.set("name", s.name);
+  json.set("status", s.complete ? "complete" : "pending");
+  if (s.complete) {
+    json.set("evaluations", s.evaluations);
+    json.set("infeasible", s.infeasible);
+    json.set("front_size", s.front_size);
+    json.set("feasible_size", s.feasible_size);
+    json.set("wallclock_s", s.wallclock_s);
+  }
+  return json;
+}
+
+ScenarioStatus status_from_json(const util::Json& json) {
+  ScenarioStatus s;
+  s.name = json.at("name").as_string();
+  const std::string& status = json.at("status").as_string();
+  if (status != "complete" && status != "pending") {
+    throw ScenarioError("manifest: unknown scenario status \"" + status +
+                        "\" for " + s.name);
+  }
+  s.complete = status == "complete";
+  if (s.complete) {
+    s.evaluations = static_cast<std::size_t>(json.at("evaluations").as_int64());
+    s.infeasible = static_cast<std::size_t>(json.at("infeasible").as_int64());
+    s.front_size = static_cast<std::size_t>(json.at("front_size").as_int64());
+    s.feasible_size =
+        static_cast<std::size_t>(json.at("feasible_size").as_int64());
+    s.wallclock_s = json.at("wallclock_s").as_double();
+  }
+  return s;
+}
+
+}  // namespace
+
+ResultStore::ResultStore(std::string root) : root_(std::move(root)) {}
+
+bool ResultStore::exists(const std::string& root) {
+  return fs::exists(fs::path(root) / "campaign.json");
+}
+
+std::string ResultStore::manifest_path() const {
+  return (fs::path(root_) / "campaign.json").string();
+}
+
+std::string ResultStore::scenario_dir() const {
+  return (fs::path(root_) / "scenarios").string();
+}
+
+std::string ResultStore::spec_path(const std::string& name) const {
+  return (fs::path(root_) / "scenarios" / (name + ".json")).string();
+}
+
+std::string ResultStore::result_dir(const std::string& name) const {
+  return (fs::path(root_) / "results" / name).string();
+}
+
+std::string ResultStore::pareto_csv_path(const std::string& name) const {
+  return (fs::path(result_dir(name)) / "pareto.csv").string();
+}
+
+std::string ResultStore::feasible_csv_path(const std::string& name) const {
+  return (fs::path(result_dir(name)) / "feasible.csv").string();
+}
+
+std::string ResultStore::summary_path(const std::string& name) const {
+  return (fs::path(result_dir(name)) / "summary.json").string();
+}
+
+void ResultStore::ensure_result_dir(const std::string& name) const {
+  fs::create_directories(result_dir(name));
+}
+
+void ResultStore::initialize(const std::vector<ScenarioSpec>& specs,
+                             bool quick) {
+  if (ResultStore::exists(root_)) {
+    // Existing campaign: it must be *this* campaign (same scenarios with
+    // the same contents and options), in which case prior progress stands.
+    const CampaignManifest manifest = load_manifest();
+    if (manifest.quick != quick) {
+      throw ScenarioError(
+          root_ + ": existing campaign was " +
+          (manifest.quick ? "run with --quick" : "run without --quick") +
+          "; rerun with matching options or use a fresh output directory");
+    }
+    if (manifest.scenarios.size() != specs.size()) {
+      throw ScenarioError(
+          root_ + ": existing campaign has " +
+          std::to_string(manifest.scenarios.size()) + " scenarios, not " +
+          std::to_string(specs.size()) +
+          " — use a fresh output directory for a different campaign");
+    }
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (manifest.scenarios[i].name != specs[i].name) {
+        throw ScenarioError(root_ + ": scenario " + std::to_string(i) +
+                            " of the stored campaign is \"" +
+                            manifest.scenarios[i].name + "\", not \"" +
+                            specs[i].name +
+                            "\" — use a fresh output directory");
+      }
+      if (!(load_spec(specs[i].name) == specs[i])) {
+        throw ScenarioError(root_ + ": scenario \"" + specs[i].name +
+                            "\" differs from the spec frozen under " +
+                            spec_path(specs[i].name) +
+                            " — use a fresh output directory for the edited "
+                            "spec");
+      }
+    }
+    return;
+  }
+  fs::create_directories(scenario_dir());
+  for (const ScenarioSpec& spec : specs) {
+    write_file_atomic(spec_path(spec.name), spec.to_json().dump(2));
+  }
+  CampaignManifest manifest;
+  manifest.quick = quick;
+  manifest.scenarios.reserve(specs.size());
+  for (const ScenarioSpec& spec : specs) {
+    ScenarioStatus status;
+    status.name = spec.name;
+    manifest.scenarios.push_back(std::move(status));
+  }
+  save_manifest(manifest);
+}
+
+CampaignManifest ResultStore::load_manifest() const {
+  util::Json json;
+  try {
+    json = util::Json::parse(read_file(manifest_path()));
+  } catch (const util::JsonParseError& e) {
+    throw ScenarioError(manifest_path() + ": " + e.what());
+  }
+  CampaignManifest manifest;
+  try {
+    manifest.format_version =
+        static_cast<int>(json.at("format_version").as_int64());
+    if (manifest.format_version != 1) {
+      throw ScenarioError("unsupported campaign format_version " +
+                          std::to_string(manifest.format_version));
+    }
+    manifest.quick = json.at("quick").as_bool();
+    for (const util::Json& s : json.at("scenarios").as_array()) {
+      manifest.scenarios.push_back(status_from_json(s));
+    }
+  } catch (const util::JsonTypeError& e) {
+    throw ScenarioError(manifest_path() + ": malformed manifest: " + e.what());
+  }
+  return manifest;
+}
+
+ScenarioSpec ResultStore::load_spec(const std::string& name) const {
+  return ScenarioSpec::from_file(spec_path(name));
+}
+
+void ResultStore::record_complete(const ScenarioStatus& status) {
+  CampaignManifest manifest = load_manifest();
+  for (ScenarioStatus& s : manifest.scenarios) {
+    if (s.name == status.name) {
+      s = status;
+      s.complete = true;
+      save_manifest(manifest);
+      return;
+    }
+  }
+  throw ScenarioError("record_complete: scenario \"" + status.name +
+                      "\" is not part of the campaign at " + root_);
+}
+
+void ResultStore::write_summary(const std::string& name,
+                                const util::Json& summary) const {
+  ensure_result_dir(name);
+  write_file_atomic(summary_path(name), summary.dump(2));
+}
+
+util::Json ResultStore::load_summary(const std::string& name) const {
+  try {
+    return util::Json::parse(read_file(summary_path(name)));
+  } catch (const util::JsonParseError& e) {
+    throw ScenarioError(summary_path(name) + ": " + e.what());
+  }
+}
+
+void ResultStore::save_manifest(const CampaignManifest& manifest) const {
+  util::Json json = util::Json::object();
+  json.set("format_version", manifest.format_version);
+  json.set("quick", manifest.quick);
+  util::Json scenarios = util::Json::array();
+  for (const ScenarioStatus& s : manifest.scenarios) {
+    scenarios.push_back(status_to_json(s));
+  }
+  json.set("scenarios", std::move(scenarios));
+  write_file_atomic(manifest_path(), json.dump(2));
+}
+
+}  // namespace wsnex::scenario

@@ -1,0 +1,98 @@
+// Persistent, resumable on-disk store for campaign results.
+//
+// Layout under one campaign root directory:
+//
+//   <root>/campaign.json            manifest: options + per-scenario status
+//   <root>/scenarios/<name>.json    frozen specs (the source of truth a
+//                                   resume runs from — not the caller's
+//                                   original files)
+//   <root>/results/<name>/pareto.csv    full Pareto archive
+//   <root>/results/<name>/feasible.csv  entries meeting the clinical
+//                                       constraints, best energy first
+//   <root>/results/<name>/summary.json  run statistics
+//
+// Crash-safety protocol: a scenario's result files are written first, the
+// manifest is rewritten (atomically, via temp file + rename) marking it
+// "complete" last. A campaign killed mid-scenario therefore leaves that
+// scenario "pending"; resume re-runs it from scratch and — because the
+// engine is deterministic for a fixed (spec, seed) and thread-count
+// independent — reproduces bit-identical archive files.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario_spec.hpp"
+
+namespace wsnex::scenario {
+
+/// Per-scenario entry of the campaign manifest. Statistics are only
+/// meaningful once complete == true.
+struct ScenarioStatus {
+  std::string name;
+  bool complete = false;
+  std::size_t evaluations = 0;
+  std::size_t infeasible = 0;
+  std::size_t front_size = 0;
+  std::size_t feasible_size = 0;
+  double wallclock_s = 0.0;
+};
+
+/// The manifest (campaign.json) contents.
+struct CampaignManifest {
+  int format_version = 1;
+  bool quick = false;  ///< campaign ran with reduced budgets
+  std::vector<ScenarioStatus> scenarios;
+};
+
+class ResultStore {
+ public:
+  /// Binds to (but does not touch) the campaign root directory.
+  explicit ResultStore(std::string root);
+
+  const std::string& root() const { return root_; }
+
+  /// True iff `root` holds a campaign manifest.
+  static bool exists(const std::string& root);
+
+  /// Creates the directory tree, freezes every spec under scenarios/ and
+  /// writes an all-pending manifest. When a manifest already exists the
+  /// stored specs must match `specs` exactly (same scenarios, same
+  /// contents) and the existing progress is kept — reissuing `wsnex run`
+  /// on a finished or half-finished campaign is a no-op/resume, never a
+  /// silent overwrite; a mismatch throws ScenarioError.
+  void initialize(const std::vector<ScenarioSpec>& specs, bool quick);
+
+  CampaignManifest load_manifest() const;
+  ScenarioSpec load_spec(const std::string& name) const;
+
+  /// Marks one scenario complete with its statistics (atomic rewrite of
+  /// the manifest). Call only after its result files are on disk.
+  void record_complete(const ScenarioStatus& status);
+
+  /// Result-file paths for one scenario (creates results/<name>/ on
+  /// demand via ensure_result_dir).
+  std::string scenario_dir() const;
+  std::string spec_path(const std::string& name) const;
+  std::string result_dir(const std::string& name) const;
+  std::string pareto_csv_path(const std::string& name) const;
+  std::string feasible_csv_path(const std::string& name) const;
+  std::string summary_path(const std::string& name) const;
+  std::string manifest_path() const;
+
+  void ensure_result_dir(const std::string& name) const;
+
+  /// Writes `summary` (arbitrary JSON produced by the campaign runner) to
+  /// summary_path(name).
+  void write_summary(const std::string& name, const util::Json& summary) const;
+  util::Json load_summary(const std::string& name) const;
+
+ private:
+  void save_manifest(const CampaignManifest& manifest) const;
+
+  std::string root_;
+};
+
+}  // namespace wsnex::scenario

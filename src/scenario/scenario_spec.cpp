@@ -1,0 +1,592 @@
+#include "scenario/scenario_spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "mac/ieee802154.hpp"
+
+namespace wsnex::scenario {
+
+namespace {
+
+/// Collects "  - field: problem" lines so one ScenarioError can report
+/// every issue in a spec at once.
+class ErrorList {
+ public:
+  void add(const std::string& field, const std::string& problem) {
+    lines_.push_back("  - " + field + ": " + problem);
+  }
+
+  bool empty() const { return lines_.empty(); }
+
+  [[noreturn]] void raise(const std::string& header) const {
+    std::string message = header;
+    for (const std::string& line : lines_) message += "\n" + line;
+    throw ScenarioError(message);
+  }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+std::string json_path(const std::string& prefix, const std::string& key) {
+  return prefix.empty() ? key : prefix + "." + key;
+}
+
+[[noreturn]] void field_fail(const std::string& path, const std::string& why) {
+  throw ScenarioError("scenario field \"" + path + "\": " + why);
+}
+
+double read_double(const util::Json& v, const std::string& path) {
+  if (!v.is_number()) {
+    field_fail(path, std::string("expected number, got ") +
+                         util::Json::type_name(v.type()));
+  }
+  return v.as_double();
+}
+
+std::int64_t read_int(const util::Json& v, const std::string& path) {
+  if (!v.is_integer()) {
+    field_fail(path, std::string("expected integer, got ") +
+                         util::Json::type_name(v.type()));
+  }
+  return v.as_int64();
+}
+
+std::size_t read_size(const util::Json& v, const std::string& path) {
+  const std::int64_t i = read_int(v, path);
+  if (i < 0) field_fail(path, "must be >= 0, got " + std::to_string(i));
+  return static_cast<std::size_t>(i);
+}
+
+std::string read_string(const util::Json& v, const std::string& path) {
+  if (!v.is_string()) {
+    field_fail(path, std::string("expected string, got ") +
+                         util::Json::type_name(v.type()));
+  }
+  return v.as_string();
+}
+
+template <typename T, typename Reader>
+std::vector<T> read_array(const util::Json& v, const std::string& path,
+                          Reader read_element) {
+  if (!v.is_array()) {
+    field_fail(path, std::string("expected array, got ") +
+                         util::Json::type_name(v.type()));
+  }
+  std::vector<T> out;
+  out.reserve(v.as_array().size());
+  std::size_t i = 0;
+  for (const util::Json& element : v.as_array()) {
+    out.push_back(read_element(element, path + "[" + std::to_string(i) + "]"));
+    ++i;
+  }
+  return out;
+}
+
+model::AppKind read_app_kind(const util::Json& v, const std::string& path) {
+  const std::string s = read_string(v, path);
+  if (s == "dwt") return model::AppKind::kDwt;
+  if (s == "cs") return model::AppKind::kCs;
+  field_fail(path, "unknown application \"" + s + "\" (expected \"dwt\" or \"cs\")");
+}
+
+OptimizerKind read_optimizer_kind(const util::Json& v,
+                                  const std::string& path) {
+  const std::string s = read_string(v, path);
+  if (s == "nsga2") return OptimizerKind::kNsga2;
+  if (s == "mosa") return OptimizerKind::kMosa;
+  if (s == "random") return OptimizerKind::kRandom;
+  field_fail(path, "unknown optimizer \"" + s +
+                       "\" (expected \"nsga2\", \"mosa\" or \"random\")");
+}
+
+/// Requires `obj` to be a JSON object (named by `prefix` in the error) and
+/// rejects keys outside `allowed` with an actionable message listing the
+/// valid ones — the most common spec-authoring mistake is a typo'd key
+/// silently ignored.
+void check_keys(const util::Json& obj, const std::string& prefix,
+                std::initializer_list<const char*> allowed) {
+  if (!obj.is_object()) {
+    field_fail(prefix.empty() ? "(top level)" : prefix,
+               std::string("expected object, got ") +
+                   util::Json::type_name(obj.type()));
+  }
+  for (const auto& [key, value] : obj.as_object()) {
+    (void)value;
+    if (std::find_if(allowed.begin(), allowed.end(), [&](const char* a) {
+          return key == a;
+        }) != allowed.end()) {
+      continue;
+    }
+    std::string known;
+    for (const char* a : allowed) {
+      if (!known.empty()) known += ", ";
+      known += a;
+    }
+    field_fail(json_path(prefix, key), "unknown key (known keys: " + known + ")");
+  }
+}
+
+bool valid_name(const std::string& name) {
+  if (name.empty()) return false;
+  return std::all_of(name.begin(), name.end(), [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' ||
+           c == '-';
+  });
+}
+
+}  // namespace
+
+const char* to_string(OptimizerKind kind) {
+  switch (kind) {
+    case OptimizerKind::kNsga2: return "nsga2";
+    case OptimizerKind::kMosa: return "mosa";
+    default: return "random";
+  }
+}
+
+ScenarioSpec::ScenarioSpec() {
+  const dse::DesignSpaceConfig defaults;
+  cr_grid = defaults.cr_grid;
+  mcu_freq_khz_grid = defaults.mcu_freq_khz_grid;
+  payload_grid = defaults.payload_grid;
+  bco_grid = defaults.bco_grid;
+  sfo_gap_grid = defaults.sfo_gap_grid;
+}
+
+void ScenarioSpec::validate() const {
+  ErrorList errors;
+  if (!valid_name(name)) {
+    errors.add("name", "\"" + name +
+                           "\" is not a valid identifier (non-empty, "
+                           "[a-z0-9_-] only; it names the result directory)");
+  }
+  if (node_count == 0) {
+    errors.add("node_count", "must be >= 1 (a ward with no patients has "
+                             "nothing to explore)");
+  }
+  if (node_count > mac::SuperframeLimits::kMaxGts) {
+    errors.add("node_count",
+               "must be <= " + std::to_string(mac::SuperframeLimits::kMaxGts) +
+                   " (IEEE 802.15.4 grants at most 7 GTS slots, one per "
+                   "patient), got " + std::to_string(node_count));
+  }
+  if (!apps.empty() && apps.size() != node_count) {
+    errors.add("apps", "has " + std::to_string(apps.size()) +
+                           " entries but node_count is " +
+                           std::to_string(node_count) +
+                           " (omit apps for the default DWT/CS mix)");
+  }
+  if (cr_grid.empty()) errors.add("cr_grid", "must not be empty");
+  for (double cr : cr_grid) {
+    if (!(cr > 0.0 && cr <= 1.0)) {
+      errors.add("cr_grid", "compression ratios must be in (0, 1], got " +
+                                std::to_string(cr));
+      break;
+    }
+  }
+  if (mcu_freq_khz_grid.empty()) {
+    errors.add("mcu_freq_khz_grid", "must not be empty");
+  }
+  for (double f : mcu_freq_khz_grid) {
+    if (!(f > 0.0)) {
+      errors.add("mcu_freq_khz_grid",
+                 "frequencies must be > 0 kHz, got " + std::to_string(f));
+      break;
+    }
+  }
+  if (payload_grid.empty()) errors.add("payload_grid", "must not be empty");
+  for (std::size_t p : payload_grid) {
+    if (p == 0 || p > mac::FrameSizes::kMaxPayloadBytes) {
+      errors.add("payload_grid",
+                 "payloads must be in [1, " +
+                     std::to_string(mac::FrameSizes::kMaxPayloadBytes) +
+                     "] bytes (IEEE 802.15.4 MPDU limit), got " +
+                     std::to_string(p));
+      break;
+    }
+  }
+  if (bco_grid.empty()) errors.add("bco_grid", "must not be empty");
+  for (unsigned b : bco_grid) {
+    if (b > mac::SuperframeLimits::kMaxOrder) {
+      errors.add("bco_grid",
+                 "beacon orders must be in [0, 14], got " + std::to_string(b));
+      break;
+    }
+  }
+  if (sfo_gap_grid.empty()) errors.add("sfo_gap_grid", "must not be empty");
+  if (channel.frame_error_rate != 0.0 && channel.bit_error_rate != 0.0) {
+    errors.add("channel", "set frame_error_rate or bit_error_rate, not both");
+  }
+  if (channel.frame_error_rate < 0.0 || channel.frame_error_rate >= 1.0) {
+    errors.add("channel.frame_error_rate", "must be in [0, 1), got " +
+                                               std::to_string(
+                                                   channel.frame_error_rate));
+  }
+  if (channel.bit_error_rate < 0.0 || channel.bit_error_rate >= 1.0) {
+    errors.add("channel.bit_error_rate",
+               "must be in [0, 1), got " + std::to_string(
+                                               channel.bit_error_rate));
+  }
+  if (!(battery.capacity_mah > 0.0)) {
+    errors.add("battery.capacity_mah", "must be > 0 mAh");
+  }
+  if (!(battery.nominal_voltage_v > 0.0)) {
+    errors.add("battery.nominal_voltage_v", "must be > 0 V");
+  }
+  if (battery.regulator_efficiency <= 0.0 ||
+      battery.regulator_efficiency > 1.0) {
+    errors.add("battery.regulator_efficiency", "must be in (0, 1]");
+  }
+  if (battery.usable_fraction <= 0.0 || battery.usable_fraction > 1.0) {
+    errors.add("battery.usable_fraction", "must be in (0, 1]");
+  }
+  if (!(constraints.max_prd_percent > 0.0)) {
+    errors.add("constraints.max_prd_percent",
+               "must be > 0 % (every lossy reconstruction has PRD > 0)");
+  }
+  if (!(constraints.max_delay_s > 0.0)) {
+    errors.add("constraints.max_delay_s", "must be > 0 s");
+  }
+  if (!(theta >= 0.0)) errors.add("theta", "must be >= 0");
+  switch (optimizer.kind) {
+    case OptimizerKind::kNsga2:
+      if (optimizer.population < 4) {
+        errors.add("optimizer.population",
+                   "must be >= 4 for NSGA-II (tournament selection needs a "
+                   "non-degenerate pool), got " +
+                       std::to_string(optimizer.population));
+      }
+      if (optimizer.generations == 0) {
+        errors.add("optimizer.generations", "must be >= 1");
+      }
+      if (optimizer.crossover_rate < 0.0 || optimizer.crossover_rate > 1.0) {
+        errors.add("optimizer.crossover_rate", "must be in [0, 1]");
+      }
+      break;
+    case OptimizerKind::kMosa:
+      if (optimizer.iterations == 0) {
+        errors.add("optimizer.iterations", "must be >= 1");
+      }
+      if (!(optimizer.initial_temperature > 0.0)) {
+        errors.add("optimizer.initial_temperature", "must be > 0");
+      }
+      if (optimizer.cooling <= 0.0 || optimizer.cooling > 1.0) {
+        errors.add("optimizer.cooling", "must be in (0, 1]");
+      }
+      break;
+    case OptimizerKind::kRandom:
+      if (optimizer.iterations == 0) {
+        errors.add("optimizer.iterations", "must be >= 1 (random samples)");
+      }
+      break;
+  }
+  if (optimizer.mutation_rate < 0.0 || optimizer.mutation_rate > 1.0) {
+    errors.add("optimizer.mutation_rate", "must be in [0, 1] (0 = default)");
+  }
+  if (optimizer.seed >
+      static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max())) {
+    // JSON integers carry exact identity only in int64 range; a larger
+    // seed would not survive the frozen-spec round trip a resume relies on.
+    errors.add("optimizer.seed",
+               "must be <= 9223372036854775807 (seeds are persisted as JSON "
+               "integers)");
+  }
+  if (!errors.empty()) {
+    errors.raise("invalid scenario \"" + name + "\":");
+  }
+}
+
+double ScenarioSpec::effective_frame_error_rate() const {
+  if (channel.bit_error_rate == 0.0) return channel.frame_error_rate;
+  // Worst case over the payload grid: the longest frame (payload + MAC
+  // header/FCS + PHY preamble) is the most exposed to bit errors.
+  const std::size_t max_payload =
+      *std::max_element(payload_grid.begin(), payload_grid.end());
+  const std::size_t frame_bytes = max_payload +
+                                  mac::FrameSizes::kDataOverheadBytes +
+                                  mac::Phy::kPhyOverheadBytes;
+  const double bits = static_cast<double>(8 * frame_bytes);
+  return 1.0 - std::pow(1.0 - channel.bit_error_rate, bits);
+}
+
+dse::DesignSpaceConfig ScenarioSpec::design_space_config() const {
+  dse::DesignSpaceConfig cfg;
+  cfg.node_count = node_count;
+  cfg.apps = apps.empty() ? dse::DesignSpaceConfig::case_study(node_count).apps
+                          : apps;
+  cfg.cr_grid = cr_grid;
+  cfg.mcu_freq_khz_grid = mcu_freq_khz_grid;
+  cfg.payload_grid = payload_grid;
+  cfg.bco_grid = bco_grid;
+  cfg.sfo_gap_grid = sfo_gap_grid;
+  return cfg;
+}
+
+model::EvaluatorOptions ScenarioSpec::evaluator_options() const {
+  model::EvaluatorOptions options;
+  options.theta = theta;
+  options.frame_error_rate = effective_frame_error_rate();
+  return options;
+}
+
+ScenarioSpec ScenarioSpec::from_json(const util::Json& json) {
+  if (!json.is_object()) {
+    throw ScenarioError(std::string("scenario spec must be a JSON object, got ") +
+                        util::Json::type_name(json.type()));
+  }
+  check_keys(json, "",
+             {"name", "description", "node_count", "apps", "cr_grid",
+              "mcu_freq_khz_grid", "payload_grid", "bco_grid", "sfo_gap_grid",
+              "channel", "battery", "constraints", "theta", "optimizer"});
+  ScenarioSpec spec;
+  if (const util::Json* v = json.find("name")) {
+    spec.name = read_string(*v, "name");
+  }
+  if (const util::Json* v = json.find("description")) {
+    spec.description = read_string(*v, "description");
+  }
+  if (const util::Json* v = json.find("node_count")) {
+    spec.node_count = read_size(*v, "node_count");
+  }
+  if (const util::Json* v = json.find("apps")) {
+    spec.apps = read_array<model::AppKind>(*v, "apps", read_app_kind);
+  }
+  if (const util::Json* v = json.find("cr_grid")) {
+    spec.cr_grid = read_array<double>(*v, "cr_grid", read_double);
+  }
+  if (const util::Json* v = json.find("mcu_freq_khz_grid")) {
+    spec.mcu_freq_khz_grid =
+        read_array<double>(*v, "mcu_freq_khz_grid", read_double);
+  }
+  if (const util::Json* v = json.find("payload_grid")) {
+    spec.payload_grid = read_array<std::size_t>(*v, "payload_grid", read_size);
+  }
+  const auto read_unsigned = [](const util::Json& e, const std::string& path) {
+    const std::size_t v = read_size(e, path);
+    if (v > std::numeric_limits<unsigned>::max()) {
+      // Bound-check before narrowing: a wrapped value could otherwise
+      // sneak past the semantic range checks in validate().
+      field_fail(path, "value out of range: " + std::to_string(v));
+    }
+    return static_cast<unsigned>(v);
+  };
+  if (const util::Json* v = json.find("bco_grid")) {
+    spec.bco_grid = read_array<unsigned>(*v, "bco_grid", read_unsigned);
+  }
+  if (const util::Json* v = json.find("sfo_gap_grid")) {
+    spec.sfo_gap_grid = read_array<unsigned>(*v, "sfo_gap_grid", read_unsigned);
+  }
+  if (const util::Json* v = json.find("channel")) {
+    check_keys(*v, "channel", {"frame_error_rate", "bit_error_rate"});
+    if (const util::Json* f = v->find("frame_error_rate")) {
+      spec.channel.frame_error_rate =
+          read_double(*f, "channel.frame_error_rate");
+    }
+    if (const util::Json* f = v->find("bit_error_rate")) {
+      spec.channel.bit_error_rate = read_double(*f, "channel.bit_error_rate");
+    }
+  }
+  if (const util::Json* v = json.find("battery")) {
+    check_keys(*v, "battery",
+               {"capacity_mah", "nominal_voltage_v", "regulator_efficiency",
+                "usable_fraction"});
+    if (const util::Json* f = v->find("capacity_mah")) {
+      spec.battery.capacity_mah = read_double(*f, "battery.capacity_mah");
+    }
+    if (const util::Json* f = v->find("nominal_voltage_v")) {
+      spec.battery.nominal_voltage_v =
+          read_double(*f, "battery.nominal_voltage_v");
+    }
+    if (const util::Json* f = v->find("regulator_efficiency")) {
+      spec.battery.regulator_efficiency =
+          read_double(*f, "battery.regulator_efficiency");
+    }
+    if (const util::Json* f = v->find("usable_fraction")) {
+      spec.battery.usable_fraction = read_double(*f, "battery.usable_fraction");
+    }
+  }
+  if (const util::Json* v = json.find("constraints")) {
+    check_keys(*v, "constraints", {"max_prd_percent", "max_delay_s"});
+    if (const util::Json* f = v->find("max_prd_percent")) {
+      spec.constraints.max_prd_percent =
+          read_double(*f, "constraints.max_prd_percent");
+    }
+    if (const util::Json* f = v->find("max_delay_s")) {
+      spec.constraints.max_delay_s = read_double(*f, "constraints.max_delay_s");
+    }
+  }
+  if (const util::Json* v = json.find("theta")) {
+    spec.theta = read_double(*v, "theta");
+  }
+  if (const util::Json* v = json.find("optimizer")) {
+    check_keys(*v, "optimizer",
+               {"kind", "population", "generations", "iterations",
+                "crossover_rate", "mutation_rate", "initial_temperature",
+                "cooling", "seed", "threads"});
+    OptimizerSettings& opt = spec.optimizer;
+    if (const util::Json* f = v->find("kind")) {
+      opt.kind = read_optimizer_kind(*f, "optimizer.kind");
+    }
+    if (const util::Json* f = v->find("population")) {
+      opt.population = read_size(*f, "optimizer.population");
+    }
+    if (const util::Json* f = v->find("generations")) {
+      opt.generations = read_size(*f, "optimizer.generations");
+    }
+    if (const util::Json* f = v->find("iterations")) {
+      opt.iterations = read_size(*f, "optimizer.iterations");
+    }
+    if (const util::Json* f = v->find("crossover_rate")) {
+      opt.crossover_rate = read_double(*f, "optimizer.crossover_rate");
+    }
+    if (const util::Json* f = v->find("mutation_rate")) {
+      opt.mutation_rate = read_double(*f, "optimizer.mutation_rate");
+    }
+    if (const util::Json* f = v->find("initial_temperature")) {
+      opt.initial_temperature = read_double(*f, "optimizer.initial_temperature");
+    }
+    if (const util::Json* f = v->find("cooling")) {
+      opt.cooling = read_double(*f, "optimizer.cooling");
+    }
+    if (const util::Json* f = v->find("seed")) {
+      const std::int64_t seed = read_int(*f, "optimizer.seed");
+      if (seed < 0) field_fail("optimizer.seed", "must be >= 0");
+      opt.seed = static_cast<std::uint64_t>(seed);
+    }
+    if (const util::Json* f = v->find("threads")) {
+      opt.threads = read_size(*f, "optimizer.threads");
+    }
+  }
+  spec.validate();
+  return spec;
+}
+
+ScenarioSpec ScenarioSpec::from_json_text(std::string_view text) {
+  try {
+    return from_json(util::Json::parse(text));
+  } catch (const util::JsonParseError& e) {
+    throw ScenarioError(std::string("scenario spec is not valid JSON: ") +
+                        e.what());
+  }
+}
+
+ScenarioSpec ScenarioSpec::from_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ScenarioError("cannot open scenario file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  try {
+    return from_json_text(ss.str());
+  } catch (const ScenarioError& e) {
+    throw ScenarioError(path + ": " + e.what());
+  }
+}
+
+util::Json ScenarioSpec::to_json() const {
+  util::Json json = util::Json::object();
+  json.set("name", name);
+  json.set("description", description);
+  json.set("node_count", node_count);
+  if (!apps.empty()) {
+    util::Json apps_json = util::Json::array();
+    for (model::AppKind kind : apps) {
+      apps_json.push_back(kind == model::AppKind::kDwt ? "dwt" : "cs");
+    }
+    json.set("apps", std::move(apps_json));
+  }
+  const auto number_array = [](const auto& values) {
+    util::Json arr = util::Json::array();
+    for (const auto v : values) arr.push_back(util::Json(v));
+    return arr;
+  };
+  json.set("cr_grid", number_array(cr_grid));
+  json.set("mcu_freq_khz_grid", number_array(mcu_freq_khz_grid));
+  json.set("payload_grid", number_array(payload_grid));
+  const auto unsigned_array = [](const std::vector<unsigned>& values) {
+    util::Json arr = util::Json::array();
+    for (unsigned v : values) arr.push_back(static_cast<std::int64_t>(v));
+    return arr;
+  };
+  json.set("bco_grid", unsigned_array(bco_grid));
+  json.set("sfo_gap_grid", unsigned_array(sfo_gap_grid));
+  util::Json channel_json = util::Json::object();
+  if (channel.bit_error_rate != 0.0) {
+    channel_json.set("bit_error_rate", channel.bit_error_rate);
+  } else {
+    channel_json.set("frame_error_rate", channel.frame_error_rate);
+  }
+  json.set("channel", std::move(channel_json));
+  util::Json battery_json = util::Json::object();
+  battery_json.set("capacity_mah", battery.capacity_mah);
+  battery_json.set("nominal_voltage_v", battery.nominal_voltage_v);
+  battery_json.set("regulator_efficiency", battery.regulator_efficiency);
+  battery_json.set("usable_fraction", battery.usable_fraction);
+  json.set("battery", std::move(battery_json));
+  util::Json constraints_json = util::Json::object();
+  constraints_json.set("max_prd_percent", constraints.max_prd_percent);
+  constraints_json.set("max_delay_s", constraints.max_delay_s);
+  json.set("constraints", std::move(constraints_json));
+  json.set("theta", theta);
+  util::Json optimizer_json = util::Json::object();
+  optimizer_json.set("kind", to_string(optimizer.kind));
+  // Every knob is serialized, including ones the chosen kind ignores:
+  // the frozen spec in a campaign store must reload to an == spec, or
+  // re-issuing `wsnex run` on its own output would be rejected as a
+  // different campaign.
+  optimizer_json.set("population", optimizer.population);
+  optimizer_json.set("generations", optimizer.generations);
+  optimizer_json.set("iterations", optimizer.iterations);
+  optimizer_json.set("crossover_rate", optimizer.crossover_rate);
+  optimizer_json.set("initial_temperature", optimizer.initial_temperature);
+  optimizer_json.set("cooling", optimizer.cooling);
+  optimizer_json.set("mutation_rate", optimizer.mutation_rate);
+  optimizer_json.set("seed",
+                     static_cast<std::int64_t>(optimizer.seed));
+  optimizer_json.set("threads", optimizer.threads);
+  json.set("optimizer", std::move(optimizer_json));
+  return json;
+}
+
+bool operator==(const OptimizerSettings& a, const OptimizerSettings& b) {
+  return a.kind == b.kind && a.population == b.population &&
+         a.generations == b.generations && a.iterations == b.iterations &&
+         a.crossover_rate == b.crossover_rate &&
+         a.mutation_rate == b.mutation_rate &&
+         a.initial_temperature == b.initial_temperature &&
+         a.cooling == b.cooling && a.seed == b.seed && a.threads == b.threads;
+}
+
+bool operator==(const ChannelSpec& a, const ChannelSpec& b) {
+  return a.frame_error_rate == b.frame_error_rate &&
+         a.bit_error_rate == b.bit_error_rate;
+}
+
+bool operator==(const ClinicalConstraints& a, const ClinicalConstraints& b) {
+  return a.max_prd_percent == b.max_prd_percent &&
+         a.max_delay_s == b.max_delay_s;
+}
+
+bool operator==(const model::Battery& a, const model::Battery& b) {
+  return a.capacity_mah == b.capacity_mah &&
+         a.nominal_voltage_v == b.nominal_voltage_v &&
+         a.regulator_efficiency == b.regulator_efficiency &&
+         a.usable_fraction == b.usable_fraction;
+}
+
+bool operator==(const ScenarioSpec& a, const ScenarioSpec& b) {
+  return a.name == b.name && a.description == b.description &&
+         a.node_count == b.node_count && a.apps == b.apps &&
+         a.cr_grid == b.cr_grid &&
+         a.mcu_freq_khz_grid == b.mcu_freq_khz_grid &&
+         a.payload_grid == b.payload_grid && a.bco_grid == b.bco_grid &&
+         a.sfo_gap_grid == b.sfo_gap_grid && a.channel == b.channel &&
+         a.battery == b.battery && a.constraints == b.constraints &&
+         a.theta == b.theta && a.optimizer == b.optimizer;
+}
+
+}  // namespace wsnex::scenario

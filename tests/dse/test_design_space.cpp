@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
 namespace wsnex::dse {
 namespace {
 
@@ -11,6 +15,59 @@ TEST(DesignSpace, CaseStudySplitsAppsHalfAndHalf) {
   int dwt = 0;
   for (auto app : cfg.apps) dwt += (app == model::AppKind::kDwt);
   EXPECT_EQ(dwt, 3);
+}
+
+TEST(DesignSpace, ConstructionRejectsInvalidConfigs) {
+  // Zero nodes.
+  {
+    DesignSpaceConfig cfg = DesignSpaceConfig::case_study(6);
+    cfg.node_count = 0;
+    cfg.apps.clear();
+    EXPECT_THROW(DesignSpace{cfg}, std::invalid_argument);
+  }
+  // apps.size() != node_count (both directions).
+  {
+    DesignSpaceConfig cfg = DesignSpaceConfig::case_study(6);
+    cfg.apps.pop_back();
+    EXPECT_THROW(DesignSpace{cfg}, std::invalid_argument);
+    cfg.apps.resize(8, model::AppKind::kCs);
+    EXPECT_THROW(DesignSpace{cfg}, std::invalid_argument);
+  }
+  // Every grid must be non-empty, and the message must name the grid.
+  const auto clearing = {
+      +[](DesignSpaceConfig& c) { c.cr_grid.clear(); },
+      +[](DesignSpaceConfig& c) { c.mcu_freq_khz_grid.clear(); },
+      +[](DesignSpaceConfig& c) { c.payload_grid.clear(); },
+      +[](DesignSpaceConfig& c) { c.bco_grid.clear(); },
+      +[](DesignSpaceConfig& c) { c.sfo_gap_grid.clear(); },
+  };
+  const char* names[] = {"cr_grid", "mcu_freq_khz_grid", "payload_grid",
+                         "bco_grid", "sfo_gap_grid"};
+  std::size_t i = 0;
+  for (const auto clear : clearing) {
+    DesignSpaceConfig cfg = DesignSpaceConfig::case_study(6);
+    clear(cfg);
+    try {
+      DesignSpace space(cfg);
+      FAIL() << "expected std::invalid_argument for empty " << names[i];
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(names[i]), std::string::npos)
+          << e.what();
+    }
+    ++i;
+  }
+}
+
+TEST(DesignSpace, CardinalityStaysFiniteFarBeyondIntegerOverflow) {
+  // cardinality() accumulates in double on purpose: a 7-node space with
+  // widened grids already exceeds 2^64; the result must stay a finite
+  // magnitude estimate instead of wrapping.
+  DesignSpaceConfig cfg = DesignSpaceConfig::case_study(7);
+  cfg.cr_grid.assign(100, 0.3);
+  cfg.mcu_freq_khz_grid.assign(100, 1000.0);
+  const DesignSpace space(cfg);
+  EXPECT_GT(space.cardinality(), 1.8e19);  // > 2^64
+  EXPECT_TRUE(std::isfinite(space.cardinality()));
 }
 
 TEST(DesignSpace, GenomeLength) {

@@ -1,0 +1,251 @@
+// Campaign runner + result store integration: end-to-end runs over real
+// presets (quick budgets), persistence layout, checkpoint/resume with
+// bit-identical archives, and store/manifest corruption handling.
+#include "scenario/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/registry.hpp"
+
+namespace wsnex::scenario {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class CampaignTest : public ::testing::Test {
+ protected:
+  // Unique per test case, so concurrently running ctest shards never
+  // share a campaign directory.
+  fs::path root_ =
+      fs::path(::testing::TempDir()) /
+      (std::string("wsnex_campaign_") +
+       ::testing::UnitTest::GetInstance()->current_test_info()->name());
+
+  void TearDown() override { fs::remove_all(root_); }
+
+  std::string dir(const std::string& leaf) const {
+    return (root_ / leaf).string();
+  }
+
+  static std::vector<ScenarioSpec> small_campaign() {
+    return {preset("hospital_ward_2"), preset("hospital_ward_3"),
+            preset("all_cs_6")};
+  }
+
+  static CampaignOptions options(const std::string& out_dir) {
+    CampaignOptions o;
+    o.out_dir = out_dir;
+    o.quick = true;
+    return o;
+  }
+};
+
+TEST_F(CampaignTest, RunProducesStoreLayoutAndReport) {
+  const auto specs = small_campaign();
+  std::vector<std::string> seen;
+  const CampaignReport report =
+      run_campaign(specs, options(dir("a")),
+                   [&](const CampaignOutcome& o) { seen.push_back(o.name); });
+
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.executed, 3u);
+  EXPECT_EQ(report.skipped, 0u);
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], "hospital_ward_2");
+
+  ResultStore store(dir("a"));
+  ASSERT_TRUE(ResultStore::exists(store.root()));
+  const CampaignManifest manifest = store.load_manifest();
+  EXPECT_TRUE(manifest.quick);
+  ASSERT_EQ(manifest.scenarios.size(), 3u);
+  for (const auto& status : manifest.scenarios) {
+    EXPECT_TRUE(status.complete);
+    EXPECT_GT(status.evaluations, 0u);
+    EXPECT_GT(status.front_size, 0u);
+    EXPECT_TRUE(fs::exists(store.pareto_csv_path(status.name)));
+    EXPECT_TRUE(fs::exists(store.feasible_csv_path(status.name)));
+    EXPECT_TRUE(fs::exists(store.summary_path(status.name)));
+    EXPECT_TRUE(fs::exists(store.spec_path(status.name)));
+    // The frozen spec reloads to exactly the preset.
+    EXPECT_EQ(store.load_spec(status.name), preset(status.name));
+    // The archive CSV has header + front_size rows.
+    const std::string csv = read_file(store.pareto_csv_path(status.name));
+    EXPECT_EQ(static_cast<std::size_t>(
+                  std::count(csv.begin(), csv.end(), '\n')),
+              status.front_size + 1);
+  }
+}
+
+TEST_F(CampaignTest, AbortAfterCheckpointsAndResumeIsBitIdentical) {
+  const auto specs = small_campaign();
+
+  // Uninterrupted reference run.
+  run_campaign(specs, options(dir("full")));
+
+  // Interrupted run: stop (as if killed) after the first scenario...
+  CampaignOptions interrupted = options(dir("int"));
+  interrupted.abort_after = 1;
+  const CampaignReport first = run_campaign(specs, interrupted);
+  EXPECT_FALSE(first.complete);
+  EXPECT_EQ(first.executed, 1u);
+  {
+    const CampaignManifest manifest = ResultStore(dir("int")).load_manifest();
+    EXPECT_TRUE(manifest.scenarios[0].complete);
+    EXPECT_FALSE(manifest.scenarios[1].complete);
+    EXPECT_FALSE(manifest.scenarios[2].complete);
+  }
+
+  // ... then resume from the store alone (no original specs needed).
+  const CampaignReport resumed = resume_campaign(dir("int"));
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.skipped, 1u);
+  EXPECT_EQ(resumed.executed, 2u);
+
+  // Archives must match the uninterrupted run byte for byte.
+  ResultStore full(dir("full")), resumed_store(dir("int"));
+  for (const auto& spec : specs) {
+    EXPECT_EQ(read_file(full.pareto_csv_path(spec.name)),
+              read_file(resumed_store.pareto_csv_path(spec.name)))
+        << spec.name;
+    EXPECT_EQ(read_file(full.feasible_csv_path(spec.name)),
+              read_file(resumed_store.feasible_csv_path(spec.name)))
+        << spec.name;
+  }
+}
+
+TEST_F(CampaignTest, RerunOnCompleteCampaignSkipsEverything) {
+  const auto specs = small_campaign();
+  run_campaign(specs, options(dir("a")));
+  const CampaignReport again = run_campaign(specs, options(dir("a")));
+  EXPECT_TRUE(again.complete);
+  EXPECT_EQ(again.executed, 0u);
+  EXPECT_EQ(again.skipped, 3u);
+
+  // Also with optimizer knobs the chosen kind ignores: the frozen spec
+  // must reload == the original, so the rerun is still a clean skip.
+  ScenarioSpec cross = preset("hospital_ward_2");
+  cross.name = "cross_kind_knobs";
+  cross.optimizer.iterations = 999;  // ignored by NSGA-II, but persisted
+  run_campaign({cross}, options(dir("b")));
+  const CampaignReport cross_again = run_campaign({cross}, options(dir("b")));
+  EXPECT_EQ(cross_again.skipped, 1u);
+}
+
+TEST_F(CampaignTest, ThreadsOverrideDoesNotChangeArchives) {
+  const auto specs = std::vector<ScenarioSpec>{preset("hospital_ward_2")};
+  CampaignOptions one = options(dir("t1"));
+  one.threads = 1;
+  CampaignOptions four = options(dir("t4"));
+  four.threads = 4;
+  run_campaign(specs, one);
+  run_campaign(specs, four);
+  EXPECT_EQ(
+      read_file(ResultStore(dir("t1")).pareto_csv_path("hospital_ward_2")),
+      read_file(ResultStore(dir("t4")).pareto_csv_path("hospital_ward_2")));
+}
+
+TEST_F(CampaignTest, MismatchedReuseOfStoreIsRejected) {
+  const auto specs = small_campaign();
+  run_campaign(specs, options(dir("a")));
+
+  // Different scenario list.
+  const auto other = std::vector<ScenarioSpec>{preset("hospital_ward_6")};
+  EXPECT_THROW(run_campaign(other, options(dir("a"))), ScenarioError);
+
+  // Same list, different options (quick mismatch).
+  CampaignOptions full_budget;
+  full_budget.out_dir = dir("a");
+  full_budget.quick = false;
+  EXPECT_THROW(run_campaign(specs, full_budget), ScenarioError);
+
+  // Same names, edited spec contents.
+  auto edited = specs;
+  edited[0].constraints.max_delay_s = 0.5;
+  EXPECT_THROW(run_campaign(edited, options(dir("a"))), ScenarioError);
+}
+
+TEST_F(CampaignTest, RejectsEmptyAndDuplicateCampaigns) {
+  EXPECT_THROW(run_campaign({}, options(dir("a"))), ScenarioError);
+  const auto dup = std::vector<ScenarioSpec>{preset("hospital_ward_2"),
+                                             preset("hospital_ward_2")};
+  EXPECT_THROW(run_campaign(dup, options(dir("a"))), ScenarioError);
+  EXPECT_THROW(resume_campaign(dir("nothing_here")), ScenarioError);
+}
+
+TEST_F(CampaignTest, FeasibleCsvIsSortedByEnergyAndRespectsConstraints) {
+  const auto spec = preset("hospital_ward_2");
+  run_campaign({spec}, options(dir("a")));
+  const std::string csv =
+      read_file(ResultStore(dir("a")).feasible_csv_path(spec.name));
+  std::istringstream lines(csv);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));  // header
+  double previous_energy = 0.0;
+  std::size_t rows = 0;
+  while (std::getline(lines, line)) {
+    std::istringstream fields(line);
+    std::string energy, prd, delay;
+    ASSERT_TRUE(std::getline(fields, energy, ','));
+    ASSERT_TRUE(std::getline(fields, prd, ','));
+    ASSERT_TRUE(std::getline(fields, delay, ','));
+    EXPECT_GE(std::stod(energy), previous_energy);
+    previous_energy = std::stod(energy);
+    EXPECT_LE(std::stod(prd), spec.constraints.max_prd_percent);
+    EXPECT_LE(std::stod(delay), spec.constraints.max_delay_s);
+    ++rows;
+  }
+  EXPECT_GT(rows, 0u);
+}
+
+TEST_F(CampaignTest, RunScenarioMatchesDirectEngineInvocation) {
+  // The campaign layer must add nothing to the numbers: running a spec
+  // through run_scenario equals calling the optimizer directly with the
+  // memoized objective.
+  const ScenarioSpec spec = quick_variant(preset("hospital_ward_2"));
+  const ScenarioRun run = run_scenario(spec);
+
+  const auto evaluator =
+      model::NetworkModelEvaluator::make_default(spec.evaluator_options());
+  const dse::DesignSpace space(spec.design_space_config());
+  const auto objective =
+      dse::make_memoized_full_model_objective(evaluator, space, 1);
+  dse::Nsga2Options o;
+  o.population = spec.optimizer.population;
+  o.generations = spec.optimizer.generations;
+  o.crossover_rate = spec.optimizer.crossover_rate;
+  o.seed = spec.optimizer.seed;
+  o.threads = 1;
+  const dse::DseResult direct = dse::run_nsga2(space, *objective, o);
+
+  EXPECT_EQ(run.result.evaluations, direct.evaluations);
+  EXPECT_EQ(run.result.infeasible_count, direct.infeasible_count);
+  EXPECT_TRUE(dse::same_entries(run.result.archive, direct.archive));
+}
+
+TEST_F(CampaignTest, CorruptManifestFailsWithClearError) {
+  run_campaign({preset("hospital_ward_2")}, options(dir("a")));
+  {
+    std::ofstream out(ResultStore(dir("a")).manifest_path(),
+                      std::ios::binary | std::ios::trunc);
+    out << "{ not json";
+  }
+  EXPECT_THROW(resume_campaign(dir("a")), ScenarioError);
+}
+
+}  // namespace
+}  // namespace wsnex::scenario

@@ -1,0 +1,327 @@
+#include "scenario/scenario_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <string>
+
+#include "scenario/registry.hpp"
+
+namespace wsnex::scenario {
+namespace {
+
+ScenarioSpec valid_spec() {
+  ScenarioSpec spec;
+  spec.name = "test_ward";
+  spec.description = "unit-test spec";
+  spec.node_count = 4;
+  return spec;
+}
+
+TEST(ScenarioSpec, DefaultGridsMatchCaseStudy) {
+  const ScenarioSpec spec;
+  const dse::DesignSpaceConfig defaults;
+  EXPECT_EQ(spec.cr_grid, defaults.cr_grid);
+  EXPECT_EQ(spec.mcu_freq_khz_grid, defaults.mcu_freq_khz_grid);
+  EXPECT_EQ(spec.payload_grid, defaults.payload_grid);
+  EXPECT_EQ(spec.bco_grid, defaults.bco_grid);
+  EXPECT_EQ(spec.sfo_gap_grid, defaults.sfo_gap_grid);
+}
+
+TEST(ScenarioSpec, ValidSpecValidates) {
+  EXPECT_NO_THROW(valid_spec().validate());
+}
+
+TEST(ScenarioSpec, ValidationCollectsAllProblemsInOneError) {
+  ScenarioSpec spec = valid_spec();
+  spec.name = "Bad Name!";
+  spec.node_count = 0;
+  spec.cr_grid.clear();
+  spec.constraints.max_delay_s = -1.0;
+  try {
+    spec.validate();
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("name"), std::string::npos) << what;
+    EXPECT_NE(what.find("node_count"), std::string::npos) << what;
+    EXPECT_NE(what.find("cr_grid"), std::string::npos) << what;
+    EXPECT_NE(what.find("max_delay_s"), std::string::npos) << what;
+  }
+}
+
+TEST(ScenarioSpec, RejectsAppsNodeCountMismatch) {
+  ScenarioSpec spec = valid_spec();
+  spec.apps = {model::AppKind::kDwt, model::AppKind::kCs};  // node_count = 4
+  EXPECT_THROW(spec.validate(), ScenarioError);
+}
+
+TEST(ScenarioSpec, RejectsMoreNodesThanGtsSlots) {
+  ScenarioSpec spec = valid_spec();
+  spec.node_count = 8;  // 802.15.4 grants at most 7 GTS
+  spec.apps.clear();
+  EXPECT_THROW(spec.validate(), ScenarioError);
+}
+
+TEST(ScenarioSpec, RejectsOutOfRangeValues) {
+  for (const auto mutate : {
+           +[](ScenarioSpec& s) { s.cr_grid = {0.0}; },
+           +[](ScenarioSpec& s) { s.cr_grid = {1.5}; },
+           +[](ScenarioSpec& s) { s.mcu_freq_khz_grid = {-1000.0}; },
+           +[](ScenarioSpec& s) { s.payload_grid = {0}; },
+           +[](ScenarioSpec& s) { s.payload_grid = {200}; },
+           +[](ScenarioSpec& s) { s.bco_grid = {15}; },
+           +[](ScenarioSpec& s) { s.channel.frame_error_rate = 1.0; },
+           +[](ScenarioSpec& s) { s.channel.bit_error_rate = -0.5; },
+           +[](ScenarioSpec& s) {
+             s.channel.frame_error_rate = 0.1;
+             s.channel.bit_error_rate = 0.1;
+           },
+           +[](ScenarioSpec& s) { s.battery.capacity_mah = 0.0; },
+           +[](ScenarioSpec& s) { s.battery.regulator_efficiency = 1.5; },
+           +[](ScenarioSpec& s) { s.theta = -0.1; },
+           +[](ScenarioSpec& s) { s.optimizer.population = 2; },
+           +[](ScenarioSpec& s) { s.optimizer.generations = 0; },
+           +[](ScenarioSpec& s) { s.optimizer.crossover_rate = 1.5; },
+           +[](ScenarioSpec& s) { s.optimizer.mutation_rate = -0.2; },
+       }) {
+    ScenarioSpec spec = valid_spec();
+    mutate(spec);
+    EXPECT_THROW(spec.validate(), ScenarioError);
+  }
+}
+
+TEST(ScenarioSpec, MosaAndRandomValidateTheirOwnKnobs) {
+  ScenarioSpec spec = valid_spec();
+  spec.optimizer.kind = OptimizerKind::kMosa;
+  spec.optimizer.population = 0;  // irrelevant under MOSA
+  EXPECT_NO_THROW(spec.validate());
+  spec.optimizer.iterations = 0;
+  EXPECT_THROW(spec.validate(), ScenarioError);
+  spec.optimizer.iterations = 100;
+  spec.optimizer.cooling = 0.0;
+  EXPECT_THROW(spec.validate(), ScenarioError);
+
+  ScenarioSpec random = valid_spec();
+  random.optimizer.kind = OptimizerKind::kRandom;
+  random.optimizer.iterations = 0;
+  EXPECT_THROW(random.validate(), ScenarioError);
+}
+
+TEST(ScenarioSpec, BitErrorRateDerivesWorstCaseFrameErrorRate) {
+  ScenarioSpec spec = valid_spec();
+  spec.channel.bit_error_rate = 1e-4;
+  spec.payload_grid = {32, 114};
+  // Largest frame: 114 payload + 13 MAC + 6 PHY = 133 bytes = 1064 bits.
+  const double expected = 1.0 - std::pow(1.0 - 1e-4, 1064.0);
+  EXPECT_DOUBLE_EQ(spec.effective_frame_error_rate(), expected);
+  EXPECT_DOUBLE_EQ(spec.evaluator_options().frame_error_rate, expected);
+
+  spec.channel.bit_error_rate = 0.0;
+  spec.channel.frame_error_rate = 0.25;
+  EXPECT_DOUBLE_EQ(spec.effective_frame_error_rate(), 0.25);
+}
+
+TEST(ScenarioSpec, DesignSpaceConfigUsesDefaultMixWhenAppsOmitted) {
+  ScenarioSpec spec = valid_spec();
+  const dse::DesignSpaceConfig cfg = spec.design_space_config();
+  EXPECT_EQ(cfg.node_count, 4u);
+  EXPECT_EQ(cfg.apps, dse::DesignSpaceConfig::case_study(4).apps);
+  EXPECT_NO_THROW(dse::DesignSpace{cfg});
+}
+
+TEST(ScenarioSpec, JsonRoundTripIsLossless) {
+  ScenarioSpec spec = valid_spec();
+  spec.apps = {model::AppKind::kDwt, model::AppKind::kCs, model::AppKind::kCs,
+               model::AppKind::kDwt};
+  spec.channel.bit_error_rate = 2.5e-5;
+  spec.battery.capacity_mah = 150.0;
+  spec.constraints.max_prd_percent = 55.5;
+  spec.theta = 0.75;
+  spec.optimizer.kind = OptimizerKind::kMosa;
+  spec.optimizer.iterations = 1234;
+  spec.optimizer.initial_temperature = 2.0;
+  spec.optimizer.cooling = 0.995;
+  spec.optimizer.mutation_rate = 0.11;
+  spec.optimizer.seed = 987654321;
+  spec.optimizer.threads = 4;
+
+  const ScenarioSpec back = ScenarioSpec::from_json(spec.to_json());
+  EXPECT_EQ(back, spec);
+
+  // And through actual text, pretty-printed.
+  const ScenarioSpec text_back =
+      ScenarioSpec::from_json_text(spec.to_json().dump(2));
+  EXPECT_EQ(text_back, spec);
+}
+
+TEST(ScenarioSpec, RoundTripKeepsOptimizerKnobsOfOtherKinds) {
+  // A spec may set knobs the chosen kind ignores (e.g. NSGA-II with a
+  // custom MOSA iteration count); serialization must not drop them, or a
+  // campaign store's frozen spec would compare unequal to the original
+  // and re-running `wsnex run` on its own output directory would be
+  // rejected as a different campaign.
+  ScenarioSpec spec = valid_spec();
+  spec.optimizer.kind = OptimizerKind::kNsga2;
+  spec.optimizer.iterations = 777;         // MOSA/random knob
+  spec.optimizer.initial_temperature = 3.5;  // MOSA knob
+  spec.optimizer.cooling = 0.9;              // MOSA knob
+  const ScenarioSpec back = ScenarioSpec::from_json(spec.to_json());
+  EXPECT_EQ(back, spec);
+  EXPECT_EQ(back.optimizer.iterations, 777u);
+}
+
+TEST(ScenarioSpec, RejectsSeedBeyondJsonIntegerRange) {
+  // Seeds above INT64_MAX cannot survive the frozen-spec JSON round trip
+  // a campaign resume depends on, so validate() refuses them up front.
+  ScenarioSpec spec = valid_spec();
+  spec.optimizer.seed = 0x8000000000000000ULL;  // 2^63
+  EXPECT_THROW(spec.validate(), ScenarioError);
+  spec.optimizer.seed = 0x7FFFFFFFFFFFFFFFULL;  // INT64_MAX: fine
+  EXPECT_NO_THROW(spec.validate());
+  EXPECT_EQ(ScenarioSpec::from_json(spec.to_json()), spec);
+}
+
+TEST(ScenarioSpec, RejectsGridValuesThatWouldWrapOnNarrowing) {
+  // 2^32 + 3 would wrap to 3 via static_cast<unsigned> and then pass the
+  // BCO <= 14 range check; the parser must reject it instead.
+  EXPECT_THROW(ScenarioSpec::from_json_text(
+                   R"({"name": "x", "bco_grid": [4294967299]})"),
+               ScenarioError);
+  EXPECT_THROW(ScenarioSpec::from_json_text(
+                   R"({"name": "x", "sfo_gap_grid": [4294967299]})"),
+               ScenarioError);
+}
+
+TEST(ScenarioSpec, NonObjectSubsectionFailsAsScenarioErrorWithPath) {
+  try {
+    ScenarioSpec::from_json_text(R"({"name": "x", "channel": 5})");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_NE(std::string(e.what()).find("channel"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(
+      ScenarioSpec::from_json_text(R"({"name": "x", "optimizer": []})"),
+      ScenarioError);
+}
+
+TEST(ScenarioSpec, EmptyAppsRoundTripsAsEmpty) {
+  const ScenarioSpec spec = valid_spec();
+  ASSERT_TRUE(spec.apps.empty());
+  const ScenarioSpec back = ScenarioSpec::from_json(spec.to_json());
+  EXPECT_TRUE(back.apps.empty());
+  EXPECT_EQ(back, spec);
+}
+
+TEST(ScenarioSpec, FromJsonRejectsUnknownKeysNamingThem) {
+  try {
+    ScenarioSpec::from_json_text(R"({"name": "x", "node_cuont": 4})");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("node_cuont"), std::string::npos) << what;
+    EXPECT_NE(what.find("node_count"), std::string::npos)
+        << "message should list the known keys: " << what;
+  }
+}
+
+TEST(ScenarioSpec, FromJsonRejectsWrongTypesWithFieldPath) {
+  try {
+    ScenarioSpec::from_json_text(
+        R"({"name": "x", "optimizer": {"population": "many"}})");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_NE(std::string(e.what()).find("optimizer.population"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ScenarioSpec, FromJsonRejectsBadAppName) {
+  EXPECT_THROW(ScenarioSpec::from_json_text(
+                   R"({"name": "x", "node_count": 1, "apps": ["dct"]})"),
+               ScenarioError);
+}
+
+TEST(ScenarioSpec, FromJsonRejectsMalformedJson) {
+  EXPECT_THROW(ScenarioSpec::from_json_text("{not json"), ScenarioError);
+  EXPECT_THROW(ScenarioSpec::from_json_text("[1, 2]"), ScenarioError);
+}
+
+TEST(ScenarioSpec, FromFileNamesThePathOnError) {
+  try {
+    ScenarioSpec::from_file("/nonexistent/spec.json");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/spec.json"),
+              std::string::npos);
+  }
+}
+
+TEST(Registry, HasAtLeastEightValidatedPresets) {
+  const auto names = preset_names();
+  EXPECT_GE(names.size(), 8u);
+  for (const std::string& name : names) {
+    const ScenarioSpec spec = preset(name);
+    EXPECT_EQ(spec.name, name);
+    EXPECT_NO_THROW(spec.validate()) << name;
+    EXPECT_FALSE(spec.description.empty()) << name;
+    // Every preset must lower onto a constructible design space.
+    EXPECT_NO_THROW(dse::DesignSpace{spec.design_space_config()}) << name;
+    // And survive a JSON round trip (the examples/scenarios/ files are
+    // exactly these presets serialized).
+    EXPECT_EQ(ScenarioSpec::from_json(spec.to_json()), spec) << name;
+  }
+}
+
+TEST(Registry, CoversWardSizesFleetsAndDegradedVariants) {
+  for (std::size_t patients = 2; patients <= 7; ++patients) {
+    EXPECT_TRUE(has_preset("hospital_ward_" + std::to_string(patients)));
+  }
+  EXPECT_TRUE(has_preset("all_dwt_6"));
+  EXPECT_TRUE(has_preset("all_cs_6"));
+  EXPECT_TRUE(has_preset("degraded_channel_6"));
+  EXPECT_TRUE(has_preset("low_battery_6"));
+  EXPECT_GT(preset("degraded_channel_6").effective_frame_error_rate(), 0.05);
+  EXPECT_LT(preset("low_battery_6").battery.capacity_mah, 450.0);
+}
+
+TEST(Registry, UnknownPresetErrorListsKnownNames) {
+  EXPECT_FALSE(has_preset("no_such_ward"));
+  try {
+    preset("no_such_ward");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_NE(std::string(e.what()).find("hospital_ward_6"), std::string::npos)
+        << e.what();
+  }
+}
+
+#ifdef WSNEX_SOURCE_DIR
+// The shipped examples/scenarios/*.json files are the registry presets
+// serialized; parse each one and check it matches its preset, so the
+// bundled files cannot drift from the code.
+TEST(Registry, ShippedScenarioFilesMatchPresets) {
+  const std::filesystem::path dir =
+      std::filesystem::path(WSNEX_SOURCE_DIR) / "examples" / "scenarios";
+  ASSERT_TRUE(std::filesystem::is_directory(dir))
+      << dir << " missing — regenerate with: wsnex export -o examples/scenarios";
+  std::size_t checked = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".json") continue;
+    const ScenarioSpec from_file =
+        ScenarioSpec::from_file(entry.path().string());
+    ASSERT_TRUE(has_preset(from_file.name)) << entry.path();
+    EXPECT_EQ(from_file, preset(from_file.name)) << entry.path();
+    ++checked;
+  }
+  EXPECT_EQ(checked, preset_names().size())
+      << "examples/scenarios/ out of sync with the registry — regenerate "
+         "with: wsnex export -o examples/scenarios";
+}
+#endif
+
+}  // namespace
+}  // namespace wsnex::scenario

@@ -1,0 +1,151 @@
+// Direct CsvWriter coverage: quoting/escaping edge cases and full-precision
+// numeric round-trips (the campaign result store depends on both — archive
+// CSVs must reload to bit-identical doubles).
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace wsnex::util {
+namespace {
+
+class CsvWriterTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/wsnex_csv_writer_test.csv";
+
+  std::string read_back() const {
+    std::ifstream in(path_, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  /// Minimal RFC 4180 row splitter for round-trip checks (handles quoted
+  /// fields, embedded separators/newlines and doubled quotes).
+  static std::vector<std::string> parse_row(const std::string& line,
+                                            std::size_t& pos) {
+    std::vector<std::string> fields;
+    std::string field;
+    bool quoted = false;
+    for (;; ++pos) {
+      if (pos >= line.size()) break;
+      const char c = line[pos];
+      if (quoted) {
+        if (c == '"') {
+          if (pos + 1 < line.size() && line[pos + 1] == '"') {
+            field += '"';
+            ++pos;
+          } else {
+            quoted = false;
+          }
+        } else {
+          field += c;
+        }
+      } else if (c == '"') {
+        quoted = true;
+      } else if (c == ',') {
+        fields.push_back(std::move(field));
+        field.clear();
+      } else if (c == '\n') {
+        ++pos;
+        break;
+      } else {
+        field += c;
+      }
+    }
+    fields.push_back(std::move(field));
+    return fields;
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvWriterTest, QuotesOnlyWhenNecessary) {
+  {
+    CsvWriter csv(path_);
+    csv.write_row({"plain", "with space", "semi;colon"});
+  }
+  // None of these need quoting per RFC 4180.
+  EXPECT_EQ(read_back(), "plain,with space,semi;colon\n");
+}
+
+TEST_F(CsvWriterTest, EscapesCommaQuoteAndNewline) {
+  {
+    CsvWriter csv(path_);
+    csv.write_row({"a,b", "say \"hi\"", "line1\nline2", "", "\"", ","});
+  }
+  EXPECT_EQ(read_back(),
+            "\"a,b\",\"say \"\"hi\"\"\",\"line1\nline2\",,\"\"\"\",\",\"\n");
+}
+
+TEST_F(CsvWriterTest, EscapedFieldsParseBackExactly) {
+  const std::vector<std::string> original = {
+      "a,b", "say \"hi\"", "line1\nline2", "", "\"\"", "trailing,", "\n",
+      "mix,\"of\nall\""};
+  {
+    CsvWriter csv(path_);
+    csv.write_row(original);
+  }
+  const std::string contents = read_back();
+  std::size_t pos = 0;
+  const std::vector<std::string> parsed = parse_row(contents, pos);
+  EXPECT_EQ(parsed, original);
+  EXPECT_EQ(pos, contents.size());
+}
+
+TEST_F(CsvWriterTest, NumericRowRoundTripsFullPrecision) {
+  const std::vector<double> values = {
+      1.0 / 3.0,
+      3.141592653589793,
+      -2.2250738585072014e-308,  // smallest normal
+      5e-324,                    // smallest subnormal
+      1.7976931348623157e308,    // largest finite
+      0.1,
+      -0.0,
+      123456789.123456789,
+  };
+  {
+    CsvWriter csv(path_);
+    csv.write_numeric_row(values);
+  }
+  const std::string contents = read_back();
+  std::size_t pos = 0;
+  const std::vector<std::string> fields = parse_row(contents, pos);
+  ASSERT_EQ(fields.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double parsed = std::strtod(fields[i].c_str(), nullptr);
+    EXPECT_EQ(parsed, values[i]) << "field " << i << " = " << fields[i];
+  }
+}
+
+TEST_F(CsvWriterTest, CountsHeaderAndDataRows) {
+  {
+    CsvWriter csv(path_);
+    csv.write_row({"h1", "h2"});
+    csv.write_numeric_row({1.0, 2.0});
+    csv.write_row({"x", "y"});
+    EXPECT_EQ(csv.rows_written(), 3u);
+  }
+  const std::string contents = read_back();
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(contents.begin(), contents.end(), '\n')),
+            3u);
+}
+
+TEST_F(CsvWriterTest, EmptyRowWritesBlankLine) {
+  {
+    CsvWriter csv(path_);
+    csv.write_row(std::vector<std::string>{});
+    csv.write_row({""});
+  }
+  EXPECT_EQ(read_back(), "\n\n");
+}
+
+}  // namespace
+}  // namespace wsnex::util

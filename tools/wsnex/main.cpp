@@ -1,0 +1,367 @@
+// wsnex — the scenario & campaign CLI over the analytical DSE engine.
+//
+// Subcommands:
+//   wsnex list [--json]                     built-in scenario presets
+//   wsnex validate <spec.json|preset>...    parse + validate specs
+//   wsnex run <spec.json|preset>... -o DIR  run a campaign into DIR
+//   wsnex resume DIR                        finish an interrupted campaign
+//   wsnex report DIR                        summarize a campaign's results
+//   wsnex export <preset>... -o DIR         write presets as spec JSON
+//
+// Arguments naming a readable file are parsed as spec JSON; anything else
+// is looked up in the built-in registry, so `wsnex run hospital_ward_6`
+// and `wsnex run examples/scenarios/hospital_ward_6.json` are equivalent.
+//
+// Campaigns are deterministic: a fixed spec (seed included) reproduces
+// bit-identical archives regardless of --threads, and `wsnex resume`
+// after a kill completes a campaign to the same bytes an uninterrupted
+// run produces.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "scenario/campaign.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/result_store.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace wsnex;
+
+int usage(std::FILE* to) {
+  std::fprintf(to,
+               "wsnex — declarative scenario campaigns for the DAC'12 WSN "
+               "design-space explorer\n"
+               "\n"
+               "usage:\n"
+               "  wsnex list [--json]\n"
+               "  wsnex validate <spec.json|preset>...\n"
+               "  wsnex run <spec.json|preset>... -o DIR [--quick] "
+               "[--threads N] [--abort-after N]\n"
+               "  wsnex resume DIR [--threads N] [--abort-after N]\n"
+               "  wsnex report DIR\n"
+               "  wsnex export <preset>... -o DIR\n"
+               "\n"
+               "options:\n"
+               "  -o, --out DIR     output directory (run: campaign store; "
+               "export: spec files)\n"
+               "      --quick       smoke-test budgets (16x8 NSGA-II / 256 "
+               "evaluations)\n"
+               "      --threads N   worker threads (0 = hardware concurrency; "
+               "never changes results)\n"
+               "      --abort-after N  stop after N scenarios as if killed "
+               "(checkpoint/resume testing)\n"
+               "      --json        machine-readable `list` output\n"
+               "\n"
+               "Specs: JSON files (see examples/scenarios/) or built-in "
+               "preset names (`wsnex list`).\n");
+  return to == stdout ? 0 : 2;
+}
+
+/// File path -> parsed spec; otherwise a registry preset name.
+scenario::ScenarioSpec load_spec_arg(const std::string& arg) {
+  if (std::filesystem::exists(arg)) {
+    return scenario::ScenarioSpec::from_file(arg);
+  }
+  if (arg.ends_with(".json")) {
+    // Clearly meant as a file; a registry lookup error would mislead.
+    throw scenario::ScenarioError("cannot open scenario file: " + arg);
+  }
+  return scenario::preset(arg);  // throws listing the known presets
+}
+
+std::string apps_summary(const scenario::ScenarioSpec& spec) {
+  const auto apps = spec.apps.empty()
+                        ? dse::DesignSpaceConfig::case_study(spec.node_count).apps
+                        : spec.apps;
+  std::size_t dwt = 0;
+  for (const model::AppKind kind : apps) {
+    if (kind == model::AppKind::kDwt) ++dwt;
+  }
+  return std::to_string(dwt) + " DWT / " + std::to_string(apps.size() - dwt) +
+         " CS";
+}
+
+int cmd_list(const std::vector<std::string>& args) {
+  const bool as_json =
+      std::find(args.begin(), args.end(), "--json") != args.end();
+  const auto presets = scenario::all_presets();
+  if (as_json) {
+    util::Json out = util::Json::array();
+    for (const auto& spec : presets) out.push_back(spec.to_json());
+    std::printf("%s", out.dump(2).c_str());
+    return 0;
+  }
+  util::Table table({"preset", "nodes", "apps", "channel", "optimizer",
+                     "description"});
+  for (const auto& spec : presets) {
+    const double fer = spec.effective_frame_error_rate();
+    table.add_row({spec.name, std::to_string(spec.node_count),
+                   apps_summary(spec),
+                   fer == 0.0 ? "ideal"
+                              : "FER " + util::Table::num(fer * 100.0, 1) + "%",
+                   scenario::to_string(spec.optimizer.kind),
+                   spec.description.substr(0, 60)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("run one with: wsnex run <preset> -o out/\n");
+  return 0;
+}
+
+int cmd_validate(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::fprintf(stderr, "validate: no specs given\n");
+    return 2;
+  }
+  int failures = 0;
+  for (const std::string& arg : args) {
+    try {
+      const scenario::ScenarioSpec spec = load_spec_arg(arg);
+      const dse::DesignSpace space(spec.design_space_config());
+      std::printf("OK       %s (scenario \"%s\", %.3g designs)\n", arg.c_str(),
+                  spec.name.c_str(), space.cardinality());
+    } catch (const std::exception& e) {
+      std::printf("INVALID  %s\n  %s\n", arg.c_str(), e.what());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+struct CommonFlags {
+  std::vector<std::string> positional;
+  std::string out_dir;
+  bool quick = false;
+  std::optional<std::size_t> threads;
+  std::size_t abort_after = 0;
+  bool ok = true;
+};
+
+/// Strict non-negative integer flag value; rejects "-1", "abc", "3x".
+std::optional<std::size_t> parse_count(const std::string& value,
+                                       const char* flag) {
+  if (value.empty() ||
+      value.find_first_not_of("0123456789") != std::string::npos) {
+    std::fprintf(stderr, "%s expects a non-negative integer, got \"%s\"\n",
+                 flag, value.c_str());
+    return std::nullopt;
+  }
+  try {
+    return static_cast<std::size_t>(std::stoull(value));
+  } catch (const std::out_of_range&) {
+    std::fprintf(stderr, "%s value out of range: %s\n", flag, value.c_str());
+    return std::nullopt;
+  }
+}
+
+CommonFlags parse_flags(const std::vector<std::string>& args) {
+  CommonFlags flags;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto next_value = [&](const char* flag) -> std::optional<std::string> {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        flags.ok = false;
+        return std::nullopt;
+      }
+      return args[++i];
+    };
+    if (a == "-o" || a == "--out") {
+      if (const auto v = next_value("-o")) flags.out_dir = *v;
+    } else if (a == "--quick") {
+      flags.quick = true;
+    } else if (a == "--threads") {
+      if (const auto v = next_value("--threads")) {
+        if (const auto n = parse_count(*v, "--threads")) flags.threads = *n;
+        else flags.ok = false;
+      }
+    } else if (a == "--abort-after") {
+      if (const auto v = next_value("--abort-after")) {
+        if (const auto n = parse_count(*v, "--abort-after")) {
+          flags.abort_after = *n;
+        } else {
+          flags.ok = false;
+        }
+      }
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      flags.ok = false;
+    } else {
+      flags.positional.push_back(a);
+    }
+  }
+  return flags;
+}
+
+void print_outcome(const scenario::CampaignOutcome& outcome) {
+  if (outcome.skipped) {
+    std::printf("  [skip] %-28s already complete\n", outcome.name.c_str());
+  } else {
+    std::printf(
+        "  [done] %-28s %zu evaluations, front %zu, feasible %zu (%.2f s)\n",
+        outcome.name.c_str(), outcome.status.evaluations,
+        outcome.status.front_size, outcome.status.feasible_size,
+        outcome.status.wallclock_s);
+  }
+  std::fflush(stdout);
+}
+
+int report_outcome_summary(const scenario::CampaignReport& report,
+                           const std::string& out_dir) {
+  if (!report.complete) {
+    std::printf("campaign interrupted (%zu run, %zu skipped) — finish with: "
+                "wsnex resume %s\n",
+                report.executed, report.skipped, out_dir.c_str());
+    return 3;
+  }
+  std::printf("campaign complete: %zu scenario(s) run, %zu skipped, results "
+              "in %s\n",
+              report.executed, report.skipped, out_dir.c_str());
+  std::printf("inspect with: wsnex report %s\n", out_dir.c_str());
+  return 0;
+}
+
+int cmd_run(const std::vector<std::string>& args) {
+  CommonFlags flags = parse_flags(args);
+  if (!flags.ok) return 2;
+  if (flags.positional.empty()) {
+    std::fprintf(stderr, "run: no scenarios given (try `wsnex list`)\n");
+    return 2;
+  }
+  if (flags.out_dir.empty()) {
+    std::fprintf(stderr, "run: -o/--out DIR is required\n");
+    return 2;
+  }
+  std::vector<scenario::ScenarioSpec> specs;
+  for (const std::string& arg : flags.positional) {
+    specs.push_back(load_spec_arg(arg));
+  }
+  scenario::CampaignOptions options;
+  options.out_dir = flags.out_dir;
+  options.quick = flags.quick;
+  options.threads = flags.threads;
+  options.abort_after = flags.abort_after;
+  std::printf("campaign: %zu scenario(s) -> %s%s\n", specs.size(),
+              options.out_dir.c_str(), options.quick ? " (quick)" : "");
+  const auto report = scenario::run_campaign(specs, options, print_outcome);
+  return report_outcome_summary(report, options.out_dir);
+}
+
+int cmd_resume(const std::vector<std::string>& args) {
+  CommonFlags flags = parse_flags(args);
+  if (!flags.ok) return 2;
+  if (flags.positional.size() != 1) {
+    std::fprintf(stderr, "resume: exactly one campaign directory expected\n");
+    return 2;
+  }
+  const std::string& out_dir = flags.positional.front();
+  const auto report = scenario::resume_campaign(
+      out_dir, flags.threads, flags.abort_after, print_outcome);
+  return report_outcome_summary(report, out_dir);
+}
+
+int cmd_report(const std::vector<std::string>& args) {
+  CommonFlags flags = parse_flags(args);
+  if (!flags.ok) return 2;
+  if (flags.positional.size() != 1) {
+    std::fprintf(stderr, "report: exactly one campaign directory expected\n");
+    return 2;
+  }
+  scenario::ResultStore store(flags.positional.front());
+  if (!scenario::ResultStore::exists(store.root())) {
+    std::fprintf(stderr, "%s: no campaign manifest (campaign.json)\n",
+                 store.root().c_str());
+    return 1;
+  }
+  const auto manifest = store.load_manifest();
+  util::Table table({"scenario", "status", "evals", "front", "feasible",
+                     "best E_net [mJ/s]", "lifetime [days]", "best config"});
+  for (const auto& status : manifest.scenarios) {
+    if (!status.complete) {
+      table.add_row({status.name, "pending", "-", "-", "-", "-", "-", "-"});
+      continue;
+    }
+    std::string best_energy = "-", best_lifetime = "-", best_config = "-";
+    const util::Json summary = store.load_summary(status.name);
+    if (const util::Json* best = summary.find("best_feasible")) {
+      best_energy = util::Table::num(best->at("e_net_mj_per_s").as_double(), 3);
+      best_lifetime =
+          util::Table::num(best->at("lifetime_days").as_double(), 1);
+      best_config = best->at("config").as_string();
+    }
+    table.add_row({status.name, "complete", std::to_string(status.evaluations),
+                   std::to_string(status.front_size),
+                   std::to_string(status.feasible_size), best_energy,
+                   best_lifetime, best_config});
+  }
+  std::printf("campaign at %s%s\n\n%s\n", store.root().c_str(),
+              manifest.quick ? " (quick budgets)" : "",
+              table.render().c_str());
+  const bool all_complete = std::all_of(
+      manifest.scenarios.begin(), manifest.scenarios.end(),
+      [](const scenario::ScenarioStatus& s) { return s.complete; });
+  if (!all_complete) {
+    std::printf("pending scenarios remain — finish with: wsnex resume %s\n",
+                store.root().c_str());
+  }
+  return 0;
+}
+
+int cmd_export(const std::vector<std::string>& args) {
+  CommonFlags flags = parse_flags(args);
+  if (!flags.ok) return 2;
+  if (flags.out_dir.empty()) {
+    std::fprintf(stderr, "export: -o/--out DIR is required\n");
+    return 2;
+  }
+  std::vector<std::string> names = flags.positional;
+  if (names.empty() ||
+      (names.size() == 1 && names.front() == "all")) {
+    names = scenario::preset_names();
+  }
+  std::filesystem::create_directories(flags.out_dir);
+  for (const std::string& name : names) {
+    const scenario::ScenarioSpec spec = scenario::preset(name);
+    const std::string path =
+        (std::filesystem::path(flags.out_dir) / (name + ".json")).string();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    out << spec.to_json().dump(2);
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage(stderr);
+  const std::string command = args.front();
+  args.erase(args.begin());
+  try {
+    if (command == "list") return cmd_list(args);
+    if (command == "validate") return cmd_validate(args);
+    if (command == "run") return cmd_run(args);
+    if (command == "resume") return cmd_resume(args);
+    if (command == "report") return cmd_report(args);
+    if (command == "export") return cmd_export(args);
+    if (command == "--help" || command == "-h" || command == "help") {
+      return usage(stdout);
+    }
+    std::fprintf(stderr, "unknown command: %s\n\n", command.c_str());
+    return usage(stderr);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "wsnex %s: %s\n", command.c_str(), e.what());
+    return 1;
+  }
+}
