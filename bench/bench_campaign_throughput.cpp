@@ -1,0 +1,197 @@
+// Campaign-scale throughput: cold start, warm cache and the jobs axis.
+//
+// PR 2's bench_dse_throughput tracks the DSE inner loop (objective
+// evaluations per second); this driver tracks the layer above it — what a
+// user actually waits for when running `wsnex run <11 presets>`:
+//
+//   * calibration: the process cold start (real DWT/CS encode + FISTA
+//     decode sweeps behind dsp::default_prd_curves()), cold vs. loaded
+//     from the on-disk warm cache (`--cache-dir`),
+//   * memo build: constructing the 11 presets' memoized objectives with
+//     per-scenario (fresh) tables vs. the process-wide SharedEvalCache,
+//   * campaign: end-to-end run_campaign() over every built-in preset,
+//     swept along the --jobs axis,
+//   * composed cold/warm invocation totals (calibration + campaign).
+//
+// Usage: bench_campaign_throughput [--json[=PATH]] [--quick]
+//   --quick shrinks per-scenario budgets to the smoke size and runs one
+//   repetition — CI uses it to keep this path and its JSON from rotting.
+//
+// The committed BENCH_campaign_throughput.json embeds this driver's
+// output inside hand-recorded context blocks (`machine`, and
+// `baseline_pre_pr` = the pre-PR serial engine timed with the same
+// preset list on the same machine). To refresh it, regenerate with this
+// tool and splice the measured blocks in — do not overwrite the file
+// wholesale or the baseline reference is lost.
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "dse/eval_cache.hpp"
+#include "dse/objectives.hpp"
+#include "dsp/prd_calibration.hpp"
+#include "scenario/campaign.hpp"
+#include "scenario/registry.hpp"
+
+namespace {
+
+using namespace wsnex;
+namespace fs = std::filesystem;
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-of-reps wall time of fn().
+template <typename Fn>
+double best_of(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = now_s();
+    fn();
+    best = std::min(best, now_s() - t0);
+  }
+  return best;
+}
+
+struct CampaignPoint {
+  std::size_t jobs = 1;
+  double wall_s = 0.0;
+};
+
+int run_bench(const std::string& path, bool quick) {
+  std::FILE* out = path.empty() ? stdout : std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  const int reps = quick ? 1 : 3;
+  const auto presets = scenario::all_presets();
+  const fs::path scratch_root =
+      fs::temp_directory_path() /
+      ("wsnex_bench_campaign_" + std::to_string(::getpid()));
+  fs::remove_all(scratch_root);
+
+  // --- Calibration: cold (compute) vs. warm (load from disk). ---------
+  const double calibration_cold_s = best_of(reps, [] {
+    (void)dsp::calibrate_dwt();
+    (void)dsp::calibrate_cs();
+  });
+  const fs::path cache_dir = scratch_root / "prd_cache";
+  // First call populates the cache file (untimed), later ones load it.
+  (void)dsp::load_or_calibrate_default_prd_curves(cache_dir.string());
+  const double calibration_warm_s = best_of(reps, [&] {
+    (void)dsp::load_or_calibrate_default_prd_curves(cache_dir.string());
+  });
+  std::fprintf(stderr, "calibration: cold %.3f s, warm %.3f s (%.1fx)\n",
+               calibration_cold_s, calibration_warm_s,
+               calibration_cold_s / calibration_warm_s);
+
+  // --- Memo build: fresh per-scenario tables vs. the shared cache. ----
+  // (Forces the process-level calibration first so neither side pays it.)
+  (void)model::NetworkModelEvaluator::make_default();
+  const auto build_all = [&](dse::SharedEvalCache* cache) {
+    for (const scenario::ScenarioSpec& spec : presets) {
+      const auto evaluator = model::NetworkModelEvaluator::make_default(
+          spec.evaluator_options());
+      const dse::DesignSpace space(spec.design_space_config());
+      (void)dse::make_memoized_full_model_objective(evaluator, space, 1,
+                                                    cache);
+    }
+  };
+  const double memo_fresh_s = best_of(reps, [&] { build_all(nullptr); });
+  const double memo_shared_s = best_of(reps, [&] {
+    dse::SharedEvalCache cache;
+    build_all(&cache);
+  });
+  std::fprintf(stderr, "memo build (11 presets): fresh %.4f s, shared %.4f s\n",
+               memo_fresh_s, memo_shared_s);
+
+  // --- End-to-end campaigns over every preset, jobs axis. -------------
+  std::vector<CampaignPoint> campaigns;
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{2},
+                                 std::size_t{4}}) {
+    CampaignPoint point;
+    point.jobs = jobs;
+    point.wall_s = best_of(reps, [&] {
+      const fs::path store =
+          scratch_root / ("campaign_j" + std::to_string(jobs));
+      fs::remove_all(store);
+      scenario::CampaignOptions options;
+      options.out_dir = store.string();
+      options.quick = quick;
+      options.threads = 1;
+      options.jobs = jobs;
+      (void)scenario::run_campaign(presets, options);
+      fs::remove_all(store);
+    });
+    campaigns.push_back(point);
+    std::fprintf(stderr, "campaign (%zu presets, jobs=%zu): %.3f s\n",
+                 presets.size(), jobs, point.wall_s);
+  }
+
+  const double campaign_serial_s = campaigns.front().wall_s;
+  const double cold_total_s = calibration_cold_s + campaign_serial_s;
+  const double warm_total_s = calibration_warm_s + campaign_serial_s;
+
+  std::fprintf(out, "{\n  \"bench\": \"campaign_throughput\",\n");
+  std::fprintf(out, "  \"unit\": \"seconds of wall clock\",\n");
+  std::fprintf(out,
+               "  \"note\": \"best of %d repetitions; %zu built-in presets, "
+               "%s budgets, eval threads pinned to 1 so the jobs axis "
+               "isolates the campaign scheduler\",\n",
+               reps, presets.size(), quick ? "quick" : "full");
+  std::fprintf(out, "  \"scenarios\": %zu,\n", presets.size());
+  std::fprintf(out, "  \"calibration\": {\"cold_s\": %.6f, \"warm_s\": %.6f, "
+                    "\"warm_speedup\": %.2f},\n",
+               calibration_cold_s, calibration_warm_s,
+               calibration_cold_s / calibration_warm_s);
+  std::fprintf(out, "  \"memo_build\": {\"fresh_s\": %.6f, \"shared_s\": "
+                    "%.6f},\n",
+               memo_fresh_s, memo_shared_s);
+  std::fprintf(out, "  \"campaign\": [\n");
+  for (std::size_t i = 0; i < campaigns.size(); ++i) {
+    std::fprintf(out, "    {\"jobs\": %zu, \"wall_s\": %.6f}%s\n",
+                 campaigns[i].jobs, campaigns[i].wall_s,
+                 i + 1 < campaigns.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"invocation_totals\": {\"cold_s\": %.6f, \"warm_s\": "
+                    "%.6f, \"warm_vs_cold_speedup\": %.2f}\n",
+               cold_total_s, warm_total_s, cold_total_s / warm_total_s);
+  std::fprintf(out, "}\n");
+  if (!path.empty()) std::fclose(out);
+  fs::remove_all(scratch_root);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      // JSON is the only output mode; the flag is accepted for symmetry
+      // with bench_dse_throughput.
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_campaign_throughput [--json[=PATH]] "
+                   "[--quick]\n");
+      return 2;
+    }
+  }
+  return run_bench(path, quick);
+}

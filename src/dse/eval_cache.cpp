@@ -1,0 +1,90 @@
+#include "dse/eval_cache.hpp"
+
+#include "util/json.hpp"
+
+namespace wsnex::dse {
+
+SharedEvalCache& SharedEvalCache::instance() {
+  static SharedEvalCache cache;
+  return cache;
+}
+
+std::shared_ptr<const model::AppLayerTable> SharedEvalCache::app_table(
+    const model::NetworkModelEvaluator& evaluator,
+    std::span<const double> cr_grid, std::span<const double> f_uc_khz_grid) {
+  const std::string dwt_key =
+      evaluator.app_for(model::AppKind::kDwt).cache_key();
+  const std::string cs_key = evaluator.app_for(model::AppKind::kCs).cache_key();
+  if (dwt_key.empty() || cs_key.empty()) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.app_table_bypasses;
+    }
+    return std::make_shared<model::AppLayerTable>(evaluator, cr_grid,
+                                                  f_uc_khz_grid);
+  }
+  // Everything AppLayerTable reads: the input stream rate, both model
+  // identities and the two grids. Exact double rendering makes key
+  // equality imply bit-equal table contents.
+  std::string key = "phi=" + util::format_double_shortest(
+                                 evaluator.chain().phi_in_bytes_per_s());
+  key += "|dwt=" + dwt_key;
+  key += "|cs=" + cs_key;
+  key += "|cr=";
+  for (const double cr : cr_grid) {
+    key += util::format_double_shortest(cr);
+    key += ',';
+  }
+  key += "|f=";
+  for (const double f : f_uc_khz_grid) {
+    key += util::format_double_shortest(f);
+    key += ',';
+  }
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = app_tables_.find(key);
+  if (it != app_tables_.end()) {
+    ++stats_.app_table_hits;
+    return it->second;
+  }
+  ++stats_.app_table_misses;
+  auto table = std::make_shared<model::AppLayerTable>(evaluator, cr_grid,
+                                                      f_uc_khz_grid);
+  app_tables_.emplace(std::move(key), table);
+  return table;
+}
+
+std::shared_ptr<const model::Ieee802154MacModel> SharedEvalCache::mac_model(
+    std::size_t payload_bytes, unsigned bco, unsigned sfo) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(payload_bytes) << 32) |
+                            (static_cast<std::uint64_t>(bco) << 16) |
+                            static_cast<std::uint64_t>(sfo);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = mac_models_.find(key);
+  if (it != mac_models_.end()) {
+    ++stats_.mac_model_hits;
+    return it->second;
+  }
+  ++stats_.mac_model_misses;
+  mac::MacConfig config;
+  config.payload_bytes = payload_bytes;
+  config.bco = bco;
+  config.sfo = sfo;
+  auto mac = std::make_shared<const model::Ieee802154MacModel>(config);
+  mac_models_.emplace(key, mac);
+  return mac;
+}
+
+SharedEvalCache::Stats SharedEvalCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void SharedEvalCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  app_tables_.clear();
+  mac_models_.clear();
+  stats_ = Stats{};
+}
+
+}  // namespace wsnex::dse

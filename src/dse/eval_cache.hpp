@@ -1,0 +1,92 @@
+// Process-wide evaluation cache shared across scenarios.
+//
+// A campaign runs many scenarios whose explored grids overlap heavily
+// (the 11 shipped presets differ mostly in ward size, channel or budget,
+// not in the grids), yet PR 3's engine rebuilt the application-layer memo
+// table and the per-(payload, BCO, SFO) MAC models from scratch inside
+// every scenario's objective. This cache lifts both artifacts to process
+// scope so each one is computed exactly once per campaign:
+//
+//   per-eval scratch  ->  per-scenario memo  ->  process-wide shared cache
+//                                            ->  on-disk warm cache
+//                                                (dsp::set_default_prd_cache_dir)
+//
+// Correctness is by key construction, not by trust: an app-layer table is
+// shared only between evaluators whose input stream (phi_in) and
+// application-model identities (ApplicationModel::cache_key(), which
+// covers the fitted PRD polynomial and firmware profile) match exactly,
+// alongside the CR and f_uC grids; MAC models are keyed on the complete
+// (payload, BCO, SFO) configuration they are built from. Models whose
+// identity is unknown (empty cache_key()) are never shared — the table is
+// then built privately, exactly as before.
+//
+// Thread-safe: lookups and inserts run behind one mutex (builds are
+// microseconds, so holding it while building keeps the compute-once
+// guarantee simple), and all cached values are immutable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "model/evaluator.hpp"
+
+namespace wsnex::dse {
+
+class SharedEvalCache {
+ public:
+  SharedEvalCache() = default;
+  SharedEvalCache(const SharedEvalCache&) = delete;
+  SharedEvalCache& operator=(const SharedEvalCache&) = delete;
+
+  /// The process-wide instance the scenario layer shares across a
+  /// campaign. Tests and benches construct private instances instead.
+  static SharedEvalCache& instance();
+
+  /// The app-layer memo table of (cr_grid x f_uc_khz_grid) under
+  /// `evaluator`'s signal chain and application models: returns the
+  /// cached table on a key hit, otherwise builds, publishes and returns
+  /// it. When either application model has no identity (empty
+  /// cache_key()), a private table is built and NOT published — results
+  /// are identical either way, only sharing is lost.
+  std::shared_ptr<const model::AppLayerTable> app_table(
+      const model::NetworkModelEvaluator& evaluator,
+      std::span<const double> cr_grid,
+      std::span<const double> f_uc_khz_grid);
+
+  /// The MAC model for one protocol-valid (payload, BCO, SFO)
+  /// combination. Precondition: the combination passes
+  /// mac::MacConfig::valid() — this mirrors Ieee802154MacModel's own
+  /// contract (the model throws on invalid superframe configurations).
+  std::shared_ptr<const model::Ieee802154MacModel> mac_model(
+      std::size_t payload_bytes, unsigned bco, unsigned sfo);
+
+  struct Stats {
+    std::size_t app_table_hits = 0;
+    std::size_t app_table_misses = 0;
+    /// Tables built privately because a model had no cache identity.
+    std::size_t app_table_bypasses = 0;
+    std::size_t mac_model_hits = 0;
+    std::size_t mac_model_misses = 0;
+  };
+  Stats stats() const;
+
+  /// Drops every cached entry (outstanding shared_ptrs stay valid).
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string,
+                     std::shared_ptr<const model::AppLayerTable>>
+      app_tables_;
+  std::unordered_map<std::uint64_t,
+                     std::shared_ptr<const model::Ieee802154MacModel>>
+      mac_models_;
+  Stats stats_;
+};
+
+}  // namespace wsnex::dse

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "dse/eval_cache.hpp"
 #include "util/thread_pool.hpp"
 
 namespace wsnex::dse {
@@ -37,11 +38,16 @@ class MemoizedFullModelObjective final : public BatchObjectiveFunction {
  public:
   MemoizedFullModelObjective(const model::NetworkModelEvaluator& evaluator,
                              const DesignSpace& space,
-                             std::size_t worker_slots)
+                             std::size_t worker_slots,
+                             SharedEvalCache* cache)
       : evaluator_(&evaluator),
         apps_(space.config().apps),
-        table_(evaluator, space.config().cr_grid,
-               space.config().mcu_freq_khz_grid),
+        table_(cache != nullptr
+                   ? cache->app_table(evaluator, space.config().cr_grid,
+                                      space.config().mcu_freq_khz_grid)
+                   : std::make_shared<model::AppLayerTable>(
+                         evaluator, space.config().cr_grid,
+                         space.config().mcu_freq_khz_grid)),
         scratch_(worker_slots == 0 ? 1 : worker_slots) {
     const DesignSpaceConfig& cfg = space.config();
     const double fer = evaluator.options().frame_error_rate;
@@ -65,10 +71,15 @@ class MemoizedFullModelObjective final : public BatchObjectiveFunction {
           probe.sfo = mac_cfg.sfo;
           // Validate BEFORE constructing the model: the scalar path
           // reports out-of-range grid combinations as infeasible, while
-          // Ieee802154MacModel/Superframe assert or throw on them.
-          MacEntry entry;
+          // Ieee802154MacModel/Superframe assert or throw on them. A null
+          // entry marks the invalid combination.
+          std::shared_ptr<const model::Ieee802154MacModel> entry;
           if (probe.valid()) {
-            entry.model.emplace(mac_cfg);
+            entry = cache != nullptr
+                        ? cache->mac_model(mac_cfg.payload_bytes, mac_cfg.bco,
+                                           mac_cfg.sfo)
+                        : std::make_shared<const model::Ieee802154MacModel>(
+                              mac_cfg);
           }
           mac_entries_.push_back(std::move(entry));
         }
@@ -86,15 +97,16 @@ class MemoizedFullModelObjective final : public BatchObjectiveFunction {
     Scratch& ws = scratch_[worker];
     ws.app_stage.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
-      ws.app_stage[i] = table_.at(apps_[i], genome[2 * i], genome[2 * i + 1]);
+      ws.app_stage[i] = table_->at(apps_[i], genome[2 * i], genome[2 * i + 1]);
     }
-    const MacEntry& mac =
+    const model::Ieee802154MacModel* mac =
         mac_entries_[(genome[2 * n] * bco_count_ + genome[2 * n + 1]) *
                          gap_count_ +
-                     genome[2 * n + 2]];
-    if (!mac.model) return 0;  // invalid MAC combination: infeasible
+                     genome[2 * n + 2]]
+            .get();
+    if (mac == nullptr) return 0;  // invalid MAC combination: infeasible
     const model::NetworkEvaluation& eval = evaluator_->evaluate_with_app_stage(
-        *mac.model, ws.app_stage, ws.scratch);
+        *mac, ws.app_stage, ws.scratch);
     if (!eval.feasible) return 0;
     out[0] = eval.energy_metric;
     out[1] = eval.prd_metric;
@@ -103,10 +115,6 @@ class MemoizedFullModelObjective final : public BatchObjectiveFunction {
   }
 
  private:
-  struct MacEntry {
-    /// Engaged only for protocol-valid (payload, BCO, SFO) combinations.
-    std::optional<model::Ieee802154MacModel> model;
-  };
   struct Scratch {
     std::vector<model::AppStageResult> app_stage;
     model::EvalScratch scratch;
@@ -114,8 +122,10 @@ class MemoizedFullModelObjective final : public BatchObjectiveFunction {
 
   const model::NetworkModelEvaluator* evaluator_;
   std::vector<model::AppKind> apps_;
-  model::AppLayerTable table_;
-  std::vector<MacEntry> mac_entries_;
+  /// Shared with (or private to) the objective; immutable either way.
+  std::shared_ptr<const model::AppLayerTable> table_;
+  /// Null entries mark protocol-invalid (payload, BCO, SFO) combinations.
+  std::vector<std::shared_ptr<const model::Ieee802154MacModel>> mac_entries_;
   std::size_t bco_count_ = 0;
   std::size_t gap_count_ = 0;
   bool always_infeasible_ = false;
@@ -157,9 +167,9 @@ class ScalarBatchAdapter final : public BatchObjectiveFunction {
 
 std::unique_ptr<BatchObjectiveFunction> make_memoized_full_model_objective(
     const model::NetworkModelEvaluator& evaluator, const DesignSpace& space,
-    std::size_t worker_slots) {
+    std::size_t worker_slots, SharedEvalCache* cache) {
   return std::make_unique<MemoizedFullModelObjective>(evaluator, space,
-                                                      worker_slots);
+                                                      worker_slots, cache);
 }
 
 std::unique_ptr<BatchObjectiveFunction> make_batch_adapter(

@@ -28,6 +28,8 @@ class ThreadPool;  // util/thread_pool.hpp — only referenced by pointer here
 
 namespace wsnex::dse {
 
+class SharedEvalCache;  // eval_cache.hpp — optional cross-scenario cache
+
 using Objectives = std::vector<double>;
 
 /// Evaluation callback: returns the (minimization) objective vector for a
@@ -89,9 +91,16 @@ class BatchObjectiveFunction {
 /// the memo only caches inputs, every arithmetic operation happens in the
 /// same model-layer functions. Both `evaluator` and `space` must outlive
 /// the returned object, and the space's grids must not change.
+///
+/// With `cache` set, the app-layer table and the MAC models are fetched
+/// from (or published to) that SharedEvalCache instead of being built
+/// privately, so scenarios with overlapping grids compute each entry once
+/// per process. Cached artifacts are immutable and key-matched on the
+/// full configuration, so results stay bit-identical; the cache must
+/// outlive the returned object.
 std::unique_ptr<BatchObjectiveFunction> make_memoized_full_model_objective(
     const model::NetworkModelEvaluator& evaluator, const DesignSpace& space,
-    std::size_t worker_slots = 1);
+    std::size_t worker_slots = 1, SharedEvalCache* cache = nullptr);
 
 /// Adapts a scalar ObjectiveFunction to the batch interface by decoding
 /// each genome and forwarding. With more than one worker slot the wrapped

@@ -117,8 +117,9 @@ class PopulationRanker {
 /// raw rows into archive entries and counters in index order.
 class BatchRunner {
  public:
-  BatchRunner(const BatchObjectiveFunction& fn, std::size_t threads)
-      : fn_(&fn), stride_(fn.arity()) {
+  BatchRunner(const BatchObjectiveFunction& fn, std::size_t threads,
+              util::ThreadPool* external_pool)
+      : fn_(&fn), stride_(fn.arity()), external_pool_(external_pool) {
     if (stride_ == 0 || stride_ > kMaxObjectives) {
       // Individuals hold objectives inline; an out-of-contract arity
       // must fail loudly, not overrun those arrays.
@@ -126,12 +127,18 @@ class BatchRunner {
           "BatchObjectiveFunction::arity() must be in 1.." +
           std::to_string(kMaxObjectives));
     }
-    const std::size_t resolved = std::min(
-        util::ThreadPool::resolve_threads(threads), fn.worker_slots());
-    if (resolved > 1) pool_ = std::make_unique<util::ThreadPool>(resolved);
+    if (external_pool_ == nullptr) {
+      const std::size_t resolved = std::min(
+          util::ThreadPool::resolve_threads(threads), fn.worker_slots());
+      if (resolved > 1) pool_ = std::make_unique<util::ThreadPool>(resolved);
+    }
   }
 
-  std::size_t width() const { return pool_ ? pool_->size() : 1; }
+  std::size_t width() const {
+    const util::ThreadPool* pool =
+        external_pool_ != nullptr ? external_pool_ : pool_.get();
+    return pool != nullptr ? pool->size() : 1;
+  }
   std::size_t stride() const { return stride_; }
 
   /// Evaluates all genomes; results land in row order in values()/counts().
@@ -141,7 +148,11 @@ class BatchRunner {
     // Waking the pool for a single genome is pure synchronization
     // overhead (e.g. MOSA's feasible-start retries); results are
     // index-ordered either way, so running inline changes nothing.
-    util::ThreadPool* pool = genomes.size() > 1 ? pool_.get() : nullptr;
+    util::ThreadPool* pool =
+        external_pool_ != nullptr ? external_pool_ : pool_.get();
+    if (genomes.size() <= 1 || (pool != nullptr && pool->size() == 1)) {
+      pool = nullptr;
+    }
     evaluate_genome_batch(*fn_, pool, genomes, values_, counts_);
   }
 
@@ -167,6 +178,7 @@ class BatchRunner {
  private:
   const BatchObjectiveFunction* fn_;
   std::size_t stride_;
+  util::ThreadPool* external_pool_;  ///< campaign-shared; not owned
   std::unique_ptr<util::ThreadPool> pool_;
   std::vector<double> values_;
   std::vector<std::uint8_t> counts_;
@@ -181,7 +193,7 @@ DseResult run_nsga2_batch(const DesignSpace& space,
   const Stopwatch watch;
   util::Rng rng(options.seed);
   DseResult result;
-  BatchRunner runner(fn, options.threads);
+  BatchRunner runner(fn, options.threads, options.pool);
   PopulationRanker ranker;
 
   // The whole generation is drawn before any evaluation. Objective calls
@@ -251,7 +263,7 @@ DseResult run_mosa_batch(const DesignSpace& space,
   const Stopwatch watch;
   util::Rng rng(options.seed);
   DseResult result;
-  BatchRunner runner(fn, options.threads);
+  BatchRunner runner(fn, options.threads, options.pool);
 
   std::vector<Genome> single(1);
   const auto evaluate_one = [&](const Genome& genome) -> bool {

@@ -12,6 +12,10 @@
 #include "dse/objectives.hpp"
 #include "dse/pareto.hpp"
 
+namespace wsnex::util {
+class ThreadPool;  // util/thread_pool.hpp — only referenced by pointer here
+}
+
 namespace wsnex::dse {
 
 /// Common result of one DSE run.
@@ -58,6 +62,12 @@ struct Nsga2Options {
   /// objective is called concurrently and must be thread-safe (the
   /// model-backed objectives are; beware of stateful lambdas).
   std::size_t threads = 0;
+  /// Optional externally owned pool for batch evaluation (campaign mode:
+  /// many optimizer runs share one pool, and the runs themselves execute
+  /// as tasks on it — the pool is reentrant). When set, `threads` is
+  /// ignored and the objective's worker_slots() must cover pool->size().
+  /// Results are unchanged either way; the pool must outlive the run.
+  util::ThreadPool* pool = nullptr;
 };
 
 /// NSGA-II (Deb et al. 2002): fast non-dominated sorting, crowding-distance
@@ -104,6 +114,8 @@ struct MosaOptions {
   /// rate (high once the temperature has cooled). Thread-safety caveat as
   /// in Nsga2Options.
   std::size_t threads = 0;
+  /// Optional externally owned evaluation pool — see Nsga2Options::pool.
+  util::ThreadPool* pool = nullptr;
 };
 
 /// Archive-based multi-objective simulated annealing: a mutated neighbour

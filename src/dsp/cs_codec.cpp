@@ -96,10 +96,8 @@ std::size_t CsCodec::measurements_for_cr(double cr) const {
   return std::min(m, config_.window);
 }
 
-const CsCodec::DictionaryCache& CsCodec::dictionary_for(std::size_t m) const {
-  for (const auto& entry : cache_) {
-    if (entry->m == m) return *entry;
-  }
+std::unique_ptr<CsCodec::DictionaryCache> CsCodec::build_dictionary(
+    std::size_t m) const {
   auto entry = std::make_unique<DictionaryCache>();
   entry->m = m;
   entry->phi = std::make_unique<SparseBinarySensingMatrix>(
@@ -118,26 +116,49 @@ const CsCodec::DictionaryCache& CsCodec::dictionary_for(std::size_t m) const {
   }
   // Lipschitz constant of the gradient: largest eigenvalue of D^T D via
   // power iteration (a slight overestimate is harmless, so few iterations
-  // suffice).
+  // suffice). Both halves of the iteration run through the blocked
+  // column-major kernels; the scratch vectors persist across iterations.
   {
     std::vector<double> v(n, 1.0 / std::sqrt(static_cast<double>(n)));
     std::vector<double> dv(m);
+    std::vector<double> w(n);
     double lambda = 1.0;
     for (int it = 0; it < 40; ++it) {
       std::fill(dv.begin(), dv.end(), 0.0);
-      for (std::size_t j = 0; j < n; ++j) {
-        util::axpy(v[j], entry->column(j), dv);
-      }
-      std::vector<double> w(n);
-      for (std::size_t j = 0; j < n; ++j) w[j] = util::dot(entry->column(j), dv);
+      util::gemv_accumulate(entry->dict, m, n, v, dv,
+                            /*skip_zeros=*/false);
+      util::gemv_transposed(entry->dict, m, n, dv, w);
       lambda = util::norm2(w);
       if (lambda == 0.0) break;
       for (std::size_t j = 0; j < n; ++j) v[j] = w[j] / lambda;
     }
     entry->lipschitz = std::max(lambda, 1e-12);
   }
-  cache_.push_back(std::move(entry));
-  return *cache_.back();
+  return entry;
+}
+
+const CsCodec::DictionaryCache& CsCodec::dictionary_for(std::size_t m) const {
+  const auto lookup = [this, m] {
+    const auto it = std::lower_bound(
+        cache_.begin(), cache_.end(), m,
+        [](const std::unique_ptr<DictionaryCache>& e, std::size_t key) {
+          return e->m < key;
+        });
+    return it;
+  };
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = lookup();
+    if (it != cache_.end() && (*it)->m == m) return **it;
+  }
+  // Build outside the lock: construction is deterministic, so concurrent
+  // builders of the same m produce identical entries and the loser's copy
+  // is simply discarded below.
+  auto entry = build_dictionary(m);
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  const auto it = lookup();
+  if (it != cache_.end() && (*it)->m == m) return **it;
+  return **cache_.insert(it, std::move(entry));
 }
 
 CsBlock CsCodec::encode(std::span<const double> window, double cr) const {
@@ -197,124 +218,180 @@ void debias_on_support(const std::vector<std::size_t>& support,
 
 }  // namespace
 
-std::vector<double> CsCodec::recover_omp(const DictionaryCache& cache,
-                                         std::span<const double> y) const {
+/// Reusable decoder buffers: one instance serves any number of decodes
+/// (round_trip_windows shares one across a whole calibration grid point),
+/// so the FISTA/OMP inner loops run allocation-free after the first
+/// window at a given measurement count.
+struct CsCodec::DecodeScratch {
+  std::vector<double> y;           ///< dequantized measurements (m)
+  std::vector<double> normalized;  ///< recovered coeffs w.r.t. unit columns
+  std::vector<double> coeffs;      ///< un-normalized wavelet coefficients
+  std::vector<double> a;           ///< FISTA iterate
+  std::vector<double> a_prev;
+  std::vector<double> z;           ///< FISTA extrapolated point
+  std::vector<double> dz;          ///< D z - y (m)
+  std::vector<double> grad;        ///< D^T (D z - y), also dictionary scores
+  std::vector<double> residual;    ///< OMP residual (m)
+  std::vector<char> in_support;    ///< OMP membership flags
+  std::vector<std::size_t> support;
+};
+
+void CsCodec::recover_omp(const DictionaryCache& cache,
+                          std::span<const double> y,
+                          DecodeScratch& ws) const {
   const std::size_t m = cache.m;
   const std::size_t n = config_.window;
-  std::vector<double> residual(y.begin(), y.end());
+  ws.residual.assign(y.begin(), y.end());
   const double stop_norm = config_.omp_residual_tol * util::norm2(y);
-  std::vector<std::size_t> support;
-  std::vector<char> in_support(n, 0);
-  std::vector<double> normalized(n, 0.0);  // coefficients w.r.t. unit columns
+  ws.support.clear();
+  ws.in_support.assign(n, 0);
+  ws.normalized.assign(n, 0.0);  // coefficients w.r.t. unit columns
+  ws.grad.resize(n);
 
   const std::size_t max_atoms = std::min({config_.omp_max_atoms, m, n});
-  while (support.size() < max_atoms && util::norm2(residual) > stop_norm) {
+  while (ws.support.size() < max_atoms &&
+         util::norm2(ws.residual) > stop_norm) {
+    // All candidate correlations in one blocked pass; the argmax then
+    // skips exactly the columns the historical per-column loop skipped,
+    // so the selected atom (and its score) is bit-identical.
+    util::gemv_transposed(cache.dict, m, n, ws.residual, ws.grad);
     std::size_t best = n;
     double best_score = 0.0;
     for (std::size_t j = 0; j < n; ++j) {
-      if (in_support[j] || cache.column_norm[j] == 0.0) continue;
-      const double score = std::abs(util::dot(cache.column(j), residual));
+      if (ws.in_support[j] || cache.column_norm[j] == 0.0) continue;
+      const double score = std::abs(ws.grad[j]);
       if (score > best_score) {
         best_score = score;
         best = j;
       }
     }
     if (best == n || best_score == 0.0) break;
-    support.push_back(best);
-    in_support[best] = 1;
+    ws.support.push_back(best);
+    ws.in_support[best] = 1;
 
     debias_on_support(
-        support, y, [&](std::size_t j) { return cache.column(j); },
-        normalized);
-    residual.assign(y.begin(), y.end());
-    for (std::size_t j : support) {
-      util::axpy(-normalized[j], cache.column(j), residual);
+        ws.support, y, [&](std::size_t j) { return cache.column(j); },
+        ws.normalized);
+    ws.residual.assign(y.begin(), y.end());
+    for (std::size_t j : ws.support) {
+      util::axpy(-ws.normalized[j], cache.column(j), ws.residual);
     }
   }
-  return normalized;
 }
 
-std::vector<double> CsCodec::recover_fista(const DictionaryCache& cache,
-                                           std::span<const double> y) const {
+void CsCodec::recover_fista(const DictionaryCache& cache,
+                            std::span<const double> y,
+                            DecodeScratch& ws) const {
   const std::size_t m = cache.m;
   const std::size_t n = config_.window;
   const double step = 1.0 / cache.lipschitz;
 
   // lambda_max: above it the l1 solution is identically zero.
+  ws.grad.resize(n);
+  util::gemv_transposed(cache.dict, m, n, y, ws.grad);
   double lambda_max = 0.0;
   for (std::size_t j = 0; j < n; ++j) {
-    lambda_max = std::max(lambda_max, std::abs(util::dot(cache.column(j), y)));
+    lambda_max = std::max(lambda_max, std::abs(ws.grad[j]));
   }
-  if (lambda_max == 0.0) return std::vector<double>(n, 0.0);
+  if (lambda_max == 0.0) {
+    ws.normalized.assign(n, 0.0);
+    return;
+  }
 
-  std::vector<double> a(n, 0.0);       // current iterate
-  std::vector<double> a_prev(n, 0.0);
-  std::vector<double> z(n, 0.0);       // extrapolated point
-  std::vector<double> dz(m);           // D z - y
+  ws.a.assign(n, 0.0);       // current iterate
+  ws.a_prev.assign(n, 0.0);
+  ws.z.assign(n, 0.0);       // extrapolated point
+  ws.dz.resize(m);           // D z - y
 
   for (double stage : config_.fista_lambda_stages) {
     const double lambda = stage * lambda_max;
     double t = 1.0;
     for (std::size_t it = 0; it < config_.fista_iters_per_stage; ++it) {
-      std::fill(dz.begin(), dz.end(), 0.0);
+      std::fill(ws.dz.begin(), ws.dz.end(), 0.0);
+      util::gemv_accumulate(cache.dict, m, n, ws.z, ws.dz,
+                            /*skip_zeros=*/true);
+      for (std::size_t i = 0; i < m; ++i) ws.dz[i] -= y[i];
+      // Gradient step: the blocked transposed GEMV is where the decoder
+      // spends its time — four independent accumulation chains instead
+      // of one dot-product latency chain per column.
+      util::gemv_transposed(cache.dict, m, n, ws.dz, ws.grad);
+      // Rotate the iterate instead of copying it: a_prev picks up the
+      // previous a, whose storage is then fully overwritten below.
+      std::swap(ws.a, ws.a_prev);
       for (std::size_t j = 0; j < n; ++j) {
-        if (z[j] != 0.0) util::axpy(z[j], cache.column(j), dz);
-      }
-      for (std::size_t i = 0; i < m; ++i) dz[i] -= y[i];
-      for (std::size_t j = 0; j < n; ++j) {
-        const double grad = util::dot(cache.column(j), dz);
-        const double u = z[j] - step * grad;
+        const double u = ws.z[j] - step * ws.grad[j];
         const double shrink = std::abs(u) - step * lambda;
-        a[j] = shrink > 0.0 ? std::copysign(shrink, u) : 0.0;
+        ws.a[j] = shrink > 0.0 ? std::copysign(shrink, u) : 0.0;
       }
       const double t_next = 0.5 * (1.0 + std::sqrt(1.0 + 4.0 * t * t));
       const double momentum = (t - 1.0) / t_next;
       for (std::size_t j = 0; j < n; ++j) {
-        z[j] = a[j] + momentum * (a[j] - a_prev[j]);
+        ws.z[j] = ws.a[j] + momentum * (ws.a[j] - ws.a_prev[j]);
       }
-      a_prev = a;
       t = t_next;
     }
   }
 
   // Debias: refit the detected support by least squares.
-  std::vector<std::size_t> support;
+  ws.support.clear();
   for (std::size_t j = 0; j < n; ++j) {
-    if (a[j] != 0.0) support.push_back(j);
+    if (ws.a[j] != 0.0) ws.support.push_back(j);
   }
   debias_on_support(
-      support, y, [&](std::size_t j) { return cache.column(j); }, a);
-  return a;
+      ws.support, y, [&](std::size_t j) { return cache.column(j); }, ws.a);
+  ws.normalized = ws.a;
+}
+
+std::vector<double> CsCodec::decode_with(const DictionaryCache& cache,
+                                         const CsBlock& block,
+                                         DecodeScratch& ws) const {
+  assert(block.window == config_.window);
+  assert(block.quantized.size() == cache.m);
+  const std::size_t m = cache.m;
+  const std::size_t n = config_.window;
+
+  ws.y.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    ws.y[i] = static_cast<double>(block.quantized[i]) * block.scale;
+  }
+
+  if (config_.decoder == CsDecoder::kOmp) {
+    recover_omp(cache, ws.y, ws);
+  } else {
+    recover_fista(cache, ws.y, ws);
+  }
+
+  // Undo the column normalization and synthesize: x_hat = Psi * alpha.
+  ws.coeffs.assign(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (ws.normalized[j] != 0.0 && cache.column_norm[j] > 0.0) {
+      ws.coeffs[j] = ws.normalized[j] / cache.column_norm[j];
+    }
+  }
+  return transform_.inverse(ws.coeffs);
 }
 
 std::vector<double> CsCodec::decode(const CsBlock& block) const {
-  assert(block.window == config_.window);
-  const std::size_t m = block.quantized.size();
-  const std::size_t n = config_.window;
-  const DictionaryCache& cache = dictionary_for(m);
-
-  std::vector<double> y(m);
-  for (std::size_t i = 0; i < m; ++i) {
-    y[i] = static_cast<double>(block.quantized[i]) * block.scale;
-  }
-
-  const std::vector<double> normalized =
-      config_.decoder == CsDecoder::kOmp ? recover_omp(cache, y)
-                                         : recover_fista(cache, y);
-
-  // Undo the column normalization and synthesize: x_hat = Psi * alpha.
-  std::vector<double> coeffs(n, 0.0);
-  for (std::size_t j = 0; j < n; ++j) {
-    if (normalized[j] != 0.0 && cache.column_norm[j] > 0.0) {
-      coeffs[j] = normalized[j] / cache.column_norm[j];
-    }
-  }
-  return transform_.inverse(coeffs);
+  DecodeScratch scratch;
+  return decode_with(dictionary_for(block.quantized.size()), block, scratch);
 }
 
 std::vector<double> CsCodec::round_trip(std::span<const double> window,
                                         double cr) const {
   return decode(encode(window, cr));
+}
+
+std::vector<std::vector<double>> CsCodec::round_trip_windows(
+    std::span<const std::vector<double>> windows, double cr) const {
+  const std::size_t m = measurements_for_cr(cr);
+  const DictionaryCache& cache = dictionary_for(m);
+  DecodeScratch scratch;
+  std::vector<std::vector<double>> out;
+  out.reserve(windows.size());
+  for (const std::vector<double>& window : windows) {
+    out.push_back(decode_with(cache, encode(window, cr), scratch));
+  }
+  return out;
 }
 
 }  // namespace wsnex::dsp

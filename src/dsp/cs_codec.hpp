@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -77,8 +78,11 @@ struct CsBlock {
   double achieved_cr = 0.0;
 };
 
-/// Compressed-sensing codec. Sensing matrices and OMP dictionaries are
-/// cached per measurement count, so sweeping CR is cheap.
+/// Compressed-sensing codec. Sensing matrices and decoding dictionaries
+/// are cached per measurement count, so sweeping CR is cheap. The codec
+/// is safe to share across threads: the dictionary cache is built behind
+/// a small mutex (lookups binary-search a sorted vector), and every other
+/// member is immutable after construction.
 class CsCodec {
  public:
   explicit CsCodec(const CsCodecConfig& config = {});
@@ -95,27 +99,45 @@ class CsCodec {
   /// Encodes one window (window() samples, zero-mean, physical units).
   CsBlock encode(std::span<const double> window, double cr) const;
 
-  /// Reconstructs the window from an encoded block via OMP.
+  /// Reconstructs the window from an encoded block.
   std::vector<double> decode(const CsBlock& block) const;
 
   std::vector<double> round_trip(std::span<const double> window,
                                  double cr) const;
 
+  /// Batch round trip of many windows at one compression ratio — the PRD
+  /// calibration shape. The dictionary for M(cr) is looked up once and
+  /// one decoder scratch is reused across all windows, so the per-window
+  /// cost is pure decode arithmetic (no steady-state allocation in the
+  /// FISTA loop). Results are bit-identical to calling round_trip() per
+  /// window.
+  std::vector<std::vector<double>> round_trip_windows(
+      std::span<const std::vector<double>> windows, double cr) const;
+
  private:
   struct DictionaryCache;
+  struct DecodeScratch;
 
   const DictionaryCache& dictionary_for(std::size_t m) const;
-  /// Sparse coefficient recovery (decoder-specific); returns the wavelet
-  /// coefficient estimate for measurements `y` of size m.
-  std::vector<double> recover_omp(const DictionaryCache& cache,
-                                  std::span<const double> y) const;
-  std::vector<double> recover_fista(const DictionaryCache& cache,
-                                    std::span<const double> y) const;
+  std::unique_ptr<DictionaryCache> build_dictionary(std::size_t m) const;
+  /// Sparse coefficient recovery (decoder-specific): writes the wavelet
+  /// coefficient estimate w.r.t. unit-norm dictionary columns into
+  /// `scratch.normalized` (size n).
+  void recover_omp(const DictionaryCache& cache, std::span<const double> y,
+                   DecodeScratch& scratch) const;
+  void recover_fista(const DictionaryCache& cache, std::span<const double> y,
+                     DecodeScratch& scratch) const;
+  std::vector<double> decode_with(const DictionaryCache& cache,
+                                  const CsBlock& block,
+                                  DecodeScratch& scratch) const;
 
   CsCodecConfig config_;
   WaveletTransform transform_;
   std::unique_ptr<WaveletBasis> basis_;
+  /// Sorted by measurement count; guarded by cache_mutex_ (entries are
+  /// immutable once published, so returned references stay valid).
   mutable std::vector<std::unique_ptr<DictionaryCache>> cache_;
+  mutable std::mutex cache_mutex_;
 };
 
 }  // namespace wsnex::dsp

@@ -52,13 +52,34 @@ PrdCurve calibrate_cs(const CsCodecConfig& codec = {},
                       const PrdCalibrationConfig& calib = {});
 
 /// Process-wide cached calibration with default configs. The first call
-/// runs both calibrations (a second or two); later calls are free. All
-/// model-based evaluations share these curves, exactly as the paper's model
-/// embeds one fixed pair of fitted polynomials.
+/// runs both calibrations (the dominant cold-start cost of a process) or
+/// loads them from the on-disk warm cache when one was configured; later
+/// calls are free. All model-based evaluations share these curves, exactly
+/// as the paper's model embeds one fixed pair of fitted polynomials.
 struct DefaultPrdCurves {
   PrdCurve dwt;
   PrdCurve cs;
 };
 const DefaultPrdCurves& default_prd_curves();
+
+/// Configures the on-disk warm cache consulted by default_prd_curves()
+/// (the `wsnex --cache-dir` cold-start skip): the first calibration is
+/// written to `<dir>/prd_calibration.json` and later processes load it
+/// instead of re-running the codecs. Numbers round-trip through
+/// util::json's shortest-exact formatting, so a warm process computes
+/// bit-identical results to a cold one. An empty dir disables the cache.
+/// Returns false (and changes nothing) when the default curves were
+/// already computed in this process — configure the cache before first
+/// use.
+bool set_default_prd_cache_dir(const std::string& dir);
+
+/// The warm-cache core, also usable with an explicit directory (the
+/// campaign throughput bench times cold vs. warm through this): loads the
+/// default-config calibration from `<dir>/prd_calibration.json` when the
+/// file exists and its embedded key matches the current codec and
+/// calibration configuration; otherwise calibrates and (re)writes the
+/// file via an atomic temp-file rename. A corrupt or mismatched file is
+/// recalibrated over, never trusted. Empty `dir` just calibrates.
+DefaultPrdCurves load_or_calibrate_default_prd_curves(const std::string& dir);
 
 }  // namespace wsnex::dsp

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "dsp/prd_calibration.hpp"
+#include "util/json.hpp"
 
 namespace wsnex::model {
 
@@ -30,6 +31,23 @@ ResourceUsage CompressionAppModel::resource_usage(
 double CompressionAppModel::quality_loss(double /*phi_in*/,
                                          const NodeConfig& node) const {
   return prd_poly_(node.cr);
+}
+
+std::string CompressionAppModel::cache_key() const {
+  // Everything the three model functions read: the codec kind, the
+  // firmware profile constants and the fitted PRD polynomial. Doubles are
+  // rendered with the shortest exact representation, so equal keys imply
+  // bit-equal model outputs.
+  std::string key = kind_ == AppKind::kDwt ? "dwt" : "cs";
+  key += ";duty=" + util::format_double_shortest(profile_.duty_numerator);
+  key += ";mem=" + util::format_double_shortest(profile_.memory_bytes);
+  key += ";acc=" + util::format_double_shortest(profile_.mem_accesses_per_s);
+  key += ";prd=";
+  for (const double c : prd_poly_.coefficients()) {
+    key += util::format_double_shortest(c);
+    key += ',';
+  }
+  return key;
 }
 
 const FirmwareProfile& shimmer_dwt_profile() {

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "model/types.hpp"
 #include "util/polynomial.hpp"
@@ -44,6 +45,13 @@ class ApplicationModel {
 
   /// e(phi_in, chi_node): loss of quality (PRD, percent).
   virtual double quality_loss(double phi_in, const NodeConfig& node) const = 0;
+
+  /// Identity of this model for cross-scenario caching (dse'
+  /// SharedEvalCache): two models with equal, non-empty keys must return
+  /// bit-identical h/k/e values for every input. The default — an empty
+  /// key — marks the model as "unknown identity"; its results are then
+  /// never shared between evaluators.
+  virtual std::string cache_key() const { return {}; }
 };
 
 /// Cycle/memory characterization of one firmware implementation.
@@ -68,6 +76,7 @@ class CompressionAppModel final : public ApplicationModel {
   ResourceUsage resource_usage(double phi_in,
                                const NodeConfig& node) const override;
   double quality_loss(double phi_in, const NodeConfig& node) const override;
+  std::string cache_key() const override;
 
   const util::Polynomial& prd_polynomial() const { return prd_poly_; }
 

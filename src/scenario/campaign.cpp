@@ -1,11 +1,15 @@
 #include "scenario/campaign.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 
 #include "dse/objectives.hpp"
+#include "dsp/prd_calibration.hpp"
 #include "model/lifetime.hpp"
 #include "util/csv.hpp"
 #include "util/json.hpp"
+#include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 
 namespace wsnex::scenario {
@@ -104,13 +108,16 @@ util::Json make_summary(const ScenarioSpec& spec, const ScenarioRun& run,
   return summary;
 }
 
-/// Executes one scenario and persists its results; returns the completed
-/// status entry for the manifest.
+/// Executes one scenario and persists its result files (NOT the manifest
+/// — the caller serializes record_complete); returns the completed status
+/// entry.
 ScenarioStatus execute_and_persist(const ScenarioSpec& spec,
                                    const CampaignOptions& options,
-                                   ResultStore& store) {
+                                   ResultStore& store,
+                                   util::ThreadPool* pool,
+                                   dse::SharedEvalCache* cache) {
   const ScenarioRun run =
-      run_scenario(spec, options.quick, options.threads);
+      run_scenario(spec, options.quick, options.threads, pool, cache);
   const std::vector<std::size_t> feasible =
       feasible_entries(run.result.archive, spec.constraints);
 
@@ -141,15 +148,15 @@ ScenarioStatus execute_and_persist(const ScenarioSpec& spec,
   status.front_size = run.result.archive.size();
   status.feasible_size = feasible.size();
   status.wallclock_s = run.result.wallclock_s;
-  store.record_complete(status);
   return status;
 }
 
-CampaignReport drive_campaign(const std::vector<ScenarioSpec>& specs,
-                              const CampaignOptions& options,
-                              ResultStore& store,
-                              const std::function<void(const CampaignOutcome&)>&
-                                  progress) {
+/// The historical serial driver: scenarios strictly in spec order, one at
+/// a time. jobs == 1 campaigns run through here unchanged.
+CampaignReport drive_campaign_serial(
+    const std::vector<ScenarioSpec>& specs, const CampaignOptions& options,
+    ResultStore& store, dse::SharedEvalCache& cache,
+    const std::function<void(const CampaignOutcome&)>& progress) {
   const CampaignManifest manifest = store.load_manifest();
   CampaignReport report;
   std::size_t executed = 0;
@@ -167,7 +174,9 @@ CampaignReport drive_campaign(const std::vector<ScenarioSpec>& specs,
       outcome.status = manifest.scenarios[i];
       ++report.skipped;
     } else {
-      outcome.status = execute_and_persist(specs[i], options, store);
+      outcome.status =
+          execute_and_persist(specs[i], options, store, nullptr, &cache);
+      store.record_complete(outcome.status);
       ++executed;
       ++report.executed;
     }
@@ -176,6 +185,102 @@ CampaignReport drive_campaign(const std::vector<ScenarioSpec>& specs,
   }
   report.complete = true;
   return report;
+}
+
+/// The parallel driver: pending scenarios run as coarse tasks on one
+/// shared pool whose evaluation subtasks interleave on the same workers.
+/// Result files are byte-identical to the serial driver (per-scenario
+/// runs are independent and individually deterministic); manifest updates
+/// and progress callbacks are serialized under a mutex, so only the
+/// *order* of progress reporting differs.
+CampaignReport drive_campaign_parallel(
+    const std::vector<ScenarioSpec>& specs, const CampaignOptions& options,
+    ResultStore& store, dse::SharedEvalCache& cache,
+    const std::function<void(const CampaignOutcome&)>& progress) {
+  const CampaignManifest manifest = store.load_manifest();
+  std::vector<std::size_t> to_run;
+  std::size_t pending_total = 0;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (manifest.scenarios[i].complete) continue;
+    ++pending_total;
+    if (options.abort_after == 0 || to_run.size() < options.abort_after) {
+      to_run.push_back(i);
+    }
+  }
+  // Mirror the serial driver's abort semantics: outcomes cover the spec
+  // prefix before the first pending scenario this invocation skips.
+  const bool aborted = to_run.size() < pending_total;
+  std::size_t cutoff = specs.size();
+  if (aborted) {
+    std::size_t seen_pending = 0;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (manifest.scenarios[i].complete) continue;
+      if (seen_pending == to_run.size()) {
+        cutoff = i;
+        break;
+      }
+      ++seen_pending;
+    }
+  }
+
+  CampaignReport report;
+  std::vector<CampaignOutcome> outcomes(cutoff);
+  for (std::size_t i = 0; i < cutoff; ++i) {
+    outcomes[i].name = specs[i].name;
+    if (manifest.scenarios[i].complete) {
+      outcomes[i].skipped = true;
+      outcomes[i].status = manifest.scenarios[i];
+      ++report.skipped;
+      if (progress) progress(outcomes[i]);
+    }
+  }
+
+  const util::ThreadPool::Layout layout = util::ThreadPool::resolve_layout(
+      options.jobs, options.threads.value_or(0));
+  util::ThreadPool pool(layout.pool_width);
+  std::mutex store_mutex;
+  std::atomic<bool> failed{false};
+  pool.run_tasks(to_run.size(), [&](std::size_t task) {
+    // Mirror the serial driver's failure behavior: once any scenario has
+    // thrown, stop *starting* scenarios (in-flight ones finish; their
+    // results persist and a resume skips them). run_tasks drains the
+    // queue and rethrows the lowest failing task's exception.
+    if (failed.load(std::memory_order_relaxed)) return;
+    const std::size_t i = to_run[task];
+    try {
+      const ScenarioStatus status =
+          execute_and_persist(specs[i], options, store, &pool, &cache);
+      const std::lock_guard<std::mutex> lock(store_mutex);
+      store.record_complete(status);
+      outcomes[i].status = status;
+      ++report.executed;
+      if (progress) progress(outcomes[i]);
+    } catch (...) {
+      failed.store(true, std::memory_order_relaxed);
+      throw;
+    }
+  });
+
+  report.outcomes = std::move(outcomes);
+  report.complete = !aborted;
+  return report;
+}
+
+CampaignReport drive_campaign(const std::vector<ScenarioSpec>& specs,
+                              const CampaignOptions& options,
+                              ResultStore& store,
+                              const std::function<void(const CampaignOutcome&)>&
+                                  progress) {
+  if (!options.cache_dir.empty() &&
+      !dsp::set_default_prd_cache_dir(options.cache_dir)) {
+    WSNEX_DEBUG() << "--cache-dir ignored for this process: the PRD "
+                     "calibration was already computed";
+  }
+  dse::SharedEvalCache& cache = dse::SharedEvalCache::instance();
+  if (options.jobs > 1) {
+    return drive_campaign_parallel(specs, options, store, cache, progress);
+  }
+  return drive_campaign_serial(specs, options, store, cache, progress);
 }
 
 void check_unique_names(const std::vector<ScenarioSpec>& specs) {
@@ -219,12 +324,18 @@ std::vector<std::size_t> feasible_entries(
 }
 
 ScenarioRun run_scenario(const ScenarioSpec& spec, bool quick,
-                         std::optional<std::size_t> threads_override) {
+                         std::optional<std::size_t> threads_override,
+                         util::ThreadPool* pool,
+                         dse::SharedEvalCache* cache) {
   spec.validate();
   const ScenarioSpec effective = quick ? quick_variant(spec) : spec;
   const std::size_t threads =
       threads_override.value_or(effective.optimizer.threads);
-  const std::size_t workers = util::ThreadPool::resolve_threads(threads);
+  // On a shared campaign pool any worker may run an evaluation chunk, so
+  // the objective needs one scratch slot per pool worker.
+  const std::size_t workers = pool != nullptr
+                                  ? pool->size()
+                                  : util::ThreadPool::resolve_threads(threads);
 
   const auto evaluator =
       model::NetworkModelEvaluator::make_default(effective.evaluator_options());
@@ -232,7 +343,8 @@ ScenarioRun run_scenario(const ScenarioSpec& spec, bool quick,
   // The memoized objective precomputes the whole app-layer/MAC memo, so
   // it is built only inside the branches that actually batch-evaluate.
   const auto make_memo = [&] {
-    return dse::make_memoized_full_model_objective(evaluator, space, workers);
+    return dse::make_memoized_full_model_objective(evaluator, space, workers,
+                                                   cache);
   };
 
   const OptimizerSettings& opt = effective.optimizer;
@@ -246,6 +358,7 @@ ScenarioRun run_scenario(const ScenarioSpec& spec, bool quick,
       if (opt.mutation_rate > 0.0) o.mutation_rate = opt.mutation_rate;
       o.seed = opt.seed;
       o.threads = workers;
+      o.pool = pool;
       result = dse::run_nsga2(space, *make_memo(), o);
       break;
     }
@@ -257,6 +370,7 @@ ScenarioRun run_scenario(const ScenarioSpec& spec, bool quick,
       if (opt.mutation_rate > 0.0) o.mutation_rate = opt.mutation_rate;
       o.seed = opt.seed;
       o.threads = workers;
+      o.pool = pool;
       result = dse::run_mosa(space, *make_memo(), o);
       break;
     }
@@ -290,8 +404,7 @@ CampaignReport run_campaign(
 }
 
 CampaignReport resume_campaign(
-    const std::string& out_dir, std::optional<std::size_t> threads,
-    std::size_t abort_after,
+    const std::string& out_dir, const ResumeOverrides& overrides,
     const std::function<void(const CampaignOutcome&)>& progress) {
   if (!ResultStore::exists(out_dir)) {
     throw ScenarioError(out_dir +
@@ -307,8 +420,10 @@ CampaignReport resume_campaign(
   CampaignOptions options;
   options.out_dir = out_dir;
   options.quick = manifest.quick;
-  options.threads = threads;
-  options.abort_after = abort_after;
+  options.threads = overrides.threads;
+  options.abort_after = overrides.abort_after;
+  options.jobs = overrides.jobs;
+  options.cache_dir = overrides.cache_dir;
   return drive_campaign(specs, options, store, progress);
 }
 

@@ -1,13 +1,24 @@
-// Batch campaigns: fan a list of declarative scenarios through the PR 2
+// Batch campaigns: fan a list of declarative scenarios through the
 // batched DSE engine and persist every result to a ResultStore, with
-// checkpoint/resume.
+// checkpoint/resume, an optional parallel scheduler (`jobs`) and a shared
+// cross-scenario evaluation cache.
 //
 // Reproducibility: each scenario runs the memoized batch objective with
 // the spec's seed; the engine guarantees archives bit-identical across
-// thread counts, and the archive rows are written in a canonical sort
-// order, so a resumed campaign's result files are byte-identical to an
-// uninterrupted run of the same campaign (the CI smoke test and
-// tests/scenario/test_campaign.cpp both assert this).
+// thread counts AND across campaign job counts (per-scenario runs are
+// independent, evaluation results are placed by index, and shared-cache
+// artifacts are immutable key-matched inputs), and the archive rows are
+// written in a canonical sort order. So a resumed campaign's result files
+// are byte-identical to an uninterrupted run, and a `jobs=N` campaign's
+// to a serial one (the CI smoke test and tests/scenario/test_campaign.cpp
+// both assert this). Only the summary/manifest wallclock fields differ
+// between runs.
+//
+// Scheduling: with jobs > 1 one shared util::ThreadPool serves both
+// levels — scenarios run as coarse tasks on the pool, and each scenario's
+// evaluation batches fan out as subtasks on the same pool (it is
+// reentrant), so campaign x evaluation parallelism never oversubscribes
+// the machine (ThreadPool::resolve_layout clamps the product).
 #pragma once
 
 #include <functional>
@@ -15,9 +26,14 @@
 #include <string>
 #include <vector>
 
+#include "dse/eval_cache.hpp"
 #include "dse/optimizers.hpp"
 #include "scenario/result_store.hpp"
 #include "scenario/scenario_spec.hpp"
+
+namespace wsnex::util {
+class ThreadPool;
+}
 
 namespace wsnex::scenario {
 
@@ -33,8 +49,13 @@ struct ScenarioRun {
 /// replaces the spec's thread setting (results are identical either way;
 /// only wall-clock changes). `quick` shrinks the optimizer budget to a
 /// smoke-test size (deterministically — quick runs are reproducible too).
+/// `pool` (campaign mode) runs the evaluation batches on an external
+/// shared pool instead of a run-private one; `cache` shares the app-layer
+/// table and MAC models across scenarios. Neither changes results.
 ScenarioRun run_scenario(const ScenarioSpec& spec, bool quick = false,
-                         std::optional<std::size_t> threads_override = {});
+                         std::optional<std::size_t> threads_override = {},
+                         util::ThreadPool* pool = nullptr,
+                         dse::SharedEvalCache* cache = nullptr);
 
 /// The spec with its optimizer budget shrunk to smoke-test size (NSGA-II
 /// 16x8, MOSA/random 256 evaluations). Used by `wsnex run --quick` and CI.
@@ -59,6 +80,18 @@ struct CampaignOptions {
   /// *executed* in this invocation; the manifest keeps the rest pending so
   /// a resume can pick them up. 0 = no limit.
   std::size_t abort_after = 0;
+  /// Concurrent scenarios (`wsnex run --jobs N`). Scenario tasks and
+  /// their evaluation batches share one pool sized by
+  /// util::ThreadPool::resolve_layout(jobs, threads), so the two levels
+  /// never oversubscribe the machine. Never changes result files — only
+  /// wall-clock and the order progress is reported in.
+  std::size_t jobs = 1;
+  /// On-disk warm-cache directory (`wsnex run --cache-dir DIR`): the
+  /// first campaign writes the PRD codec calibration (the dominant
+  /// process cold-start cost) there; later invocations load it instead of
+  /// re-running the codecs. Bit-identical results either way. Empty =
+  /// no disk cache.
+  std::string cache_dir;
 };
 
 /// What happened to one scenario during a campaign invocation.
@@ -88,12 +121,21 @@ CampaignReport run_campaign(
     const std::vector<ScenarioSpec>& specs, const CampaignOptions& options,
     const std::function<void(const CampaignOutcome&)>& progress = {});
 
+/// Execution overrides a resume accepts (the campaign's identity — specs
+/// and the quick flag — always comes from the stored manifest; these
+/// knobs never change results).
+struct ResumeOverrides {
+  std::optional<std::size_t> threads;
+  std::size_t abort_after = 0;
+  std::size_t jobs = 1;
+  std::string cache_dir;
+};
+
 /// Resumes the campaign stored at `out_dir`: loads the frozen specs and
 /// the quick flag from the manifest, skips completed scenarios, runs the
-/// rest. `threads` / `abort_after` as in CampaignOptions.
+/// rest.
 CampaignReport resume_campaign(
-    const std::string& out_dir, std::optional<std::size_t> threads = {},
-    std::size_t abort_after = 0,
+    const std::string& out_dir, const ResumeOverrides& overrides = {},
     const std::function<void(const CampaignOutcome&)>& progress = {});
 
 }  // namespace wsnex::scenario

@@ -150,4 +150,76 @@ void axpy(double alpha, std::span<const double> x, std::span<double> y) {
   for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
 }
 
+void gemv_transposed(std::span<const double> a, std::size_t rows,
+                     std::size_t cols, std::span<const double> x,
+                     std::span<double> out) {
+  assert(a.size() >= rows * cols);
+  assert(x.size() >= rows);
+  assert(out.size() >= cols);
+  const double* base = a.data();
+  const double* xs = x.data();
+  std::size_t j = 0;
+  for (; j + 4 <= cols; j += 4) {
+    const double* c0 = base + j * rows;
+    const double* c1 = c0 + rows;
+    const double* c2 = c1 + rows;
+    const double* c3 = c2 + rows;
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    for (std::size_t i = 0; i < rows; ++i) {
+      const double xi = xs[i];
+      s0 += c0[i] * xi;
+      s1 += c1[i] * xi;
+      s2 += c2[i] * xi;
+      s3 += c3[i] * xi;
+    }
+    out[j] = s0;
+    out[j + 1] = s1;
+    out[j + 2] = s2;
+    out[j + 3] = s3;
+  }
+  for (; j < cols; ++j) {
+    out[j] = dot({base + j * rows, rows}, {xs, rows});
+  }
+}
+
+void gemv_accumulate(std::span<const double> a, std::size_t rows,
+                     std::size_t cols, std::span<const double> coeffs,
+                     std::span<double> y, bool skip_zeros) {
+  assert(a.size() >= rows * cols);
+  assert(coeffs.size() >= cols);
+  assert(y.size() >= rows);
+  const double* base = a.data();
+  double* ys = y.data();
+  // Gather up to four consecutive nonzero columns, then apply their
+  // contributions element-wise in column order (matching the rounding of
+  // one axpy per column) with y loaded and stored once per block.
+  const double* col[4];
+  double scale[4];
+  std::size_t filled = 0;
+  const auto flush = [&] {
+    if (filled == 4) {
+      for (std::size_t i = 0; i < rows; ++i) {
+        double acc = ys[i];
+        acc += scale[0] * col[0][i];
+        acc += scale[1] * col[1][i];
+        acc += scale[2] * col[2][i];
+        acc += scale[3] * col[3][i];
+        ys[i] = acc;
+      }
+    } else {
+      for (std::size_t k = 0; k < filled; ++k) {
+        axpy(scale[k], {col[k], rows}, {ys, rows});
+      }
+    }
+    filled = 0;
+  };
+  for (std::size_t j = 0; j < cols; ++j) {
+    if (skip_zeros && coeffs[j] == 0.0) continue;
+    col[filled] = base + j * rows;
+    scale[filled] = coeffs[j];
+    if (++filled == 4) flush();
+  }
+  flush();
+}
+
 }  // namespace wsnex::util

@@ -68,4 +68,28 @@ double norm2(std::span<const double> a);
 /// y += alpha * x
 void axpy(double alpha, std::span<const double> x, std::span<double> y);
 
+/// Blocked transposed GEMV over a column-major matrix: out[j] = dot of
+/// column j (length `rows`, stored at a[j * rows]) with x, for every
+/// column in [0, cols). Each output accumulates its products in exactly
+/// the order dot() uses, so results are bit-identical to a per-column
+/// dot() loop; columns are processed four at a time, which streams x once
+/// per block and keeps four independent accumulation chains in flight
+/// instead of one latency-bound chain — the workhorse of the CS decoder's
+/// gradient step.
+void gemv_transposed(std::span<const double> a, std::size_t rows,
+                     std::size_t cols, std::span<const double> x,
+                     std::span<double> out);
+
+/// Blocked column accumulation over the same column-major layout:
+/// y += sum_j coeffs[j] * column j, with the contributions applied per
+/// element in ascending column order — bit-identical to a sequence of
+/// axpy(coeffs[j], column(j), y) calls, but touching y once per
+/// four-column block. With `skip_zeros` columns whose coefficient is
+/// exactly 0.0 are skipped entirely (matching callers that guard their
+/// axpy with `if (c[j] != 0.0)` — the skip itself can flip a signed zero,
+/// so it is part of the reproduced arithmetic, not just an optimization).
+void gemv_accumulate(std::span<const double> a, std::size_t rows,
+                     std::size_t cols, std::span<const double> coeffs,
+                     std::span<double> y, bool skip_zeros);
+
 }  // namespace wsnex::util

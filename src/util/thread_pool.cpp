@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/logging.hpp"
+
 namespace wsnex::util {
 
 std::size_t ThreadPool::resolve_threads(std::size_t threads) {
@@ -10,12 +12,35 @@ std::size_t ThreadPool::resolve_threads(std::size_t threads) {
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
+ThreadPool::Layout ThreadPool::resolve_layout(std::size_t jobs,
+                                              std::size_t threads) {
+  Layout layout;
+  layout.jobs = std::max<std::size_t>(1, jobs);
+  const std::size_t hw = resolve_threads(0);
+  const std::size_t per_job = resolve_threads(threads);
+  const std::size_t product = layout.jobs * per_job;
+  layout.pool_width = std::min(product, std::max(layout.jobs, hw));
+  // Warn only when the user *explicitly* asked for a per-job thread count
+  // whose product had to be clamped; threads == 0 means "share the
+  // hardware", which is exactly what the clamp produces — no surprise to
+  // report.
+  if (threads != 0 && layout.pool_width != product) {
+    static std::once_flag logged;
+    std::call_once(logged, [&] {
+      WSNEX_WARN() << "campaign layout: " << layout.jobs << " job(s) x "
+                   << per_job << " eval thread(s) would oversubscribe " << hw
+                   << " hardware thread(s); clamping to a shared pool of "
+                   << layout.pool_width << " worker(s)";
+    });
+  }
+  return layout;
+}
+
 ThreadPool::ThreadPool(std::size_t threads)
     : worker_count_(resolve_threads(threads)) {
-  errors_.resize(worker_count_);
   threads_.reserve(worker_count_ - 1);
   for (std::size_t w = 1; w < worker_count_; ++w) {
-    threads_.emplace_back([this, w] { worker_loop(w); });
+    threads_.emplace_back([this] { worker_loop(); });
   }
 }
 
@@ -24,41 +49,82 @@ ThreadPool::~ThreadPool() {
     const std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
   }
-  work_ready_.notify_all();
+  cv_.notify_all();
   for (std::thread& t : threads_) t.join();
 }
 
-void ThreadPool::run_chunk(const Task& task, std::size_t worker) {
-  const std::size_t n = task.end - task.begin;
-  const std::size_t chunk = (n + worker_count_ - 1) / worker_count_;
-  const std::size_t lo = std::min(n, worker * chunk);
-  const std::size_t hi = std::min(n, lo + chunk);
+void ThreadPool::execute_item(Group& group, std::size_t item) const {
   try {
-    for (std::size_t i = lo; i < hi; ++i) {
-      (*task.fn)(task.begin + i, worker);
+    if (group.chunk_fn != nullptr) {
+      // Chunk `item` of the static partition: identical to the historical
+      // one-chunk-per-worker split, so fn's worker argument (== item) is
+      // a pure function of (range, pool size).
+      const std::size_t n = group.end - group.begin;
+      const std::size_t chunk = (n + worker_count_ - 1) / worker_count_;
+      const std::size_t lo = std::min(n, item * chunk);
+      const std::size_t hi = std::min(n, lo + chunk);
+      for (std::size_t i = lo; i < hi; ++i) {
+        (*group.chunk_fn)(group.begin + i, item);
+      }
+    } else {
+      (*group.task_fn)(item);
     }
   } catch (...) {
-    errors_[worker] = std::current_exception();
+    group.errors[item] = std::current_exception();
   }
 }
 
-void ThreadPool::worker_loop(std::size_t worker) {
-  std::uint64_t seen_generation = 0;
+void ThreadPool::run_group(Group& group) {
+  group.errors.assign(group.total, nullptr);
+  group.remaining = group.total;
+  group.next = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(&group);
+  }
+  cv_.notify_all();
+
+  // Help with this group's own items (only — helping arbitrary queued
+  // groups would nest unrelated long tasks into this stack frame), then
+  // wait for items claimed by other workers to drain.
+  std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    Task task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_ready_.wait(lock, [&] {
-        return stopping_ || generation_ != seen_generation;
-      });
-      if (stopping_) return;
-      seen_generation = generation_;
-      task = task_;
+    if (group.next < group.total) {
+      const std::size_t item = group.next++;
+      if (group.next == group.total) {
+        queue_.erase(std::find(queue_.begin(), queue_.end(), &group));
+      }
+      lock.unlock();
+      execute_item(group, item);
+      lock.lock();
+      --group.remaining;
+      continue;
     }
-    run_chunk(task, worker);
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      if (--outstanding_ == 0) work_done_.notify_all();
+    if (group.remaining == 0) break;
+    cv_.wait(lock);
+  }
+  lock.unlock();
+
+  for (std::exception_ptr& err : group.errors) {
+    if (err) std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (stopping_) return;
+    Group& group = *queue_.front();
+    const std::size_t item = group.next++;
+    if (group.next == group.total) queue_.pop_front();
+    lock.unlock();
+    execute_item(group, item);
+    lock.lock();
+    if (--group.remaining == 0) {
+      // The group's creator may be asleep in run_group waiting for this
+      // last item.
+      cv_.notify_all();
     }
   }
 }
@@ -71,25 +137,36 @@ void ThreadPool::parallel_for(
     for (std::size_t i = begin; i < end; ++i) fn(i, 0);
     return;
   }
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    task_ = Task{begin, end, &fn};
-    outstanding_ = worker_count_ - 1;
-    ++generation_;
-  }
-  work_ready_.notify_all();
-  run_chunk(task_, 0);  // the caller is worker 0
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    work_done_.wait(lock, [&] { return outstanding_ == 0; });
-  }
-  for (std::exception_ptr& err : errors_) {
-    if (err) {
-      const std::exception_ptr first = err;
-      for (auto& e : errors_) e = nullptr;
-      std::rethrow_exception(first);
+  Group group;
+  group.total = worker_count_;
+  group.begin = begin;
+  group.end = end;
+  group.chunk_fn = &fn;
+  run_group(group);
+}
+
+void ThreadPool::run_tasks(std::size_t count,
+                           const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (worker_count_ == 1) {
+    // Same drain-then-rethrow contract as the pooled path: every task
+    // runs (the campaign persists per-task side effects), the lowest
+    // task's exception surfaces afterwards.
+    std::exception_ptr first;
+    for (std::size_t t = 0; t < count; ++t) {
+      try {
+        fn(t);
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
     }
+    if (first) std::rethrow_exception(first);
+    return;
   }
+  Group group;
+  group.total = count;
+  group.task_fn = &fn;
+  run_group(group);
 }
 
 }  // namespace wsnex::util

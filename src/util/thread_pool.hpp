@@ -1,15 +1,32 @@
-// Fixed-size thread pool for deterministic batch fan-out.
+// Fixed-size cooperative thread pool for deterministic batch fan-out.
 //
-// The pool is deliberately work-stealing-free: parallel_for() splits the
-// index range into one contiguous chunk per worker, so the mapping from
-// index to worker is a pure function of (range, worker count). Callers
-// that write results by index therefore produce identical output for any
-// worker count — the property the DSE batch evaluator relies on for its
-// threads=1 vs threads=N bit-identity guarantee.
+// Two fan-out primitives share one worker set and one FIFO work queue:
+//
+//  * parallel_for() — the DSE batch primitive. The index range is split
+//    into size() contiguous chunks and fn receives the *chunk index* as
+//    its worker id, so the mapping from index to worker id is a pure
+//    function of (range, pool size) regardless of which thread executes
+//    the chunk. Callers that write results by index therefore produce
+//    identical output for any worker count — the property the batch
+//    evaluator relies on for its threads=1 vs threads=N bit-identity
+//    guarantee.
+//  * run_tasks() — coarse task fan-out for the campaign scheduler: tasks
+//    are claimed FIFO by idle workers, so long and short tasks balance
+//    dynamically.
+//
+// Both primitives are *reentrant*: a task or chunk running on the pool
+// may itself call parallel_for()/run_tasks() on the same pool. The inner
+// call enqueues its items on the shared queue and the calling thread
+// helps execute them (its own group's items only, so recursion depth is
+// bounded by the actual nesting), while idle workers pick up whatever is
+// queued. This is what lets campaign-level scenario tasks spawn
+// evaluation subtasks on the same pool — two scheduling levels, one set
+// of threads, no oversubscription.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -18,9 +35,9 @@
 
 namespace wsnex::util {
 
-/// Fixed pool of `size()` workers. Worker 0 is the calling thread: a pool
-/// of size 1 spawns no threads at all and parallel_for() degenerates to a
-/// plain inline loop.
+/// Fixed pool of `size()` workers. Worker thread count is size() - 1: the
+/// calling thread always participates, so a pool of size 1 spawns no
+/// threads at all and both primitives degenerate to plain inline loops.
 class ThreadPool {
  public:
   /// `threads` == 0 selects std::thread::hardware_concurrency().
@@ -34,40 +51,73 @@ class ThreadPool {
   std::size_t size() const { return worker_count_; }
 
   /// Runs fn(index, worker) for every index in [begin, end), partitioned
-  /// into size() contiguous chunks (worker w gets the w-th chunk; trailing
-  /// workers idle when the range is shorter than the pool). Blocks until
-  /// every index has run. Not reentrant: fn must not call parallel_for on
-  /// the same pool. If any invocation throws, the first exception (lowest
-  /// worker id) is rethrown after the whole batch has drained.
+  /// into size() contiguous chunks; `worker` is the chunk index (worker w
+  /// covers the w-th chunk; trailing chunks are empty when the range is
+  /// shorter than the pool). Within one call no two invocations sharing a
+  /// `worker` value run concurrently, so `worker` can index per-slot
+  /// scratch. Blocks until every index has run. Reentrant (see file
+  /// comment). If any invocation throws, the first exception (lowest
+  /// chunk) is rethrown after the whole batch has drained.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t index,
                                              std::size_t worker)>& fn);
+
+  /// Runs fn(task) for every task in [0, count). Unlike parallel_for the
+  /// assignment of tasks to threads is dynamic (FIFO claim), so use this
+  /// for coarse, unevenly sized work — e.g. one campaign scenario per
+  /// task — and only with fns whose results do not depend on which thread
+  /// runs them. Blocks until every task has run; reentrant; the first
+  /// exception (lowest task index) is rethrown after the batch drains.
+  void run_tasks(std::size_t count,
+                 const std::function<void(std::size_t task)>& fn);
 
   /// Resolves a thread-count request: 0 -> hardware concurrency (itself
   /// never 0), anything else unchanged.
   static std::size_t resolve_threads(std::size_t threads);
 
- private:
-  struct Task {
-    std::size_t begin = 0;
-    std::size_t end = 0;
-    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+  /// Two-level parallelism layout: `jobs` concurrent coarse tasks
+  /// (campaign scenarios), each wanting `threads` evaluation workers
+  /// (0 = hardware concurrency).
+  struct Layout {
+    std::size_t jobs = 1;        ///< concurrent coarse tasks to schedule
+    std::size_t pool_width = 1;  ///< shared-pool size serving both levels
   };
 
-  void worker_loop(std::size_t worker);
-  void run_chunk(const Task& task, std::size_t worker);
+  /// Oversubscription guard: clamps jobs x threads to the hardware
+  /// concurrency (but never below `jobs` — an explicit jobs request keeps
+  /// its scenario-level concurrency) and logs the effective layout once
+  /// per process when it differs from the request, instead of silently
+  /// oversubscribing. jobs == 0 is treated as 1.
+  static Layout resolve_layout(std::size_t jobs, std::size_t threads);
+
+ private:
+  /// One fan-out call in flight: either a chunked range (parallel_for)
+  /// or a task batch (run_tasks). Lives on the calling thread's stack;
+  /// `next`/`remaining` are guarded by the pool mutex.
+  struct Group {
+    std::size_t total = 0;      ///< items (chunks or tasks)
+    std::size_t next = 0;       ///< next unclaimed item
+    std::size_t remaining = 0;  ///< items not yet finished
+    std::size_t begin = 0;      ///< chunked mode: range + chunk count
+    std::size_t end = 0;
+    const std::function<void(std::size_t, std::size_t)>* chunk_fn = nullptr;
+    const std::function<void(std::size_t)>* task_fn = nullptr;
+    std::vector<std::exception_ptr> errors;  ///< slot per item
+  };
+
+  void execute_item(Group& group, std::size_t item) const;
+  /// Publishes the group, helps execute its items, blocks until done,
+  /// rethrows the lowest-item exception.
+  void run_group(Group& group);
+  void worker_loop();
 
   std::size_t worker_count_ = 1;
   std::vector<std::thread> threads_;  // size worker_count_ - 1
 
   std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::condition_variable work_done_;
-  Task task_;
-  std::uint64_t generation_ = 0;   // bumps when a new task is published
-  std::size_t outstanding_ = 0;    // workers still running the task
+  std::condition_variable cv_;
+  std::deque<Group*> queue_;  ///< groups with unclaimed items, FIFO
   bool stopping_ = false;
-  std::vector<std::exception_ptr> errors_;  // slot per worker
 };
 
 }  // namespace wsnex::util

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <set>
+#include <thread>
 
 #include "dsp/ecg.hpp"
 #include "dsp/quality.hpp"
@@ -183,6 +184,64 @@ TEST(CsCodec, WorseThanDwtAtEqualRate) {
   for (std::size_t i = 0; i < 40; ++i) kept[mag[i].second] = coeffs[mag[i].second];
   const auto dwt_rec = wt.inverse(kept);
   EXPECT_GT(prd_percent(w, cs_rec), prd_percent(w, dwt_rec));
+}
+
+TEST(CsCodec, BatchRoundTripBitIdenticalToPerWindowCalls) {
+  CsCodecConfig cfg;
+  cfg.fista_iters_per_stage = 30;  // keep the sweep fast
+  const CsCodec codec(cfg);
+  std::vector<std::vector<double>> windows;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    windows.push_back(ecg_window(cfg.window, seed));
+  }
+  for (const double cr : {0.17, 0.26, 0.38}) {
+    const auto batch = codec.round_trip_windows(windows, cr);
+    ASSERT_EQ(batch.size(), windows.size());
+    for (std::size_t w = 0; w < windows.size(); ++w) {
+      EXPECT_EQ(batch[w], codec.round_trip(windows[w], cr))
+          << "cr " << cr << " window " << w;
+    }
+  }
+}
+
+TEST(CsCodec, SharedCodecSurvivesConcurrentDictionaryBuilds) {
+  // Campaign workers share one codec instance; concurrent first-touch of
+  // the same and of different measurement counts must neither race (run
+  // under TSan via WSNEX_SANITIZE=thread) nor change results.
+  CsCodecConfig cfg;
+  cfg.fista_iters_per_stage = 10;
+  const CsCodec codec(cfg);
+  const auto window = ecg_window(cfg.window);
+  const std::vector<double> crs = {0.17, 0.20, 0.26, 0.32, 0.38};
+
+  // Reference encodes/decodes from a private, serially-used codec.
+  const CsCodec reference(cfg);
+  std::vector<std::vector<double>> expected;
+  for (const double cr : crs) {
+    expected.push_back(reference.round_trip(window, cr));
+  }
+
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::vector<std::vector<double>>> got(
+      kThreads, std::vector<std::vector<double>>(crs.size()));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Different threads start at different grid points, so several
+      // dictionaries are under construction simultaneously.
+      for (std::size_t k = 0; k < crs.size(); ++k) {
+        const std::size_t c = (k + t) % crs.size();
+        got[t][c] = codec.round_trip(window, crs[c]);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    for (std::size_t c = 0; c < crs.size(); ++c) {
+      EXPECT_EQ(got[t][c], expected[c]) << "thread " << t << " cr " << crs[c];
+    }
+  }
 }
 
 TEST(CsCodec, EncoderMatchesManualProjection) {

@@ -2,8 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <span>
+
 namespace wsnex::dsp {
 namespace {
+
+namespace fs = std::filesystem;
 
 PrdCalibrationConfig fast_calibration() {
   PrdCalibrationConfig calib;
@@ -65,6 +71,106 @@ TEST(PrdCalibration, DefaultCurvesCachedAndConsistent) {
     EXPECT_GT(a.dwt.fitted(cr), 0.0);
     EXPECT_GT(a.cs.fitted(cr), a.dwt.fitted(cr));
   }
+}
+
+void expect_same_curve(const PrdCurve& a, const PrdCurve& b) {
+  ASSERT_EQ(a.measurements.size(), b.measurements.size());
+  for (std::size_t i = 0; i < a.measurements.size(); ++i) {
+    EXPECT_EQ(a.measurements[i].cr, b.measurements[i].cr);
+    EXPECT_EQ(a.measurements[i].prd_percent, b.measurements[i].prd_percent);
+    EXPECT_EQ(a.measurements[i].prd_stddev, b.measurements[i].prd_stddev);
+  }
+  const std::span<const double> ca = a.fitted.coefficients();
+  const std::span<const double> cb = b.fitted.coefficients();
+  ASSERT_EQ(ca.size(), cb.size());
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    EXPECT_EQ(ca[i], cb[i]) << "coefficient " << i;
+  }
+  EXPECT_EQ(a.fit_r_squared, b.fit_r_squared);
+}
+
+class WarmCacheTest : public ::testing::Test {
+ protected:
+  fs::path dir_ =
+      fs::path(::testing::TempDir()) /
+      (std::string("wsnex_prd_cache_") +
+       ::testing::UnitTest::GetInstance()->current_test_info()->name());
+  void TearDown() override { fs::remove_all(dir_); }
+};
+
+TEST_F(WarmCacheTest, WarmLoadIsBitIdenticalToColdCalibration) {
+  // First call calibrates and writes the cache file; the second must load
+  // it and reproduce every number exactly (the shortest-round-trip JSON
+  // formatting is lossless), so warm processes evaluate identically.
+  const DefaultPrdCurves cold =
+      load_or_calibrate_default_prd_curves(dir_.string());
+  ASSERT_TRUE(fs::exists(dir_ / "prd_calibration.json"));
+  const fs::file_time_type written =
+      fs::last_write_time(dir_ / "prd_calibration.json");
+
+  const DefaultPrdCurves warm =
+      load_or_calibrate_default_prd_curves(dir_.string());
+  EXPECT_EQ(fs::last_write_time(dir_ / "prd_calibration.json"), written)
+      << "second call must not rewrite the cache";
+  expect_same_curve(cold.dwt, warm.dwt);
+  expect_same_curve(cold.cs, warm.cs);
+
+  // And both match a cache-less calibration.
+  const DefaultPrdCurves plain = load_or_calibrate_default_prd_curves("");
+  expect_same_curve(plain.dwt, warm.dwt);
+  expect_same_curve(plain.cs, warm.cs);
+}
+
+TEST_F(WarmCacheTest, CorruptCacheIsRecalibratedOver) {
+  const DefaultPrdCurves cold =
+      load_or_calibrate_default_prd_curves(dir_.string());
+  {
+    std::ofstream out(dir_ / "prd_calibration.json",
+                      std::ios::binary | std::ios::trunc);
+    out << "{ not json";
+  }
+  const DefaultPrdCurves recovered =
+      load_or_calibrate_default_prd_curves(dir_.string());
+  expect_same_curve(cold.dwt, recovered.dwt);
+  expect_same_curve(cold.cs, recovered.cs);
+  // The rewritten file is valid again: a third call loads it unchanged.
+  const fs::file_time_type rewritten =
+      fs::last_write_time(dir_ / "prd_calibration.json");
+  (void)load_or_calibrate_default_prd_curves(dir_.string());
+  EXPECT_EQ(fs::last_write_time(dir_ / "prd_calibration.json"), rewritten);
+}
+
+TEST_F(WarmCacheTest, KeyMismatchIsRecalibrated) {
+  (void)load_or_calibrate_default_prd_curves(dir_.string());
+  // Simulate a cache written by a different configuration by perturbing
+  // the embedded key.
+  const fs::path file = dir_ / "prd_calibration.json";
+  std::string text;
+  {
+    std::ifstream in(file, std::ios::binary);
+    text.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  const std::string needle = "\"ecg_seed\": 42";
+  const auto pos = text.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, needle.size(), "\"ecg_seed\": 43");
+  {
+    std::ofstream out(file, std::ios::binary | std::ios::trunc);
+    out << text;
+  }
+  (void)load_or_calibrate_default_prd_curves(dir_.string());
+  // The mismatched file must have been recalibrated over: the rewritten
+  // cache carries the real key again (mtime comparisons would be flaky
+  // on coarse-granularity filesystems, so check the contents).
+  std::string rewritten;
+  {
+    std::ifstream in(file, std::ios::binary);
+    rewritten.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+  }
+  EXPECT_NE(rewritten.find(needle), std::string::npos)
+      << "mismatched key must be recalibrated and rewritten";
 }
 
 TEST(PrdCalibration, MeasurementSpreadReported) {

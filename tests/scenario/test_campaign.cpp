@@ -237,6 +237,120 @@ TEST_F(CampaignTest, RunScenarioMatchesDirectEngineInvocation) {
   EXPECT_TRUE(dse::same_entries(run.result.archive, direct.archive));
 }
 
+TEST_F(CampaignTest, SharedCacheMatchesFreshCacheAcrossAllPresets) {
+  // The tentpole guarantee: lifting the app-layer table and MAC models
+  // into the process-wide cache must not move a single bit, for any of
+  // the shipped presets (they cover the ward-size, app-mix, channel,
+  // battery and optimizer axes).
+  dse::SharedEvalCache cache;
+  for (const ScenarioSpec& spec : all_presets()) {
+    const ScenarioRun shared =
+        run_scenario(spec, /*quick=*/true, /*threads_override=*/1, nullptr,
+                     &cache);
+    const ScenarioRun fresh = run_scenario(spec, /*quick=*/true, 1);
+    EXPECT_EQ(shared.result.evaluations, fresh.result.evaluations)
+        << spec.name;
+    EXPECT_EQ(shared.result.infeasible_count, fresh.result.infeasible_count)
+        << spec.name;
+    EXPECT_TRUE(dse::same_entries(shared.result.archive, fresh.result.archive))
+        << spec.name;
+  }
+  // The presets genuinely share: far fewer tables than scenarios.
+  const auto stats = cache.stats();
+  EXPECT_GT(stats.app_table_hits, 0u);
+  EXPECT_GT(stats.mac_model_hits, stats.mac_model_misses);
+}
+
+TEST_F(CampaignTest, ParallelJobsProduceByteIdenticalStores) {
+  const auto specs = small_campaign();
+  CampaignOptions serial = options(dir("j1"));
+  serial.threads = 1;
+  run_campaign(specs, serial);
+
+  CampaignOptions parallel = options(dir("j2"));
+  parallel.threads = 1;
+  parallel.jobs = 2;
+  const CampaignReport report = run_campaign(specs, parallel);
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.executed, specs.size());
+  ASSERT_EQ(report.outcomes.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(report.outcomes[i].name, specs[i].name) << "outcome order";
+  }
+
+  ResultStore a(dir("j1")), b(dir("j2"));
+  for (const auto& spec : specs) {
+    EXPECT_EQ(read_file(a.pareto_csv_path(spec.name)),
+              read_file(b.pareto_csv_path(spec.name)))
+        << spec.name;
+    EXPECT_EQ(read_file(a.feasible_csv_path(spec.name)),
+              read_file(b.feasible_csv_path(spec.name)))
+        << spec.name;
+    EXPECT_EQ(read_file(a.spec_path(spec.name)),
+              read_file(b.spec_path(spec.name)))
+        << spec.name;
+  }
+}
+
+TEST_F(CampaignTest, ParallelAbortAfterKeepsSerialCheckpointSemantics) {
+  const auto specs = small_campaign();
+  CampaignOptions interrupted = options(dir("pint"));
+  interrupted.jobs = 2;
+  interrupted.abort_after = 1;
+  const CampaignReport first = run_campaign(specs, interrupted);
+  EXPECT_FALSE(first.complete);
+  EXPECT_EQ(first.executed, 1u);
+  {
+    const CampaignManifest manifest = ResultStore(dir("pint")).load_manifest();
+    EXPECT_TRUE(manifest.scenarios[0].complete);
+    EXPECT_FALSE(manifest.scenarios[1].complete);
+    EXPECT_FALSE(manifest.scenarios[2].complete);
+  }
+  // Resume in parallel too; archives must match a clean serial run.
+  ResumeOverrides overrides;
+  overrides.jobs = 2;
+  const CampaignReport resumed = resume_campaign(dir("pint"), overrides);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.skipped, 1u);
+  EXPECT_EQ(resumed.executed, 2u);
+
+  run_campaign(specs, options(dir("pfull")));
+  ResultStore full(dir("pfull")), store(dir("pint"));
+  for (const auto& spec : specs) {
+    EXPECT_EQ(read_file(full.pareto_csv_path(spec.name)),
+              read_file(store.pareto_csv_path(spec.name)))
+        << spec.name;
+  }
+}
+
+TEST_F(CampaignTest, WarmCacheDirReproducesColdResultsByteForByte) {
+  const auto specs = small_campaign();
+  const std::string cache_dir = dir("prdcache");
+
+  // "Cold": whatever calibration state this process has, plus a campaign
+  // writing the warm cache. (set_default_prd_cache_dir may be a no-op if
+  // another test already calibrated — results are identical either way;
+  // here we exercise the campaign-level plumbing end to end.)
+  CampaignOptions cold = options(dir("cold"));
+  cold.cache_dir = cache_dir;
+  run_campaign(specs, cold);
+
+  // Warm rerun into a fresh store with the same cache dir.
+  CampaignOptions warm = options(dir("warm"));
+  warm.cache_dir = cache_dir;
+  run_campaign(specs, warm);
+
+  ResultStore a(dir("cold")), b(dir("warm"));
+  for (const auto& spec : specs) {
+    EXPECT_EQ(read_file(a.pareto_csv_path(spec.name)),
+              read_file(b.pareto_csv_path(spec.name)))
+        << spec.name;
+    EXPECT_EQ(read_file(a.feasible_csv_path(spec.name)),
+              read_file(b.feasible_csv_path(spec.name)))
+        << spec.name;
+  }
+}
+
 TEST_F(CampaignTest, CorruptManifestFailsWithClearError) {
   run_campaign({preset("hospital_ward_2")}, options(dir("a")));
   {

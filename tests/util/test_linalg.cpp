@@ -193,5 +193,76 @@ TEST_P(RandomSpdSweep, CholeskySolvesRandomSpd) {
 INSTANTIATE_TEST_SUITE_P(Sizes, RandomSpdSweep,
                          ::testing::Values(1, 2, 3, 5, 8, 16, 32));
 
+/// Deterministic pseudo-random column-major matrix + vectors for the
+/// blocked-kernel equivalence checks.
+struct BlockedFixture {
+  std::size_t rows, cols;
+  std::vector<double> a;   // rows x cols, column-major
+  std::vector<double> x;   // length rows
+  std::vector<double> c;   // length cols, with planted exact zeros
+
+  BlockedFixture(std::size_t r, std::size_t n) : rows(r), cols(n) {
+    std::uint64_t state = 0x9e3779b97f4a7c15ull + r * 1315423911u + n;
+    const auto next = [&state] {
+      state ^= state << 13;
+      state ^= state >> 7;
+      state ^= state << 17;
+      return static_cast<double>(static_cast<std::int64_t>(state % 2000) -
+                                 1000) /
+             137.0;
+    };
+    a.resize(rows * cols);
+    for (double& v : a) v = next();
+    x.resize(rows);
+    for (double& v : x) v = next();
+    c.resize(cols);
+    for (std::size_t j = 0; j < cols; ++j) {
+      c[j] = (j % 3 == 0) ? 0.0 : next();  // exercise the zero-skip path
+    }
+  }
+
+  std::span<const double> column(std::size_t j) const {
+    return {a.data() + j * rows, rows};
+  }
+};
+
+TEST(BlockedKernels, GemvTransposedBitIdenticalToPerColumnDot) {
+  // Tail columns (cols % 4 != 0) and tiny shapes included.
+  for (const auto [rows, cols] : {std::pair<std::size_t, std::size_t>{7, 1},
+                                  {1, 4},
+                                  {16, 5},
+                                  {33, 16},
+                                  {100, 256},
+                                  {3, 7}}) {
+    const BlockedFixture f(rows, cols);
+    std::vector<double> out(cols, -1.0);
+    gemv_transposed(f.a, rows, cols, f.x, out);
+    for (std::size_t j = 0; j < cols; ++j) {
+      EXPECT_EQ(out[j], dot(f.column(j), f.x))
+          << rows << "x" << cols << " col " << j;
+    }
+  }
+}
+
+TEST(BlockedKernels, GemvAccumulateBitIdenticalToAxpySequence) {
+  for (const auto [rows, cols] : {std::pair<std::size_t, std::size_t>{7, 1},
+                                  {16, 5},
+                                  {33, 16},
+                                  {100, 256},
+                                  {3, 7}}) {
+    const BlockedFixture f(rows, cols);
+    for (const bool skip : {false, true}) {
+      std::vector<double> expected(rows, 0.25);
+      for (std::size_t j = 0; j < cols; ++j) {
+        if (skip && f.c[j] == 0.0) continue;
+        axpy(f.c[j], f.column(j), expected);
+      }
+      std::vector<double> got(rows, 0.25);
+      gemv_accumulate(f.a, rows, cols, f.c, got, skip);
+      EXPECT_EQ(got, expected) << rows << "x" << cols << " skip=" << skip;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace wsnex::util

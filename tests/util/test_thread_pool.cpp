@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
@@ -86,6 +87,108 @@ TEST(ThreadPool, PropagatesExceptions) {
   std::atomic<int> count{0};
   pool.parallel_for(0, 10, [&](std::size_t, std::size_t) { ++count; });
   EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, RunTasksCoversEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(37);
+  pool.run_tasks(hits.size(), [&](std::size_t t) { hits[t].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // Single-worker pools run inline.
+  ThreadPool one(1);
+  std::vector<std::size_t> order;
+  one.run_tasks(5, [&](std::size_t t) { order.push_back(t); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, RunTasksPropagatesLowestTaskException) {
+  ThreadPool pool(4);
+  try {
+    pool.run_tasks(64, [&](std::size_t t) {
+      if (t == 7 || t == 3) {
+        throw std::runtime_error("task " + std::to_string(t));
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 3");
+  }
+  // Usable afterwards.
+  std::atomic<int> count{0};
+  pool.run_tasks(8, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 8);
+
+  // The single-worker inline path honors the same drain-then-rethrow
+  // contract: every task runs before the first exception surfaces.
+  ThreadPool one(1);
+  std::vector<std::size_t> ran;
+  try {
+    one.run_tasks(4, [&](std::size_t t) {
+      ran.push_back(t);
+      if (t == 1 || t == 2) throw std::runtime_error("t" + std::to_string(t));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "t1");
+  }
+  EXPECT_EQ(ran, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(ThreadPool, ReentrantNestedFanOutOnOneSharedPool) {
+  // The campaign shape: coarse scenario tasks spawn evaluation batches on
+  // the same pool. Every nested index must run exactly once, and the
+  // nested chunk ids must stay a pure function of (range, pool size).
+  ThreadPool pool(3);
+  constexpr std::size_t kTasks = 6;
+  constexpr std::size_t kInner = 40;
+  std::vector<std::vector<std::atomic<int>>> hits(kTasks);
+  for (auto& row : hits) {
+    row = std::vector<std::atomic<int>>(kInner);
+  }
+  std::vector<std::vector<std::size_t>> owners(
+      kTasks, std::vector<std::size_t>(kInner, 99));
+  pool.run_tasks(kTasks, [&](std::size_t task) {
+    pool.parallel_for(0, kInner, [&, task](std::size_t i, std::size_t w) {
+      hits[task][i].fetch_add(1);
+      owners[task][i] = w;
+    });
+  });
+  for (std::size_t t = 0; t < kTasks; ++t) {
+    for (std::size_t i = 0; i < kInner; ++i) {
+      EXPECT_EQ(hits[t][i].load(), 1) << t << "," << i;
+      // ceil(40 / 3) = 14 -> chunk = i / 14 for every task.
+      EXPECT_EQ(owners[t][i], i / 14) << t << "," << i;
+    }
+  }
+}
+
+TEST(ThreadPool, NestedParallelForInsideParallelFor) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(16 * 16);
+  pool.parallel_for(0, 16, [&](std::size_t i, std::size_t) {
+    pool.parallel_for(0, 16, [&, i](std::size_t j, std::size_t) {
+      hits[i * 16 + j].fetch_add(1);
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ResolveLayoutClampsTheProductButKeepsJobs) {
+  const std::size_t hw = ThreadPool::resolve_threads(0);
+  // jobs x threads within the machine: untouched.
+  const auto fits = ThreadPool::resolve_layout(1, 1);
+  EXPECT_EQ(fits.jobs, 1u);
+  EXPECT_EQ(fits.pool_width, 1u);
+  // Oversubscribed product: clamped to hardware concurrency...
+  const auto clamped = ThreadPool::resolve_layout(2, hw);
+  EXPECT_EQ(clamped.jobs, 2u);
+  EXPECT_EQ(clamped.pool_width, std::max<std::size_t>(2, hw));
+  // ... but an explicit jobs request keeps its scenario concurrency even
+  // on a narrower machine.
+  const auto wide = ThreadPool::resolve_layout(4 * hw, 1);
+  EXPECT_EQ(wide.pool_width, 4 * hw);
+  // jobs == 0 is treated as 1.
+  EXPECT_GE(ThreadPool::resolve_layout(0, 1).jobs, 1u);
 }
 
 TEST(ThreadPool, ReusableAcrossManyBatches) {

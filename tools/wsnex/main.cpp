@@ -18,6 +18,7 @@
 // run produces.
 #include <algorithm>
 #include <cstdio>
+#include <thread>
 #include <filesystem>
 #include <fstream>
 #include <optional>
@@ -43,8 +44,10 @@ int usage(std::FILE* to) {
                "  wsnex list [--json]\n"
                "  wsnex validate <spec.json|preset>...\n"
                "  wsnex run <spec.json|preset>... -o DIR [--quick] "
-               "[--threads N] [--abort-after N]\n"
-               "  wsnex resume DIR [--threads N] [--abort-after N]\n"
+               "[--threads N] [--jobs N] [--cache-dir DIR] "
+               "[--abort-after N]\n"
+               "  wsnex resume DIR [--threads N] [--jobs N] "
+               "[--cache-dir DIR] [--abort-after N]\n"
                "  wsnex report DIR\n"
                "  wsnex export <preset>... -o DIR\n"
                "\n"
@@ -55,6 +58,14 @@ int usage(std::FILE* to) {
                "evaluations)\n"
                "      --threads N   worker threads (0 = hardware concurrency; "
                "never changes results)\n"
+               "      --jobs N      concurrent scenarios on one shared pool "
+               "(clamped against\n"
+               "                    hardware concurrency; never changes "
+               "result files)\n"
+               "      --cache-dir DIR  on-disk warm cache: skips the codec "
+               "calibration cold\n"
+               "                    start on repeated runs (bit-identical "
+               "results)\n"
                "      --abort-after N  stop after N scenarios as if killed "
                "(checkpoint/resume testing)\n"
                "      --json        machine-readable `list` output\n"
@@ -137,8 +148,10 @@ int cmd_validate(const std::vector<std::string>& args) {
 struct CommonFlags {
   std::vector<std::string> positional;
   std::string out_dir;
+  std::string cache_dir;
   bool quick = false;
   std::optional<std::size_t> threads;
+  std::size_t jobs = 1;
   std::size_t abort_after = 0;
   bool ok = true;
 };
@@ -181,6 +194,18 @@ CommonFlags parse_flags(const std::vector<std::string>& args) {
         if (const auto n = parse_count(*v, "--threads")) flags.threads = *n;
         else flags.ok = false;
       }
+    } else if (a == "--jobs") {
+      if (const auto v = next_value("--jobs")) {
+        if (const auto n = parse_count(*v, "--jobs")) {
+          // --jobs 0 means "one per hardware thread", like --threads 0.
+          flags.jobs = std::max<std::size_t>(
+              *n == 0 ? std::thread::hardware_concurrency() : *n, 1);
+        } else {
+          flags.ok = false;
+        }
+      }
+    } else if (a == "--cache-dir") {
+      if (const auto v = next_value("--cache-dir")) flags.cache_dir = *v;
     } else if (a == "--abort-after") {
       if (const auto v = next_value("--abort-after")) {
         if (const auto n = parse_count(*v, "--abort-after")) {
@@ -247,6 +272,8 @@ int cmd_run(const std::vector<std::string>& args) {
   options.quick = flags.quick;
   options.threads = flags.threads;
   options.abort_after = flags.abort_after;
+  options.jobs = flags.jobs;
+  options.cache_dir = flags.cache_dir;
   std::printf("campaign: %zu scenario(s) -> %s%s\n", specs.size(),
               options.out_dir.c_str(), options.quick ? " (quick)" : "");
   const auto report = scenario::run_campaign(specs, options, print_outcome);
@@ -261,8 +288,13 @@ int cmd_resume(const std::vector<std::string>& args) {
     return 2;
   }
   const std::string& out_dir = flags.positional.front();
-  const auto report = scenario::resume_campaign(
-      out_dir, flags.threads, flags.abort_after, print_outcome);
+  scenario::ResumeOverrides overrides;
+  overrides.threads = flags.threads;
+  overrides.abort_after = flags.abort_after;
+  overrides.jobs = flags.jobs;
+  overrides.cache_dir = flags.cache_dir;
+  const auto report =
+      scenario::resume_campaign(out_dir, overrides, print_outcome);
   return report_outcome_summary(report, out_dir);
 }
 
