@@ -1,18 +1,21 @@
-// Single-scenario deep dive: analytical delay bound vs packet simulation.
+// Single-scenario deep dive: analytical delay bound vs packet simulation,
+// now driven through the Monte Carlo validate subsystem.
 //
-// Evaluates one network with the model, replays it in the discrete-event
-// simulator, and prints a per-node comparison plus an ASCII latency
+// Builds a hospital-ward scenario pinned to one MAC point (payload 64 B,
+// the chosen BCO, SFO = BCO), runs a replicated validation campaign
+// (counter-derived seeds, Student-t confidence intervals, Eq. 9 bound
+// verdicts) and then replays one replicate to print an ASCII latency
 // histogram — a compact version of the Section 5.1 validation that also
 // shows *where* the latency mass sits inside the superframe cycle.
 //
-//   ./examples/delay_validation [bco=6]
+//   ./examples/delay_validation [bco=6] [replicates=8]
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
-#include "model/evaluator.hpp"
-#include "sim/network.hpp"
-#include "util/stats.hpp"
+#include "scenario/registry.hpp"
 #include "util/table.hpp"
+#include "validate/validation.hpp"
 
 int main(int argc, char** argv) {
   using namespace wsnex;
@@ -21,71 +24,75 @@ int main(int argc, char** argv) {
     std::printf("bco must be in [3, 10]\n");
     return 1;
   }
-
-  const auto evaluator = model::NetworkModelEvaluator::make_default();
-  model::NetworkDesign design;
-  design.mac.payload_bytes = 64;
-  design.mac.bco = bco;
-  design.mac.sfo = bco;
-  design.nodes = {
-      {model::AppKind::kDwt, 0.20, 8000.0},
-      {model::AppKind::kDwt, 0.29, 8000.0},
-      {model::AppKind::kDwt, 0.38, 8000.0},
-      {model::AppKind::kCs, 0.20, 8000.0},
-      {model::AppKind::kCs, 0.29, 8000.0},
-      {model::AppKind::kCs, 0.38, 8000.0},
-  };
-  const auto eval = evaluator.evaluate(design);
-  if (!eval.feasible) {
-    std::printf("infeasible: %s\n", eval.infeasibility_reason.c_str());
+  const int replicates_arg = argc > 2 ? std::atoi(argv[2]) : 8;
+  if (replicates_arg < 1 || replicates_arg > 1000) {
+    std::printf("replicates must be in [1, 1000]\n");
     return 1;
   }
+  const auto replicates = static_cast<std::size_t>(replicates_arg);
 
-  sim::NetworkScenario sc;
-  sc.mac = design.mac;
-  sc.mac.gts_slots.clear();
-  for (const auto& q : eval.assignment.nodes) sc.mac.gts_slots.push_back(q.slots);
-  for (const auto& node : design.nodes) {
-    sc.traffic.push_back({evaluator.chain().phi_in_bytes_per_s() * node.cr,
-                          evaluator.chain().window_period_s()});
-  }
-  sc.duration_s = 600.0;
-  const sim::NetworkResult result = sim::run_network(sc);
+  // The Section 4.1 ward, pinned to the single MAC point the original
+  // delay experiment used; the reference design picks the median CR at
+  // the fastest clock.
+  scenario::ScenarioSpec spec = scenario::preset("hospital_ward_6");
+  spec.payload_grid = {64};
+  spec.bco_grid = {bco};
+  spec.sfo_gap_grid = {0};
 
-  const double bi_ms = design.mac.superframe().beacon_interval_s() * 1e3;
-  std::printf("BCO=%u: beacon interval %.1f ms, slot %.2f ms, %llu beacons\n\n",
-              bco, bi_ms, design.mac.superframe().slot_s() * 1e3,
-              static_cast<unsigned long long>(result.beacons_sent));
+  validate::ValidationOptions options;
+  options.plan.replicates = replicates;
+  options.plan.duration_s = 120.0;
+  const validate::ValidationReport report =
+      validate::run_validation(spec, options);
 
-  util::Table table({"node", "app", "GTS", "frames", "mean [ms]", "p99 [ms]",
-                     "max [ms]", "Eq.9 bound [ms]", "margin [ms]"});
-  std::vector<double> all_latencies;
-  for (std::size_t n = 0; n < result.nodes.size(); ++n) {
-    const auto& nr = result.nodes[n];
-    std::vector<double> lat;
-    for (const auto& d : result.deliveries) {
-      if (d.node == n + 1) lat.push_back(d.latency_s * 1e3);
+  std::printf("BCO=%u: %zu replicates x %.0f s, design %s\n\n", bco,
+              report.replicates, report.duration_s, report.config.c_str());
+  util::Table table({"metric", "sim mean", "95% CI", "analytic", "verdict"});
+  for (const validate::MetricSummary& m : report.metrics) {
+    std::string ci = "-";
+    if (std::isfinite(m.ci_lo)) {
+      ci = "[";
+      ci += util::Table::num(m.ci_lo, 4);
+      ci += ", ";
+      ci += util::Table::num(m.ci_hi, 4);
+      ci += "]";
     }
-    all_latencies.insert(all_latencies.end(), lat.begin(), lat.end());
-    const double bound_ms = eval.nodes[n].delay_bound_s * 1e3;
-    table.add_row({std::to_string(n), model::to_string(design.nodes[n].app),
-                   std::to_string(eval.nodes[n].gts_slots),
-                   std::to_string(nr.frame_latency.count()),
-                   util::Table::num(nr.frame_latency.mean() * 1e3, 1),
-                   util::Table::num(util::percentile(lat, 99.0), 1),
-                   util::Table::num(nr.frame_latency.max() * 1e3, 1),
-                   util::Table::num(bound_ms, 1),
-                   util::Table::num(bound_ms - nr.frame_latency.max() * 1e3,
-                                    1)});
+    table.add_row({m.name, util::Table::num(m.sim_mean, 4), ci,
+                   m.has_analytic ? util::Table::num(m.analytic, 4) : "-",
+                   validate::to_string(m.verdict)});
   }
   std::printf("%s\n", table.render().c_str());
 
-  // ASCII histogram of all frame latencies over [0, bound].
-  const double hist_max = eval.delay_metric_s * 1e3;
-  const auto counts = util::histogram(all_latencies, 0.0, hist_max, 20);
+  // The Eq. 9 bound check the original example existed for.
+  const validate::MetricSummary* worst = report.find_metric("latency_max_s");
+  if (worst == nullptr || !worst->has_analytic) {
+    std::printf("no delay bound metric emitted\n");
+    return 1;
+  }
+  std::printf("Eq. 9 bound %.1f ms, worst simulated frame %.1f ms -> %s\n\n",
+              worst->analytic * 1e3, worst->sim_max * 1e3,
+              worst->sim_max <= worst->analytic ? "bound holds"
+                                                : "BOUND VIOLATED");
+
+  // ASCII histogram of one replicate's frame latencies over [0, bound].
+  const auto evaluator =
+      model::NetworkModelEvaluator::make_default(spec.evaluator_options());
+  const validate::Lowering low = validate::lower(
+      spec, evaluator, validate::reference_design(spec, evaluator));
+  sim::NetworkScenario sc = low.sim;
+  sc.duration_s = 600.0;
+  sc.seed = validate::ReplicationPlan::replicate_seed(options.plan.base_seed, 0);
+  const sim::NetworkResult result = sim::run_network(sc);
+  std::vector<double> latencies;
+  for (const sim::FrameDelivery& d : result.deliveries) {
+    latencies.push_back(d.latency_s * 1e3);
+  }
+  const double hist_max = low.eval.delay_metric_s * 1e3;
+  const auto counts = util::histogram(latencies, 0.0, hist_max, 20);
   std::size_t peak = 1;
   for (std::size_t c : counts) peak = std::max(peak, c);
-  std::printf("frame latency distribution (0 .. %.0f ms):\n", hist_max);
+  std::printf("frame latency distribution, one 600 s replicate (0 .. %.0f ms):\n",
+              hist_max);
   for (std::size_t b = 0; b < counts.size(); ++b) {
     const int bar = static_cast<int>(60.0 * static_cast<double>(counts[b]) /
                                      static_cast<double>(peak));
@@ -94,17 +101,7 @@ int main(int argc, char** argv) {
                 "############################################################",
                 counts[b]);
   }
-  std::printf("\nstable: %s, collisions: %llu, bound violations: %s\n",
-              result.stable() ? "yes" : "NO",
-              static_cast<unsigned long long>(result.channel_collisions),
-              [&] {
-                for (std::size_t n = 0; n < result.nodes.size(); ++n) {
-                  if (result.nodes[n].frame_latency.max() >
-                      eval.nodes[n].delay_bound_s) {
-                    return "YES";
-                  }
-                }
-                return "none";
-              }());
-  return 0;
+  std::printf("\nvalidation %s (%zu unstable replicate(s))\n",
+              report.passed ? "PASS" : "FAIL", report.unstable_replicates);
+  return report.passed ? 0 : 1;
 }

@@ -139,6 +139,9 @@ ScenarioStatus execute_and_persist(const ScenarioSpec& spec,
                     feasible, lifetime_days, run.space);
   store.write_summary(spec.name,
                       make_summary(spec, run, feasible, lifetime_days));
+  if (options.post_scenario) {
+    options.post_scenario(spec, run, store, pool);
+  }
 
   ScenarioStatus status;
   status.name = spec.name;
@@ -424,6 +427,7 @@ CampaignReport resume_campaign(
   options.abort_after = overrides.abort_after;
   options.jobs = overrides.jobs;
   options.cache_dir = overrides.cache_dir;
+  options.post_scenario = overrides.post_scenario;
   return drive_campaign(specs, options, store, progress);
 }
 

@@ -68,6 +68,17 @@ ScenarioSpec quick_variant(ScenarioSpec spec);
 std::vector<std::size_t> feasible_entries(const dse::ParetoArchive& archive,
                                           const ClinicalConstraints& constraints);
 
+/// Called after a scenario's result files are on disk but *before* the
+/// manifest marks it complete — a crash mid-hook leaves the scenario
+/// pending, so resume re-runs scenario + hook and reproduces both. The
+/// validate subsystem installs its Monte Carlo validator here
+/// (`wsnex run --validate`); the scenario layer itself stays independent
+/// of the modules above it. `pool` is the shared campaign pool (null in
+/// serial campaigns); hooks may fan subtasks out on it.
+using PostScenarioHook = std::function<void(
+    const ScenarioSpec& spec, const ScenarioRun& run, ResultStore& store,
+    util::ThreadPool* pool)>;
+
 /// Campaign execution options.
 struct CampaignOptions {
   std::string out_dir;  ///< result-store root (created if absent)
@@ -92,6 +103,8 @@ struct CampaignOptions {
   /// re-running the codecs. Bit-identical results either way. Empty =
   /// no disk cache.
   std::string cache_dir;
+  /// Optional per-scenario post-processing (see PostScenarioHook).
+  PostScenarioHook post_scenario;
 };
 
 /// What happened to one scenario during a campaign invocation.
@@ -129,6 +142,9 @@ struct ResumeOverrides {
   std::size_t abort_after = 0;
   std::size_t jobs = 1;
   std::string cache_dir;
+  /// Re-installed on resume (hooks are code, not manifest state; a resume
+  /// that wants `--validate` behavior passes the hook again).
+  PostScenarioHook post_scenario;
 };
 
 /// Resumes the campaign stored at `out_dir`: loads the frozen specs and

@@ -3,8 +3,9 @@
 //
 // The presets span the paper's Section 4.1 case study and the variations a
 // ward manager actually faces: ward size (2-7 patients), application fleet
-// (the default half-DWT/half-CS mix, all-DWT, all-CS), a degraded radio
-// channel, and a smaller backup battery. Every preset passes
+// (the default half-DWT/half-CS mix, all-DWT, all-CS), degraded radio
+// channels (uniform BER, Gilbert-Elliott bursts), CSMA contention instead
+// of TDMA, and a smaller backup battery. Every preset passes
 // ScenarioSpec::validate() (enforced by tests) and is serializable to the
 // examples/scenarios/*.json files via `wsnex export`.
 #pragma once

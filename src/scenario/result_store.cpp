@@ -102,6 +102,14 @@ std::string ResultStore::summary_path(const std::string& name) const {
   return (fs::path(result_dir(name)) / "summary.json").string();
 }
 
+std::string ResultStore::validation_json_path(const std::string& name) const {
+  return (fs::path(result_dir(name)) / "validation.json").string();
+}
+
+std::string ResultStore::validation_csv_path(const std::string& name) const {
+  return (fs::path(result_dir(name)) / "validation.csv").string();
+}
+
 void ResultStore::ensure_result_dir(const std::string& name) const {
   fs::create_directories(result_dir(name));
 }
@@ -199,6 +207,24 @@ void ResultStore::record_complete(const ScenarioStatus& status) {
   }
   throw ScenarioError("record_complete: scenario \"" + status.name +
                       "\" is not part of the campaign at " + root_);
+}
+
+void ResultStore::write_validation(const std::string& name,
+                                   const util::Json& report) const {
+  ensure_result_dir(name);
+  write_file_atomic(validation_json_path(name), report.dump(2));
+}
+
+util::Json ResultStore::load_validation(const std::string& name) const {
+  try {
+    return util::Json::parse(read_file(validation_json_path(name)));
+  } catch (const util::JsonParseError& e) {
+    throw ScenarioError(validation_json_path(name) + ": " + e.what());
+  }
+}
+
+bool ResultStore::has_validation(const std::string& name) const {
+  return fs::exists(validation_json_path(name));
 }
 
 void ResultStore::write_summary(const std::string& name,

@@ -80,6 +80,10 @@ class ResultStore {
   std::string pareto_csv_path(const std::string& name) const;
   std::string feasible_csv_path(const std::string& name) const;
   std::string summary_path(const std::string& name) const;
+  /// Monte Carlo validation artifacts (written by the validate subsystem;
+  /// absent unless `wsnex validate -o` / `wsnex run --validate` ran).
+  std::string validation_json_path(const std::string& name) const;
+  std::string validation_csv_path(const std::string& name) const;
   std::string manifest_path() const;
 
   void ensure_result_dir(const std::string& name) const;
@@ -88,6 +92,13 @@ class ResultStore {
   /// summary_path(name).
   void write_summary(const std::string& name, const util::Json& summary) const;
   util::Json load_summary(const std::string& name) const;
+
+  /// Writes a validation report (JSON produced by the validate subsystem)
+  /// to validation_json_path(name), atomically like the summary.
+  void write_validation(const std::string& name,
+                        const util::Json& report) const;
+  util::Json load_validation(const std::string& name) const;
+  bool has_validation(const std::string& name) const;
 
  private:
   void save_manifest(const CampaignManifest& manifest) const;

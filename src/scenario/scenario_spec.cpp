@@ -149,6 +149,10 @@ const char* to_string(OptimizerKind kind) {
   }
 }
 
+const char* to_string(ChannelAccess access) {
+  return access == ChannelAccess::kCsma ? "csma" : "tdma";
+}
+
 ScenarioSpec::ScenarioSpec() {
   const dse::DesignSpaceConfig defaults;
   cr_grid = defaults.cr_grid;
@@ -232,6 +236,50 @@ void ScenarioSpec::validate() const {
                "must be in [0, 1), got " + std::to_string(
                                                channel.bit_error_rate));
   }
+  if (channel.burst.burst_fer < 0.0 || channel.burst.burst_fer >= 1.0) {
+    errors.add("channel.burst.burst_fer",
+               "must be in [0, 1), got " +
+                   std::to_string(channel.burst.burst_fer));
+  }
+  if (channel.burst.bad_fraction < 0.0 || channel.burst.bad_fraction >= 1.0) {
+    errors.add("channel.burst.bad_fraction",
+               "must be in [0, 1), got " +
+                   std::to_string(channel.burst.bad_fraction));
+  }
+  if (!(channel.burst.mean_burst_frames >= 1.0)) {
+    errors.add("channel.burst.mean_burst_frames",
+               "must be >= 1 frame, got " +
+                   std::to_string(channel.burst.mean_burst_frames));
+  } else if (channel.burst.bad_fraction >= 0.0 &&
+             channel.burst.bad_fraction < 1.0 &&
+             channel.burst.bad_fraction / (1.0 - channel.burst.bad_fraction) >
+                 channel.burst.mean_burst_frames) {
+    // The two-state chain needs p_good_to_bad = bad_fraction /
+    // ((1 - bad_fraction) * mean_burst_frames) <= 1; beyond that the
+    // simulator could not realize the requested long-run mix and the
+    // analytical rate would silently diverge from the simulated one.
+    errors.add("channel.burst.bad_fraction",
+               "unrealizable: " + std::to_string(channel.burst.bad_fraction) +
+                   " needs bursts recurring faster than every frame; with "
+                   "mean_burst_frames = " +
+                   std::to_string(channel.burst.mean_burst_frames) +
+                   " the maximum is mean/(mean+1) = " +
+                   std::to_string(channel.burst.mean_burst_frames /
+                                  (channel.burst.mean_burst_frames + 1.0)));
+  }
+  if (!channel.node_fer.empty() && channel.node_fer.size() != node_count) {
+    errors.add("channel.node_fer",
+               "has " + std::to_string(channel.node_fer.size()) +
+                   " entries but node_count is " + std::to_string(node_count) +
+                   " (omit for a uniform channel)");
+  }
+  for (double fer : channel.node_fer) {
+    if (fer < 0.0 || fer >= 1.0) {
+      errors.add("channel.node_fer",
+                 "rates must be in [0, 1), got " + std::to_string(fer));
+      break;
+    }
+  }
   if (!(battery.capacity_mah > 0.0)) {
     errors.add("battery.capacity_mah", "must be > 0 mAh");
   }
@@ -302,16 +350,34 @@ void ScenarioSpec::validate() const {
 }
 
 double ScenarioSpec::effective_frame_error_rate() const {
-  if (channel.bit_error_rate == 0.0) return channel.frame_error_rate;
-  // Worst case over the payload grid: the longest frame (payload + MAC
-  // header/FCS + PHY preamble) is the most exposed to bit errors.
-  const std::size_t max_payload =
-      *std::max_element(payload_grid.begin(), payload_grid.end());
-  const std::size_t frame_bytes = max_payload +
-                                  mac::FrameSizes::kDataOverheadBytes +
-                                  mac::Phy::kPhyOverheadBytes;
-  const double bits = static_cast<double>(8 * frame_bytes);
-  return 1.0 - std::pow(1.0 - channel.bit_error_rate, bits);
+  double base = channel.frame_error_rate;
+  if (channel.bit_error_rate != 0.0) {
+    // Worst case over the payload grid: the longest frame (payload + MAC
+    // header/FCS + PHY preamble) is the most exposed to bit errors.
+    const std::size_t max_payload =
+        *std::max_element(payload_grid.begin(), payload_grid.end());
+    const std::size_t frame_bytes = max_payload +
+                                    mac::FrameSizes::kDataOverheadBytes +
+                                    mac::Phy::kPhyOverheadBytes;
+    const double bits = static_cast<double>(8 * frame_bytes);
+    base = 1.0 - std::pow(1.0 - channel.bit_error_rate, bits);
+  }
+  if (channel.burst.active()) {
+    // Long-run average of the Gilbert-Elliott process: the uniform rate
+    // applies in the good state, burst_fer in the bad state.
+    base = (1.0 - channel.burst.bad_fraction) * base +
+           channel.burst.bad_fraction * channel.burst.burst_fer;
+  }
+  if (!channel.node_fer.empty()) {
+    // The analytical model carries one network-wide rate: use the mean of
+    // the composed per-node rates (state FER x node FER survival).
+    double sum = 0.0;
+    for (double fer : channel.node_fer) {
+      sum += 1.0 - (1.0 - base) * (1.0 - fer);
+    }
+    base = sum / static_cast<double>(channel.node_fer.size());
+  }
+  return base;
 }
 
 dse::DesignSpaceConfig ScenarioSpec::design_space_config() const {
@@ -342,7 +408,8 @@ ScenarioSpec ScenarioSpec::from_json(const util::Json& json) {
   check_keys(json, "",
              {"name", "description", "node_count", "apps", "cr_grid",
               "mcu_freq_khz_grid", "payload_grid", "bco_grid", "sfo_gap_grid",
-              "channel", "battery", "constraints", "theta", "optimizer"});
+              "channel", "access", "battery", "constraints", "theta",
+              "optimizer"});
   ScenarioSpec spec;
   if (const util::Json* v = json.find("name")) {
     spec.name = read_string(*v, "name");
@@ -382,13 +449,45 @@ ScenarioSpec ScenarioSpec::from_json(const util::Json& json) {
     spec.sfo_gap_grid = read_array<unsigned>(*v, "sfo_gap_grid", read_unsigned);
   }
   if (const util::Json* v = json.find("channel")) {
-    check_keys(*v, "channel", {"frame_error_rate", "bit_error_rate"});
+    check_keys(*v, "channel",
+               {"frame_error_rate", "bit_error_rate", "burst", "node_fer"});
     if (const util::Json* f = v->find("frame_error_rate")) {
       spec.channel.frame_error_rate =
           read_double(*f, "channel.frame_error_rate");
     }
     if (const util::Json* f = v->find("bit_error_rate")) {
       spec.channel.bit_error_rate = read_double(*f, "channel.bit_error_rate");
+    }
+    if (const util::Json* b = v->find("burst")) {
+      check_keys(*b, "channel.burst",
+                 {"burst_fer", "mean_burst_frames", "bad_fraction"});
+      if (const util::Json* f = b->find("burst_fer")) {
+        spec.channel.burst.burst_fer =
+            read_double(*f, "channel.burst.burst_fer");
+      }
+      if (const util::Json* f = b->find("mean_burst_frames")) {
+        spec.channel.burst.mean_burst_frames =
+            read_double(*f, "channel.burst.mean_burst_frames");
+      }
+      if (const util::Json* f = b->find("bad_fraction")) {
+        spec.channel.burst.bad_fraction =
+            read_double(*f, "channel.burst.bad_fraction");
+      }
+    }
+    if (const util::Json* f = v->find("node_fer")) {
+      spec.channel.node_fer =
+          read_array<double>(*f, "channel.node_fer", read_double);
+    }
+  }
+  if (const util::Json* v = json.find("access")) {
+    const std::string s = read_string(*v, "access");
+    if (s == "tdma") {
+      spec.access = ChannelAccess::kTdma;
+    } else if (s == "csma") {
+      spec.access = ChannelAccess::kCsma;
+    } else {
+      field_fail("access", "unknown access \"" + s +
+                               "\" (expected \"tdma\" or \"csma\")");
     }
   }
   if (const util::Json* v = json.find("battery")) {
@@ -520,7 +619,25 @@ util::Json ScenarioSpec::to_json() const {
   } else {
     channel_json.set("frame_error_rate", channel.frame_error_rate);
   }
+  // The stochastic extensions are emitted only when set, so pre-existing
+  // spec files (and their == comparison against frozen campaign specs)
+  // are unaffected. Any field differing from its default forces emission,
+  // keeping from_json(to_json(s)) == s even for half-configured bursts.
+  if (channel.burst.burst_fer != 0.0 || channel.burst.bad_fraction != 0.0 ||
+      channel.burst.mean_burst_frames != BurstSpec{}.mean_burst_frames) {
+    util::Json burst_json = util::Json::object();
+    burst_json.set("burst_fer", channel.burst.burst_fer);
+    burst_json.set("mean_burst_frames", channel.burst.mean_burst_frames);
+    burst_json.set("bad_fraction", channel.burst.bad_fraction);
+    channel_json.set("burst", std::move(burst_json));
+  }
+  if (!channel.node_fer.empty()) {
+    channel_json.set("node_fer", number_array(channel.node_fer));
+  }
   json.set("channel", std::move(channel_json));
+  if (access != ChannelAccess::kTdma) {
+    json.set("access", to_string(access));
+  }
   util::Json battery_json = util::Json::object();
   battery_json.set("capacity_mah", battery.capacity_mah);
   battery_json.set("nominal_voltage_v", battery.nominal_voltage_v);
@@ -561,9 +678,16 @@ bool operator==(const OptimizerSettings& a, const OptimizerSettings& b) {
          a.cooling == b.cooling && a.seed == b.seed && a.threads == b.threads;
 }
 
+bool operator==(const BurstSpec& a, const BurstSpec& b) {
+  return a.burst_fer == b.burst_fer &&
+         a.mean_burst_frames == b.mean_burst_frames &&
+         a.bad_fraction == b.bad_fraction;
+}
+
 bool operator==(const ChannelSpec& a, const ChannelSpec& b) {
   return a.frame_error_rate == b.frame_error_rate &&
-         a.bit_error_rate == b.bit_error_rate;
+         a.bit_error_rate == b.bit_error_rate && a.burst == b.burst &&
+         a.node_fer == b.node_fer;
 }
 
 bool operator==(const ClinicalConstraints& a, const ClinicalConstraints& b) {
@@ -585,8 +709,9 @@ bool operator==(const ScenarioSpec& a, const ScenarioSpec& b) {
          a.mcu_freq_khz_grid == b.mcu_freq_khz_grid &&
          a.payload_grid == b.payload_grid && a.bco_grid == b.bco_grid &&
          a.sfo_gap_grid == b.sfo_gap_grid && a.channel == b.channel &&
-         a.battery == b.battery && a.constraints == b.constraints &&
-         a.theta == b.theta && a.optimizer == b.optimizer;
+         a.access == b.access && a.battery == b.battery &&
+         a.constraints == b.constraints && a.theta == b.theta &&
+         a.optimizer == b.optimizer;
 }
 
 }  // namespace wsnex::scenario

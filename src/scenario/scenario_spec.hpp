@@ -58,14 +58,50 @@ struct OptimizerSettings {
   std::size_t threads = 0;
 };
 
-/// Channel quality. Exactly one of the two rates may be set (both zero =
-/// ideal channel). A bit error rate is converted to the frame error rate
-/// the analytical model consumes via the *largest* frame the payload grid
-/// can produce (worst case): FER = 1 - (1 - BER)^(8 * frame_bytes).
+/// Gilbert-Elliott burst-error parameters, in deployment terms: how bad a
+/// fade is (burst_fer), how long it lasts (mean_burst_frames) and how much
+/// of the time the link is faded (bad_fraction). The simulator's two-state
+/// chain is derived from these; the analytical model sees the long-run
+/// average FER (see ScenarioSpec::effective_frame_error_rate), so
+/// validation quantifies exactly the discrepancy burstiness introduces
+/// into a Bernoulli model.
+struct BurstSpec {
+  double burst_fer = 0.0;          ///< FER inside a burst (bad state), [0, 1)
+  double mean_burst_frames = 8.0;  ///< mean burst length in frames, >= 1
+  /// Steady-state bad-state share, [0, 1). Realizability:
+  /// bad_fraction <= mean / (mean + 1), or the chain would need bursts
+  /// recurring faster than every frame — validate() rejects that.
+  double bad_fraction = 0.0;
+
+  /// The process only changes anything when bursts occur and drop frames.
+  bool active() const { return burst_fer > 0.0 && bad_fraction > 0.0; }
+};
+
+/// Channel quality. Exactly one of the two uniform rates may be set (both
+/// zero = ideal channel). A bit error rate is converted to the frame error
+/// rate the analytical model consumes via the *largest* frame the payload
+/// grid can produce (worst case): FER = 1 - (1 - BER)^(8 * frame_bytes).
+/// The stochastic extensions (burst process, per-node FER) only affect the
+/// packet simulator — the analytical side folds them into a single
+/// Bernoulli rate (the long-run average), which is the modelling gap the
+/// validation subsystem measures.
 struct ChannelSpec {
   double frame_error_rate = 0.0;  ///< in [0, 1)
   double bit_error_rate = 0.0;    ///< in [0, 1)
+  BurstSpec burst;                ///< inactive by default
+  /// Per-node uplink FER (empty, or node_count entries in [0, 1)): models
+  /// position-dependent link quality inside the ward.
+  std::vector<double> node_fer;
 };
+
+/// Channel access discipline of the sensor nodes. TDMA (the paper's
+/// choice) allocates collision-free GTS slots; CSMA runs every node as a
+/// slotted CSMA/CA contender in the CAP — the packet simulator exercises
+/// collisions, backoff and retry exhaustion, while the analytical side
+/// falls back to the statistical CsmaCapModel where a counterpart exists.
+enum class ChannelAccess { kTdma, kCsma };
+
+const char* to_string(ChannelAccess access);
 
 /// Clinical service levels the ward manager imposes on any deployed
 /// configuration (Section 4.1 framing): reconstruction quality and
@@ -94,6 +130,10 @@ struct ScenarioSpec {
   std::vector<unsigned> sfo_gap_grid;
 
   ChannelSpec channel;
+  /// How the sensor nodes reach the coordinator (default: the paper's
+  /// collision-free TDMA). Affects simulation/validation; the DSE engine
+  /// always explores the TDMA design space.
+  ChannelAccess access = ChannelAccess::kTdma;
   model::Battery battery;
   ClinicalConstraints constraints;
   /// Eq. 8 balance weight theta (>= 0).
@@ -106,7 +146,11 @@ struct ScenarioSpec {
   void validate() const;
 
   /// The frame error rate the evaluator will use (derives from
-  /// bit_error_rate when that is the set field). Requires a valid spec.
+  /// bit_error_rate when that is the set field). The stochastic channel
+  /// extensions are folded into this single Bernoulli rate: an active
+  /// burst process contributes its long-run average, and per-node FERs
+  /// enter as the network mean of the composed per-node rates. Requires a
+  /// valid spec.
   double effective_frame_error_rate() const;
 
   /// Lowers the spec onto the engine types. All require a valid spec.
@@ -128,6 +172,7 @@ struct ScenarioSpec {
 };
 
 bool operator==(const OptimizerSettings& a, const OptimizerSettings& b);
+bool operator==(const BurstSpec& a, const BurstSpec& b);
 bool operator==(const ChannelSpec& a, const ChannelSpec& b);
 bool operator==(const ClinicalConstraints& a, const ClinicalConstraints& b);
 bool operator==(const model::Battery& a, const model::Battery& b);

@@ -9,8 +9,17 @@
 namespace wsnex::sim {
 
 Channel::Channel(Engine& engine, double frame_error_rate, std::uint64_t seed)
-    : engine_(engine), frame_error_rate_(frame_error_rate), rng_(seed) {
-  assert(frame_error_rate >= 0.0 && frame_error_rate <= 1.0);
+    : Channel(engine, ChannelErrorConfig{frame_error_rate, {}, {}}, seed) {}
+
+Channel::Channel(Engine& engine, ChannelErrorConfig errors, std::uint64_t seed)
+    : engine_(engine), errors_(std::move(errors)), rng_(seed) {
+  assert(errors_.frame_error_rate >= 0.0 && errors_.frame_error_rate <= 1.0);
+  assert(errors_.burst.fer_good >= 0.0 && errors_.burst.fer_good <= 1.0);
+  assert(errors_.burst.fer_bad >= 0.0 && errors_.burst.fer_bad <= 1.0);
+  assert(errors_.burst.p_good_to_bad >= 0.0 &&
+         errors_.burst.p_good_to_bad <= 1.0);
+  assert(errors_.burst.p_bad_to_good >= 0.0 &&
+         errors_.burst.p_bad_to_good <= 1.0);
 }
 
 void Channel::attach(Address address, ReceiveHandler handler) {
@@ -20,6 +29,26 @@ void Channel::attach(Address address, ReceiveHandler handler) {
     }
   }
   receivers_.push_back({address, std::move(handler)});
+}
+
+double Channel::frame_drop_probability(const Frame& frame) {
+  double state_fer = errors_.frame_error_rate;
+  if (errors_.burst.active()) {
+    // Advance the two-state chain once per transmitted frame, then apply
+    // the FER of the state the frame finds the channel in.
+    const double flip =
+        bad_state_ ? errors_.burst.p_bad_to_good : errors_.burst.p_good_to_bad;
+    if (flip > 0.0 && rng_.bernoulli(flip)) bad_state_ = !bad_state_;
+    if (bad_state_) ++bad_state_frames_;
+    state_fer = bad_state_ ? errors_.burst.fer_bad : errors_.burst.fer_good;
+  }
+  double node_fer = 0.0;
+  if (!errors_.node_fer.empty() && frame.src != kCoordinator &&
+      frame.src != kBroadcast) {
+    const std::size_t node = static_cast<std::size_t>(frame.src) - 1;
+    if (node < errors_.node_fer.size()) node_fer = errors_.node_fer[node];
+  }
+  return 1.0 - (1.0 - state_fer) * (1.0 - node_fer);
 }
 
 double Channel::transmit(const Frame& frame, double reserve_extra_s) {
@@ -36,7 +65,8 @@ double Channel::transmit(const Frame& frame, double reserve_extra_s) {
   }
   busy_until_ = engine_.now() + airtime + reserve_extra_s;
 
-  if (frame_error_rate_ > 0.0 && rng_.bernoulli(frame_error_rate_)) {
+  const double drop_probability = frame_drop_probability(frame);
+  if (drop_probability > 0.0 && rng_.bernoulli(drop_probability)) {
     ++drops_;
     return airtime;
   }

@@ -12,7 +12,8 @@ Coordinator::Coordinator(Engine& engine, Channel& channel,
       mac_config_(mac_config),
       beacon_bytes_(
           mac::FrameSizes::beacon_bytes(mac_config.active_gts_count())),
-      latency_stats_(node_count) {}
+      latency_stats_(node_count),
+      next_expected_seq_(node_count, 0) {}
 
 void Coordinator::start() {
   channel_.attach(kCoordinator, [this](const Frame& f) { on_receive(f); });
@@ -34,17 +35,32 @@ void Coordinator::send_beacon() {
 
 void Coordinator::on_receive(const Frame& frame) {
   if (frame.kind != FrameKind::kData) return;
-  ++data_frames_;
-  payload_bytes_ += frame.payload_bytes;
-
-  FrameDelivery delivery;
-  delivery.node = frame.src;
-  delivery.seq = frame.seq;
-  delivery.latency_s = engine_.now() - frame.enqueued_at;
-  deliveries_.push_back(delivery);
+  // Sequence-number duplicate filtering (the MAC's DSN check): when a
+  // data frame got through but its ACK was lost, the retransmission is a
+  // duplicate — acknowledge it again, but do not re-count its payload or
+  // re-record its latency (the first arrival *was* the delivery). Nodes
+  // transmit strictly in order, so any seq below the next expected one
+  // is a retransmission of an already-delivered frame.
   const std::size_t node_index = frame.src - 1;  // node addresses are 1..N
-  if (node_index < latency_stats_.size()) {
-    latency_stats_[node_index].add(delivery.latency_s);
+  const bool duplicate = node_index < next_expected_seq_.size() &&
+                         frame.seq < next_expected_seq_[node_index];
+  if (duplicate) {
+    ++duplicate_frames_;
+  } else {
+    if (node_index < next_expected_seq_.size()) {
+      next_expected_seq_[node_index] = frame.seq + 1;
+    }
+    ++data_frames_;
+    payload_bytes_ += frame.payload_bytes;
+
+    FrameDelivery delivery;
+    delivery.node = frame.src;
+    delivery.seq = frame.seq;
+    delivery.latency_s = engine_.now() - frame.enqueued_at;
+    deliveries_.push_back(delivery);
+    if (node_index < latency_stats_.size()) {
+      latency_stats_[node_index].add(delivery.latency_s);
+    }
   }
 
   // Acknowledge after the rx/tx turnaround.

@@ -17,12 +17,20 @@ NetworkResult run_network(const NetworkScenario& scenario) {
       scenario.access.size() != scenario.traffic.size()) {
     throw std::invalid_argument("run_network: access size mismatch");
   }
+  if (!scenario.node_fer.empty() &&
+      scenario.node_fer.size() != scenario.traffic.size()) {
+    throw std::invalid_argument("run_network: node_fer size mismatch");
+  }
   const std::size_t n = scenario.traffic.size();
 
   const auto wall_start = std::chrono::steady_clock::now();
 
   Engine engine;
-  Channel channel(engine, scenario.frame_error_rate, scenario.seed);
+  ChannelErrorConfig errors;
+  errors.frame_error_rate = scenario.frame_error_rate;
+  errors.burst = scenario.burst;
+  errors.node_fer = scenario.node_fer;
+  Channel channel(engine, std::move(errors), scenario.seed);
   Coordinator coordinator(engine, channel, scenario.mac, n);
 
   // Build the GTS layout once; nodes without slots still hear beacons.
@@ -52,8 +60,10 @@ NetworkResult run_network(const NetworkScenario& scenario) {
   result.beacons_sent = coordinator.beacons_sent();
   result.data_frames_received = coordinator.data_frames_received();
   result.payload_bytes_received = coordinator.payload_bytes_received();
+  result.duplicate_frames_received = coordinator.duplicate_frames_received();
   result.channel_collisions = channel.collisions();
   result.channel_drops = channel.drops();
+  result.bad_state_frames = channel.bad_state_frames();
   result.events_executed = engine.events_executed();
   result.deliveries = coordinator.deliveries();
 

@@ -25,6 +25,11 @@ struct NetworkScenario {
   std::vector<AccessMode> access;
   double duration_s = 60.0;
   double frame_error_rate = 0.0;
+  /// Gilbert-Elliott burst-error process (inactive by default); when
+  /// active it replaces frame_error_rate with its per-state rates.
+  BurstErrorModel burst;
+  /// Per-node uplink FER (empty or size N); composes with the state FER.
+  std::vector<double> node_fer;
   std::uint64_t seed = 1;
 };
 
@@ -42,10 +47,15 @@ struct NodeResult {
 struct NetworkResult {
   std::vector<NodeResult> nodes;
   std::uint64_t beacons_sent = 0;
-  std::uint64_t data_frames_received = 0;
-  std::uint64_t payload_bytes_received = 0;
+  std::uint64_t data_frames_received = 0;   ///< unique (duplicates filtered)
+  std::uint64_t payload_bytes_received = 0; ///< unique payload bytes
+  /// Retransmissions of already-delivered frames (their ACK was lost).
+  std::uint64_t duplicate_frames_received = 0;
   std::uint64_t channel_collisions = 0;
   std::uint64_t channel_drops = 0;
+  /// Frames sent while the burst process sat in its bad state (0 unless
+  /// the scenario configures a burst model).
+  std::uint64_t bad_state_frames = 0;
   std::uint64_t events_executed = 0;
   double simulated_s = 0.0;
   double wallclock_s = 0.0;  ///< host time spent simulating

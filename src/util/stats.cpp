@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 namespace wsnex::util {
 
@@ -54,6 +55,62 @@ double RunningStats::max() const { return count_ == 0 ? 0.0 : max_; }
 
 double RunningStats::sum() const {
   return mean_ * static_cast<double>(count_);
+}
+
+namespace {
+
+/// Two-sided Student-t critical values t_{df, 1 - alpha/2} for df 1..30,
+/// plus the limiting normal quantile, at the three levels replicated
+/// experiments actually report. Values from standard tables, 4 decimals.
+struct TTable {
+  double level;
+  double critical[30];  ///< df = 1..30
+  double normal_tail;   ///< df -> infinity
+};
+
+constexpr TTable kTTables[] = {
+    {0.90,
+     {6.3138, 2.9200, 2.3534, 2.1318, 2.0150, 1.9432, 1.8946, 1.8595,
+      1.8331, 1.8125, 1.7959, 1.7823, 1.7709, 1.7613, 1.7531, 1.7459,
+      1.7396, 1.7341, 1.7291, 1.7247, 1.7207, 1.7171, 1.7139, 1.7109,
+      1.7081, 1.7056, 1.7033, 1.7011, 1.6991, 1.6973},
+     1.6449},
+    {0.95,
+     {12.7062, 4.3027, 3.1824, 2.7764, 2.5706, 2.4469, 2.3646, 2.3060,
+      2.2622, 2.2281, 2.2010, 2.1788, 2.1604, 2.1448, 2.1314, 2.1199,
+      2.1098, 2.1009, 2.0930, 2.0860, 2.0796, 2.0739, 2.0687, 2.0639,
+      2.0595, 2.0555, 2.0518, 2.0484, 2.0452, 2.0423},
+     1.9600},
+    {0.99,
+     {63.6567, 9.9248, 5.8409, 4.6041, 4.0321, 3.7074, 3.4995, 3.3554,
+      3.2498, 3.1693, 3.1058, 3.0545, 3.0123, 2.9768, 2.9467, 2.9208,
+      2.8982, 2.8784, 2.8609, 2.8453, 2.8314, 2.8188, 2.8073, 2.7969,
+      2.7874, 2.7787, 2.7707, 2.7633, 2.7564, 2.7500},
+     2.5758},
+};
+
+}  // namespace
+
+ConfidenceInterval confidence_interval(std::size_t count, double mean,
+                                       double stddev, double level) {
+  const TTable* table = nullptr;
+  for (const TTable& t : kTTables) {
+    if (std::abs(t.level - level) < 1e-9) table = &t;
+  }
+  if (table == nullptr) {
+    throw std::invalid_argument(
+        "confidence_interval: level must be 0.90, 0.95 or 0.99");
+  }
+  if (count < 2) {
+    const double inf = std::numeric_limits<double>::infinity();
+    return {-inf, inf, inf};
+  }
+  const std::size_t df = count - 1;
+  const double t =
+      df <= 30 ? table->critical[df - 1] : table->normal_tail;
+  const double half =
+      t * stddev / std::sqrt(static_cast<double>(count));
+  return {mean - half, mean + half, half};
 }
 
 double mean(std::span<const double> xs) {

@@ -35,6 +35,24 @@ class RunningStats {
   double max_ = 0.0;
 };
 
+/// Two-sided confidence interval around a sample mean.
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double half_width = 0.0;  ///< t * stddev / sqrt(n)
+};
+
+/// Student-t confidence interval for the mean of `count` i.i.d. samples
+/// with the given sample mean and (n-1)-denominator standard deviation.
+/// `level` must be one of 0.90, 0.95 or 0.99 (throws std::invalid_argument
+/// otherwise): the critical values come from a small-n table (df 1..30)
+/// with the normal tail quantile beyond df 30, which is what replicated
+/// Monte Carlo validation needs — not a general inverse-CDF.
+/// count < 2 yields an infinite half-width (one sample carries no spread
+/// information); callers should treat that as "no confidence".
+ConfidenceInterval confidence_interval(std::size_t count, double mean,
+                                       double stddev, double level = 0.95);
+
 /// Arithmetic mean; 0 for an empty span.
 double mean(std::span<const double> xs);
 

@@ -1,0 +1,129 @@
+#include "validate/lowering.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mac/ieee802154.hpp"
+
+namespace wsnex::validate {
+
+namespace {
+
+/// Median element of a grid as authored (no sorting: grids are domains,
+/// their order is the author's).
+template <typename T>
+T median_entry(const std::vector<T>& grid) {
+  return grid[grid.size() / 2];
+}
+
+model::NetworkDesign design_at(const scenario::ScenarioSpec& spec,
+                               std::size_t payload_idx, std::size_t bco_idx,
+                               std::size_t gap_idx) {
+  const dse::DesignSpaceConfig cfg = spec.design_space_config();
+  model::NetworkDesign design;
+  design.nodes.reserve(cfg.node_count);
+  for (std::size_t n = 0; n < cfg.node_count; ++n) {
+    model::NodeConfig node;
+    node.app = cfg.apps[n];
+    node.cr = median_entry(cfg.cr_grid);
+    node.mcu_freq_khz = *std::max_element(cfg.mcu_freq_khz_grid.begin(),
+                                          cfg.mcu_freq_khz_grid.end());
+    design.nodes.push_back(node);
+  }
+  design.mac.payload_bytes = cfg.payload_grid[payload_idx];
+  design.mac.bco = cfg.bco_grid[bco_idx];
+  const unsigned gap = cfg.sfo_gap_grid[gap_idx];
+  design.mac.sfo = design.mac.bco >= gap ? design.mac.bco - gap : 0;
+  return design;
+}
+
+}  // namespace
+
+model::NetworkDesign reference_design(
+    const scenario::ScenarioSpec& spec,
+    const model::NetworkModelEvaluator& evaluator) {
+  spec.validate();
+  const auto feasible = [&](const model::NetworkDesign& design) {
+    return evaluator.evaluate(design).feasible;
+  };
+  const model::NetworkDesign median =
+      design_at(spec, spec.payload_grid.size() / 2, spec.bco_grid.size() / 2,
+                spec.sfo_gap_grid.size() / 2);
+  if (feasible(median)) return median;
+  for (std::size_t p = 0; p < spec.payload_grid.size(); ++p) {
+    for (std::size_t b = 0; b < spec.bco_grid.size(); ++b) {
+      for (std::size_t g = 0; g < spec.sfo_gap_grid.size(); ++g) {
+        const model::NetworkDesign candidate = design_at(spec, p, b, g);
+        if (feasible(candidate)) return candidate;
+      }
+    }
+  }
+  throw ValidationError(
+      "scenario \"" + spec.name +
+      "\": no MAC grid point is analytically feasible at the median CR / "
+      "fastest clock — nothing to validate (check the grids)");
+}
+
+double sim_frame_error_rate(const scenario::ScenarioSpec& spec,
+                            const model::NetworkDesign& design) {
+  if (spec.channel.bit_error_rate == 0.0) {
+    return spec.channel.frame_error_rate;
+  }
+  const std::size_t frame_bytes = design.mac.payload_bytes +
+                                  mac::FrameSizes::kDataOverheadBytes +
+                                  mac::Phy::kPhyOverheadBytes;
+  const double bits = static_cast<double>(8 * frame_bytes);
+  return 1.0 - std::pow(1.0 - spec.channel.bit_error_rate, bits);
+}
+
+sim::BurstErrorModel sim_burst_model(const scenario::ScenarioSpec& spec,
+                                     const model::NetworkDesign& design) {
+  sim::BurstErrorModel burst;
+  if (!spec.channel.burst.active()) return burst;
+  const scenario::BurstSpec& b = spec.channel.burst;
+  burst.fer_good = sim_frame_error_rate(spec, design);
+  burst.fer_bad = b.burst_fer;
+  burst.p_bad_to_good = 1.0 / b.mean_burst_frames;
+  burst.p_good_to_bad = std::min(
+      1.0, burst.p_bad_to_good * b.bad_fraction / (1.0 - b.bad_fraction));
+  return burst;
+}
+
+Lowering lower(const scenario::ScenarioSpec& spec,
+               const model::NetworkModelEvaluator& evaluator,
+               const model::NetworkDesign& design) {
+  Lowering low;
+  low.design = design;
+  low.eval = evaluator.evaluate(design);
+  if (!low.eval.feasible) {
+    throw ValidationError("scenario \"" + spec.name +
+                          "\": design point analytically infeasible: " +
+                          low.eval.infeasibility_reason);
+  }
+
+  sim::NetworkScenario& sc = low.sim;
+  sc.mac = design.mac;
+  sc.mac.gts_slots.clear();
+  if (spec.access == scenario::ChannelAccess::kCsma) {
+    // Pure contention: no CFP, the CAP spans the whole active period.
+    sc.mac.gts_slots.assign(design.nodes.size(), 0);
+    sc.access.assign(design.nodes.size(), sim::AccessMode::kCsma);
+  } else {
+    for (const model::MacNodeQuantities& q : low.eval.assignment.nodes) {
+      sc.mac.gts_slots.push_back(q.slots);
+    }
+  }
+  for (const model::NodeConfig& node : design.nodes) {
+    sc.traffic.push_back({evaluator.chain().phi_in_bytes_per_s() * node.cr,
+                          evaluator.chain().window_period_s()});
+  }
+  if (spec.channel.burst.active()) {
+    sc.burst = sim_burst_model(spec, design);
+  } else {
+    sc.frame_error_rate = sim_frame_error_rate(spec, design);
+  }
+  sc.node_fer = spec.channel.node_fer;
+  return low;
+}
+
+}  // namespace wsnex::validate

@@ -1,0 +1,72 @@
+// Lowering a declarative ScenarioSpec onto the packet-level simulator.
+//
+// The validation subsystem compares the analytical model against
+// simulation *at one concrete design point*; this header picks that point
+// and translates spec + design into a ready-to-run sim::NetworkScenario:
+// GTS slots from the analytical slot assignment (or pure CAP contention
+// for CSMA specs), per-node traffic from the signal chain, and the spec's
+// stochastic channel (uniform / Gilbert-Elliott burst / per-node FER)
+// mapped onto the simulator's error process.
+//
+// Channel conversion asymmetry, by design: the analytical model consumes
+// one Bernoulli rate derived worst-case over the payload *grid*
+// (ScenarioSpec::effective_frame_error_rate), while the simulator gets the
+// concrete deployment — BER converted at the design's actual frame size
+// and the burst process un-averaged. The validation report measures
+// exactly the gap these idealizations open.
+#pragma once
+
+#include "model/evaluator.hpp"
+#include "scenario/scenario_spec.hpp"
+#include "sim/network.hpp"
+
+namespace wsnex::validate {
+
+/// Validation-layer failure (no feasible design point, malformed input).
+class ValidationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The deterministic canonical design point of a spec: median grid entry
+/// for CR, payload, BCO and SFO gap, the fastest MCU clock (feasibility-
+/// safe: a higher f_uC never raises the duty cycle above 1). When the
+/// median MAC point is analytically infeasible the MAC grids are scanned
+/// in order and the first feasible combination wins — still a pure
+/// function of the spec. Throws ValidationError when no grid point is
+/// feasible.
+model::NetworkDesign reference_design(
+    const scenario::ScenarioSpec& spec,
+    const model::NetworkModelEvaluator& evaluator);
+
+/// A spec lowered at one design point: the analytical evaluation (the
+/// prediction side) and the simulation scenario (the measurement side,
+/// seed/duration left for the replication plan to fill in).
+struct Lowering {
+  model::NetworkDesign design;
+  model::NetworkEvaluation eval;
+  sim::NetworkScenario sim;
+};
+
+/// Requires `design` to be analytically feasible (throws ValidationError
+/// naming the reason otherwise — an infeasible design has no prediction
+/// to validate).
+Lowering lower(const scenario::ScenarioSpec& spec,
+               const model::NetworkModelEvaluator& evaluator,
+               const model::NetworkDesign& design);
+
+/// The uniform frame error rate the *simulator* uses for this design:
+/// spec.channel's FER as-is, or its BER converted at the design's actual
+/// largest-frame size (not the payload grid's worst case).
+double sim_frame_error_rate(const scenario::ScenarioSpec& spec,
+                            const model::NetworkDesign& design);
+
+/// The spec's burst parameters mapped to the simulator's two-state chain:
+/// p_bad_to_good = 1 / mean_burst_frames,
+/// p_good_to_bad = p_bad_to_good * bad_fraction / (1 - bad_fraction),
+/// fer_good = the uniform sim FER, fer_bad = burst_fer. Inactive specs
+/// yield an inactive model.
+sim::BurstErrorModel sim_burst_model(const scenario::ScenarioSpec& spec,
+                                     const model::NetworkDesign& design);
+
+}  // namespace wsnex::validate

@@ -288,6 +288,97 @@ TEST(Registry, CoversWardSizesFleetsAndDegradedVariants) {
   EXPECT_LT(preset("low_battery_6").battery.capacity_mah, 450.0);
 }
 
+TEST(Registry, StochasticPresetsExerciseBurstAndContention) {
+  const ScenarioSpec bursty = preset("bursty_channel_6");
+  EXPECT_TRUE(bursty.channel.burst.active());
+  // Long-run average of the burst process: 0.9 * 0 + 0.1 * 0.5.
+  EXPECT_NEAR(bursty.effective_frame_error_rate(), 0.05, 1e-12);
+  EXPECT_EQ(bursty.access, ChannelAccess::kTdma);
+
+  const ScenarioSpec csma = preset("contended_csma_6");
+  EXPECT_EQ(csma.access, ChannelAccess::kCsma);
+  EXPECT_FALSE(csma.channel.burst.active());
+}
+
+TEST(ScenarioSpec, StochasticChannelFieldsRoundTrip) {
+  ScenarioSpec spec = preset("hospital_ward_4");
+  spec.channel.burst.burst_fer = 0.4;
+  spec.channel.burst.mean_burst_frames = 5.0;
+  spec.channel.burst.bad_fraction = 0.2;
+  spec.channel.node_fer = {0.0, 0.01, 0.02, 0.1};
+  spec.access = ChannelAccess::kCsma;
+  spec.validate();
+  const ScenarioSpec reloaded = ScenarioSpec::from_json(spec.to_json());
+  EXPECT_EQ(reloaded, spec);
+  EXPECT_TRUE(reloaded.channel.burst.active());
+  EXPECT_EQ(reloaded.access, ChannelAccess::kCsma);
+}
+
+TEST(ScenarioSpec, DefaultStochasticFieldsStayOffTheWire) {
+  // Pre-existing spec files carry no burst/node_fer/access keys; emitting
+  // them only when set keeps frozen campaign specs stable.
+  const util::Json json = preset("hospital_ward_6").to_json();
+  EXPECT_EQ(json.find("access"), nullptr);
+  EXPECT_EQ(json.at("channel").find("burst"), nullptr);
+  EXPECT_EQ(json.at("channel").find("node_fer"), nullptr);
+}
+
+TEST(ScenarioSpec, ValidatesStochasticChannelRanges) {
+  ScenarioSpec spec = preset("hospital_ward_6");
+  spec.channel.burst.burst_fer = 1.5;
+  spec.channel.burst.mean_burst_frames = 0.5;
+  spec.channel.burst.bad_fraction = -0.1;
+  spec.channel.node_fer = {0.1, 0.2};  // wrong length for 6 nodes
+  try {
+    spec.validate();
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("burst_fer"), std::string::npos) << what;
+    EXPECT_NE(what.find("mean_burst_frames"), std::string::npos) << what;
+    EXPECT_NE(what.find("bad_fraction"), std::string::npos) << what;
+    EXPECT_NE(what.find("node_fer"), std::string::npos) << what;
+  }
+}
+
+TEST(ScenarioSpec, RejectsUnrealizableBurstMix) {
+  // bad_fraction > mean/(mean+1) needs p_good_to_bad > 1: the simulator
+  // could not realize the requested long-run mix, so validate() must
+  // reject it instead of letting the lowering silently clamp.
+  ScenarioSpec spec = preset("hospital_ward_6");
+  spec.channel.burst.burst_fer = 0.5;
+  spec.channel.burst.mean_burst_frames = 2.0;
+  spec.channel.burst.bad_fraction = 0.9;  // max for mean 2 is 2/3
+  try {
+    spec.validate();
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_NE(std::string(e.what()).find("unrealizable"), std::string::npos)
+        << e.what();
+  }
+  spec.channel.burst.bad_fraction = 2.0 / 3.0;  // boundary is realizable
+  EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(ScenarioSpec, NodeFerEntersEffectiveRateAsNetworkMean) {
+  ScenarioSpec spec = preset("hospital_ward_2");
+  spec.channel.node_fer = {0.0, 0.2};
+  spec.validate();
+  // Ideal base rate: mean of composed per-node rates = (0 + 0.2) / 2.
+  EXPECT_NEAR(spec.effective_frame_error_rate(), 0.1, 1e-12);
+}
+
+TEST(ScenarioSpec, FromJsonRejectsUnknownAccessValue) {
+  util::Json json = preset("hospital_ward_6").to_json();
+  json.set("access", "aloha");
+  try {
+    ScenarioSpec::from_json(json);
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_NE(std::string(e.what()).find("access"), std::string::npos);
+  }
+}
+
 TEST(Registry, UnknownPresetErrorListsKnownNames) {
   EXPECT_FALSE(has_preset("no_such_ward"));
   try {

@@ -121,6 +121,100 @@ TEST(Channel, FrameErrorRateDropsFrames) {
   EXPECT_EQ(received + static_cast<int>(channel.drops()), sent);
 }
 
+TEST(Channel, BurstModelClustersLossesInBadState) {
+  Engine engine;
+  ChannelErrorConfig errors;
+  errors.burst.fer_good = 0.0;
+  errors.burst.fer_bad = 1.0;  // every bad-state frame dies
+  errors.burst.p_good_to_bad = 0.05;
+  errors.burst.p_bad_to_good = 0.25;  // mean burst length 4 frames
+  Channel channel(engine, errors, 7);
+  int received = 0;
+  channel.attach(1, [&](const Frame&) { ++received; });
+  channel.attach(2, [](const Frame&) {});
+  const int sent = 5000;
+  for (int i = 0; i < sent; ++i) {
+    channel.transmit(data_frame(2, 1, 10));
+    engine.run_until(engine.now() + 1.0);
+  }
+  // Exactly the bad-state frames are dropped, and their long-run share
+  // matches the chain's stationary distribution 0.05 / (0.05 + 0.25).
+  EXPECT_EQ(channel.drops(), channel.bad_state_frames());
+  const double bad_share =
+      static_cast<double>(channel.bad_state_frames()) / sent;
+  EXPECT_NEAR(bad_share, errors.burst.bad_fraction(), 0.03);
+  EXPECT_EQ(received + static_cast<int>(channel.drops()), sent);
+}
+
+TEST(Channel, InactiveBurstMatchesLegacyBernoulliDrawForDraw) {
+  // The ChannelErrorConfig ctor with only a uniform rate must reproduce
+  // the legacy (engine, fer, seed) channel bit-for-bit: same RNG draws.
+  Engine legacy_engine, config_engine;
+  Channel legacy(legacy_engine, 0.3, 99);
+  ChannelErrorConfig errors;
+  errors.frame_error_rate = 0.3;
+  Channel configured(config_engine, errors, 99);
+  int legacy_rx = 0, config_rx = 0;
+  legacy.attach(1, [&](const Frame&) { ++legacy_rx; });
+  legacy.attach(2, [](const Frame&) {});
+  configured.attach(1, [&](const Frame&) { ++config_rx; });
+  configured.attach(2, [](const Frame&) {});
+  for (int i = 0; i < 500; ++i) {
+    legacy.transmit(data_frame(2, 1, 10));
+    configured.transmit(data_frame(2, 1, 10));
+    legacy_engine.run_until(legacy_engine.now() + 1.0);
+    config_engine.run_until(config_engine.now() + 1.0);
+  }
+  EXPECT_EQ(legacy_rx, config_rx);
+  EXPECT_EQ(legacy.drops(), configured.drops());
+  EXPECT_EQ(configured.bad_state_frames(), 0u);
+}
+
+TEST(Channel, PerNodeFerAppliesOnlyToThatSendersFrames) {
+  Engine engine;
+  ChannelErrorConfig errors;
+  errors.node_fer = {1.0, 0.0};  // node 1 (address 1) always loses uplink
+  Channel channel(engine, errors, 3);
+  int from_1 = 0, from_2 = 0, to_nodes = 0;
+  channel.attach(kCoordinator, [&](const Frame& f) {
+    if (f.src == 1) ++from_1;
+    if (f.src == 2) ++from_2;
+  });
+  channel.attach(1, [&](const Frame&) { ++to_nodes; });
+  channel.attach(2, [&](const Frame&) { ++to_nodes; });
+  for (int i = 0; i < 50; ++i) {
+    channel.transmit(data_frame(1, kCoordinator, 10));
+    engine.run_until(engine.now() + 1.0);
+    channel.transmit(data_frame(2, kCoordinator, 10));
+    engine.run_until(engine.now() + 1.0);
+    // Downlink from the coordinator is untouched by node FERs.
+    channel.transmit(data_frame(kCoordinator, 1, 10));
+    engine.run_until(engine.now() + 1.0);
+  }
+  EXPECT_EQ(from_1, 0);
+  EXPECT_EQ(from_2, 50);
+  EXPECT_EQ(to_nodes, 50);
+  EXPECT_EQ(channel.drops(), 50u);
+}
+
+TEST(Channel, NodeFerComposesWithStateFer) {
+  Engine engine;
+  ChannelErrorConfig errors;
+  errors.frame_error_rate = 0.2;
+  errors.node_fer = {0.5};
+  Channel channel(engine, errors, 11);
+  int received = 0;
+  channel.attach(kCoordinator, [&](const Frame&) { ++received; });
+  channel.attach(1, [](const Frame&) {});
+  const int sent = 2000;
+  for (int i = 0; i < sent; ++i) {
+    channel.transmit(data_frame(1, kCoordinator, 10));
+    engine.run_until(engine.now() + 1.0);
+  }
+  // Survival probability (1 - 0.2) * (1 - 0.5) = 0.4.
+  EXPECT_NEAR(static_cast<double>(received) / sent, 0.4, 0.04);
+}
+
 TEST(Channel, ZeroErrorRateDropsNothing) {
   Engine engine;
   Channel channel(engine, 0.0);

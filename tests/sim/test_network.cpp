@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <tuple>
+#include <utility>
 
 namespace wsnex::sim {
 namespace {
@@ -103,6 +105,22 @@ TEST(Network, FrameErrorsTriggerRetries) {
   for (const NodeResult& n : r.nodes) retries += n.counters.retries;
   EXPECT_GT(retries, 0u);
   EXPECT_GT(r.channel_drops, 0u);
+}
+
+TEST(Network, AckLossDuplicatesAreFilteredFromDeliveries) {
+  NetworkScenario sc = nominal_scenario();
+  sc.frame_error_rate = 0.2;  // plenty of lost ACKs -> duplicate data frames
+  sc.duration_s = 240.0;
+  const NetworkResult r = run_network(sc);
+  EXPECT_GT(r.duplicate_frames_received, 0u);
+  // Deliveries are unique per (node, seq): goodput and latency describe
+  // first arrivals only, duplicates are counted separately.
+  std::set<std::pair<Address, std::uint64_t>> seen;
+  for (const FrameDelivery& d : r.deliveries) {
+    EXPECT_TRUE(seen.emplace(d.node, d.seq).second)
+        << "duplicate delivery node " << d.node << " seq " << d.seq;
+  }
+  EXPECT_EQ(r.deliveries.size(), r.data_frames_received);
 }
 
 TEST(Network, HeavyErrorsExhaustRetryBudget) {

@@ -228,7 +228,7 @@ struct BlockedFixture {
 
 TEST(BlockedKernels, GemvTransposedBitIdenticalToPerColumnDot) {
   // Tail columns (cols % 4 != 0) and tiny shapes included.
-  for (const auto [rows, cols] : {std::pair<std::size_t, std::size_t>{7, 1},
+  for (const auto& [rows, cols] : {std::pair<std::size_t, std::size_t>{7, 1},
                                   {1, 4},
                                   {16, 5},
                                   {33, 16},
@@ -245,7 +245,7 @@ TEST(BlockedKernels, GemvTransposedBitIdenticalToPerColumnDot) {
 }
 
 TEST(BlockedKernels, GemvAccumulateBitIdenticalToAxpySequence) {
-  for (const auto [rows, cols] : {std::pair<std::size_t, std::size_t>{7, 1},
+  for (const auto& [rows, cols] : {std::pair<std::size_t, std::size_t>{7, 1},
                                   {16, 5},
                                   {33, 16},
                                   {100, 256},

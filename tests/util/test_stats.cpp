@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 #include <vector>
 
 #include "util/random.hpp"
@@ -157,6 +159,119 @@ TEST_P(WelfordSweep, StableForLargeOffsets) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Offsets, WelfordSweep, ::testing::Values(0, 3, 6, 9));
+
+// ---------------------------------------------------------------------------
+// Student-t confidence intervals (the Monte Carlo validation primitive).
+
+TEST(ConfidenceInterval, MatchesTabulatedCriticalValues) {
+  // half_width = t_{n-1, 0.975} * s / sqrt(n) against standard tables.
+  const auto ci2 = confidence_interval(2, 10.0, 1.0, 0.95);
+  EXPECT_NEAR(ci2.half_width, 12.7062 / std::sqrt(2.0), 1e-9);
+  const auto ci10 = confidence_interval(10, 10.0, 1.0, 0.95);
+  EXPECT_NEAR(ci10.half_width, 2.2622 / std::sqrt(10.0), 1e-9);
+  const auto ci30 = confidence_interval(30, 10.0, 1.0, 0.95);
+  EXPECT_NEAR(ci30.half_width, 2.0452 / std::sqrt(30.0), 1e-9);
+  EXPECT_NEAR(ci10.lo, 10.0 - ci10.half_width, 1e-12);
+  EXPECT_NEAR(ci10.hi, 10.0 + ci10.half_width, 1e-12);
+}
+
+TEST(ConfidenceInterval, SmallNEdgeCases) {
+  // n = 2..30 walks the whole table: half-width (at fixed stddev) must be
+  // positive, finite and strictly decreasing in n — both the t quantile
+  // and the 1/sqrt(n) factor shrink.
+  double previous = std::numeric_limits<double>::infinity();
+  for (std::size_t n = 2; n <= 30; ++n) {
+    const auto ci = confidence_interval(n, 0.0, 1.0, 0.95);
+    EXPECT_GT(ci.half_width, 0.0) << n;
+    EXPECT_TRUE(std::isfinite(ci.half_width)) << n;
+    EXPECT_LT(ci.half_width, previous) << n;
+    previous = ci.half_width;
+  }
+}
+
+TEST(ConfidenceInterval, WiderLevelsGiveWiderIntervals) {
+  for (std::size_t n : {2u, 5u, 17u, 30u, 100u}) {
+    const double w90 = confidence_interval(n, 0.0, 1.0, 0.90).half_width;
+    const double w95 = confidence_interval(n, 0.0, 1.0, 0.95).half_width;
+    const double w99 = confidence_interval(n, 0.0, 1.0, 0.99).half_width;
+    EXPECT_LT(w90, w95) << n;
+    EXPECT_LT(w95, w99) << n;
+  }
+}
+
+TEST(ConfidenceInterval, LargeNUsesNormalTail) {
+  const auto ci = confidence_interval(1000, 5.0, 2.0, 0.95);
+  EXPECT_NEAR(ci.half_width, 1.96 * 2.0 / std::sqrt(1000.0), 1e-9);
+  // The df=30 table entry bounds the normal quantile from above, so the
+  // transition at df > 30 never widens the interval.
+  EXPECT_LT(confidence_interval(32, 0.0, 1.0, 0.95).half_width * std::sqrt(32.0),
+            confidence_interval(31, 0.0, 1.0, 0.95).half_width *
+                std::sqrt(31.0) + 1e-9);
+}
+
+TEST(ConfidenceInterval, DegenerateCounts) {
+  EXPECT_TRUE(std::isinf(confidence_interval(0, 1.0, 1.0).half_width));
+  EXPECT_TRUE(std::isinf(confidence_interval(1, 1.0, 1.0).half_width));
+  // Zero spread collapses the interval onto the mean for any real count.
+  const auto ci = confidence_interval(8, 3.5, 0.0);
+  EXPECT_DOUBLE_EQ(ci.lo, 3.5);
+  EXPECT_DOUBLE_EQ(ci.hi, 3.5);
+}
+
+TEST(ConfidenceInterval, RejectsUnsupportedLevels) {
+  EXPECT_THROW(confidence_interval(10, 0.0, 1.0, 0.80), std::invalid_argument);
+  EXPECT_THROW(confidence_interval(10, 0.0, 1.0, 0.999), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// RunningStats::merge audit: split-and-merge must agree with bulk
+// accumulation for every split of n = 2..30 samples, so per-replicate
+// statistics can be combined without reordering artifacts (the property
+// percentile-style aggregation across replicates leans on).
+
+TEST(RunningStatsMerge, SplitMergeMatchesBulkForAllSmallN) {
+  Rng rng(2024);
+  for (std::size_t n = 2; n <= 30; ++n) {
+    std::vector<double> samples;
+    for (std::size_t i = 0; i < n; ++i) {
+      samples.push_back(rng.normal(5.0, 3.0));
+    }
+    RunningStats bulk;
+    for (double x : samples) bulk.add(x);
+    for (std::size_t split = 0; split <= n; ++split) {
+      RunningStats left, right;
+      for (std::size_t i = 0; i < split; ++i) left.add(samples[i]);
+      for (std::size_t i = split; i < n; ++i) right.add(samples[i]);
+      RunningStats merged = left;
+      merged.merge(right);
+      EXPECT_EQ(merged.count(), bulk.count()) << n << "/" << split;
+      EXPECT_NEAR(merged.mean(), bulk.mean(), 1e-12) << n << "/" << split;
+      EXPECT_NEAR(merged.variance(), bulk.variance(), 1e-10)
+          << n << "/" << split;
+      EXPECT_DOUBLE_EQ(merged.min(), bulk.min()) << n << "/" << split;
+      EXPECT_DOUBLE_EQ(merged.max(), bulk.max()) << n << "/" << split;
+    }
+  }
+}
+
+TEST(RunningStatsMerge, MergeFeedsConfidenceInterval) {
+  // The validation pipeline's exact composition: accumulate replicate
+  // metrics in two halves, merge, then build the CI — identical to the
+  // single-pass interval.
+  std::vector<double> values = {1.0, 1.2, 0.9, 1.1, 1.05, 0.95, 1.15, 0.85};
+  RunningStats all, a, b;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    all.add(values[i]);
+    (i < 4 ? a : b).add(values[i]);
+  }
+  a.merge(b);
+  const auto merged_ci =
+      confidence_interval(a.count(), a.mean(), a.stddev(), 0.95);
+  const auto bulk_ci =
+      confidence_interval(all.count(), all.mean(), all.stddev(), 0.95);
+  EXPECT_NEAR(merged_ci.lo, bulk_ci.lo, 1e-12);
+  EXPECT_NEAR(merged_ci.hi, bulk_ci.hi, 1e-12);
+}
 
 }  // namespace
 }  // namespace wsnex::util

@@ -2,21 +2,30 @@
 //
 // Subcommands:
 //   wsnex list [--json]                     built-in scenario presets
-//   wsnex validate <spec.json|preset>...    parse + validate specs
+//   wsnex check <spec.json|preset>...       parse + validate specs
 //   wsnex run <spec.json|preset>... -o DIR  run a campaign into DIR
 //   wsnex resume DIR                        finish an interrupted campaign
 //   wsnex report DIR                        summarize a campaign's results
 //   wsnex export <preset>... -o DIR         write presets as spec JSON
+//   wsnex simulate <spec.json|preset>       one packet-level replay
+//   wsnex validate <spec.json|preset>...    Monte Carlo model validation
+//
+// `validate` is the Section 5 experiment (replicated simulation scored
+// against the analytical model); plain spec syntax/semantics checking is
+// `check`.
 //
 // Arguments naming a readable file are parsed as spec JSON; anything else
 // is looked up in the built-in registry, so `wsnex run hospital_ward_6`
 // and `wsnex run examples/scenarios/hospital_ward_6.json` are equivalent.
 //
 // Campaigns are deterministic: a fixed spec (seed included) reproduces
-// bit-identical archives regardless of --threads, and `wsnex resume`
-// after a kill completes a campaign to the same bytes an uninterrupted
-// run produces.
+// bit-identical archives regardless of --threads, `wsnex resume` after a
+// kill completes a campaign to the same bytes an uninterrupted run
+// produces, and `wsnex validate` emits byte-identical
+// validation.json/validation.csv regardless of --jobs (counter-derived
+// replicate seeds).
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <thread>
 #include <filesystem>
@@ -29,7 +38,10 @@
 #include "scenario/campaign.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/result_store.hpp"
+#include "sim/network.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
+#include "validate/validation.hpp"
 
 namespace {
 
@@ -42,36 +54,64 @@ int usage(std::FILE* to) {
                "\n"
                "usage:\n"
                "  wsnex list [--json]\n"
-               "  wsnex validate <spec.json|preset>...\n"
+               "  wsnex check <spec.json|preset>...\n"
                "  wsnex run <spec.json|preset>... -o DIR [--quick] "
                "[--threads N] [--jobs N] [--cache-dir DIR] "
-               "[--abort-after N]\n"
+               "[--abort-after N] [--validate]\n"
                "  wsnex resume DIR [--threads N] [--jobs N] "
-               "[--cache-dir DIR] [--abort-after N]\n"
+               "[--cache-dir DIR] [--abort-after N] [--validate]\n"
                "  wsnex report DIR\n"
                "  wsnex export <preset>... -o DIR\n"
+               "  wsnex simulate <spec.json|preset> [--duration S] "
+               "[--seed N]\n"
+               "  wsnex validate <spec.json|preset>... [-o DIR] "
+               "[--replicates N] [--jobs J]\n"
+               "                 [--tolerance PCT] [--duration S] [--seed N]\n"
                "\n"
                "options:\n"
                "  -o, --out DIR     output directory (run: campaign store; "
-               "export: spec files)\n"
+               "validate: result\n"
+               "                    store for validation.json/csv; export: "
+               "spec files)\n"
                "      --quick       smoke-test budgets (16x8 NSGA-II / 256 "
                "evaluations)\n"
                "      --threads N   worker threads (0 = hardware concurrency; "
                "never changes results)\n"
-               "      --jobs N      concurrent scenarios on one shared pool "
-               "(clamped against\n"
-               "                    hardware concurrency; never changes "
-               "result files)\n"
+               "      --jobs N      concurrent scenarios / validation "
+               "replicates on one shared\n"
+               "                    pool (clamped against hardware "
+               "concurrency; never changes\n"
+               "                    result files)\n"
                "      --cache-dir DIR  on-disk warm cache: skips the codec "
                "calibration cold\n"
                "                    start on repeated runs (bit-identical "
                "results)\n"
                "      --abort-after N  stop after N scenarios as if killed "
                "(checkpoint/resume testing)\n"
+               "      --validate    Monte Carlo-validate each completed "
+               "scenario's best feasible\n"
+               "                    design (writes validation.json/csv next "
+               "to its archives)\n"
+               "      --replicates N   Monte Carlo replicates (validate: "
+               "default 16; run\n"
+               "                    --validate: default 8 per scenario)\n"
+               "      --tolerance PCT  MAPE ceiling for point predictions "
+               "(validate; default 10)\n"
+               "      --duration S  simulated seconds per replicate "
+               "(simulate/validate: default\n"
+               "                    120; run --validate: default 60)\n"
+               "      --seed N      base seed; replicate seeds are "
+               "counter-derived from it\n"
                "      --json        machine-readable `list` output\n"
                "\n"
                "Specs: JSON files (see examples/scenarios/) or built-in "
-               "preset names (`wsnex list`).\n");
+               "preset names (`wsnex list`).\n"
+               "`wsnex validate` replays a scenario's reference design in "
+               "the packet simulator\n"
+               "N independent times and scores the analytical model "
+               "(Student-t CIs, MAPE and\n"
+               "delay-bound verdicts); exit 0 means every judged metric "
+               "passed.\n");
   return to == stdout ? 0 : 2;
 }
 
@@ -125,9 +165,9 @@ int cmd_list(const std::vector<std::string>& args) {
   return 0;
 }
 
-int cmd_validate(const std::vector<std::string>& args) {
+int cmd_check(const std::vector<std::string>& args) {
   if (args.empty()) {
-    std::fprintf(stderr, "validate: no specs given\n");
+    std::fprintf(stderr, "check: no specs given\n");
     return 2;
   }
   int failures = 0;
@@ -153,6 +193,14 @@ struct CommonFlags {
   std::optional<std::size_t> threads;
   std::size_t jobs = 1;
   std::size_t abort_after = 0;
+  bool validate = false;
+  /// Unset means "the command's default" — standalone validate and the
+  /// campaign hook default differently, so explicit values must stay
+  /// distinguishable from defaults.
+  std::optional<std::size_t> replicates;
+  std::optional<double> duration_s;
+  double tolerance_percent = 10.0;
+  std::uint64_t seed = 1;
   bool ok = true;
 };
 
@@ -169,6 +217,22 @@ std::optional<std::size_t> parse_count(const std::string& value,
     return static_cast<std::size_t>(std::stoull(value));
   } catch (const std::out_of_range&) {
     std::fprintf(stderr, "%s value out of range: %s\n", flag, value.c_str());
+    return std::nullopt;
+  }
+}
+
+/// Strict positive real flag value.
+std::optional<double> parse_real(const std::string& value, const char* flag) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    if (pos != value.size() || !(v > 0.0)) {
+      throw std::invalid_argument(value);
+    }
+    return v;
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "%s expects a positive number, got \"%s\"\n", flag,
+                 value.c_str());
     return std::nullopt;
   }
 }
@@ -206,6 +270,43 @@ CommonFlags parse_flags(const std::vector<std::string>& args) {
       }
     } else if (a == "--cache-dir") {
       if (const auto v = next_value("--cache-dir")) flags.cache_dir = *v;
+    } else if (a == "--validate") {
+      flags.validate = true;
+    } else if (a == "--replicates") {
+      if (const auto v = next_value("--replicates")) {
+        if (const auto n = parse_count(*v, "--replicates"); n && *n > 0) {
+          flags.replicates = *n;
+        } else {
+          if (n && *n == 0) {
+            std::fprintf(stderr, "--replicates must be >= 1\n");
+          }
+          flags.ok = false;
+        }
+      }
+    } else if (a == "--tolerance") {
+      if (const auto v = next_value("--tolerance")) {
+        if (const auto t = parse_real(*v, "--tolerance")) {
+          flags.tolerance_percent = *t;
+        } else {
+          flags.ok = false;
+        }
+      }
+    } else if (a == "--duration") {
+      if (const auto v = next_value("--duration")) {
+        if (const auto d = parse_real(*v, "--duration")) {
+          flags.duration_s = *d;
+        } else {
+          flags.ok = false;
+        }
+      }
+    } else if (a == "--seed") {
+      if (const auto v = next_value("--seed")) {
+        if (const auto n = parse_count(*v, "--seed")) {
+          flags.seed = *n;
+        } else {
+          flags.ok = false;
+        }
+      }
     } else if (a == "--abort-after") {
       if (const auto v = next_value("--abort-after")) {
         if (const auto n = parse_count(*v, "--abort-after")) {
@@ -252,6 +353,17 @@ int report_outcome_summary(const scenario::CampaignReport& report,
   return 0;
 }
 
+/// Campaign-hook knobs from the command line. Campaign validation keeps
+/// its own smaller defaults (every scenario pays the cost) unless the
+/// user passed explicit values.
+validate::CampaignValidation campaign_validation(const CommonFlags& flags) {
+  validate::CampaignValidation options;
+  options.replicates = flags.replicates.value_or(options.replicates);
+  options.duration_s = flags.duration_s.value_or(options.duration_s);
+  options.tolerance_percent = flags.tolerance_percent;
+  return options;
+}
+
 int cmd_run(const std::vector<std::string>& args) {
   CommonFlags flags = parse_flags(args);
   if (!flags.ok) return 2;
@@ -274,8 +386,13 @@ int cmd_run(const std::vector<std::string>& args) {
   options.abort_after = flags.abort_after;
   options.jobs = flags.jobs;
   options.cache_dir = flags.cache_dir;
-  std::printf("campaign: %zu scenario(s) -> %s%s\n", specs.size(),
-              options.out_dir.c_str(), options.quick ? " (quick)" : "");
+  if (flags.validate) {
+    options.post_scenario =
+        validate::make_campaign_validation_hook(campaign_validation(flags));
+  }
+  std::printf("campaign: %zu scenario(s) -> %s%s%s\n", specs.size(),
+              options.out_dir.c_str(), options.quick ? " (quick)" : "",
+              flags.validate ? " (+validation)" : "");
   const auto report = scenario::run_campaign(specs, options, print_outcome);
   return report_outcome_summary(report, options.out_dir);
 }
@@ -293,9 +410,156 @@ int cmd_resume(const std::vector<std::string>& args) {
   overrides.abort_after = flags.abort_after;
   overrides.jobs = flags.jobs;
   overrides.cache_dir = flags.cache_dir;
+  if (flags.validate) {
+    overrides.post_scenario =
+        validate::make_campaign_validation_hook(campaign_validation(flags));
+  }
   const auto report =
       scenario::resume_campaign(out_dir, overrides, print_outcome);
   return report_outcome_summary(report, out_dir);
+}
+
+/// One packet-level replay of a scenario's reference design, with the
+/// per-node model-vs-simulation comparison the Section 5.1 experiment
+/// prints.
+int cmd_simulate(const std::vector<std::string>& args) {
+  CommonFlags flags = parse_flags(args);
+  if (!flags.ok) return 2;
+  if (flags.positional.size() != 1) {
+    std::fprintf(stderr, "simulate: exactly one spec expected\n");
+    return 2;
+  }
+  // parse_flags accepts the whole common flag set; surface the ones this
+  // command cannot honor instead of silently dropping them.
+  if (flags.replicates.has_value() || !flags.out_dir.empty() ||
+      flags.validate || flags.quick) {
+    std::fprintf(stderr,
+                 "simulate: ignoring --replicates/-o/--validate/--quick "
+                 "(one replay, nothing persisted — use `wsnex validate` for "
+                 "replicated, persisted runs)\n");
+  }
+  const scenario::ScenarioSpec spec = load_spec_arg(flags.positional.front());
+  const auto evaluator =
+      model::NetworkModelEvaluator::make_default(spec.evaluator_options());
+  const validate::Lowering low = validate::lower(
+      spec, evaluator, validate::reference_design(spec, evaluator));
+  sim::NetworkScenario sc = low.sim;
+  sc.duration_s = flags.duration_s.value_or(120.0);
+  sc.seed = flags.seed;
+  const sim::NetworkResult result = sim::run_network(sc);
+
+  const bool csma = spec.access == scenario::ChannelAccess::kCsma;
+  std::printf("scenario %s (%s): %s\n", spec.name.c_str(),
+              scenario::to_string(spec.access),
+              csma ? "contention in the CAP, no Eq. 9 bound"
+                   : "GTS slots from the analytical assignment");
+  std::printf("simulated %.0f s (seed %llu), beacon interval %.1f ms\n\n",
+              sc.duration_s, static_cast<unsigned long long>(sc.seed),
+              result.beacon_interval_s * 1e3);
+  util::Table table({"node", "app", "GTS", "frames", "mean [ms]", "p99 [ms]",
+                     "max [ms]", "Eq.9 bound [ms]", "retries", "drops"});
+  for (std::size_t n = 0; n < result.nodes.size(); ++n) {
+    const sim::NodeResult& nr = result.nodes[n];
+    std::vector<double> lat;
+    for (const sim::FrameDelivery& d : result.deliveries) {
+      if (d.node == n + 1) lat.push_back(d.latency_s * 1e3);
+    }
+    table.add_row(
+        {std::to_string(n), model::to_string(low.design.nodes[n].app),
+         std::to_string(csma ? 0 : low.eval.nodes[n].gts_slots),
+         std::to_string(nr.frame_latency.count()),
+         util::Table::num(nr.frame_latency.mean() * 1e3, 1),
+         util::Table::num(util::percentile(lat, 99.0), 1),
+         util::Table::num(nr.frame_latency.max() * 1e3, 1),
+         csma ? "-" : util::Table::num(low.eval.nodes[n].delay_bound_s * 1e3, 1),
+         std::to_string(nr.counters.retries),
+         std::to_string(nr.counters.frames_dropped)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "goodput %.1f B/s (model %.1f), collisions %llu, channel drops %llu, "
+      "bad-state frames %llu, stable: %s\n",
+      static_cast<double>(result.payload_bytes_received) / sc.duration_s,
+      [&] {
+        double phi = 0.0;
+        for (const auto& node : low.eval.nodes) phi += node.phi_out_bytes_per_s;
+        return phi;
+      }(),
+      static_cast<unsigned long long>(result.channel_collisions),
+      static_cast<unsigned long long>(result.channel_drops),
+      static_cast<unsigned long long>(result.bad_state_frames),
+      result.stable() ? "yes" : "NO");
+  return 0;
+}
+
+void print_validation_report(const validate::ValidationReport& report) {
+  std::printf("scenario %s (%s): %zu replicates x %.0f s, seed %llu\n",
+              report.scenario.c_str(), scenario::to_string(report.access),
+              report.replicates, report.duration_s,
+              static_cast<unsigned long long>(report.base_seed));
+  std::printf("design: %s\n", report.config.c_str());
+  std::printf("channel: model FER %.4g, sim FER %.4g\n\n",
+              report.analytic_fer, report.sim_fer);
+  util::Table table({"metric", "unit", "sim mean", "95% CI", "analytic",
+                     "MAPE [%]", "verdict"});
+  for (const validate::MetricSummary& m : report.metrics) {
+    std::string ci = "-";
+    if (std::isfinite(m.ci_lo)) {
+      ci = "[";
+      ci += util::Table::num(m.ci_lo, 4);
+      ci += ", ";
+      ci += util::Table::num(m.ci_hi, 4);
+      ci += "]";
+    }
+    table.add_row(
+        {m.name, m.unit, util::Table::num(m.sim_mean, 4), ci,
+         m.has_analytic ? util::Table::num(m.analytic, 4) : "-",
+         m.kind == validate::VerdictKind::kMape
+             ? util::Table::num(m.mape_percent, 2)
+             : "-",
+         validate::to_string(m.verdict)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  if (report.unstable_replicates > 0) {
+    std::printf("WARNING: %zu replicate(s) unstable (offered load not "
+                "sustained)\n",
+                report.unstable_replicates);
+  }
+  std::printf("validation %s (tolerance %.3g%%, %.4g s wall)\n\n",
+              report.passed ? "PASS" : "FAIL", report.tolerance_percent,
+              report.wallclock_s);
+}
+
+/// Monte Carlo model validation (the Section 5 experiment, replicated).
+int cmd_validate(const std::vector<std::string>& args) {
+  CommonFlags flags = parse_flags(args);
+  if (!flags.ok) return 2;
+  if (flags.positional.empty()) {
+    std::fprintf(stderr, "validate: no scenarios given (try `wsnex list`)\n");
+    return 2;
+  }
+  std::optional<scenario::ResultStore> store;
+  if (!flags.out_dir.empty()) store.emplace(flags.out_dir);
+  int failures = 0;
+  for (const std::string& arg : flags.positional) {
+    const scenario::ScenarioSpec spec = load_spec_arg(arg);
+    validate::ValidationOptions options;
+    options.plan.replicates = flags.replicates.value_or(16);
+    options.plan.jobs = flags.jobs;
+    options.plan.duration_s = flags.duration_s.value_or(120.0);
+    options.plan.base_seed = flags.seed;
+    options.tolerance_percent = flags.tolerance_percent;
+    const validate::ValidationReport report =
+        validate::run_validation(spec, options);
+    print_validation_report(report);
+    if (store.has_value()) {
+      validate::persist_validation(*store, report);
+      std::printf("wrote %s\n",
+                  store->validation_json_path(report.scenario).c_str());
+    }
+    if (!report.passed) ++failures;
+  }
+  return failures == 0 ? 0 : 1;
 }
 
 int cmd_report(const std::vector<std::string>& args) {
@@ -313,10 +577,12 @@ int cmd_report(const std::vector<std::string>& args) {
   }
   const auto manifest = store.load_manifest();
   util::Table table({"scenario", "status", "evals", "front", "feasible",
-                     "best E_net [mJ/s]", "lifetime [days]", "best config"});
+                     "best E_net [mJ/s]", "lifetime [days]", "validated",
+                     "best config"});
   for (const auto& status : manifest.scenarios) {
     if (!status.complete) {
-      table.add_row({status.name, "pending", "-", "-", "-", "-", "-", "-"});
+      table.add_row({status.name, "pending", "-", "-", "-", "-", "-", "-",
+                     "-"});
       continue;
     }
     std::string best_energy = "-", best_lifetime = "-", best_config = "-";
@@ -327,10 +593,15 @@ int cmd_report(const std::vector<std::string>& args) {
           util::Table::num(best->at("lifetime_days").as_double(), 1);
       best_config = best->at("config").as_string();
     }
+    std::string validated = "-";
+    if (store.has_validation(status.name)) {
+      const util::Json validation = store.load_validation(status.name);
+      validated = validation.at("passed").as_bool() ? "pass" : "FAIL";
+    }
     table.add_row({status.name, "complete", std::to_string(status.evaluations),
                    std::to_string(status.front_size),
                    std::to_string(status.feasible_size), best_energy,
-                   best_lifetime, best_config});
+                   best_lifetime, validated, best_config});
   }
   std::printf("campaign at %s%s\n\n%s\n", store.root().c_str(),
               manifest.quick ? " (quick budgets)" : "",
@@ -382,7 +653,9 @@ int main(int argc, char** argv) {
   args.erase(args.begin());
   try {
     if (command == "list") return cmd_list(args);
+    if (command == "check") return cmd_check(args);
     if (command == "validate") return cmd_validate(args);
+    if (command == "simulate") return cmd_simulate(args);
     if (command == "run") return cmd_run(args);
     if (command == "resume") return cmd_resume(args);
     if (command == "report") return cmd_report(args);
