@@ -108,14 +108,12 @@ util::Json make_summary(const ScenarioSpec& spec, const ScenarioRun& run,
   return summary;
 }
 
-/// Executes one scenario and persists its result files (NOT the manifest
-/// — the caller serializes record_complete); returns the completed status
-/// entry.
-ScenarioStatus execute_and_persist(const ScenarioSpec& spec,
-                                   const CampaignOptions& options,
-                                   ResultStore& store,
-                                   util::ThreadPool* pool,
-                                   dse::SharedEvalCache* cache) {
+}  // namespace
+
+ScenarioStatus execute_scenario(const ScenarioSpec& spec,
+                                const CampaignOptions& options,
+                                ResultStore& store, util::ThreadPool* pool,
+                                dse::SharedEvalCache* cache) {
   const ScenarioRun run =
       run_scenario(spec, options.quick, options.threads, pool, cache);
   const std::vector<std::size_t> feasible =
@@ -154,6 +152,8 @@ ScenarioStatus execute_and_persist(const ScenarioSpec& spec,
   return status;
 }
 
+namespace {
+
 /// The historical serial driver: scenarios strictly in spec order, one at
 /// a time. jobs == 1 campaigns run through here unchanged.
 CampaignReport drive_campaign_serial(
@@ -178,7 +178,7 @@ CampaignReport drive_campaign_serial(
       ++report.skipped;
     } else {
       outcome.status =
-          execute_and_persist(specs[i], options, store, nullptr, &cache);
+          execute_scenario(specs[i], options, store, nullptr, &cache);
       store.record_complete(outcome.status);
       ++executed;
       ++report.executed;
@@ -252,7 +252,7 @@ CampaignReport drive_campaign_parallel(
     const std::size_t i = to_run[task];
     try {
       const ScenarioStatus status =
-          execute_and_persist(specs[i], options, store, &pool, &cache);
+          execute_scenario(specs[i], options, store, &pool, &cache);
       const std::lock_guard<std::mutex> lock(store_mutex);
       store.record_complete(status);
       outcomes[i].status = status;

@@ -107,6 +107,18 @@ struct CampaignOptions {
   PostScenarioHook post_scenario;
 };
 
+/// Runs one scenario and persists its result files (pareto.csv,
+/// feasible.csv, summary.json and the post_scenario hook's artifacts) into
+/// `store` — everything except the manifest update, which the caller
+/// serializes via ResultStore::record_complete once the returned status is
+/// safe to publish. This is the shared unit of work of the campaign
+/// drivers and the `wsnex serve` job scheduler: both interleave many of
+/// these on one pool, each followed by its own record_complete.
+ScenarioStatus execute_scenario(const ScenarioSpec& spec,
+                                const CampaignOptions& options,
+                                ResultStore& store, util::ThreadPool* pool,
+                                dse::SharedEvalCache* cache);
+
 /// What happened to one scenario during a campaign invocation.
 struct CampaignOutcome {
   std::string name;

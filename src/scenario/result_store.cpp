@@ -1,8 +1,11 @@
 #include "scenario/result_store.hpp"
 
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
+
+#include "util/fsio.hpp"
 
 namespace wsnex::scenario {
 
@@ -11,25 +14,19 @@ namespace fs = std::filesystem;
 namespace {
 
 std::string read_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw ScenarioError("cannot open " + path);
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
+  try {
+    return util::read_file(path);
+  } catch (const util::FileError& e) {
+    throw ScenarioError(e.what());
+  }
 }
 
-/// Writes `contents` to `path` through a sibling temp file + rename, so a
-/// reader (or a crash) never observes a half-written file.
 void write_file_atomic(const std::string& path, const std::string& contents) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw ScenarioError("cannot write " + tmp);
-    out << contents;
-    out.flush();
-    if (!out) throw ScenarioError("write failed for " + tmp);
+  try {
+    util::write_file_atomic(path, contents);
+  } catch (const util::FileError& e) {
+    throw ScenarioError(e.what());
   }
-  fs::rename(tmp, path);
 }
 
 util::Json status_to_json(const ScenarioStatus& s) {
@@ -70,6 +67,40 @@ ScenarioStatus status_from_json(const util::Json& json) {
 
 ResultStore::ResultStore(std::string root) : root_(std::move(root)) {}
 
+std::string ResultStore::shard_id(const std::string& id) {
+  const auto is_safe_char = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+           c == '-' || c == '.';
+  };
+  const bool safe =
+      !id.empty() && id.size() <= 64 && id.front() != '.' &&
+      std::all_of(id.begin(), id.end(), is_safe_char);
+  if (safe) return id;
+
+  // FNV-1a over the original id keeps distinct unsafe ids distinct even
+  // when their sanitized spellings coincide.
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const char c : id) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  std::string prefix;
+  for (const char c : id) {
+    if (prefix.size() >= 40) break;
+    prefix += is_safe_char(c) ? c : '_';
+  }
+  while (!prefix.empty() && prefix.front() == '.') prefix.erase(prefix.begin());
+  if (prefix.empty()) prefix = "id";
+
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string suffix(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    suffix[static_cast<std::size_t>(i)] = kHex[hash & 0xf];
+    hash >>= 4;
+  }
+  return prefix + "-" + suffix;
+}
+
 bool ResultStore::exists(const std::string& root) {
   return fs::exists(fs::path(root) / "campaign.json");
 }
@@ -83,11 +114,11 @@ std::string ResultStore::scenario_dir() const {
 }
 
 std::string ResultStore::spec_path(const std::string& name) const {
-  return (fs::path(root_) / "scenarios" / (name + ".json")).string();
+  return (fs::path(root_) / "scenarios" / (shard_id(name) + ".json")).string();
 }
 
 std::string ResultStore::result_dir(const std::string& name) const {
-  return (fs::path(root_) / "results" / name).string();
+  return (fs::path(root_) / "results" / shard_id(name)).string();
 }
 
 std::string ResultStore::pareto_csv_path(const std::string& name) const {

@@ -54,6 +54,17 @@ class ResultStore {
 
   const std::string& root() const { return root_; }
 
+  /// Collision-safe directory shard for an arbitrary identifier (scenario
+  /// name, serve-layer job/campaign id). Identifiers that are already safe
+  /// directory names (1-64 chars of [A-Za-z0-9_.-], no leading '.') map to
+  /// themselves — the historical layout for every validated scenario name
+  /// is unchanged. Anything else (path separators, control bytes, "..",
+  /// over-long or empty ids) is sanitized to `<mapped-prefix>-<16-hex
+  /// FNV-1a of the original>`, so distinct unsafe ids land in distinct
+  /// directories instead of colliding on their sanitized spelling (e.g.
+  /// "a/b" vs "a_b") or escaping the store root.
+  static std::string shard_id(const std::string& id);
+
   /// True iff `root` holds a campaign manifest.
   static bool exists(const std::string& root);
 

@@ -1,0 +1,75 @@
+#include "serve/client.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "serve/job.hpp"
+#include "util/http.hpp"
+
+namespace wsnex::serve {
+
+util::Json Client::request(const std::string& method,
+                           const std::string& target,
+                           const std::string& body) const {
+  const util::HttpResponse response =
+      util::http_exchange(port_, method, target, body, timeout_ms_);
+  util::Json parsed;
+  try {
+    parsed = util::Json::parse(response.body);
+  } catch (const util::JsonParseError& e) {
+    throw ServeApiError(0, "unparseable response (HTTP " +
+                               std::to_string(response.status) +
+                               "): " + e.what());
+  }
+  if (response.status >= 400) {
+    std::string message = "HTTP " + std::to_string(response.status);
+    if (const util::Json* error = parsed.find("error")) {
+      if (const util::Json* text = error->find("message")) {
+        if (text->is_string()) message = text->as_string();
+      }
+    }
+    throw ServeApiError(response.status, message);
+  }
+  return parsed;
+}
+
+util::Json Client::submit(const util::Json& job) const {
+  return request("POST", "/v1/jobs", job.dump());
+}
+
+util::Json Client::status(const std::string& id) const {
+  return request("GET", "/v1/jobs/" + id, "");
+}
+
+util::Json Client::list() const { return request("GET", "/v1/jobs", ""); }
+
+util::Json Client::results(const std::string& id) const {
+  return request("GET", "/v1/jobs/" + id + "/results", "");
+}
+
+util::Json Client::cancel(const std::string& id) const {
+  return request("POST", "/v1/jobs/" + id + "/cancel", "");
+}
+
+util::Json Client::health() const { return request("GET", "/healthz", ""); }
+
+util::Json Client::wait(const std::string& id, int poll_ms,
+                        int timeout_ms) const {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    util::Json body = status(id);
+    const util::Json* state = body.find("state");
+    if (state != nullptr && state->is_string() &&
+        is_terminal(job_state_from_string(state->as_string()))) {
+      return body;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw ServeApiError(408, "job \"" + id + "\" did not finish within " +
+                                   std::to_string(timeout_ms) + " ms");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+  }
+}
+
+}  // namespace wsnex::serve

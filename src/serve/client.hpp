@@ -1,0 +1,59 @@
+// Thin typed client for the campaign service API — the single HTTP code
+// path shared by the wsnex submit/status/results/cancel subcommands, the
+// integration tests and bench_serve_throughput, so they all exercise the
+// same wire behavior (one exchange per connection, strict JSON bodies).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace wsnex::serve {
+
+/// An API-level failure: the server answered with an error status (the
+/// parsed {"error":{...}} message) or the response was not valid JSON.
+/// Transport failures (connection refused, timeouts) stay
+/// util::SocketError.
+class ServeApiError : public std::runtime_error {
+ public:
+  ServeApiError(int status, const std::string& message)
+      : std::runtime_error(message), status_(status) {}
+  /// HTTP status of the failure (0 when the response was unparseable).
+  int status() const { return status_; }
+
+ private:
+  int status_ = 0;
+};
+
+class Client {
+ public:
+  explicit Client(std::uint16_t port, int timeout_ms = 30000)
+      : port_(port), timeout_ms_(timeout_ms) {}
+
+  std::uint16_t port() const { return port_; }
+
+  /// POST /v1/jobs; returns the acceptance body {"id","state"}.
+  util::Json submit(const util::Json& job) const;
+  util::Json status(const std::string& id) const;   ///< GET /v1/jobs/<id>
+  util::Json list() const;                          ///< GET /v1/jobs
+  util::Json results(const std::string& id) const;  ///< .../results
+  util::Json cancel(const std::string& id) const;   ///< POST .../cancel
+  util::Json health() const;                        ///< GET /healthz
+
+  /// Polls status until the job reaches a terminal state; returns the
+  /// final status body. Throws ServeApiError when `timeout_ms` elapses
+  /// first.
+  util::Json wait(const std::string& id, int poll_ms = 100,
+                  int timeout_ms = 600000) const;
+
+ private:
+  util::Json request(const std::string& method, const std::string& target,
+                     const std::string& body) const;
+
+  std::uint16_t port_ = 0;
+  int timeout_ms_ = 30000;
+};
+
+}  // namespace wsnex::serve

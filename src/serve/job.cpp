@@ -1,0 +1,213 @@
+#include "serve/job.hpp"
+
+#include "scenario/registry.hpp"
+
+namespace wsnex::serve {
+
+namespace {
+
+/// Strict field access with serve-flavored errors (the HTTP layer turns
+/// these into 400 bodies, so messages must name the offending field).
+const util::Json& require(const util::Json& json, const char* key) {
+  const util::Json* value = json.find(key);
+  if (value == nullptr) {
+    throw ServeError(std::string("job: missing field \"") + key + "\"");
+  }
+  return *value;
+}
+
+std::size_t require_count(const util::Json& json, const char* key,
+                          std::size_t fallback, bool present_ok = true) {
+  const util::Json* value = json.find(key);
+  if (value == nullptr) return fallback;
+  if (!present_ok || !value->is_number() || !value->is_integer() ||
+      value->as_int64() < 0) {
+    throw ServeError(std::string("job: \"") + key +
+                     "\" must be a non-negative integer");
+  }
+  return static_cast<std::size_t>(value->as_int64());
+}
+
+double require_positive(const util::Json& json, const char* key,
+                        double fallback) {
+  const util::Json* value = json.find(key);
+  if (value == nullptr) return fallback;
+  if (!value->is_number() || !(value->as_double() > 0.0)) {
+    throw ServeError(std::string("job: \"") + key +
+                     "\" must be a positive number");
+  }
+  return value->as_double();
+}
+
+}  // namespace
+
+const char* to_string(JobKind kind) {
+  switch (kind) {
+    case JobKind::kCampaign: return "campaign";
+    case JobKind::kValidation: return "validation";
+  }
+  return "unknown";
+}
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kComplete: return "complete";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+JobKind job_kind_from_string(const std::string& s) {
+  if (s == "campaign") return JobKind::kCampaign;
+  if (s == "validation") return JobKind::kValidation;
+  throw ServeError("job: unknown kind \"" + s +
+                   "\" (expected \"campaign\" or \"validation\")");
+}
+
+JobState job_state_from_string(const std::string& s) {
+  if (s == "queued") return JobState::kQueued;
+  if (s == "running") return JobState::kRunning;
+  if (s == "complete") return JobState::kComplete;
+  if (s == "failed") return JobState::kFailed;
+  if (s == "cancelled") return JobState::kCancelled;
+  throw ServeError("job: unknown state \"" + s + "\"");
+}
+
+bool is_terminal(JobState state) {
+  return state == JobState::kComplete || state == JobState::kFailed ||
+         state == JobState::kCancelled;
+}
+
+JobSpec JobSpec::from_json(const util::Json& json) {
+  if (!json.is_object()) throw ServeError("job: body must be a JSON object");
+  for (const auto& [key, value] : json.as_object()) {
+    (void)value;
+    static constexpr const char* known[] = {
+        "id",     "kind",       "priority",   "quick",
+        "scenarios", "replicates", "duration_s", "tolerance_percent",
+        "seed"};
+    bool ok = false;
+    for (const char* k : known) ok = ok || key == k;
+    if (!ok) throw ServeError("job: unknown field \"" + key + "\"");
+  }
+
+  JobSpec spec;
+  if (const util::Json* id = json.find("id")) {
+    if (!id->is_string()) throw ServeError("job: \"id\" must be a string");
+    spec.id = id->as_string();
+  }
+  if (const util::Json* kind = json.find("kind")) {
+    if (!kind->is_string()) throw ServeError("job: \"kind\" must be a string");
+    spec.kind = job_kind_from_string(kind->as_string());
+  }
+  spec.priority = require_count(json, "priority", 1);
+  if (const util::Json* quick = json.find("quick")) {
+    if (!quick->is_bool()) throw ServeError("job: \"quick\" must be a bool");
+    spec.quick = quick->as_bool();
+  }
+
+  const util::Json& scenarios = require(json, "scenarios");
+  if (!scenarios.is_array() || scenarios.as_array().empty()) {
+    throw ServeError("job: \"scenarios\" must be a non-empty array of spec "
+                     "objects or preset names");
+  }
+  for (const util::Json& entry : scenarios.as_array()) {
+    if (entry.is_string()) {
+      spec.scenarios.push_back(scenario::preset(entry.as_string()));
+    } else if (entry.is_object()) {
+      spec.scenarios.push_back(scenario::ScenarioSpec::from_json(entry));
+    } else {
+      throw ServeError("job: scenario entries must be spec objects or "
+                       "preset-name strings");
+    }
+  }
+
+  spec.validation.replicates = require_count(json, "replicates", 16);
+  if (spec.validation.replicates == 0) {
+    throw ServeError("job: \"replicates\" must be >= 1");
+  }
+  spec.validation.duration_s = require_positive(json, "duration_s", 120.0);
+  spec.validation.tolerance_percent =
+      require_positive(json, "tolerance_percent", 10.0);
+  spec.validation.base_seed = require_count(json, "seed", 1);
+  return spec;
+}
+
+util::Json JobSpec::to_json() const {
+  util::Json json = util::Json::object();
+  if (!id.empty()) json.set("id", id);
+  json.set("kind", to_string(kind));
+  json.set("priority", priority);
+  if (quick) json.set("quick", true);
+  util::Json list = util::Json::array();
+  for (const scenario::ScenarioSpec& spec : scenarios) {
+    list.push_back(spec.to_json());
+  }
+  json.set("scenarios", std::move(list));
+  if (kind == JobKind::kValidation) {
+    json.set("replicates", validation.replicates);
+    json.set("duration_s", validation.duration_s);
+    json.set("tolerance_percent", validation.tolerance_percent);
+    json.set("seed", static_cast<std::int64_t>(validation.base_seed));
+  }
+  return json;
+}
+
+JobRecord JobRecord::from_json(const util::Json& json) {
+  if (!json.is_object()) throw ServeError("job.json: not a JSON object");
+  JobRecord record;
+  try {
+    record.format_version =
+        static_cast<int>(json.at("format_version").as_int64());
+    if (record.format_version != 1) {
+      throw ServeError("job.json: unsupported format_version " +
+                       std::to_string(record.format_version));
+    }
+    record.id = json.at("id").as_string();
+    record.kind = job_kind_from_string(json.at("kind").as_string());
+    record.priority =
+        static_cast<std::size_t>(json.at("priority").as_int64());
+    record.quick = json.at("quick").as_bool();
+    record.state = job_state_from_string(json.at("state").as_string());
+    if (const util::Json* error = json.find("error")) {
+      record.error = error->as_string();
+    }
+    for (const util::Json& name : json.at("scenarios").as_array()) {
+      record.scenario_names.push_back(name.as_string());
+    }
+    record.validation.replicates =
+        static_cast<std::size_t>(json.at("replicates").as_int64());
+    record.validation.duration_s = json.at("duration_s").as_double();
+    record.validation.tolerance_percent =
+        json.at("tolerance_percent").as_double();
+    record.validation.base_seed =
+        static_cast<std::uint64_t>(json.at("seed").as_int64());
+  } catch (const util::JsonTypeError& e) {
+    throw ServeError(std::string("job.json: malformed record: ") + e.what());
+  }
+  return record;
+}
+
+util::Json JobRecord::to_json() const {
+  util::Json json = util::Json::object();
+  json.set("format_version", format_version);
+  json.set("id", id);
+  json.set("kind", to_string(kind));
+  json.set("priority", priority);
+  json.set("quick", quick);
+  json.set("state", to_string(state));
+  if (!error.empty()) json.set("error", error);
+  util::Json names = util::Json::array();
+  for (const std::string& name : scenario_names) names.push_back(name);
+  json.set("scenarios", std::move(names));
+  json.set("replicates", validation.replicates);
+  json.set("duration_s", validation.duration_s);
+  json.set("tolerance_percent", validation.tolerance_percent);
+  json.set("seed", static_cast<std::int64_t>(validation.base_seed));
+  return json;
+}
+
+}  // namespace wsnex::serve

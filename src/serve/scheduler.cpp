@@ -1,0 +1,575 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+
+#include "dsp/prd_calibration.hpp"
+#include "scenario/campaign.hpp"
+#include "util/fsio.hpp"
+#include "util/logging.hpp"
+#include "validate/validation.hpp"
+
+namespace wsnex::serve {
+
+namespace fs = std::filesystem;
+
+// --- WeightedRoundRobin ----------------------------------------------------
+
+void WeightedRoundRobin::add(const std::string& key, std::size_t weight) {
+  if (weight == 0) weight = 1;
+  for (Entry& entry : entries_) {
+    if (entry.key == key) {
+      entry.weight = weight;
+      if (entry.credit > weight) entry.credit = weight;
+      return;
+    }
+  }
+  entries_.push_back(Entry{key, weight, weight});
+}
+
+void WeightedRoundRobin::remove(const std::string& key) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].key != key) continue;
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+    if (i < cursor_) --cursor_;
+    if (cursor_ >= entries_.size()) cursor_ = 0;
+    return;
+  }
+}
+
+bool WeightedRoundRobin::contains(const std::string& key) const {
+  for (const Entry& entry : entries_) {
+    if (entry.key == key) return true;
+  }
+  return false;
+}
+
+std::string WeightedRoundRobin::pick() {
+  if (entries_.empty()) return {};
+  if (cursor_ >= entries_.size()) cursor_ = 0;
+  Entry& entry = entries_[cursor_];
+  if (entry.credit == 0) entry.credit = entry.weight;
+  --entry.credit;
+  std::string key = entry.key;
+  if (entry.credit == 0) {
+    entry.credit = entry.weight;
+    cursor_ = (cursor_ + 1) % entries_.size();
+  }
+  return key;
+}
+
+// --- JobProgress -----------------------------------------------------------
+
+util::Json JobProgress::to_json() const {
+  util::Json json = util::Json::object();
+  json.set("id", id);
+  json.set("kind", to_string(kind));
+  json.set("state", to_string(state));
+  json.set("priority", priority);
+  json.set("units_done", units_done);
+  json.set("units_total", units_total);
+  if (!error.empty()) json.set("error", error);
+  util::Json names = util::Json::array();
+  for (const std::string& name : scenarios) names.push_back(name);
+  json.set("scenarios", std::move(names));
+  return json;
+}
+
+// --- JobScheduler ----------------------------------------------------------
+
+JobScheduler::JobScheduler(SchedulerOptions options)
+    : options_(std::move(options)),
+      pool_(util::ThreadPool::resolve_layout(
+                util::ThreadPool::resolve_threads(options_.slots),
+                options_.threads)
+                .pool_width),
+      cache_(dse::SharedEvalCache::instance()) {
+  if (options_.data_dir.empty()) {
+    throw ServeError("scheduler: data_dir must be set");
+  }
+  options_.slots = util::ThreadPool::resolve_threads(options_.slots);
+  if (options_.max_queued_jobs == 0) options_.max_queued_jobs = 1;
+  if (options_.max_priority == 0) options_.max_priority = 1;
+  if (!options_.cache_dir.empty() &&
+      !dsp::set_default_prd_cache_dir(options_.cache_dir)) {
+    WSNEX_DEBUG() << "serve: cache dir ignored for this process: the PRD "
+                     "calibration was already computed";
+  }
+  fs::create_directories(jobs_dir());
+}
+
+JobScheduler::~JobScheduler() { drain(); }
+
+std::string JobScheduler::jobs_dir() const {
+  return (fs::path(options_.data_dir) / "jobs").string();
+}
+
+std::string JobScheduler::shard_dir(const std::string& id) const {
+  return (fs::path(jobs_dir()) / scenario::ResultStore::shard_id(id)).string();
+}
+
+JobScheduler::Admission JobScheduler::submit(JobSpec spec) {
+  Admission admission;
+  if (spec.scenarios.empty()) {
+    admission.code = Admission::Code::kInvalid;
+    admission.message = "job: \"scenarios\" must be non-empty";
+    return admission;
+  }
+  std::set<std::string> names;
+  for (const scenario::ScenarioSpec& scenario : spec.scenarios) {
+    try {
+      scenario.validate();
+    } catch (const std::exception& e) {
+      admission.code = Admission::Code::kInvalid;
+      admission.message = e.what();
+      return admission;
+    }
+    if (!names.insert(scenario.name).second) {
+      admission.code = Admission::Code::kInvalid;
+      admission.message = "job: duplicate scenario \"" + scenario.name + "\"";
+      return admission;
+    }
+  }
+  spec.priority = std::clamp<std::size_t>(spec.priority, 1,
+                                          options_.max_priority);
+  // An unusable id is invalid whatever the queue looks like; check it
+  // before the transient rejections so the client's 400 vs 429 is stable.
+  if (!spec.id.empty() &&
+      scenario::ResultStore::shard_id(spec.id) != spec.id) {
+    admission.code = Admission::Code::kInvalid;
+    admission.message =
+        "job: \"id\" must be 1-64 chars of [A-Za-z0-9_.-] without a "
+        "leading '.'";
+    return admission;
+  }
+
+  std::lock_guard<std::mutex> lk(mutex_);
+  if (stopping_) {
+    admission.code = Admission::Code::kStopping;
+    admission.message = "service is shutting down";
+    return admission;
+  }
+  if (!spec.id.empty() && jobs_.count(spec.id) != 0) {
+    admission.code = Admission::Code::kDuplicate;
+    admission.message = "job \"" + spec.id + "\" already exists";
+    return admission;
+  }
+  if (active_jobs_locked() >= options_.max_queued_jobs) {
+    admission.code = Admission::Code::kQueueFull;
+    admission.message =
+        "job queue full (" + std::to_string(options_.max_queued_jobs) +
+        " non-terminal jobs); retry after one finishes";
+    return admission;
+  }
+  if (spec.id.empty()) {
+    do {
+      spec.id = "job-" + std::to_string(++next_auto_id_);
+    } while (jobs_.count(spec.id) != 0);
+  }
+
+  const std::string id = spec.id;
+  auto job = std::make_unique<Job>();
+  job->spec = std::move(spec);
+  job->unit_names.reserve(job->spec.scenarios.size());
+  for (const scenario::ScenarioSpec& scenario : job->spec.scenarios) {
+    job->unit_names.push_back(scenario.name);
+  }
+  job->claimed.assign(job->unit_names.size(), false);
+  job->completed.assign(job->unit_names.size(), false);
+  try {
+    const std::string shard = shard_dir(id);
+    // A shard with no job.json is debris from a submit that died between
+    // store init and the admission record; job.json is written last, so
+    // anything recoverable was registered by recover() and caught by the
+    // duplicate check above.
+    if (fs::exists(shard)) {
+      if (fs::exists(fs::path(shard) / "job.json")) {
+        admission.code = Admission::Code::kDuplicate;
+        admission.message =
+            "job \"" + id + "\" already exists on disk; pick another id";
+        return admission;
+      }
+      fs::remove_all(shard);
+    }
+    job->store = std::make_unique<scenario::ResultStore>(shard);
+    job->store->initialize(job->spec.scenarios, job->spec.quick);
+    persist_record(*job, record_of(*job));
+  } catch (const std::exception& e) {
+    admission.code = Admission::Code::kInvalid;
+    admission.message = e.what();
+    return admission;
+  }
+  wrr_.add(id, job->spec.priority);
+  jobs_[id] = std::move(job);
+  cv_.notify_all();
+  admission.code = Admission::Code::kAccepted;
+  admission.id = id;
+  return admission;
+}
+
+void JobScheduler::start() {
+  std::lock_guard<std::mutex> lk(mutex_);
+  if (started_ || stopping_) return;
+  started_ = true;
+  workers_.reserve(options_.slots);
+  for (std::size_t i = 0; i < options_.slots; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+std::size_t JobScheduler::recover() {
+  std::vector<fs::path> shards;
+  {
+    const fs::path root = jobs_dir();
+    if (!fs::exists(root)) return 0;
+    for (const fs::directory_entry& entry : fs::directory_iterator(root)) {
+      if (entry.is_directory()) shards.push_back(entry.path());
+    }
+  }
+  std::sort(shards.begin(), shards.end());
+
+  std::size_t requeued = 0;
+  std::lock_guard<std::mutex> lk(mutex_);
+  for (const fs::path& shard : shards) {
+    const fs::path record_path = shard / "job.json";
+    if (!fs::exists(record_path)) continue;  // aborted submit, no admission
+    try {
+      const JobRecord record = JobRecord::from_json(
+          util::Json::parse(util::read_file(record_path.string())));
+      if (jobs_.count(record.id) != 0) {
+        WSNEX_WARN() << "serve: duplicate job id \"" << record.id
+                     << "\" in shard " << shard.string() << "; skipping";
+        continue;
+      }
+      auto job = std::make_unique<Job>();
+      job->spec.id = record.id;
+      job->spec.kind = record.kind;
+      job->spec.priority = std::clamp<std::size_t>(record.priority, 1,
+                                                   options_.max_priority);
+      job->spec.quick = record.quick;
+      job->spec.validation = record.validation;
+      job->unit_names = record.scenario_names;
+      job->store = std::make_unique<scenario::ResultStore>(shard.string());
+      job->state = record.state;
+      job->error = record.error;
+      job->claimed.assign(job->unit_names.size(), false);
+      job->completed.assign(job->unit_names.size(), false);
+
+      const scenario::CampaignManifest manifest = job->store->load_manifest();
+      for (std::size_t i = 0;
+           i < manifest.scenarios.size() && i < job->unit_names.size(); ++i) {
+        if (!manifest.scenarios[i].complete) continue;
+        job->claimed[i] = true;
+        job->completed[i] = true;
+        ++job->units_done;
+      }
+
+      if (!is_terminal(job->state)) {
+        // Interrupted (or never-started) job: reload the frozen specs —
+        // the manifest, not the submit body, is the source of truth — and
+        // re-enqueue the pending units.
+        job->spec.scenarios.clear();
+        for (const std::string& name : job->unit_names) {
+          job->spec.scenarios.push_back(job->store->load_spec(name));
+        }
+        if (job->units_done == job->unit_names.size()) {
+          // Died between the last record_complete and the final job.json
+          // rewrite: everything is on disk, just publish the state.
+          job->state = JobState::kComplete;
+          persist_record(*job, record_of(*job));
+        } else {
+          job->state = JobState::kQueued;
+          if (record.state != JobState::kQueued) {
+            persist_record(*job, record_of(*job));
+          }
+          wrr_.add(record.id, job->spec.priority);
+          ++requeued;
+        }
+      }
+
+      // Keep auto ids ahead of every recovered "job-<n>".
+      if (record.id.rfind("job-", 0) == 0) {
+        const std::string tail = record.id.substr(4);
+        if (!tail.empty() &&
+            tail.find_first_not_of("0123456789") == std::string::npos &&
+            tail.size() <= 18) {
+          next_auto_id_ = std::max(next_auto_id_,
+                                   static_cast<std::size_t>(
+                                       std::stoull(tail)));
+        }
+      }
+      jobs_[record.id] = std::move(job);
+    } catch (const std::exception& e) {
+      WSNEX_WARN() << "serve: skipping unrecoverable job shard "
+                   << shard.string() << ": " << e.what();
+    }
+  }
+  if (requeued > 0) cv_.notify_all();
+  return requeued;
+}
+
+std::optional<JobProgress> JobScheduler::status(const std::string& id) const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return progress_of(*it->second);
+}
+
+std::vector<JobProgress> JobScheduler::list() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  std::vector<JobProgress> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) out.push_back(progress_of(*job));
+  return out;
+}
+
+std::optional<JobProgress> JobScheduler::cancel(const std::string& id) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  Job& job = *it->second;
+  if (!is_terminal(job.state) && !job.cancel_requested) {
+    job.cancel_requested = true;
+    wrr_.remove(id);
+    if (const std::optional<JobRecord> record = maybe_finalize(job)) {
+      persist_record(job, *record);
+    }
+  }
+  return progress_of(job);
+}
+
+std::optional<util::Json> JobScheduler::results(const std::string& id) const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  Job& job = *it->second;
+
+  util::Json out = util::Json::object();
+  out.set("id", job.spec.id);
+  out.set("kind", to_string(job.spec.kind));
+  out.set("state", to_string(job.state));
+  if (!job.error.empty()) out.set("error", job.error);
+
+  util::Json scenarios = util::Json::array();
+  std::lock_guard<std::mutex> io(job.io_mutex);
+  try {
+    const scenario::CampaignManifest manifest = job.store->load_manifest();
+    for (const scenario::ScenarioStatus& status : manifest.scenarios) {
+      util::Json entry = util::Json::object();
+      entry.set("name", status.name);
+      entry.set("complete", status.complete);
+      if (status.complete) {
+        if (job.spec.kind == JobKind::kCampaign) {
+          entry.set("summary", job.store->load_summary(status.name));
+        }
+        if (job.store->has_validation(status.name)) {
+          entry.set("validation", job.store->load_validation(status.name));
+        }
+      }
+      scenarios.push_back(std::move(entry));
+    }
+  } catch (const std::exception& e) {
+    out.set("error", std::string("results unreadable: ") + e.what());
+  }
+  out.set("scenarios", std::move(scenarios));
+  return out;
+}
+
+void JobScheduler::drain() {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stopping_ = true;
+    workers.swap(workers_);
+    cv_.notify_all();
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  // Workers are gone; rewind every interrupted job to "queued" on disk so
+  // the next daemon's recover() re-enqueues it (completed units stay
+  // checkpointed in the shard manifest and are skipped, not re-run).
+  std::lock_guard<std::mutex> lk(mutex_);
+  for (auto& [id, job] : jobs_) {
+    if (is_terminal(job->state)) continue;
+    job->state = JobState::kQueued;
+    job->claimed = job->completed;
+    job->units_running = 0;
+    wrr_.remove(id);
+    try {
+      persist_record(*job, record_of(*job));
+    } catch (const std::exception& e) {
+      WSNEX_WARN() << "serve: failed to checkpoint job \"" << id
+                   << "\" during drain: " << e.what();
+    }
+  }
+}
+
+std::size_t JobScheduler::active_jobs() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return active_jobs_locked();
+}
+
+std::size_t JobScheduler::total_jobs() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return jobs_.size();
+}
+
+std::vector<std::string> JobScheduler::execution_log() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return log_;
+}
+
+std::size_t JobScheduler::active_jobs_locked() const {
+  std::size_t active = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (!is_terminal(job->state)) ++active;
+  }
+  return active;
+}
+
+void JobScheduler::worker_loop() {
+  std::unique_lock<std::mutex> lk(mutex_);
+  for (;;) {
+    cv_.wait(lk, [this] { return stopping_ || !wrr_.empty(); });
+    if (stopping_) return;
+
+    const std::string id = wrr_.pick();
+    if (id.empty()) continue;
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) {  // defensive: picker and map out of sync
+      wrr_.remove(id);
+      continue;
+    }
+    Job& job = *it->second;
+
+    std::size_t unit = job.claimed.size();
+    for (std::size_t i = 0; i < job.claimed.size(); ++i) {
+      if (!job.claimed[i]) {
+        unit = i;
+        break;
+      }
+    }
+    if (unit == job.claimed.size()) {
+      wrr_.remove(id);
+      continue;
+    }
+    job.claimed[unit] = true;
+    ++job.units_running;
+    log_.push_back(id + ":" + job.unit_names[unit]);
+    if (std::find(job.claimed.begin(), job.claimed.end(), false) ==
+        job.claimed.end()) {
+      wrr_.remove(id);  // nothing left to grant; in-flight units finish
+    }
+    std::optional<JobRecord> record;
+    if (job.state == JobState::kQueued) {
+      job.state = JobState::kRunning;
+      record = record_of(job);
+    }
+
+    lk.unlock();
+    if (record) persist_record(job, *record);
+    const std::string error = run_unit(job, unit);
+    lk.lock();
+
+    --job.units_running;
+    if (error.empty()) {
+      job.completed[unit] = true;
+      ++job.units_done;
+    } else {
+      if (job.error.empty()) job.error = error;
+      job.fail_requested = true;
+      wrr_.remove(id);
+    }
+    if ((record = maybe_finalize(job))) {
+      lk.unlock();
+      persist_record(job, *record);
+      lk.lock();
+    }
+  }
+}
+
+std::string JobScheduler::run_unit(Job& job, std::size_t unit) {
+  const scenario::ScenarioSpec& spec = job.spec.scenarios[unit];
+  try {
+    if (job.spec.kind == JobKind::kCampaign) {
+      scenario::CampaignOptions copts;
+      copts.quick = job.spec.quick;
+      copts.threads = options_.threads;
+      const scenario::ScenarioStatus status =
+          scenario::execute_scenario(spec, copts, *job.store, &pool_, &cache_);
+      std::lock_guard<std::mutex> io(job.io_mutex);
+      job.store->record_complete(status);
+    } else {
+      validate::ValidationOptions vopts;
+      vopts.plan.replicates = job.spec.validation.replicates;
+      vopts.plan.duration_s = job.spec.validation.duration_s;
+      vopts.plan.base_seed = job.spec.validation.base_seed;
+      vopts.plan.jobs = 1;  // replicates fan out on the shared pool instead
+      vopts.tolerance_percent = job.spec.validation.tolerance_percent;
+      vopts.pool = &pool_;
+      const validate::ValidationReport report =
+          validate::run_validation(spec, vopts);
+      std::lock_guard<std::mutex> io(job.io_mutex);
+      validate::persist_validation(*job.store, report);
+      scenario::ScenarioStatus status;
+      status.name = spec.name;
+      status.complete = true;
+      status.wallclock_s = report.wallclock_s;
+      job.store->record_complete(status);
+    }
+    return {};
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+}
+
+std::optional<JobRecord> JobScheduler::maybe_finalize(Job& job) {
+  if (is_terminal(job.state)) return std::nullopt;
+  if (job.units_running > 0) return std::nullopt;
+  if (job.fail_requested) {
+    job.state = JobState::kFailed;
+  } else if (job.units_done == job.completed.size()) {
+    job.state = JobState::kComplete;
+  } else if (job.cancel_requested) {
+    job.state = JobState::kCancelled;
+  } else {
+    return std::nullopt;  // pending units remain; keep waiting
+  }
+  return record_of(job);
+}
+
+JobRecord JobScheduler::record_of(const Job& job) const {
+  JobRecord record;
+  record.id = job.spec.id;
+  record.kind = job.spec.kind;
+  record.priority = job.spec.priority;
+  record.quick = job.spec.quick;
+  record.state = job.state;
+  record.error = job.error;
+  record.scenario_names = job.unit_names;
+  record.validation = job.spec.validation;
+  return record;
+}
+
+void JobScheduler::persist_record(Job& job, const JobRecord& record) {
+  std::lock_guard<std::mutex> io(job.io_mutex);
+  util::write_file_atomic(
+      (fs::path(job.store->root()) / "job.json").string(),
+      record.to_json().dump(2) + "\n");
+}
+
+JobProgress JobScheduler::progress_of(const Job& job) const {
+  JobProgress progress;
+  progress.id = job.spec.id;
+  progress.kind = job.spec.kind;
+  progress.state = job.state;
+  progress.priority = job.spec.priority;
+  progress.units_done = job.units_done;
+  progress.units_total = job.unit_names.size();
+  progress.error = job.error;
+  progress.scenarios = job.unit_names;
+  return progress;
+}
+
+}  // namespace wsnex::serve

@@ -1,0 +1,226 @@
+// The campaign service's job scheduler: many concurrent jobs multiplexed
+// onto one shared, reentrant util::ThreadPool with weighted-round-robin
+// fairness and per-job priorities.
+//
+// Jobs decompose into *units* — one scenario exploration (campaign jobs)
+// or one scenario's Monte Carlo validation (validation jobs). A fixed set
+// of `slots` scheduler workers claims units one at a time through a
+// WeightedRoundRobin allocator: while several jobs have pending units, a
+// priority-w job is granted w units for every one a priority-1 job gets,
+// so a big batch cannot starve a small interactive one. Every unit's
+// evaluation batches fan out on the single shared ThreadPool (sized by
+// util::ThreadPool::resolve_layout(slots, threads), the same
+// no-oversubscription contract the campaign --jobs scheduler uses), and
+// all jobs share the process-wide dse::SharedEvalCache plus the on-disk
+// PRD calibration cache — every job after the first runs warm.
+//
+// Fault model:
+//  * admission control — max_queued_jobs non-terminal jobs; excess
+//    submissions are rejected (the server maps that to 429), never queued
+//    unboundedly;
+//  * cancel is cooperative and idempotent — pending units are dropped,
+//    in-flight units finish and persist, a second cancel (or a cancel
+//    racing completion) just reports the settled state;
+//  * a unit that throws fails its job after in-flight siblings drain;
+//    other jobs are untouched (per-job isolation);
+//  * drain() (SIGTERM path) stops claiming new units, lets in-flight
+//    units finish and checkpoint through the ResultStore manifest
+//    protocol, rewinds non-terminal jobs to "queued" on disk and joins
+//    the workers — recover() in the next process picks every such job up
+//    and skips the units whose results are already on disk, reproducing
+//    the uninterrupted run byte-for-byte (the scenario engine's
+//    determinism contract);
+//  * a SIGKILL skips all of that, and recover() still works: job.json is
+//    written before a job is ever runnable, scenario results land before
+//    the manifest marks them complete, so the worst case is re-running
+//    one scenario whose (deterministic) results had not been published.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+
+#include "dse/eval_cache.hpp"
+#include "scenario/result_store.hpp"
+#include "serve/job.hpp"
+#include "util/thread_pool.hpp"
+
+namespace wsnex::serve {
+
+/// Deterministic weighted-round-robin slot allocator over a dynamic key
+/// set. pick() grants one slot per call; a key of weight w receives w
+/// consecutive grants per cycle before the cursor moves on (deficit
+/// round-robin with whole-cycle replenishment). Keys keep their cycle
+/// position across add/remove of other keys. Not thread-safe — the
+/// scheduler calls it under its own mutex.
+class WeightedRoundRobin {
+ public:
+  /// Activates `key` with the given weight (>= 1). Re-adding an active
+  /// key updates its weight without resetting its remaining credit.
+  void add(const std::string& key, std::size_t weight);
+  void remove(const std::string& key);
+  bool contains(const std::string& key) const;
+  bool empty() const { return entries_.empty(); }
+
+  /// The next key to grant one slot to; empty string when no key is
+  /// active.
+  std::string pick();
+
+ private:
+  struct Entry {
+    std::string key;
+    std::size_t weight = 1;
+    std::size_t credit = 0;  ///< grants left before the cursor advances
+  };
+  std::vector<Entry> entries_;
+  std::size_t cursor_ = 0;
+};
+
+struct SchedulerOptions {
+  /// Daemon state root; jobs live under <data_dir>/jobs/<shard>/.
+  std::string data_dir;
+  /// Concurrent units (scheduler workers). 0 = hardware concurrency.
+  std::size_t slots = 0;
+  /// Evaluation threads per unit (0 = hardware concurrency); the shared
+  /// pool is sized by resolve_layout(slots, threads).
+  std::size_t threads = 0;
+  /// Admission ceiling: maximum non-terminal (queued + running) jobs.
+  std::size_t max_queued_jobs = 64;
+  /// Priority clamp; submissions above it are lowered, not rejected.
+  std::size_t max_priority = 16;
+  /// On-disk PRD calibration cache directory ("" = none): makes daemon
+  /// *restarts* warm, not just jobs after the first.
+  std::string cache_dir;
+};
+
+/// Status snapshot of one job (what GET /v1/jobs/<id> serves).
+struct JobProgress {
+  std::string id;
+  JobKind kind = JobKind::kCampaign;
+  JobState state = JobState::kQueued;
+  std::size_t priority = 1;
+  std::size_t units_done = 0;
+  std::size_t units_total = 0;
+  std::string error;
+  std::vector<std::string> scenarios;
+
+  util::Json to_json() const;
+};
+
+class JobScheduler {
+ public:
+  explicit JobScheduler(SchedulerOptions options);
+  /// Drains (in-flight units finish and checkpoint) and joins.
+  ~JobScheduler();
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  /// Outcome of an admission attempt.
+  struct Admission {
+    enum class Code { kAccepted, kQueueFull, kDuplicate, kInvalid, kStopping };
+    Code code = Code::kInvalid;
+    std::string id;       ///< assigned job id (kAccepted)
+    std::string message;  ///< human-readable rejection reason
+  };
+
+  /// Validates, persists (shard store + job.json) and enqueues a job.
+  /// Never throws on bad input — admission outcomes are data, the server
+  /// maps them to status codes.
+  Admission submit(JobSpec spec);
+
+  /// Spawns the worker threads. Jobs submitted (or recovered) before
+  /// start() simply wait in the queue — tests use that window to build a
+  /// deterministic backlog.
+  void start();
+
+  /// Re-registers every job found under data_dir (daemon restart):
+  /// terminal jobs become queryable again, non-terminal ones are
+  /// re-enqueued with their completed units marked off against the shard
+  /// manifest. Returns the number of jobs re-enqueued. Call before
+  /// start().
+  std::size_t recover();
+
+  std::optional<JobProgress> status(const std::string& id) const;
+  std::vector<JobProgress> list() const;
+
+  /// Requests cancellation; nullopt when the id is unknown. Idempotent:
+  /// repeated cancels (or cancelling a finished job) report the settled
+  /// state without side effects.
+  std::optional<JobProgress> cancel(const std::string& id);
+
+  /// Per-scenario results of a job (summaries + validation reports for
+  /// completed scenarios); nullopt when the id is unknown.
+  std::optional<util::Json> results(const std::string& id) const;
+
+  /// SIGTERM path; see the file comment. Idempotent.
+  void drain();
+
+  /// Non-terminal jobs (health/admission metric).
+  std::size_t active_jobs() const;
+  std::size_t total_jobs() const;
+
+  /// Unit claim order ("<job id>:<scenario>"), i.e. the weighted-round-
+  /// robin grant sequence — what the fairness tests assert on.
+  std::vector<std::string> execution_log() const;
+
+  const SchedulerOptions& options() const { return options_; }
+  std::string jobs_dir() const;
+  std::string shard_dir(const std::string& id) const;
+
+ private:
+  struct Job {
+    JobSpec spec;
+    /// Scenario names in unit order. Redundant with spec.scenarios for
+    /// runnable jobs, but terminal recovered jobs keep only the names
+    /// (their frozen specs stay on disk, unloaded).
+    std::vector<std::string> unit_names;
+    JobState state = JobState::kQueued;
+    std::string error;
+    std::vector<bool> claimed;    ///< unit granted to a worker (or skipped)
+    std::vector<bool> completed;  ///< unit's results are on disk
+    std::size_t units_done = 0;
+    std::size_t units_running = 0;
+    bool cancel_requested = false;
+    bool fail_requested = false;
+    std::unique_ptr<scenario::ResultStore> store;
+    /// Serializes this job's store writes (manifest record_complete,
+    /// validation artifacts) and job.json rewrites across workers.
+    std::mutex io_mutex;
+  };
+
+  void worker_loop();
+  /// Runs one claimed unit (no scheduler lock held). Returns an error
+  /// message, empty on success.
+  std::string run_unit(Job& job, std::size_t unit);
+  /// Terminal-state transition once nothing is running; returns the
+  /// record to persist (caller writes it outside the scheduler lock).
+  std::optional<JobRecord> maybe_finalize(Job& job);
+  JobRecord record_of(const Job& job) const;
+  void persist_record(Job& job, const JobRecord& record);
+  JobProgress progress_of(const Job& job) const;
+  std::size_t active_jobs_locked() const;
+
+  SchedulerOptions options_;
+  util::ThreadPool pool_;
+  dse::SharedEvalCache& cache_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::string, std::unique_ptr<Job>> jobs_;
+  WeightedRoundRobin wrr_;
+  std::vector<std::string> log_;
+  std::vector<std::thread> workers_;
+  std::size_t next_auto_id_ = 0;
+  bool started_ = false;
+  bool stopping_ = false;
+};
+
+}  // namespace wsnex::serve

@@ -1,0 +1,300 @@
+#include "serve/server.hpp"
+
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace wsnex::serve {
+
+namespace {
+
+util::HttpResponse json_response(int status, const util::Json& body) {
+  return util::HttpResponse(status, body.dump() + "\n");
+}
+
+/// Splits an origin-form target into path segments ("/v1/jobs/x" ->
+/// ["v1", "jobs", "x"]). Empty segments ("//"), ".."/"." segments, query
+/// strings and fragments all yield nullopt — this API has no use for any
+/// of them, and rejecting beats normalizing.
+std::optional<std::vector<std::string>> split_target(
+    const std::string& target) {
+  if (target.empty() || target[0] != '/') return std::nullopt;
+  if (target.find_first_of("?#") != std::string::npos) return std::nullopt;
+  std::vector<std::string> segments;
+  std::size_t begin = 1;
+  while (begin <= target.size()) {
+    const std::size_t end = target.find('/', begin);
+    const std::string segment =
+        target.substr(begin, end == std::string::npos ? std::string::npos
+                                                      : end - begin);
+    if (end == std::string::npos && segment.empty() && segments.empty()) {
+      return segments;  // bare "/"
+    }
+    if (segment.empty() || segment == "." || segment == "..") {
+      return std::nullopt;
+    }
+    segments.push_back(segment);
+    if (end == std::string::npos) break;
+    begin = end + 1;
+  }
+  return segments;
+}
+
+util::HttpResponse admission_response(
+    const JobScheduler::Admission& admission) {
+  using Code = JobScheduler::Admission::Code;
+  switch (admission.code) {
+    case Code::kAccepted: {
+      util::Json body = util::Json::object();
+      body.set("id", admission.id);
+      body.set("state", "queued");
+      return json_response(202, body);
+    }
+    case Code::kQueueFull:
+      return error_response(429, admission.message);
+    case Code::kDuplicate:
+      return error_response(409, admission.message);
+    case Code::kStopping:
+      return error_response(503, admission.message);
+    case Code::kInvalid:
+      break;
+  }
+  return error_response(400, admission.message);
+}
+
+}  // namespace
+
+util::HttpResponse error_response(int status, const std::string& message) {
+  util::Json error = util::Json::object();
+  error.set("code", status);
+  error.set("message", message);
+  util::Json body = util::Json::object();
+  body.set("error", std::move(error));
+  return json_response(status, body);
+}
+
+HttpServer::HttpServer(JobScheduler& scheduler, ServerOptions options)
+    : scheduler_(scheduler), options_(std::move(options)) {
+  if (options_.handler_threads == 0) options_.handler_threads = 1;
+  if (options_.max_pending_connections == 0) {
+    options_.max_pending_connections = 1;
+  }
+  listener_ = util::TcpListener::listen_loopback(options_.port);
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::start() {
+  std::lock_guard<std::mutex> lk(mutex_);
+  if (started_ || stopping_) return;
+  started_ = true;
+  acceptor_ = std::thread([this] { accept_loop(); });
+  handlers_.reserve(options_.handler_threads);
+  for (std::size_t i = 0; i < options_.handler_threads; ++i) {
+    handlers_.emplace_back([this] { handler_loop(); });
+  }
+}
+
+void HttpServer::stop() {
+  std::thread acceptor;
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+    acceptor = std::move(acceptor_);
+    handlers.swap(handlers_);
+    cv_.notify_all();
+  }
+  // The acceptor polls with a 200 ms timeout and re-checks stopping_, so
+  // it exits on its own; closing the listener only after the join keeps
+  // close() from racing a concurrent accept() on the same fd.
+  if (acceptor.joinable()) acceptor.join();
+  listener_.close();
+  if (!handlers.empty()) {
+    for (std::thread& handler : handlers) handler.join();
+  }
+  // Anything still queued gets a clean 503 instead of a silent RST.
+  std::deque<util::TcpStream> pending;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    pending.swap(pending_);
+  }
+  for (util::TcpStream& stream : pending) {
+    stream.set_timeout_ms(options_.limits.io_timeout_ms);
+    util::write_http_response(
+        stream, error_response(503, "service is shutting down"));
+  }
+}
+
+void HttpServer::accept_loop() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (stopping_) return;
+    }
+    std::optional<util::TcpStream> stream = listener_.accept(200);
+    if (!stream) continue;
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (stopping_) {
+      // stop() already drained the queue; answer inline.
+      stream->set_timeout_ms(options_.limits.io_timeout_ms);
+      util::write_http_response(
+          *stream, error_response(503, "service is shutting down"));
+      return;
+    }
+    if (pending_.size() >= options_.max_pending_connections) {
+      stream->set_timeout_ms(options_.limits.io_timeout_ms);
+      util::write_http_response(
+          *stream,
+          error_response(503, "too many pending connections; retry"));
+      continue;
+    }
+    pending_.push_back(std::move(*stream));
+    cv_.notify_one();
+  }
+}
+
+void HttpServer::handler_loop() {
+  for (;;) {
+    util::TcpStream stream;
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      cv_.wait(lk, [this] { return stopping_ || !pending_.empty(); });
+      if (stopping_) return;
+      stream = std::move(pending_.front());
+      pending_.pop_front();
+    }
+    handle_connection(std::move(stream));
+  }
+}
+
+void HttpServer::handle_connection(util::TcpStream stream) {
+  stream.set_timeout_ms(options_.limits.io_timeout_ms);
+  const util::HttpReadResult read =
+      util::read_http_request(stream, options_.limits);
+  if (!read.request) {
+    switch (read.error) {
+      case util::HttpReadError::kClosed:
+        return;  // peer connected and left; nothing to answer
+      case util::HttpReadError::kHeadersTooLarge:
+        util::write_http_response(
+            stream, error_response(431, "request headers too large"));
+        return;
+      case util::HttpReadError::kBodyTooLarge:
+        util::write_http_response(
+            stream, error_response(413, "request body too large"));
+        return;
+      case util::HttpReadError::kUnsupported:
+        util::write_http_response(
+            stream,
+            error_response(501, "unsupported transfer framing or version"));
+        return;
+      case util::HttpReadError::kTimeout:
+        util::write_http_response(
+            stream, error_response(408, "timed out reading request"));
+        return;
+      case util::HttpReadError::kMalformed:
+      case util::HttpReadError::kTruncated:
+        util::write_http_response(
+            stream, error_response(400, std::string("malformed request: ") +
+                                            util::to_string(read.error)));
+        return;
+    }
+    return;
+  }
+
+  util::HttpResponse response;
+  try {
+    response = route(*read.request);
+  } catch (const std::exception& e) {
+    // Routing must not leak exceptions to the connection loop; anything
+    // unexpected is this server's bug, reported as such.
+    WSNEX_ERROR() << "serve: unhandled error for " << read.request->method
+                  << " " << read.request->target << ": " << e.what();
+    response = error_response(500, "internal error");
+  }
+  util::write_http_response(stream, response);
+}
+
+util::HttpResponse HttpServer::route(const util::HttpRequest& request) {
+  const std::optional<std::vector<std::string>> segments =
+      split_target(request.target);
+  if (!segments) {
+    return error_response(400, "unsupported request target");
+  }
+  const std::vector<std::string>& path = *segments;
+
+  if (path.size() == 1 && path[0] == "healthz") {
+    if (request.method != "GET") {
+      return error_response(405, "healthz supports GET only");
+    }
+    util::Json body = util::Json::object();
+    body.set("status", "ok");
+    body.set("active_jobs", scheduler_.active_jobs());
+    body.set("total_jobs", scheduler_.total_jobs());
+    return json_response(200, body);
+  }
+
+  if (path.size() >= 2 && path[0] == "v1" && path[1] == "jobs") {
+    if (path.size() == 2) {
+      if (request.method == "POST") return handle_submit(request);
+      if (request.method == "GET") {
+        util::Json jobs = util::Json::array();
+        for (const JobProgress& progress : scheduler_.list()) {
+          jobs.push_back(progress.to_json());
+        }
+        util::Json body = util::Json::object();
+        body.set("jobs", std::move(jobs));
+        return json_response(200, body);
+      }
+      return error_response(405, "/v1/jobs supports GET and POST");
+    }
+    const std::string& id = path[2];
+    if (path.size() == 3) {
+      if (request.method != "GET") {
+        return error_response(405, "job status supports GET only");
+      }
+      const std::optional<JobProgress> progress = scheduler_.status(id);
+      if (!progress) return error_response(404, "unknown job \"" + id + "\"");
+      return json_response(200, progress->to_json());
+    }
+    if (path.size() == 4 && path[3] == "results") {
+      if (request.method != "GET") {
+        return error_response(405, "job results supports GET only");
+      }
+      const std::optional<util::Json> results = scheduler_.results(id);
+      if (!results) return error_response(404, "unknown job \"" + id + "\"");
+      return json_response(200, *results);
+    }
+    if (path.size() == 4 && path[3] == "cancel") {
+      if (request.method != "POST") {
+        return error_response(405, "job cancel supports POST only");
+      }
+      const std::optional<JobProgress> progress = scheduler_.cancel(id);
+      if (!progress) return error_response(404, "unknown job \"" + id + "\"");
+      return json_response(200, progress->to_json());
+    }
+  }
+
+  return error_response(404, "no such endpoint: " + request.target);
+}
+
+util::HttpResponse HttpServer::handle_submit(
+    const util::HttpRequest& request) {
+  util::Json body;
+  try {
+    body = util::Json::parse(request.body);
+  } catch (const util::JsonParseError& e) {
+    return error_response(400, std::string("invalid JSON body: ") + e.what());
+  }
+  JobSpec spec;
+  try {
+    spec = JobSpec::from_json(body);
+  } catch (const std::exception& e) {
+    return error_response(400, e.what());
+  }
+  return admission_response(scheduler_.submit(std::move(spec)));
+}
+
+}  // namespace wsnex::serve

@@ -1,0 +1,39 @@
+#include "util/fsio.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace wsnex::util {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw FileError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file_atomic(const std::string& path, const std::string& contents) {
+  std::ostringstream suffix;
+  suffix << ".tmp." << std::this_thread::get_id();
+  const std::string tmp = path + suffix.str();
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw FileError("cannot write " + tmp);
+    out << contents;
+    out.flush();
+    if (!out) throw FileError("write failed for " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw FileError("cannot rename " + tmp + " to " + path);
+  }
+}
+
+}  // namespace wsnex::util

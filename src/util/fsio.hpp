@@ -1,0 +1,27 @@
+// Small file-I/O helpers shared by the result store, the serve job
+// shards and the PRD disk cache: whole-file reads and crash-safe
+// (temp-file + rename) writes.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace wsnex::util {
+
+/// I/O failure (message names the path).
+class FileError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Whole contents of the file at `path` (binary). Throws FileError.
+std::string read_file(const std::string& path);
+
+/// Writes `contents` to `path` through a sibling temp file + rename, so a
+/// reader (or a crash) never observes a half-written file. The temp file
+/// name embeds the writing thread, so two threads writing *different*
+/// final paths in one directory never collide; two writers racing on the
+/// *same* final path still last-write-win atomically. Throws FileError.
+void write_file_atomic(const std::string& path, const std::string& contents);
+
+}  // namespace wsnex::util

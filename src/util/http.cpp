@@ -1,0 +1,287 @@
+#include "util/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace wsnex::util {
+
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// RFC 9110 token characters (method and header names).
+bool is_token_char(char c) {
+  static constexpr std::string_view extra = "!#$%&'*+-.^_`|~";
+  const auto u = static_cast<unsigned char>(c);
+  return std::isalnum(u) != 0 || extra.find(c) != std::string_view::npos;
+}
+
+bool is_token(std::string_view s) {
+  return !s.empty() && std::all_of(s.begin(), s.end(), is_token_char);
+}
+
+std::string_view trim_ows(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Strict decimal parse for Content-Length; nullopt on any non-digit,
+/// empty value or overflow past max + 1 (the caller only needs to know
+/// "fits" vs "too large", so saturating at max + 1 is enough).
+std::optional<std::size_t> parse_content_length(std::string_view value,
+                                                std::size_t max) {
+  if (value.empty()) return std::nullopt;
+  std::size_t n = 0;
+  for (const char c : value) {
+    if (c < '0' || c > '9') return std::nullopt;
+    if (n > max) continue;  // saturated; keep validating digits
+    n = n * 10 + static_cast<std::size_t>(c - '0');
+  }
+  return std::min(n, max + 1);
+}
+
+HttpReadResult fail(HttpReadError error) {
+  HttpReadResult r;
+  r.error = error;
+  return r;
+}
+
+/// Maps a read status while data is still owed to the matching error.
+HttpReadError stalled(TcpStream::IoStatus status) {
+  switch (status) {
+    case TcpStream::IoStatus::kTimeout:
+      return HttpReadError::kTimeout;
+    case TcpStream::IoStatus::kClosed:
+      return HttpReadError::kTruncated;
+    default:
+      return HttpReadError::kTruncated;
+  }
+}
+
+}  // namespace
+
+const std::string* HttpRequest::find_header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (iequals(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+const char* to_string(HttpReadError error) {
+  switch (error) {
+    case HttpReadError::kClosed: return "closed";
+    case HttpReadError::kMalformed: return "malformed";
+    case HttpReadError::kHeadersTooLarge: return "headers-too-large";
+    case HttpReadError::kBodyTooLarge: return "body-too-large";
+    case HttpReadError::kUnsupported: return "unsupported";
+    case HttpReadError::kTimeout: return "timeout";
+    case HttpReadError::kTruncated: return "truncated";
+  }
+  return "unknown";
+}
+
+HttpReadResult read_http_request(TcpStream& stream, const HttpLimits& limits) {
+  stream.set_timeout_ms(limits.io_timeout_ms);
+
+  // --- Head: everything up to CRLF CRLF, bounded. -----------------------
+  std::string buf;
+  std::size_t head_end = std::string::npos;
+  std::size_t scanned = 0;  ///< prefix already searched for the terminator
+  while (true) {
+    // Rescan 3 bytes back in case the terminator straddles two reads.
+    const std::size_t scan_from = scanned < 3 ? 0 : scanned - 3;
+    if (const auto pos = buf.find("\r\n\r\n", scan_from);
+        pos != std::string::npos) {
+      head_end = pos;
+      break;
+    }
+    scanned = buf.size();
+    if (buf.size() > limits.max_header_bytes) {
+      return fail(HttpReadError::kHeadersTooLarge);
+    }
+    const auto status = stream.read_some(buf);
+    if (status != TcpStream::IoStatus::kOk) {
+      if (buf.empty() && status == TcpStream::IoStatus::kClosed) {
+        return fail(HttpReadError::kClosed);
+      }
+      return fail(stalled(status));
+    }
+  }
+  if (head_end > limits.max_header_bytes) {
+    return fail(HttpReadError::kHeadersTooLarge);
+  }
+
+  // --- Request line. ----------------------------------------------------
+  HttpRequest request;
+  const std::string_view head(buf.data(), head_end);
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  {
+    const std::size_t sp1 = request_line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+    if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+        request_line.find(' ', sp2 + 1) != std::string_view::npos) {
+      return fail(HttpReadError::kMalformed);
+    }
+    request.method = std::string(request_line.substr(0, sp1));
+    request.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+    request.version = std::string(request_line.substr(sp2 + 1));
+    if (!is_token(request.method) || request.target.empty() ||
+        request.target.front() != '/') {
+      return fail(HttpReadError::kMalformed);
+    }
+    if (request.version != "HTTP/1.1" && request.version != "HTTP/1.0") {
+      return fail(HttpReadError::kUnsupported);
+    }
+  }
+
+  // --- Header fields. ---------------------------------------------------
+  std::size_t cursor = line_end == std::string_view::npos
+                           ? head.size()
+                           : line_end + 2;
+  while (cursor < head.size()) {
+    std::size_t eol = head.find("\r\n", cursor);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view line = head.substr(cursor, eol - cursor);
+    cursor = eol + 2;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return fail(HttpReadError::kMalformed);
+    }
+    const std::string_view name = line.substr(0, colon);
+    // A space before the colon is smuggling territory (RFC 9112 §5.1).
+    if (!is_token(name)) return fail(HttpReadError::kMalformed);
+    request.headers.emplace_back(std::string(name),
+                                 std::string(trim_ows(line.substr(colon + 1))));
+  }
+
+  // --- Body framing. ----------------------------------------------------
+  if (request.find_header("Transfer-Encoding") != nullptr) {
+    return fail(HttpReadError::kUnsupported);
+  }
+  std::size_t content_length = 0;
+  {
+    bool have = false;
+    for (const auto& [key, value] : request.headers) {
+      if (!iequals(key, "Content-Length")) continue;
+      const auto parsed = parse_content_length(value, limits.max_body_bytes);
+      if (!parsed) return fail(HttpReadError::kMalformed);
+      if (have && *parsed != content_length) {
+        return fail(HttpReadError::kMalformed);  // conflicting duplicates
+      }
+      content_length = *parsed;
+      have = true;
+    }
+  }
+  if (content_length > limits.max_body_bytes) {
+    return fail(HttpReadError::kBodyTooLarge);
+  }
+
+  request.body = buf.substr(head_end + 4);
+  if (request.body.size() > content_length) {
+    // Pipelined extra bytes: this service is one exchange per connection,
+    // so trailing data is a framing violation, not a second request.
+    return fail(HttpReadError::kMalformed);
+  }
+  while (request.body.size() < content_length) {
+    const auto status =
+        stream.read_some(request.body, content_length - request.body.size());
+    if (status != TcpStream::IoStatus::kOk) return fail(stalled(status));
+  }
+
+  HttpReadResult result;
+  result.request = std::move(request);
+  return result;
+}
+
+const char* http_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 413: return "Content Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+bool write_http_response(TcpStream& stream, const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    http_reason(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return stream.write_all(out) == TcpStream::IoStatus::kOk;
+}
+
+HttpResponse http_exchange(std::uint16_t port, const std::string& method,
+                           const std::string& target, const std::string& body,
+                           int timeout_ms) {
+  TcpStream stream = TcpStream::connect_loopback(port);
+  stream.set_timeout_ms(timeout_ms);
+  std::string out = method + " " + target + " HTTP/1.1\r\n";
+  out += "Host: 127.0.0.1:" + std::to_string(port) + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  if (stream.write_all(out) != TcpStream::IoStatus::kOk) {
+    throw SocketError("http_exchange: send failed");
+  }
+
+  std::string in;
+  while (true) {
+    const auto status = stream.read_some(in);
+    if (status == TcpStream::IoStatus::kClosed) break;
+    if (status != TcpStream::IoStatus::kOk) {
+      throw SocketError("http_exchange: receive failed (" +
+                        std::string(status == TcpStream::IoStatus::kTimeout
+                                        ? "timeout"
+                                        : "transport error") +
+                        ")");
+    }
+  }
+
+  const std::size_t head_end = in.find("\r\n\r\n");
+  const std::size_t status_sp = in.find(' ');
+  if (head_end == std::string::npos || status_sp == std::string::npos ||
+      status_sp > head_end || in.size() < status_sp + 4) {
+    throw SocketError("http_exchange: malformed response");
+  }
+  HttpResponse response;
+  response.status = 0;
+  for (std::size_t i = status_sp + 1; i < status_sp + 4; ++i) {
+    if (in[i] < '0' || in[i] > '9') {
+      throw SocketError("http_exchange: malformed status line");
+    }
+    response.status = response.status * 10 + (in[i] - '0');
+  }
+  response.body = in.substr(head_end + 4);
+  return response;
+}
+
+}  // namespace wsnex::util

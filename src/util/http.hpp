@@ -1,0 +1,96 @@
+// Strict HTTP/1.1 request framing over util::TcpStream — just enough of
+// RFC 9112 for a local JSON service, with every limit explicit so the
+// adversarial test corpus can push on each one:
+//
+//  * request line + headers terminated by CRLF CRLF, bounded by
+//    max_header_bytes (431 when exceeded),
+//  * bodies only via Content-Length, bounded by max_body_bytes declared
+//    *and* delivered (413), Transfer-Encoding rejected up front (501),
+//  * malformed framing (bad request line, bad header, bad Content-Length,
+//    duplicate conflicting Content-Length) is 400,
+//  * a peer that stalls or disconnects mid-request is 408 / connection
+//    drop — never a hung reader (the stream's deadline bounds every
+//    read).
+//
+// Parsing is byte-exact and allocation-bounded: the reader never buffers
+// more than max_header_bytes + min(declared, max_body_bytes + 1) bytes
+// per request, no matter what the peer sends.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/socket.hpp"
+
+namespace wsnex::util {
+
+struct HttpLimits {
+  std::size_t max_header_bytes = 8 * 1024;
+  std::size_t max_body_bytes = 1024 * 1024;
+  /// Per-read deadline while receiving one request (slow-client guard).
+  int io_timeout_ms = 5000;
+};
+
+struct HttpRequest {
+  std::string method;   ///< uppercase token, e.g. "GET"
+  std::string target;   ///< origin-form target, e.g. "/v1/jobs"
+  std::string version;  ///< "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Case-insensitive header lookup; nullptr when absent.
+  const std::string* find_header(std::string_view name) const;
+};
+
+/// Why read_http_request failed, mapped to the response the server sends.
+enum class HttpReadError {
+  kClosed,           ///< clean EOF before any request byte (no response due)
+  kMalformed,        ///< 400: framing violates the grammar
+  kHeadersTooLarge,  ///< 431
+  kBodyTooLarge,     ///< 413
+  kUnsupported,      ///< 501: Transfer-Encoding or non-1.x version
+  kTimeout,          ///< 408: peer stalled mid-request
+  kTruncated,        ///< 400: peer closed mid-request
+};
+
+const char* to_string(HttpReadError error);
+
+struct HttpReadResult {
+  std::optional<HttpRequest> request;  ///< set on success
+  HttpReadError error = HttpReadError::kClosed;  ///< valid when !request
+};
+
+/// Reads exactly one request from the stream (applying limits.io_timeout_ms
+/// to every read). Never throws; never blocks unboundedly.
+HttpReadResult read_http_request(TcpStream& stream, const HttpLimits& limits);
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+
+  HttpResponse() = default;
+  HttpResponse(int status_, std::string body_)
+      : status(status_), body(std::move(body_)) {}
+};
+
+/// Canonical reason phrase for the status codes this service emits
+/// ("Unknown" otherwise — the code is what matters on the wire).
+const char* http_reason(int status);
+
+/// Serializes a response with Content-Length and "Connection: close" (the
+/// service is strictly one exchange per connection) and writes it out.
+/// Returns false when the peer vanished or stalled past the deadline.
+bool write_http_response(TcpStream& stream, const HttpResponse& response);
+
+/// Issues one request and reads the full response (one-exchange client
+/// used by serve::Client, the CLI and the bench). Throws SocketError on
+/// connect/transport failure or a malformed response.
+HttpResponse http_exchange(std::uint16_t port, const std::string& method,
+                           const std::string& target, const std::string& body,
+                           int timeout_ms = 30000);
+
+}  // namespace wsnex::util

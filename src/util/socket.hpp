@@ -1,0 +1,98 @@
+// Minimal blocking TCP helpers (POSIX) for the campaign service: a
+// loopback listener with poll-based, interruptible accept and an RAII
+// stream with read/write deadlines.
+//
+// Scope is deliberately narrow — IPv4 loopback only (the daemon is a
+// local service; exposing it beyond the host is a deployment concern,
+// not this layer's), blocking I/O with per-socket timeouts rather than
+// an event loop, and no TLS. The HTTP layer (util/http.hpp) sits
+// directly on TcpStream.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace wsnex::util {
+
+/// Socket-layer failure (message includes errno text).
+class SocketError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One connected TCP socket. Movable, closes on destruction.
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(int fd) : fd_(fd) {}
+  ~TcpStream();
+
+  TcpStream(TcpStream&& other) noexcept;
+  TcpStream& operator=(TcpStream&& other) noexcept;
+  TcpStream(const TcpStream&) = delete;
+  TcpStream& operator=(const TcpStream&) = delete;
+
+  /// Connects to 127.0.0.1:port. Throws SocketError on failure.
+  static TcpStream connect_loopback(std::uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Read/write deadline for every subsequent operation (0 disables).
+  /// A timed-out read()/write_all() reports kTimeout instead of blocking
+  /// forever — the server's defense against slow/stalled clients.
+  void set_timeout_ms(int timeout_ms);
+
+  enum class IoStatus { kOk, kClosed, kTimeout, kError };
+
+  /// Reads up to `max` bytes, appending to `out`. kOk appended >= 1 byte;
+  /// kClosed is a clean EOF with nothing appended.
+  IoStatus read_some(std::string& out, std::size_t max = 4096);
+
+  /// Writes the whole buffer (looping over partial writes).
+  IoStatus write_all(std::string_view data);
+
+  /// Half-close: no more writes from our side (reader sees EOF after
+  /// draining). Used by tests to simulate truncated requests.
+  void shutdown_write();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket bound to 127.0.0.1. Movable, closes on destruction.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds + listens on 127.0.0.1:port (port 0 = kernel-assigned
+  /// ephemeral port; the bound port is in port()). Throws SocketError.
+  static TcpListener listen_loopback(std::uint16_t port, int backlog = 64);
+
+  bool valid() const { return fd_ >= 0; }
+  std::uint16_t port() const { return port_; }
+
+  /// Waits up to timeout_ms for a connection; nullopt on timeout (the
+  /// accept loop uses the timeout to poll its stop flag) or when the
+  /// listener has been closed from another thread.
+  std::optional<TcpStream> accept(int timeout_ms);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace wsnex::util

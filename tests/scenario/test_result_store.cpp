@@ -1,0 +1,91 @@
+// ResultStore::shard_id collision safety. The serve layer feeds it
+// arbitrary campaign/job ids, so the mapping must (a) keep the historical
+// layout for every already-safe name, (b) never let two distinct ids
+// share a directory — even when their sanitized spellings coincide — and
+// (c) never emit anything that can escape the store root.
+#include "scenario/result_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace wsnex::scenario {
+namespace {
+
+TEST(ShardId, SafeIdsMapToThemselves) {
+  for (const std::string& id : std::vector<std::string>{
+           "hospital_ward_2", "job-1", "a", "A.B-c_9", "x.y.z",
+           std::string(64, 'k')}) {
+    EXPECT_EQ(ResultStore::shard_id(id), id);
+  }
+}
+
+TEST(ShardId, DistinctUnsafeIdsGetDistinctShards) {
+  // All three sanitize to the spelling "a_b"; pre-fix they collided.
+  const std::string slash = ResultStore::shard_id("a/b");
+  const std::string colon = ResultStore::shard_id("a:b");
+  const std::string space = ResultStore::shard_id("a b");
+  const std::string literal = ResultStore::shard_id("a_b");
+  EXPECT_EQ(literal, "a_b");  // the safe spelling keeps its directory
+  const std::set<std::string> all{slash, colon, space, literal};
+  EXPECT_EQ(all.size(), 4u) << slash << " " << colon << " " << space;
+  // Sanitized ids stay recognizable: mapped prefix + 16-hex suffix.
+  EXPECT_EQ(slash.substr(0, 4), "a_b-");
+  EXPECT_EQ(slash.size(), 4u + 16u);
+}
+
+TEST(ShardId, HostileIdsCannotEscapeTheStoreRoot) {
+  for (const std::string& id : std::vector<std::string>{
+           "..", "../sibling", "/etc/passwd", ".hidden", "a/../../b",
+           std::string("nul\0byte", 8), std::string(200, '/')}) {
+    const std::string shard = ResultStore::shard_id(id);
+    EXPECT_EQ(shard.find('/'), std::string::npos) << id;
+    EXPECT_EQ(shard.find('\0'), std::string::npos) << id;
+    EXPECT_FALSE(shard.empty()) << id;
+    EXPECT_NE(shard.front(), '.') << id;
+    EXPECT_NE(shard, "..") << id;
+  }
+}
+
+TEST(ShardId, DegenerateIdsStillShard) {
+  // Empty and all-unsafe ids fall back to an "id" prefix; 65+ char ids
+  // leave the identity set and truncate their prefix.
+  const std::string empty = ResultStore::shard_id("");
+  EXPECT_EQ(empty.substr(0, 3), "id-");
+  const std::string unprintable = ResultStore::shard_id("\x01\x02");
+  EXPECT_EQ(unprintable.find("__-"), 0u);
+  const std::string longest = ResultStore::shard_id(std::string(65, 'q'));
+  EXPECT_NE(longest, std::string(65, 'q'));
+  EXPECT_LE(longest.size(), 40u + 1u + 16u);
+  // Distinct long ids with a common 40-char prefix still differ.
+  const std::string long_a = ResultStore::shard_id(std::string(64, 'q') + "/a");
+  const std::string long_b = ResultStore::shard_id(std::string(64, 'q') + "/b");
+  EXPECT_NE(long_a, long_b);
+}
+
+TEST(ShardId, MappingIsStableAcrossCalls) {
+  for (const std::string id : {"a/b", "", "hospital_ward_2", "..", "x y z"}) {
+    EXPECT_EQ(ResultStore::shard_id(id), ResultStore::shard_id(id)) << id;
+  }
+}
+
+TEST(ShardId, PathAccessorsUseTheShardedName) {
+  const ResultStore store("/tmp/does-not-exist-root");
+  // A hostile scenario name never produces a path outside the root:
+  // the shard is a single component (no '/'), so a literal ".." inside
+  // it names a directory, not a traversal.
+  const std::string dir = store.result_dir("../../escape");
+  const std::string results_prefix = "/tmp/does-not-exist-root/results/";
+  EXPECT_EQ(dir.find(results_prefix), 0u);
+  const std::string shard = dir.substr(results_prefix.size());
+  EXPECT_EQ(shard.find('/'), std::string::npos) << shard;
+  EXPECT_NE(shard.front(), '.') << shard;
+  const std::string spec = store.spec_path("a/b");
+  EXPECT_EQ(spec.find("/tmp/does-not-exist-root/scenarios/"), 0u);
+  EXPECT_EQ(spec.find("a/b"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsnex::scenario

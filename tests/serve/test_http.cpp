@@ -1,0 +1,237 @@
+// Strict HTTP framing over loopback sockets: grammar acceptance, every
+// limit (head bytes, body bytes, deadlines) and every failure mode of
+// util::read_http_request, plus the response writer / one-shot client
+// round trip the serve layer is built on.
+#include "util/http.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "util/socket.hpp"
+
+namespace wsnex::util {
+namespace {
+
+/// Sends `raw` to a fresh server connection and parses one request from
+/// it. `half_close` ends the client's write side after sending (a client
+/// that said everything); without it the client holds the connection
+/// open, silent — the slow-client path.
+HttpReadResult serve_raw(const std::string& raw, const HttpLimits& limits,
+                         bool half_close = true) {
+  TcpListener listener = TcpListener::listen_loopback(0);
+  std::thread client([&, port = listener.port()] {
+    TcpStream stream = TcpStream::connect_loopback(port);
+    stream.set_timeout_ms(2000);
+    ASSERT_EQ(stream.write_all(raw), TcpStream::IoStatus::kOk);
+    if (half_close) stream.shutdown_write();
+    // Wait for the server to finish reading before the socket dies, so
+    // the parser always sees a half-closed stream, never a reset.
+    std::string sink;
+    while (stream.read_some(sink) == TcpStream::IoStatus::kOk) {
+    }
+  });
+  std::optional<TcpStream> conn = listener.accept(2000);
+  EXPECT_TRUE(conn.has_value());
+  HttpReadResult result = read_http_request(*conn, limits);
+  conn->close();
+  client.join();
+  return result;
+}
+
+HttpLimits tight_limits() {
+  HttpLimits limits;
+  limits.max_header_bytes = 512;
+  limits.max_body_bytes = 1024;
+  limits.io_timeout_ms = 1000;
+  return limits;
+}
+
+TEST(HttpRequest, ParsesPostWithBody) {
+  const std::string raw =
+      "POST /v1/jobs HTTP/1.1\r\n"
+      "Host: 127.0.0.1\r\n"
+      "Content-Length: 11\r\n"
+      "\r\n"
+      "{\"a\": true}";
+  const HttpReadResult result = serve_raw(raw, tight_limits());
+  ASSERT_TRUE(result.request.has_value());
+  EXPECT_EQ(result.request->method, "POST");
+  EXPECT_EQ(result.request->target, "/v1/jobs");
+  EXPECT_EQ(result.request->version, "HTTP/1.1");
+  EXPECT_EQ(result.request->body, "{\"a\": true}");
+  const std::string* host = result.request->find_header("hOsT");
+  ASSERT_NE(host, nullptr);
+  EXPECT_EQ(*host, "127.0.0.1");
+}
+
+TEST(HttpRequest, ParsesGetWithoutContentLength) {
+  const HttpReadResult result =
+      serve_raw("GET /healthz HTTP/1.1\r\n\r\n", tight_limits());
+  ASSERT_TRUE(result.request.has_value());
+  EXPECT_EQ(result.request->method, "GET");
+  EXPECT_TRUE(result.request->body.empty());
+}
+
+TEST(HttpRequest, ParsesRequestArrivingByteByByte) {
+  const std::string raw =
+      "GET / HTTP/1.1\r\nContent-Length: 2\r\n\r\nok";
+  TcpListener listener = TcpListener::listen_loopback(0);
+  std::thread client([&, port = listener.port()] {
+    TcpStream stream = TcpStream::connect_loopback(port);
+    for (const char c : raw) {
+      ASSERT_EQ(stream.write_all(std::string_view(&c, 1)),
+                TcpStream::IoStatus::kOk);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::string sink;
+    while (stream.read_some(sink) == TcpStream::IoStatus::kOk) {
+    }
+  });
+  std::optional<TcpStream> conn = listener.accept(2000);
+  ASSERT_TRUE(conn.has_value());
+  const HttpReadResult result = read_http_request(*conn, tight_limits());
+  conn->close();
+  client.join();
+  ASSERT_TRUE(result.request.has_value());
+  EXPECT_EQ(result.request->body, "ok");
+}
+
+TEST(HttpRequest, RejectsOversizedHead) {
+  std::string raw = "GET / HTTP/1.1\r\nX-Pad: ";
+  raw += std::string(4096, 'a');
+  raw += "\r\n\r\n";
+  const HttpReadResult result = serve_raw(raw, tight_limits());
+  ASSERT_FALSE(result.request.has_value());
+  EXPECT_EQ(result.error, HttpReadError::kHeadersTooLarge);
+}
+
+TEST(HttpRequest, RejectsOversizedDeclaredBody) {
+  const HttpReadResult result = serve_raw(
+      "POST / HTTP/1.1\r\nContent-Length: 4096\r\n\r\n", tight_limits());
+  ASSERT_FALSE(result.request.has_value());
+  EXPECT_EQ(result.error, HttpReadError::kBodyTooLarge);
+}
+
+TEST(HttpRequest, RejectsAstronomicalContentLengthWithoutOverflow) {
+  const HttpReadResult result = serve_raw(
+      "POST / HTTP/1.1\r\nContent-Length: 99999999999999999999999999\r\n\r\n",
+      tight_limits());
+  ASSERT_FALSE(result.request.has_value());
+  EXPECT_EQ(result.error, HttpReadError::kBodyTooLarge);
+}
+
+TEST(HttpRequest, RejectsMalformedRequestLines) {
+  for (const char* raw : {
+           "GET /\r\n\r\n",                        // missing version
+           "GET  / HTTP/1.1\r\n\r\n",              // double space
+           "GET / HTTP/1.1 extra\r\n\r\n",         // trailing junk
+           "G@T / HTTP/1.1\r\n\r\n",               // method not a token
+           "GET example.com HTTP/1.1\r\n\r\n",     // target not origin-form
+           "\r\n\r\n",                             // empty request line
+       }) {
+    const HttpReadResult result = serve_raw(raw, tight_limits());
+    ASSERT_FALSE(result.request.has_value()) << raw;
+    EXPECT_EQ(result.error, HttpReadError::kMalformed) << raw;
+  }
+}
+
+TEST(HttpRequest, RejectsUnsupportedVersionAndTransferEncoding) {
+  for (const char* raw : {
+           "GET / HTTP/2.0\r\n\r\n",
+           "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+       }) {
+    const HttpReadResult result = serve_raw(raw, tight_limits());
+    ASSERT_FALSE(result.request.has_value()) << raw;
+    EXPECT_EQ(result.error, HttpReadError::kUnsupported) << raw;
+  }
+}
+
+TEST(HttpRequest, RejectsHeaderSmuggling) {
+  for (const char* raw : {
+           "GET / HTTP/1.1\r\nHost : x\r\n\r\n",      // space before colon
+           "GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",
+           "POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n"
+           "\r\nab",                                   // conflicting lengths
+           "POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n",
+           "POST / HTTP/1.1\r\nContent-Length: 2x\r\n\r\n",
+       }) {
+    const HttpReadResult result = serve_raw(raw, tight_limits());
+    ASSERT_FALSE(result.request.has_value()) << raw;
+    EXPECT_EQ(result.error, HttpReadError::kMalformed) << raw;
+  }
+}
+
+TEST(HttpRequest, RejectsPipelinedExtraBytes) {
+  const HttpReadResult result = serve_raw(
+      "POST / HTTP/1.1\r\nContent-Length: 2\r\n\r\nabEXTRA", tight_limits());
+  ASSERT_FALSE(result.request.has_value());
+  EXPECT_EQ(result.error, HttpReadError::kMalformed);
+}
+
+TEST(HttpRequest, TruncatedBodyReportsTruncated) {
+  const HttpReadResult result = serve_raw(
+      "POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc", tight_limits());
+  ASSERT_FALSE(result.request.has_value());
+  EXPECT_EQ(result.error, HttpReadError::kTruncated);
+}
+
+TEST(HttpRequest, StalledClientTimesOutInsteadOfHanging) {
+  HttpLimits limits = tight_limits();
+  limits.io_timeout_ms = 200;
+  const auto start = std::chrono::steady_clock::now();
+  // Client sends half a request line and then goes silent (no close).
+  const HttpReadResult result =
+      serve_raw("GET /heal", limits, /*half_close=*/false);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(result.request.has_value());
+  EXPECT_EQ(result.error, HttpReadError::kTimeout);
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
+TEST(HttpRequest, ImmediateCloseIsClean) {
+  const HttpReadResult result = serve_raw("", tight_limits());
+  ASSERT_FALSE(result.request.has_value());
+  EXPECT_EQ(result.error, HttpReadError::kClosed);
+}
+
+TEST(HttpExchange, RoundTripsResponse) {
+  TcpListener listener = TcpListener::listen_loopback(0);
+  std::thread server([&] {
+    std::optional<TcpStream> conn = listener.accept(2000);
+    ASSERT_TRUE(conn.has_value());
+    conn->set_timeout_ms(2000);
+    const HttpReadResult request = read_http_request(*conn, HttpLimits{});
+    ASSERT_TRUE(request.request.has_value());
+    EXPECT_EQ(request.request->target, "/v1/jobs");
+    HttpResponse response(202, "{\"id\":\"job-1\"}");
+    EXPECT_TRUE(write_http_response(*conn, response));
+  });
+  const HttpResponse response =
+      http_exchange(listener.port(), "POST", "/v1/jobs", "{}", 2000);
+  server.join();
+  EXPECT_EQ(response.status, 202);
+  EXPECT_EQ(response.body, "{\"id\":\"job-1\"}");
+}
+
+TEST(HttpExchange, ConnectionRefusedThrows) {
+  // Bind-then-close to find a port that is certainly not listening.
+  std::uint16_t dead_port = 0;
+  {
+    TcpListener listener = TcpListener::listen_loopback(0);
+    dead_port = listener.port();
+  }
+  EXPECT_THROW(http_exchange(dead_port, "GET", "/healthz", "", 500),
+               SocketError);
+}
+
+TEST(Socket, EphemeralListenerReportsBoundPort) {
+  TcpListener listener = TcpListener::listen_loopback(0);
+  EXPECT_GT(listener.port(), 0);
+  EXPECT_FALSE(listener.accept(10).has_value());  // timeout, not a hang
+}
+
+}  // namespace
+}  // namespace wsnex::util

@@ -1,0 +1,151 @@
+// JobSpec / JobRecord wire formats: strict parsing of submit bodies
+// (unknown-field rejection, preset resolution, validation knobs) and the
+// job.json persistence round trip the crash-recovery path depends on.
+#include "serve/job.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/json.hpp"
+
+namespace wsnex::serve {
+namespace {
+
+util::Json parse(const std::string& text) { return util::Json::parse(text); }
+
+TEST(JobSpecParse, AcceptsPresetNamesAndInlineSpecs) {
+  const JobSpec spec = JobSpec::from_json(parse(R"({
+    "id": "night-shift",
+    "kind": "validation",
+    "priority": 3,
+    "scenarios": ["hospital_ward_2", "all_cs_6"],
+    "replicates": 4,
+    "duration_s": 30.0,
+    "tolerance_percent": 5.0,
+    "seed": 99
+  })"));
+  EXPECT_EQ(spec.id, "night-shift");
+  EXPECT_EQ(spec.kind, JobKind::kValidation);
+  EXPECT_EQ(spec.priority, 3u);
+  ASSERT_EQ(spec.scenarios.size(), 2u);
+  EXPECT_EQ(spec.scenarios[0].name, "hospital_ward_2");
+  EXPECT_EQ(spec.scenarios[1].name, "all_cs_6");
+  EXPECT_EQ(spec.validation.replicates, 4u);
+  EXPECT_EQ(spec.validation.duration_s, 30.0);
+  EXPECT_EQ(spec.validation.tolerance_percent, 5.0);
+  EXPECT_EQ(spec.validation.base_seed, 99u);
+}
+
+TEST(JobSpecParse, DefaultsMatchDocumentedValues) {
+  const JobSpec spec =
+      JobSpec::from_json(parse(R"({"scenarios": ["hospital_ward_2"]})"));
+  EXPECT_EQ(spec.id, "");
+  EXPECT_EQ(spec.kind, JobKind::kCampaign);
+  EXPECT_EQ(spec.priority, 1u);
+  EXPECT_FALSE(spec.quick);
+  EXPECT_EQ(spec.validation.replicates, 16u);
+  EXPECT_EQ(spec.validation.duration_s, 120.0);
+  EXPECT_EQ(spec.validation.tolerance_percent, 10.0);
+  EXPECT_EQ(spec.validation.base_seed, 1u);
+}
+
+TEST(JobSpecParse, RejectsBadBodies) {
+  for (const char* body : {
+           R"([1, 2, 3])",                                   // not an object
+           R"({"scenarios": ["hospital_ward_2"], "zap": 1})",  // unknown field
+           R"({"scenarios": []})",                           // empty scenarios
+           R"({"scenarios": "hospital_ward_2"})",            // not an array
+           R"({"scenarios": [42]})",                         // bad entry type
+           R"({"scenarios": ["no_such_preset"]})",           // unknown preset
+           R"({"scenarios": ["hospital_ward_2"], "kind": "batch"})",
+           R"({"scenarios": ["hospital_ward_2"], "priority": -1})",
+           R"({"scenarios": ["hospital_ward_2"], "replicates": 0})",
+           R"({"scenarios": ["hospital_ward_2"], "duration_s": 0})",
+           R"({"scenarios": ["hospital_ward_2"], "quick": "yes"})",
+           R"({"scenarios": ["hospital_ward_2"], "id": 7})",
+           R"({})",                                          // no scenarios
+       }) {
+    EXPECT_THROW(JobSpec::from_json(parse(body)), std::exception) << body;
+  }
+}
+
+TEST(JobSpecParse, RoundTripsThroughToJson) {
+  const JobSpec spec = JobSpec::from_json(parse(R"({
+    "id": "rt",
+    "kind": "validation",
+    "scenarios": ["hospital_ward_2"],
+    "replicates": 2,
+    "duration_s": 5.0
+  })"));
+  const JobSpec again = JobSpec::from_json(spec.to_json());
+  EXPECT_EQ(again.id, spec.id);
+  EXPECT_EQ(again.kind, spec.kind);
+  ASSERT_EQ(again.scenarios.size(), 1u);
+  EXPECT_EQ(again.scenarios[0].name, "hospital_ward_2");
+  EXPECT_EQ(again.validation.replicates, 2u);
+  EXPECT_EQ(again.validation.duration_s, 5.0);
+}
+
+TEST(JobRecordPersistence, RoundTripsAllFields) {
+  JobRecord record;
+  record.id = "job-7";
+  record.kind = JobKind::kValidation;
+  record.priority = 4;
+  record.quick = true;
+  record.state = JobState::kFailed;
+  record.error = "unit hospital_ward_2: boom";
+  record.scenario_names = {"hospital_ward_2", "all_cs_6"};
+  record.validation.replicates = 8;
+  record.validation.duration_s = 45.0;
+  record.validation.tolerance_percent = 2.5;
+  record.validation.base_seed = 1234;
+
+  const JobRecord again = JobRecord::from_json(record.to_json());
+  EXPECT_EQ(again.format_version, 1);
+  EXPECT_EQ(again.id, record.id);
+  EXPECT_EQ(again.kind, record.kind);
+  EXPECT_EQ(again.priority, record.priority);
+  EXPECT_EQ(again.quick, record.quick);
+  EXPECT_EQ(again.state, record.state);
+  EXPECT_EQ(again.error, record.error);
+  EXPECT_EQ(again.scenario_names, record.scenario_names);
+  EXPECT_EQ(again.validation.replicates, record.validation.replicates);
+  EXPECT_EQ(again.validation.duration_s, record.validation.duration_s);
+  EXPECT_EQ(again.validation.tolerance_percent,
+            record.validation.tolerance_percent);
+  EXPECT_EQ(again.validation.base_seed, record.validation.base_seed);
+}
+
+TEST(JobRecordPersistence, RejectsCorruptRecords) {
+  for (const char* body : {
+           R"("just a string")",
+           R"({"format_version": 2, "id": "x"})",
+           R"({"format_version": 1, "id": "x", "kind": "campaign",
+               "priority": 1, "quick": false, "state": "limbo",
+               "scenarios": [], "replicates": 1, "duration_s": 1,
+               "tolerance_percent": 1, "seed": 1})",
+           R"({"format_version": 1, "id": "x"})",  // missing fields
+       }) {
+    EXPECT_THROW(JobRecord::from_json(util::Json::parse(body)), ServeError)
+        << body;
+  }
+}
+
+TEST(JobStateStrings, RoundTripAndTerminality) {
+  for (const JobState state :
+       {JobState::kQueued, JobState::kRunning, JobState::kComplete,
+        JobState::kFailed, JobState::kCancelled}) {
+    EXPECT_EQ(job_state_from_string(to_string(state)), state);
+  }
+  EXPECT_FALSE(is_terminal(JobState::kQueued));
+  EXPECT_FALSE(is_terminal(JobState::kRunning));
+  EXPECT_TRUE(is_terminal(JobState::kComplete));
+  EXPECT_TRUE(is_terminal(JobState::kFailed));
+  EXPECT_TRUE(is_terminal(JobState::kCancelled));
+  EXPECT_THROW(job_state_from_string("limbo"), ServeError);
+  EXPECT_THROW(job_kind_from_string("batch"), ServeError);
+}
+
+}  // namespace
+}  // namespace wsnex::serve

@@ -9,6 +9,11 @@
 //   wsnex export <preset>... -o DIR         write presets as spec JSON
 //   wsnex simulate <spec.json|preset>       one packet-level replay
 //   wsnex validate <spec.json|preset>...    Monte Carlo model validation
+//   wsnex serve --data DIR                  campaign-as-a-service daemon
+//   wsnex submit --port N <spec|preset>...  submit a job to the daemon
+//   wsnex status --port N [ID]              job progress (all jobs or one)
+//   wsnex results --port N ID               per-scenario results JSON
+//   wsnex cancel --port N ID                cancel a queued/running job
 //
 // `validate` is the Section 5 experiment (replicated simulation scored
 // against the analytical model); plain spec syntax/semantics checking is
@@ -43,6 +48,8 @@
 #include "util/table.hpp"
 #include "validate/validation.hpp"
 
+#include "serve_commands.hpp"
+
 namespace {
 
 using namespace wsnex;
@@ -67,6 +74,17 @@ int usage(std::FILE* to) {
                "  wsnex validate <spec.json|preset>... [-o DIR] "
                "[--replicates N] [--jobs J]\n"
                "                 [--tolerance PCT] [--duration S] [--seed N]\n"
+               "  wsnex serve --data DIR [--port N] [--slots N] [--threads N] "
+               "[--max-queued N]\n"
+               "              [--cache-dir DIR] [--port-file PATH]\n"
+               "  wsnex submit --port N <spec.json|preset>... [--id ID] "
+               "[--kind campaign|validation]\n"
+               "               [--priority N] [--quick] [--replicates N] "
+               "[--duration S]\n"
+               "               [--tolerance PCT] [--seed N] [--wait]\n"
+               "  wsnex status --port N [ID] [--json]\n"
+               "  wsnex results --port N ID\n"
+               "  wsnex cancel --port N ID\n"
                "\n"
                "options:\n"
                "  -o, --out DIR     output directory (run: campaign store; "
@@ -111,7 +129,13 @@ int usage(std::FILE* to) {
                "N independent times and scores the analytical model "
                "(Student-t CIs, MAPE and\n"
                "delay-bound verdicts); exit 0 means every judged metric "
-               "passed.\n");
+               "passed.\n"
+               "`wsnex serve` runs campaigns and validations as a local "
+               "HTTP/JSON service:\n"
+               "concurrent jobs share one evaluation pool with "
+               "priority-weighted fairness,\n"
+               "SIGTERM drains and checkpoints, and a restarted daemon "
+               "resumes interrupted jobs.\n");
   return to == stdout ? 0 : 2;
 }
 
@@ -660,6 +684,11 @@ int main(int argc, char** argv) {
     if (command == "resume") return cmd_resume(args);
     if (command == "report") return cmd_report(args);
     if (command == "export") return cmd_export(args);
+    if (command == "serve") return cli::cmd_serve(args);
+    if (command == "submit") return cli::cmd_submit(args);
+    if (command == "status") return cli::cmd_status(args);
+    if (command == "results") return cli::cmd_results(args);
+    if (command == "cancel") return cli::cmd_cancel(args);
     if (command == "--help" || command == "-h" || command == "help") {
       return usage(stdout);
     }

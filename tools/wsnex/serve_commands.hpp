@@ -1,0 +1,18 @@
+// wsnex subcommands for the campaign service: the daemon itself (`wsnex
+// serve`) and its client verbs (`submit`, `status`, `results`, `cancel`).
+// Split out of main.cpp so the CLI glue for the service layer lives in
+// one place.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wsnex::cli {
+
+int cmd_serve(const std::vector<std::string>& args);
+int cmd_submit(const std::vector<std::string>& args);
+int cmd_status(const std::vector<std::string>& args);
+int cmd_results(const std::vector<std::string>& args);
+int cmd_cancel(const std::vector<std::string>& args);
+
+}  // namespace wsnex::cli
