@@ -25,14 +25,12 @@
 // wholesale or the baseline reference is lost.
 #include <unistd.h>
 
-#include <algorithm>
-#include <chrono>
 #include <cstdio>
-#include <cstring>
 #include <filesystem>
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "dse/eval_cache.hpp"
 #include "dse/objectives.hpp"
 #include "dsp/prd_calibration.hpp"
@@ -42,25 +40,8 @@
 namespace {
 
 using namespace wsnex;
+using bench::best_of;
 namespace fs = std::filesystem;
-
-double now_s() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-/// Best-of-reps wall time of fn().
-template <typename Fn>
-double best_of(int reps, Fn&& fn) {
-  double best = 1e300;
-  for (int r = 0; r < reps; ++r) {
-    const double t0 = now_s();
-    fn();
-    best = std::min(best, now_s() - t0);
-  }
-  return best;
-}
 
 struct CampaignPoint {
   std::size_t jobs = 1;
@@ -68,11 +49,8 @@ struct CampaignPoint {
 };
 
 int run_bench(const std::string& path, bool quick) {
-  std::FILE* out = path.empty() ? stdout : std::fopen(path.c_str(), "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot open %s\n", path.c_str());
-    return 1;
-  }
+  std::FILE* out = bench::open_json_sink(path);
+  if (out == nullptr) return 1;
   const int reps = quick ? 1 : 3;
   const auto presets = scenario::all_presets();
   const fs::path scratch_root =
@@ -168,7 +146,7 @@ int run_bench(const std::string& path, bool quick) {
                     "%.6f, \"warm_vs_cold_speedup\": %.2f}\n",
                cold_total_s, warm_total_s, cold_total_s / warm_total_s);
   std::fprintf(out, "}\n");
-  if (!path.empty()) std::fclose(out);
+  bench::close_json_sink(out, path);
   fs::remove_all(scratch_root);
   return 0;
 }
@@ -176,22 +154,9 @@ int run_bench(const std::string& path, bool quick) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = false;
-  std::string path;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
-      // JSON is the only output mode; the flag is accepted for symmetry
-      // with bench_dse_throughput.
-    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
-      path = argv[i] + 7;
-    } else if (std::strcmp(argv[i], "--quick") == 0) {
-      quick = true;
-    } else {
-      std::fprintf(stderr,
-                   "usage: bench_campaign_throughput [--json[=PATH]] "
-                   "[--quick]\n");
-      return 2;
-    }
-  }
-  return run_bench(path, quick);
+  // JSON is the only output mode; bare --json is accepted for symmetry
+  // with the other drivers.
+  wsnex::bench::Args args;
+  if (!wsnex::bench::parse_args(argc, argv, args)) return 2;
+  return run_bench(args.json_path, args.quick);
 }

@@ -23,10 +23,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "dse/optimizers.hpp"
 #include "model/evaluator.hpp"
 #include "sim/network.hpp"
@@ -230,11 +230,8 @@ SweepRow run_mosa_config(const std::string& objective, std::size_t threads,
 
 int run_json_sweep(const std::string& path, bool quick) {
   // Validate the output path before spending minutes on the sweep.
-  std::FILE* out = path.empty() ? stdout : std::fopen(path.c_str(), "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot open %s\n", path.c_str());
-    return 1;
-  }
+  std::FILE* out = bench::open_json_sink(path);
+  if (out == nullptr) return 1;
   const int reps = quick ? 1 : 5;
   std::vector<SweepRow> rows;
   const std::vector<std::size_t> thread_counts =
@@ -276,27 +273,17 @@ int run_json_sweep(const std::string& path, bool quick) {
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
-  if (!path.empty()) std::fclose(out);
+  bench::close_json_sink(out, path);
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool json = false;
-  bool quick = false;
-  std::string path;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
-      json = true;
-    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
-      json = true;
-      path = argv[i] + 7;
-    } else if (std::strcmp(argv[i], "--quick") == 0) {
-      quick = true;
-    }
-  }
-  if (json) return run_json_sweep(path, quick);
+  // Unknown arguments stay untouched for benchmark::Initialize below.
+  wsnex::bench::Args args;
+  (void)wsnex::bench::parse_args(argc, argv, args, /*allow_unknown=*/true);
+  if (args.json) return run_json_sweep(args.json_path, args.quick);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -13,17 +13,16 @@
 #include <unistd.h>
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "dse/eval_cache.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
@@ -34,11 +33,7 @@ namespace {
 
 namespace fs = std::filesystem;
 
-double now_s() {
-  using clock = std::chrono::steady_clock;
-  return std::chrono::duration<double>(clock::now().time_since_epoch())
-      .count();
-}
+using wsnex::bench::now_s;
 
 double percentile(std::vector<double> values, double p) {
   if (values.empty()) return 0.0;
@@ -52,20 +47,9 @@ double percentile(std::vector<double> values, double p) {
 
 int main(int argc, char** argv) {
   using namespace wsnex;
-  bool quick = false;
-  std::string json_path;
-  bool emit_json = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) {
-      quick = true;
-    } else if (std::strncmp(argv[i], "--json", 6) == 0) {
-      emit_json = true;
-      if (argv[i][6] == '=') json_path = argv[i] + 7;
-    } else {
-      std::fprintf(stderr, "usage: %s [--json[=PATH]] [--quick]\n", argv[0]);
-      return 2;
-    }
-  }
+  bench::Args args;
+  if (!bench::parse_args(argc, argv, args)) return 2;
+  const bool quick = args.quick;
 
   const std::vector<std::size_t> client_axis =
       quick ? std::vector<std::size_t>{1, 4} : std::vector<std::size_t>{1, 4, 16};
@@ -165,19 +149,7 @@ int main(int argc, char** argv) {
   std::printf("=== Campaign service throughput (quick campaign jobs over "
               "HTTP, %zu job(s)/client) ===\n\n%s\n",
               jobs_per_client, table.render().c_str());
-  if (emit_json) {
-    const std::string dump = out.dump(2) + "\n";
-    if (json_path.empty()) {
-      std::fputs(dump.c_str(), stdout);
-    } else {
-      std::ofstream f(json_path, std::ios::binary);
-      f << dump;
-      if (!f) {
-        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
-        return 2;
-      }
-    }
-  }
+  if (args.json && !bench::emit_json(out, args.json_path)) return 2;
   if (!ok) {
     std::fprintf(stderr, "bench_serve_throughput: at least one job failed\n");
     return 1;

@@ -1,0 +1,66 @@
+// Shared plumbing for the standalone benchmark drivers.
+//
+// Every driver speaks the same contract — `[--json[=PATH]] [--quick]` —
+// and emits machine-readable output either as hand-formatted JSON through
+// a FILE* (open_json_sink) or as a util::Json document (emit_json). The
+// argv parsing and the sink handling used to be pasted into each main();
+// this header is the single copy.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace wsnex::bench {
+
+/// The drivers' common command-line surface.
+struct Args {
+  bool json = false;      ///< --json or --json=PATH was given
+  bool quick = false;     ///< --quick was given (CI smoke sizes)
+  std::string json_path;  ///< PATH from --json=PATH; empty means stdout
+};
+
+/// Parses `[--json[=PATH]] [--quick]` into `out`. An unrecognized argument
+/// prints the usage line (with argv[0]) to stderr and returns false —
+/// unless `allow_unknown` is set, which leaves unknown arguments in place
+/// untouched for a downstream parser (google-benchmark flags).
+bool parse_args(int argc, char** argv, Args& out, bool allow_unknown = false);
+
+/// Opens the JSON output sink: stdout when `path` is empty, else the file
+/// truncated for writing. Returns nullptr after printing a diagnostic when
+/// the file cannot be opened — callers should bail before running the
+/// sweep, not after.
+std::FILE* open_json_sink(const std::string& path);
+
+/// Closes a sink returned by open_json_sink (no-op for the stdout sink).
+void close_json_sink(std::FILE* sink, const std::string& path);
+
+/// Serializes `json` (2-space indent, trailing newline) to `path`, or to
+/// stdout when `path` is empty. Returns false with a stderr diagnostic if
+/// the file cannot be written.
+bool emit_json(const util::Json& json, const std::string& path);
+
+/// Monotonic wall-clock seconds.
+inline double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-of-`reps` wall time of fn() — the drivers' standard way to shave
+/// scheduler noise off a measurement.
+template <typename Fn>
+double best_of(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = now_s();
+    fn();
+    best = std::min(best, now_s() - t0);
+  }
+  return best;
+}
+
+}  // namespace wsnex::bench

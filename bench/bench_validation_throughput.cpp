@@ -9,13 +9,11 @@
 // index-ordered aggregation) — this driver additionally asserts that by
 // comparing serialized reports across jobs counts, so the bench doubles
 // as a determinism check at bench scale.
-#include <chrono>
 #include <cstdio>
-#include <cstring>
-#include <fstream>
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "scenario/registry.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
@@ -23,30 +21,15 @@
 
 namespace {
 
-double now_s() {
-  using clock = std::chrono::steady_clock;
-  return std::chrono::duration<double>(clock::now().time_since_epoch())
-      .count();
-}
+using wsnex::bench::now_s;
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace wsnex;
-  bool quick = false;
-  std::string json_path;
-  bool emit_json = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) {
-      quick = true;
-    } else if (std::strncmp(argv[i], "--json", 6) == 0) {
-      emit_json = true;
-      if (argv[i][6] == '=') json_path = argv[i] + 7;
-    } else {
-      std::fprintf(stderr, "usage: %s [--json[=PATH]] [--quick]\n", argv[0]);
-      return 2;
-    }
-  }
+  bench::Args args;
+  if (!bench::parse_args(argc, argv, args)) return 2;
+  const bool quick = args.quick;
 
   const std::size_t replicates = quick ? 8 : 32;
   const double duration_s = quick ? 30.0 : 120.0;
@@ -100,15 +83,6 @@ int main(int argc, char** argv) {
   std::printf("=== Monte Carlo validation throughput (%zu replicates x "
               "%.0f s sim) ===\n\n%s\n",
               replicates, duration_s, table.render().c_str());
-  if (emit_json) {
-    const std::string text = out.dump(2);
-    if (json_path.empty()) {
-      std::printf("%s\n", text.c_str());
-    } else {
-      std::ofstream file(json_path, std::ios::binary | std::ios::trunc);
-      file << text;
-      std::printf("wrote %s\n", json_path.c_str());
-    }
-  }
+  if (args.json && !bench::emit_json(out, args.json_path)) return 2;
   return 0;
 }

@@ -6,8 +6,10 @@
 #include <functional>
 #include <stdexcept>
 
+#include "util/aligned.hpp"
 #include "util/linalg.hpp"
 #include "util/random.hpp"
+#include "util/simd.hpp"
 
 namespace wsnex::dsp {
 
@@ -61,8 +63,13 @@ std::span<const std::uint32_t> SparseBinarySensingMatrix::column(
 struct CsCodec::DictionaryCache {
   std::size_t m = 0;
   std::unique_ptr<SparseBinarySensingMatrix> phi;
-  // Column-major normalized dictionary: column j (length m).
-  std::vector<double> dict;
+  // Column-major normalized dictionary: column j (length m). Aligned so
+  // the accumulate kernels stream whole cache lines.
+  util::AlignedVector<double> dict;
+  // The same dictionary repacked into 4-column panels for the transposed
+  // GEMV — packed once here, consumed by every scoring/gradient pass of
+  // every decode at this measurement count.
+  util::simd::PackedGemv packed;
   std::vector<double> column_norm;  ///< original (pre-normalization) norms
   double lipschitz = 1.0;           ///< ||D^T D||_2 for FISTA step size
 
@@ -114,10 +121,11 @@ std::unique_ptr<CsCodec::DictionaryCache> CsCodec::build_dictionary(
       for (std::size_t i = 0; i < m; ++i) dst[i] = col[i] / nrm;
     }
   }
+  entry->packed = util::simd::PackedGemv(entry->dict, m, n);
   // Lipschitz constant of the gradient: largest eigenvalue of D^T D via
   // power iteration (a slight overestimate is harmless, so few iterations
-  // suffice). Both halves of the iteration run through the blocked
-  // column-major kernels; the scratch vectors persist across iterations.
+  // suffice). Both halves of the iteration run through the dispatched
+  // kernels; the scratch vectors persist across iterations.
   {
     std::vector<double> v(n, 1.0 / std::sqrt(static_cast<double>(n)));
     std::vector<double> dv(m);
@@ -127,7 +135,7 @@ std::unique_ptr<CsCodec::DictionaryCache> CsCodec::build_dictionary(
       std::fill(dv.begin(), dv.end(), 0.0);
       util::gemv_accumulate(entry->dict, m, n, v, dv,
                             /*skip_zeros=*/false);
-      util::gemv_transposed(entry->dict, m, n, dv, w);
+      entry->packed.transposed(dv, w);
       lambda = util::norm2(w);
       if (lambda == 0.0) break;
       for (std::size_t j = 0; j < n; ++j) v[j] = w[j] / lambda;
@@ -169,8 +177,7 @@ CsBlock CsCodec::encode(std::span<const double> window, double cr) const {
   const DictionaryCache& cache = dictionary_for(m);
   const std::vector<double> y = cache.phi->project(window);
 
-  double max_abs = 0.0;
-  for (double v : y) max_abs = std::max(max_abs, std::abs(v));
+  const double max_abs = util::simd::max_abs(y);
 
   CsBlock block;
   block.window = config_.window;
@@ -198,7 +205,7 @@ void debias_on_support(const std::vector<std::size_t>& support,
                        std::span<const double> y,
                        const std::function<std::span<const double>(std::size_t)>&
                            column,
-                       std::vector<double>& coeffs) {
+                       std::span<double> coeffs) {
   const std::size_t k = support.size();
   if (k == 0 || k >= y.size()) return;
   util::Matrix normal(k, k);
@@ -223,15 +230,17 @@ void debias_on_support(const std::vector<std::size_t>& support,
 /// so the FISTA/OMP inner loops run allocation-free after the first
 /// window at a given measurement count.
 struct CsCodec::DecodeScratch {
-  std::vector<double> y;           ///< dequantized measurements (m)
-  std::vector<double> normalized;  ///< recovered coeffs w.r.t. unit columns
-  std::vector<double> coeffs;      ///< un-normalized wavelet coefficients
-  std::vector<double> a;           ///< FISTA iterate
-  std::vector<double> a_prev;
-  std::vector<double> z;           ///< FISTA extrapolated point
-  std::vector<double> dz;          ///< D z - y (m)
-  std::vector<double> grad;        ///< D^T (D z - y), also dictionary scores
-  std::vector<double> residual;    ///< OMP residual (m)
+  using Buffer = util::AlignedVector<double>;  // feeds the SIMD kernels
+
+  Buffer y;           ///< dequantized measurements (m)
+  Buffer normalized;  ///< recovered coeffs w.r.t. unit columns
+  Buffer coeffs;      ///< un-normalized wavelet coefficients
+  Buffer a;           ///< FISTA iterate
+  Buffer a_prev;
+  Buffer z;           ///< FISTA extrapolated point
+  Buffer dz;          ///< D z - y (m)
+  Buffer grad;        ///< D^T (D z - y), also dictionary scores
+  Buffer residual;    ///< OMP residual (m)
   std::vector<char> in_support;    ///< OMP membership flags
   std::vector<std::size_t> support;
 };
@@ -251,10 +260,10 @@ void CsCodec::recover_omp(const DictionaryCache& cache,
   const std::size_t max_atoms = std::min({config_.omp_max_atoms, m, n});
   while (ws.support.size() < max_atoms &&
          util::norm2(ws.residual) > stop_norm) {
-    // All candidate correlations in one blocked pass; the argmax then
+    // All candidate correlations in one packed pass; the argmax then
     // skips exactly the columns the historical per-column loop skipped,
     // so the selected atom (and its score) is bit-identical.
-    util::gemv_transposed(cache.dict, m, n, ws.residual, ws.grad);
+    cache.packed.transposed(ws.residual, ws.grad);
     std::size_t best = n;
     double best_score = 0.0;
     for (std::size_t j = 0; j < n; ++j) {
@@ -288,11 +297,8 @@ void CsCodec::recover_fista(const DictionaryCache& cache,
 
   // lambda_max: above it the l1 solution is identically zero.
   ws.grad.resize(n);
-  util::gemv_transposed(cache.dict, m, n, y, ws.grad);
-  double lambda_max = 0.0;
-  for (std::size_t j = 0; j < n; ++j) {
-    lambda_max = std::max(lambda_max, std::abs(ws.grad[j]));
-  }
+  cache.packed.transposed(y, ws.grad);
+  const double lambda_max = util::simd::max_abs({ws.grad.data(), n});
   if (lambda_max == 0.0) {
     ws.normalized.assign(n, 0.0);
     return;
@@ -311,23 +317,17 @@ void CsCodec::recover_fista(const DictionaryCache& cache,
       util::gemv_accumulate(cache.dict, m, n, ws.z, ws.dz,
                             /*skip_zeros=*/true);
       for (std::size_t i = 0; i < m; ++i) ws.dz[i] -= y[i];
-      // Gradient step: the blocked transposed GEMV is where the decoder
-      // spends its time — four independent accumulation chains instead
-      // of one dot-product latency chain per column.
-      util::gemv_transposed(cache.dict, m, n, ws.dz, ws.grad);
+      // Gradient step: the packed transposed GEMV is where the decoder
+      // spends its time — one aligned panel load per four column
+      // elements instead of four strided gathers.
+      cache.packed.transposed(ws.dz, ws.grad);
       // Rotate the iterate instead of copying it: a_prev picks up the
       // previous a, whose storage is then fully overwritten below.
       std::swap(ws.a, ws.a_prev);
-      for (std::size_t j = 0; j < n; ++j) {
-        const double u = ws.z[j] - step * ws.grad[j];
-        const double shrink = std::abs(u) - step * lambda;
-        ws.a[j] = shrink > 0.0 ? std::copysign(shrink, u) : 0.0;
-      }
+      util::simd::fista_shrink(ws.z, ws.grad, step, lambda, ws.a);
       const double t_next = 0.5 * (1.0 + std::sqrt(1.0 + 4.0 * t * t));
       const double momentum = (t - 1.0) / t_next;
-      for (std::size_t j = 0; j < n; ++j) {
-        ws.z[j] = ws.a[j] + momentum * (ws.a[j] - ws.a_prev[j]);
-      }
+      util::simd::fista_momentum(ws.a, ws.a_prev, momentum, ws.z);
       t = t_next;
     }
   }

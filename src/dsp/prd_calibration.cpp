@@ -10,6 +10,7 @@
 #include "dsp/quality.hpp"
 #include "util/json.hpp"
 #include "util/logging.hpp"
+#include "util/simd.hpp"
 #include "util/stats.hpp"
 
 namespace wsnex::dsp {
@@ -141,6 +142,11 @@ util::Json cache_key() {
   key.set("dwt_codec", std::move(dwt_json));
   key.set("cs_codec", std::move(cs_json));
   key.set("calibration", std::move(calib_json));
+  // Reassociated SIMD reductions perturb the PRD sums by a few ULP, so a
+  // cache written in that mode must not serve a bit-exact run (or vice
+  // versa). The dispatched ISA is deliberately NOT in the key: the
+  // order-preserving kernels make curves ISA-independent.
+  key.set("simd_reassociation", util::simd::reassociation_enabled());
   return key;
 }
 

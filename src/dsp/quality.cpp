@@ -5,25 +5,21 @@
 #include <limits>
 #include <vector>
 
+#include "util/simd.hpp"
 #include "util/stats.hpp"
 
 namespace wsnex::dsp {
 namespace {
 
-double sum_sq(std::span<const double> xs) {
-  double acc = 0.0;
-  for (double x : xs) acc += x * x;
-  return acc;
-}
+// The energy reductions run through the gated SIMD layer: scalar
+// left-to-right accumulation by default, lane-parallel only when
+// WSNEX_SIMD_REASSOC opts into reassociation (see util/simd.hpp).
+
+double sum_sq(std::span<const double> xs) { return util::simd::sum_sq(xs); }
 
 double sum_sq_diff(std::span<const double> a, std::span<const double> b) {
   assert(a.size() == b.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    acc += d * d;
-  }
-  return acc;
+  return util::simd::sum_sq_diff(a, b);
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/simd.hpp"
+
 namespace wsnex::dsp {
 namespace {
 
@@ -53,40 +55,23 @@ std::size_t WaveletTransform::max_levels(std::size_t n) {
   return levels;
 }
 
+// Both filter-bank passes run through the dispatched SIMD kernels
+// (util/simd.hpp). The vector paths keep the scalar accumulation order —
+// ascending k per output on analysis, ascending (i, k) per position on
+// synthesis — so coefficients are bit-identical on every ISA.
+
 void WaveletTransform::analyze_step(std::span<const double> in,
                                     std::span<double> approx,
                                     std::span<double> detail) const {
-  const std::size_t n = in.size();
-  const std::size_t half = n / 2;
-  assert(approx.size() == half && detail.size() == half);
-  const std::size_t taps = lowpass_.size();
-  for (std::size_t i = 0; i < half; ++i) {
-    double a = 0.0;
-    double d = 0.0;
-    for (std::size_t k = 0; k < taps; ++k) {
-      const double x = in[(2 * i + k) % n];  // periodic extension
-      a += lowpass_[k] * x;
-      d += highpass_[k] * x;
-    }
-    approx[i] = a;
-    detail[i] = d;
-  }
+  assert(approx.size() == in.size() / 2 && detail.size() == in.size() / 2);
+  util::simd::dwt_analyze(in, lowpass_, highpass_, approx, detail);
 }
 
 void WaveletTransform::synthesize_step(std::span<const double> approx,
                                        std::span<const double> detail,
                                        std::span<double> out) const {
-  const std::size_t half = approx.size();
-  const std::size_t n = out.size();
-  assert(n == 2 * half && detail.size() == half);
-  const std::size_t taps = lowpass_.size();
-  std::fill(out.begin(), out.end(), 0.0);
-  for (std::size_t i = 0; i < half; ++i) {
-    for (std::size_t k = 0; k < taps; ++k) {
-      const std::size_t pos = (2 * i + k) % n;
-      out[pos] += lowpass_[k] * approx[i] + highpass_[k] * detail[i];
-    }
-  }
+  assert(out.size() == 2 * approx.size() && detail.size() == approx.size());
+  util::simd::dwt_synthesize(approx, detail, lowpass_, highpass_, out);
 }
 
 std::vector<double> WaveletTransform::forward(

@@ -1,0 +1,55 @@
+// Aligned heap storage for the SIMD kernel layer.
+//
+// AVX2 loads are fastest (and the packed-panel kernels assume) 32-byte
+// aligned data; 64 bytes additionally keeps hot vectors on their own cache
+// lines. std::vector's default allocator only guarantees alignof(double),
+// so buffers that feed the dispatched kernels use AlignedVector instead.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace wsnex::util {
+
+/// Minimal allocator returning storage aligned to `Alignment` bytes.
+/// Stateless: all instances compare equal, so vectors swap/move freely.
+template <typename T, std::size_t Alignment = 64>
+struct AlignedAllocator {
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "Alignment must not be weaker than the type's own");
+
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// std::vector with 64-byte-aligned storage. Drop-in for the scratch and
+/// dictionary buffers the DSP kernels stream over; converts to std::span
+/// exactly like a plain vector.
+template <typename T, std::size_t Alignment = 64>
+using AlignedVector = std::vector<T, AlignedAllocator<T, Alignment>>;
+
+}  // namespace wsnex::util

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/simd.hpp"
+
 namespace wsnex::util {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
@@ -136,90 +138,34 @@ bool least_squares(const Matrix& a, std::span<const double> b,
   return lu_solve(normal, rhs, x);
 }
 
+// The vector kernels forward to the runtime-dispatched SIMD layer
+// (util/simd.hpp). The scalar tables there are the former implementations
+// of these functions moved verbatim, and the vector tables preserve their
+// accumulation order, so results are bit-identical to the historical
+// blocked loops on every ISA.
+
 double dot(std::span<const double> a, std::span<const double> b) {
   assert(a.size() == b.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
+  return simd::dot(a, b);
 }
 
 double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
 
 void axpy(double alpha, std::span<const double> x, std::span<double> y) {
   assert(x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  simd::axpy(alpha, x, y);
 }
 
 void gemv_transposed(std::span<const double> a, std::size_t rows,
                      std::size_t cols, std::span<const double> x,
                      std::span<double> out) {
-  assert(a.size() >= rows * cols);
-  assert(x.size() >= rows);
-  assert(out.size() >= cols);
-  const double* base = a.data();
-  const double* xs = x.data();
-  std::size_t j = 0;
-  for (; j + 4 <= cols; j += 4) {
-    const double* c0 = base + j * rows;
-    const double* c1 = c0 + rows;
-    const double* c2 = c1 + rows;
-    const double* c3 = c2 + rows;
-    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-    for (std::size_t i = 0; i < rows; ++i) {
-      const double xi = xs[i];
-      s0 += c0[i] * xi;
-      s1 += c1[i] * xi;
-      s2 += c2[i] * xi;
-      s3 += c3[i] * xi;
-    }
-    out[j] = s0;
-    out[j + 1] = s1;
-    out[j + 2] = s2;
-    out[j + 3] = s3;
-  }
-  for (; j < cols; ++j) {
-    out[j] = dot({base + j * rows, rows}, {xs, rows});
-  }
+  simd::gemv_transposed(a, rows, cols, x, out);
 }
 
 void gemv_accumulate(std::span<const double> a, std::size_t rows,
                      std::size_t cols, std::span<const double> coeffs,
                      std::span<double> y, bool skip_zeros) {
-  assert(a.size() >= rows * cols);
-  assert(coeffs.size() >= cols);
-  assert(y.size() >= rows);
-  const double* base = a.data();
-  double* ys = y.data();
-  // Gather up to four consecutive nonzero columns, then apply their
-  // contributions element-wise in column order (matching the rounding of
-  // one axpy per column) with y loaded and stored once per block.
-  const double* col[4];
-  double scale[4];
-  std::size_t filled = 0;
-  const auto flush = [&] {
-    if (filled == 4) {
-      for (std::size_t i = 0; i < rows; ++i) {
-        double acc = ys[i];
-        acc += scale[0] * col[0][i];
-        acc += scale[1] * col[1][i];
-        acc += scale[2] * col[2][i];
-        acc += scale[3] * col[3][i];
-        ys[i] = acc;
-      }
-    } else {
-      for (std::size_t k = 0; k < filled; ++k) {
-        axpy(scale[k], {col[k], rows}, {ys, rows});
-      }
-    }
-    filled = 0;
-  };
-  for (std::size_t j = 0; j < cols; ++j) {
-    if (skip_zeros && coeffs[j] == 0.0) continue;
-    col[filled] = base + j * rows;
-    scale[filled] = coeffs[j];
-    if (++filled == 4) flush();
-  }
-  flush();
+  simd::gemv_accumulate(a, rows, cols, coeffs, y, skip_zeros);
 }
 
 }  // namespace wsnex::util

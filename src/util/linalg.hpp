@@ -1,8 +1,10 @@
 // Small dense linear algebra kernels.
 //
 // wsnex only needs modest sizes (polynomial fitting, OMP least squares on
-// a few dozen atoms), so the implementation favours clarity and numerical
-// robustness over blocking/vectorization.
+// a few dozen atoms), so the solvers favour clarity and numerical
+// robustness. The hot vector kernels (dot/axpy/gemv_*) forward to the
+// runtime-dispatched SIMD layer in util/simd.hpp; see there for the
+// bit-identity contract.
 #pragma once
 
 #include <cstddef>

@@ -1,6 +1,7 @@
 // wsnex — the scenario & campaign CLI over the analytical DSE engine.
 //
 // Subcommands:
+//   wsnex version [--json]                  build + SIMD dispatch report
 //   wsnex list [--json]                     built-in scenario presets
 //   wsnex check <spec.json|preset>...       parse + validate specs
 //   wsnex run <spec.json|preset>... -o DIR  run a campaign into DIR
@@ -44,6 +45,7 @@
 #include "scenario/registry.hpp"
 #include "scenario/result_store.hpp"
 #include "sim/network.hpp"
+#include "util/simd.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "validate/validation.hpp"
@@ -60,6 +62,7 @@ int usage(std::FILE* to) {
                "design-space explorer\n"
                "\n"
                "usage:\n"
+               "  wsnex version [--json]\n"
                "  wsnex list [--json]\n"
                "  wsnex check <spec.json|preset>...\n"
                "  wsnex run <spec.json|preset>... -o DIR [--quick] "
@@ -161,6 +164,39 @@ std::string apps_summary(const scenario::ScenarioSpec& spec) {
   }
   return std::to_string(dwt) + " DWT / " + std::to_string(apps.size() - dwt) +
          " CS";
+}
+
+#ifndef WSNEX_VERSION
+#define WSNEX_VERSION "unknown"
+#endif
+
+/// Build + SIMD dispatch report: which ISA the kernel layer detected and
+/// which it actually runs on (they differ under WSNEX_FORCE_SCALAR), plus
+/// the reassociating-reduction gate state — the knobs that decide whether
+/// two runs of the same spec are byte-identical.
+int cmd_version(const std::vector<std::string>& args) {
+  namespace simd = util::simd;
+  const bool as_json =
+      std::find(args.begin(), args.end(), "--json") != args.end();
+  if (as_json) {
+    util::Json out = util::Json::object();
+    out.set("version", WSNEX_VERSION);
+    util::Json dispatch = util::Json::object();
+    dispatch.set("detected_isa", simd::isa_name(simd::detected_isa()));
+    dispatch.set("active_isa", simd::isa_name(simd::active_isa()));
+    dispatch.set("forced_scalar_env", simd::scalar_forced_by_env());
+    dispatch.set("reassociation", simd::reassociation_enabled());
+    out.set("simd", std::move(dispatch));
+    std::printf("%s\n", out.dump(2).c_str());
+    return 0;
+  }
+  std::printf("wsnex %s\n", WSNEX_VERSION);
+  std::printf("simd: %s dispatched (detected %s%s), reassociation %s\n",
+              simd::isa_name(simd::active_isa()),
+              simd::isa_name(simd::detected_isa()),
+              simd::scalar_forced_by_env() ? ", WSNEX_FORCE_SCALAR set" : "",
+              simd::reassociation_enabled() ? "on" : "off (bit-identical)");
+  return 0;
 }
 
 int cmd_list(const std::vector<std::string>& args) {
@@ -676,6 +712,9 @@ int main(int argc, char** argv) {
   const std::string command = args.front();
   args.erase(args.begin());
   try {
+    if (command == "version" || command == "--version") {
+      return cmd_version(args);
+    }
     if (command == "list") return cmd_list(args);
     if (command == "check") return cmd_check(args);
     if (command == "validate") return cmd_validate(args);
