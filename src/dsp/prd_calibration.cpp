@@ -144,8 +144,10 @@ util::Json cache_key() {
   key.set("calibration", std::move(calib_json));
   // Reassociated SIMD reductions perturb the PRD sums by a few ULP, so a
   // cache written in that mode must not serve a bit-exact run (or vice
-  // versa). The dispatched ISA is deliberately NOT in the key: the
-  // order-preserving kernels make curves ISA-independent.
+  // versa). Campaign manifests carry the same guard (ResultStore refuses
+  // rerun/resume under a different gate state). The dispatched ISA is
+  // deliberately NOT in the key: the order-preserving kernels make curves
+  // ISA-independent.
   key.set("simd_reassociation", util::simd::reassociation_enabled());
   return key;
 }

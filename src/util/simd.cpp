@@ -16,6 +16,13 @@ namespace {
 // other ISA's table must match them bit-for-bit (order-preserving set) or
 // within documented ULP drift (reductions). The blocked shapes are the
 // PR 4 kernels moved here verbatim.
+//
+// This TU (and the per-ISA TUs) is compiled with -ffp-contract=off — see
+// src/util/CMakeLists.txt. Without it, compilers that contract by default
+// on FMA-baseline targets (GCC/Clang on aarch64) would fuse the
+// `acc += a[i] * b[i]` loops below into single-rounded fmadd, while the
+// NEON kernels deliberately use separate vmulq/vaddq — breaking the very
+// scalar-vs-SIMD bit identity these functions specify.
 // ---------------------------------------------------------------------------
 
 double scalar_dot(const double* a, const double* b, std::size_t n) {

@@ -18,6 +18,17 @@
 // reassociation is explicitly enabled (WSNEX_SIMD_REASSOC=1 or
 // set_reassociation(true)), which trades bit-identity for throughput and
 // is covered by tolerance tests instead of exact ones.
+//
+// NaN contract: kernel inputs must be NaN-free; results for NaN inputs
+// are unspecified and the bit-identity guarantee is void for them. The
+// vector instructions propagate NaN differently from the scalar
+// reference — x86 max_pd returns its second operand when a lane compares
+// unordered (so a NaN lane can poison avx2_max_abs where scalar std::max
+// would ignore it), and the ordered non-signaling compares in the
+// fista_shrink blends treat NaN as "not greater" where the scalar
+// copysign path would pass it through. The DSP pipeline never produces
+// NaN (synthesized ECG in, finite filters/dictionaries), so this is a
+// contract on callers, not a runtime check.
 #pragma once
 
 #include <cstddef>
@@ -115,7 +126,9 @@ void axpy(double alpha, std::span<const double> x, std::span<double> y);
 
 /// FISTA proximal (soft-threshold) step over the extrapolated point:
 /// a[j] = sgn(u) * max(|u| - step*lambda, 0) with u = z[j] - step*grad[j],
-/// reproducing the scalar loop's copysign semantics exactly.
+/// reproducing the scalar loop's copysign semantics exactly for NaN-free
+/// inputs (a NaN u takes the "not greater" branch in the vector compare,
+/// unspecified per the header contract).
 void fista_shrink(std::span<const double> z, std::span<const double> grad,
                   double step, double lambda, std::span<double> a);
 
@@ -123,8 +136,10 @@ void fista_shrink(std::span<const double> z, std::span<const double> grad,
 void fista_momentum(std::span<const double> a, std::span<const double> a_prev,
                     double momentum, std::span<double> z);
 
-/// max_j |x[j]| (0.0 when empty). Exact on every ISA: max over the
-/// non-negative magnitudes is order-independent.
+/// max_j |x[j]| (0.0 when empty). Exact on every ISA for NaN-free input:
+/// max over the non-negative magnitudes is order-independent. A NaN
+/// element yields an unspecified result (see the header contract — the
+/// vector max does not mirror std::max's NaN handling).
 double max_abs(std::span<const double> x);
 
 /// One periodized DWT analysis step (in.size() even, halves to

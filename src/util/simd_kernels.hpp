@@ -42,9 +42,9 @@ struct Ops {
   /// FISTA extrapolation: z[j] = a[j] + momentum * (a[j] - a_prev[j]).
   void (*fista_momentum)(const double* a, const double* a_prev,
                          double momentum, double* z, std::size_t n);
-  /// max_j |x[j]| (0.0 for n == 0; no NaNs expected). max is associative
-  /// over the non-negative magnitudes, so lane-parallel evaluation is
-  /// exact.
+  /// max_j |x[j]| (0.0 for n == 0). max is associative over the
+  /// non-negative magnitudes, so lane-parallel evaluation is exact for
+  /// NaN-free input; NaN inputs are unspecified (util/simd.hpp contract).
   double (*max_abs)(const double* x, std::size_t n);
   /// One periodized analysis step: approx[i]/detail[i] accumulate
   /// lp[k]*in[(2i+k) % n] / hp[k]*... in ascending k order per output.

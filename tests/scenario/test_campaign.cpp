@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "scenario/registry.hpp"
+#include "util/simd.hpp"
 
 namespace wsnex::scenario {
 namespace {
@@ -177,6 +178,27 @@ TEST_F(CampaignTest, MismatchedReuseOfStoreIsRejected) {
   auto edited = specs;
   edited[0].constraints.max_delay_s = 0.5;
   EXPECT_THROW(run_campaign(edited, options(dir("a"))), ScenarioError);
+}
+
+TEST_F(CampaignTest, ReassociationGateMismatchIsRejected) {
+  const auto specs = std::vector<ScenarioSpec>{preset("hospital_ward_2")};
+  run_campaign(specs, options(dir("a")));
+
+  // Archives written with the gate closed must not be extended or
+  // resumed with it open: reassociated reductions shift outputs by ULPs
+  // and would break the store's byte-identity guarantees.
+  const bool saved = util::simd::reassociation_enabled();
+  util::simd::set_reassociation(!saved);
+  EXPECT_THROW(run_campaign(specs, options(dir("a"))), ScenarioError);
+  EXPECT_THROW(resume_campaign(dir("a")), ScenarioError);
+  util::simd::set_reassociation(saved);
+
+  // With the original gate state restored the rerun is a clean skip.
+  const CampaignReport again = run_campaign(specs, options(dir("a")));
+  EXPECT_EQ(again.skipped, 1u);
+
+  // The manifest records the state it ran under.
+  EXPECT_EQ(ResultStore(dir("a")).load_manifest().simd_reassociation, saved);
 }
 
 TEST_F(CampaignTest, RejectsEmptyAndDuplicateCampaigns) {
