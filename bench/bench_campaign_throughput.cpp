@@ -122,6 +122,7 @@ int run_bench(const std::string& path, bool quick) {
 
   std::fprintf(out, "{\n  \"bench\": \"campaign_throughput\",\n");
   std::fprintf(out, "  \"unit\": \"seconds of wall clock\",\n");
+  bench::fprint_provenance(out);
   std::fprintf(out,
                "  \"note\": \"best of %d repetitions; %zu built-in presets, "
                "%s budgets, eval threads pinned to 1 so the jobs axis "

@@ -257,6 +257,7 @@ int run_json_sweep(const std::string& path, bool quick) {
 
   std::fprintf(out, "{\n  \"bench\": \"dse_throughput\",\n");
   std::fprintf(out, "  \"unit\": \"objective evaluations per second\",\n");
+  bench::fprint_provenance(out);
   std::fprintf(out,
                "  \"note\": \"best of %d case-study-sized runs per config "
                "(~4000 evaluations each)\",\n",

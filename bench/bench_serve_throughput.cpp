@@ -61,6 +61,7 @@ int main(int argc, char** argv) {
   util::Table table({"clients", "cache", "jobs", "wall [s]", "jobs/s",
                      "p50 [ms]", "p99 [ms]"});
   util::Json out = util::Json::object();
+  out.set("provenance", bench::provenance());
   out.set("quick", quick);
   out.set("jobs_per_client", jobs_per_client);
   util::Json rows = util::Json::array();

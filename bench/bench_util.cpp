@@ -2,6 +2,9 @@
 
 #include <cstring>
 #include <fstream>
+#include <thread>
+
+#include "util/simd.hpp"
 
 namespace wsnex::bench {
 
@@ -48,6 +51,26 @@ bool emit_json(const util::Json& json, const std::string& path) {
     return false;
   }
   return true;
+}
+
+util::Json provenance() {
+  util::Json out = util::Json::object();
+  out.set("detected_isa", util::simd::isa_name(util::simd::detected_isa()));
+  out.set("active_isa", util::simd::isa_name(util::simd::active_isa()));
+  out.set("forced_scalar_env", util::simd::scalar_forced_by_env());
+  out.set("simd_reassociation", util::simd::reassociation_enabled());
+  out.set("hardware_threads",
+          static_cast<std::size_t>(std::thread::hardware_concurrency()));
+#if defined(WSNEX_METRICS_DISABLED)
+  out.set("metrics_compiled", false);
+#else
+  out.set("metrics_compiled", true);
+#endif
+  return out;
+}
+
+void fprint_provenance(std::FILE* sink) {
+  std::fprintf(sink, "  \"provenance\": %s,\n", provenance().dump().c_str());
 }
 
 }  // namespace wsnex::bench

@@ -43,6 +43,19 @@ void close_json_sink(std::FILE* sink, const std::string& path);
 /// the file cannot be written.
 bool emit_json(const util::Json& json, const std::string& path);
 
+/// Machine provenance every committed BENCH_*.json carries so a number can
+/// be traced to the configuration that produced it: detected vs. active
+/// SIMD ISA, the WSNEX_FORCE_SCALAR / WSNEX_SIMD_REASSOC gate states,
+/// hardware thread count, and whether the metrics mutators were compiled
+/// in (WSNEX_METRICS).
+util::Json provenance();
+
+/// fprintf-style mirror of provenance() for the drivers that hand-format
+/// their JSON through a FILE*: emits `  "provenance": {...},\n` (compact
+/// object, two-space indent, trailing comma) so it slots in after the
+/// header fields.
+void fprint_provenance(std::FILE* sink);
+
 /// Monotonic wall-clock seconds.
 inline double now_s() {
   return std::chrono::duration<double>(

@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
   util::Table table({"preset", "jobs", "replicates", "wall [s]",
                      "replicates/s", "verdict"});
   util::Json out = util::Json::object();
+  out.set("provenance", bench::provenance());
   out.set("replicates", replicates);
   out.set("duration_s", duration_s);
   util::Json rows = util::Json::array();

@@ -246,6 +246,7 @@ int main(int argc, char** argv) {
   out.set("bench", "profile_dsp");
   out.set("unit", "seconds of wall clock, best of " + std::to_string(reps));
   out.set("quick", quick);
+  out.set("provenance", bench::provenance());
   out.set("detected_isa", simd::isa_name(simd::detected_isa()));
   out.set("forced_scalar_env", simd::scalar_forced_by_env());
   util::Json isa_list = util::Json::array();

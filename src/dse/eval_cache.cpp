@@ -1,8 +1,20 @@
 #include "dse/eval_cache.hpp"
 
 #include "util/json.hpp"
+#include "util/metrics.hpp"
 
 namespace wsnex::dse {
+namespace {
+
+// Mirrors of Stats for the /metrics endpoint; Stats stays the in-process
+// API (tests, report) and these counters never feed back into decisions.
+util::metrics::Counter& cache_event(const char* labels) {
+  return util::metrics::Registry::instance().counter(
+      "wsnex_eval_cache_events_total",
+      "Shared eval-cache lookups by table and outcome", labels);
+}
+
+}  // namespace
 
 SharedEvalCache& SharedEvalCache::instance() {
   static SharedEvalCache cache;
@@ -20,6 +32,9 @@ std::shared_ptr<const model::AppLayerTable> SharedEvalCache::app_table(
       const std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.app_table_bypasses;
     }
+    static auto& bypasses =
+        cache_event("table=\"app\",outcome=\"bypass\"");
+    bypasses.inc();
     return std::make_shared<model::AppLayerTable>(evaluator, cr_grid,
                                                   f_uc_khz_grid);
   }
@@ -41,13 +56,17 @@ std::shared_ptr<const model::AppLayerTable> SharedEvalCache::app_table(
     key += ',';
   }
 
+  static auto& hits = cache_event("table=\"app\",outcome=\"hit\"");
+  static auto& misses = cache_event("table=\"app\",outcome=\"miss\"");
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = app_tables_.find(key);
   if (it != app_tables_.end()) {
     ++stats_.app_table_hits;
+    hits.inc();
     return it->second;
   }
   ++stats_.app_table_misses;
+  misses.inc();
   auto table = std::make_shared<model::AppLayerTable>(evaluator, cr_grid,
                                                       f_uc_khz_grid);
   app_tables_.emplace(std::move(key), table);
@@ -59,13 +78,17 @@ std::shared_ptr<const model::Ieee802154MacModel> SharedEvalCache::mac_model(
   const std::uint64_t key = (static_cast<std::uint64_t>(payload_bytes) << 32) |
                             (static_cast<std::uint64_t>(bco) << 16) |
                             static_cast<std::uint64_t>(sfo);
+  static auto& hits = cache_event("table=\"mac\",outcome=\"hit\"");
+  static auto& misses = cache_event("table=\"mac\",outcome=\"miss\"");
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = mac_models_.find(key);
   if (it != mac_models_.end()) {
     ++stats_.mac_model_hits;
+    hits.inc();
     return it->second;
   }
   ++stats_.mac_model_misses;
+  misses.inc();
   mac::MacConfig config;
   config.payload_bytes = payload_bytes;
   config.bco = bco;

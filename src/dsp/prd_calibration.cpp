@@ -10,11 +10,19 @@
 #include "dsp/quality.hpp"
 #include "util/json.hpp"
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
 #include "util/simd.hpp"
 #include "util/stats.hpp"
+#include "util/trace.hpp"
 
 namespace wsnex::dsp {
 namespace {
+
+util::metrics::Counter& prd_cache_event(const char* labels) {
+  return util::metrics::Registry::instance().counter(
+      "wsnex_prd_cache_events_total",
+      "PRD calibration disk-cache lookups by outcome", labels);
+}
 
 /// Generates `count` zero-mean ECG windows of `window` samples.
 std::vector<std::vector<double>> make_windows(std::size_t count,
@@ -250,6 +258,7 @@ std::optional<DefaultPrdCurves> g_default_curves;   // guarded by the mutex
 
 DefaultPrdCurves load_or_calibrate_default_prd_curves(const std::string& dir) {
   if (dir.empty()) {
+    util::trace::Span span("prd:calibrate");
     DefaultPrdCurves curves;
     curves.dwt = calibrate_dwt();
     curves.cs = calibrate_cs();
@@ -258,8 +267,13 @@ DefaultPrdCurves load_or_calibrate_default_prd_curves(const std::string& dir) {
   const std::string path =
       (std::filesystem::path(dir) / kPrdCacheFile).string();
   if (std::optional<DefaultPrdCurves> cached = try_load_cache(path)) {
+    static auto& hits = prd_cache_event("outcome=\"hit\"");
+    hits.inc();
     return *std::move(cached);
   }
+  static auto& misses = prd_cache_event("outcome=\"miss\"");
+  misses.inc();
+  util::trace::Span span("prd:calibrate");
   DefaultPrdCurves curves;
   curves.dwt = calibrate_dwt();
   curves.cs = calibrate_cs();

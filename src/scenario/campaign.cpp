@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <mutex>
 
 #include "dse/objectives.hpp"
@@ -10,12 +11,42 @@
 #include "util/csv.hpp"
 #include "util/json.hpp"
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
 #include "util/simd.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace wsnex::scenario {
 
 namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Wall-clock split of one execute_scenario call. Always measured — the
+/// cost is four clock reads per scenario — so summary.json carries the
+/// same schema whether or not the metrics build gate is on.
+struct ScenarioPerf {
+  double evaluate_s = 0.0;  ///< run_scenario (DSE + decode)
+  double lifetime_s = 0.0;  ///< feasibility + lifetime recompute
+  double persist_s = 0.0;   ///< archive CSV writes
+};
+
+util::metrics::Counter& scenario_counter(const char* labels) {
+  return util::metrics::Registry::instance().counter(
+      "wsnex_scenarios_total", "Campaign scenarios by outcome", labels);
+}
+
+util::metrics::Histogram& scenario_seconds() {
+  return util::metrics::Registry::instance().histogram(
+      "wsnex_scenario_seconds",
+      "Wall-clock duration of one executed scenario, evaluation through "
+      "persist",
+      util::metrics::default_latency_bounds());
+}
 
 std::string genome_field(const dse::Genome& genome) {
   std::string out;
@@ -83,7 +114,8 @@ void write_archive_csv(const std::string& path,
 
 util::Json make_summary(const ScenarioSpec& spec, const ScenarioRun& run,
                         const std::vector<std::size_t>& feasible,
-                        const std::vector<double>& lifetime_days) {
+                        const std::vector<double>& lifetime_days,
+                        const ScenarioPerf& perf) {
   util::Json summary = util::Json::object();
   summary.set("name", spec.name);
   summary.set("optimizer", to_string(spec.optimizer.kind));
@@ -100,6 +132,13 @@ util::Json make_summary(const ScenarioSpec& spec, const ScenarioRun& run,
   // the same gate state (the manifest refuses mixed-mode resumes; this
   // records the state next to the numbers it shaped).
   summary.set("simd_reassociation", util::simd::reassociation_enabled());
+  // Performance provenance: where this scenario's wall clock went.
+  // Out-of-band by construction — nothing downstream reads it back.
+  util::Json perf_json = util::Json::object();
+  perf_json.set("evaluate_s", perf.evaluate_s);
+  perf_json.set("lifetime_s", perf.lifetime_s);
+  perf_json.set("persist_s", perf.persist_s);
+  summary.set("perf", std::move(perf_json));
   if (!feasible.empty()) {
     const dse::ArchiveEntry& best =
         run.result.archive.entries()[feasible.front()];
@@ -120,32 +159,56 @@ ScenarioStatus execute_scenario(const ScenarioSpec& spec,
                                 const CampaignOptions& options,
                                 ResultStore& store, util::ThreadPool* pool,
                                 dse::SharedEvalCache* cache) {
-  const ScenarioRun run =
-      run_scenario(spec, options.quick, options.threads, pool, cache);
-  const std::vector<std::size_t> feasible =
-      feasible_entries(run.result.archive, spec.constraints);
+  util::trace::Span scenario_span("scenario", spec.name);
+  ScenarioPerf perf;
+  const double scenario_start = now_s();
 
-  const auto evaluator =
-      model::NetworkModelEvaluator::make_default(spec.evaluator_options());
-  const auto& entries = run.result.archive.entries();
-  std::vector<double> lifetime_days(entries.size(), 0.0);
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    lifetime_days[i] =
-        entry_lifetime_days(evaluator, run.space, spec.battery,
-                            entries[i].genome);
+  double phase_start = now_s();
+  ScenarioRun run = [&] {
+    util::trace::Span span("evaluate");
+    return run_scenario(spec, options.quick, options.threads, pool, cache);
+  }();
+  perf.evaluate_s = now_s() - phase_start;
+
+  phase_start = now_s();
+  std::vector<std::size_t> feasible;
+  std::vector<double> lifetime_days;
+  {
+    util::trace::Span span("lifetime");
+    feasible = feasible_entries(run.result.archive, spec.constraints);
+    const auto evaluator =
+        model::NetworkModelEvaluator::make_default(spec.evaluator_options());
+    const auto& entries = run.result.archive.entries();
+    lifetime_days.assign(entries.size(), 0.0);
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      lifetime_days[i] =
+          entry_lifetime_days(evaluator, run.space, spec.battery,
+                              entries[i].genome);
+    }
   }
+  perf.lifetime_s = now_s() - phase_start;
 
-  store.ensure_result_dir(spec.name);
-  write_archive_csv(store.pareto_csv_path(spec.name), run.result.archive,
-                    canonical_order(run.result.archive), lifetime_days,
-                    run.space);
-  write_archive_csv(store.feasible_csv_path(spec.name), run.result.archive,
-                    feasible, lifetime_days, run.space);
+  phase_start = now_s();
+  {
+    util::trace::Span span("persist");
+    store.ensure_result_dir(spec.name);
+    write_archive_csv(store.pareto_csv_path(spec.name), run.result.archive,
+                      canonical_order(run.result.archive), lifetime_days,
+                      run.space);
+    write_archive_csv(store.feasible_csv_path(spec.name), run.result.archive,
+                      feasible, lifetime_days, run.space);
+  }
+  perf.persist_s = now_s() - phase_start;
   store.write_summary(spec.name,
-                      make_summary(spec, run, feasible, lifetime_days));
+                      make_summary(spec, run, feasible, lifetime_days, perf));
   if (options.post_scenario) {
+    util::trace::Span span("hook");
     options.post_scenario(spec, run, store, pool);
   }
+  static auto& executed = scenario_counter("outcome=\"executed\"");
+  static auto& seconds = scenario_seconds();
+  executed.inc();
+  seconds.observe(now_s() - scenario_start);
 
   ScenarioStatus status;
   status.name = spec.name;
@@ -182,6 +245,8 @@ CampaignReport drive_campaign_serial(
       outcome.skipped = true;
       outcome.status = manifest.scenarios[i];
       ++report.skipped;
+      static auto& skipped = scenario_counter("outcome=\"skipped\"");
+      skipped.inc();
     } else {
       outcome.status =
           execute_scenario(specs[i], options, store, nullptr, &cache);
@@ -240,6 +305,8 @@ CampaignReport drive_campaign_parallel(
       outcomes[i].skipped = true;
       outcomes[i].status = manifest.scenarios[i];
       ++report.skipped;
+      static auto& skipped = scenario_counter("outcome=\"skipped\"");
+      skipped.inc();
       if (progress) progress(outcomes[i]);
     }
   }

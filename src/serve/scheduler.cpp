@@ -4,15 +4,52 @@
 #include <filesystem>
 #include <set>
 
+#include <chrono>
+
 #include "dsp/prd_calibration.hpp"
 #include "scenario/campaign.hpp"
 #include "util/fsio.hpp"
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 #include "validate/validation.hpp"
 
 namespace wsnex::serve {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+util::metrics::Counter& submit_counter(const char* labels) {
+  return util::metrics::Registry::instance().counter(
+      "wsnex_serve_submissions_total", "Job submissions by admission outcome",
+      labels);
+}
+
+util::metrics::Counter& finished_counter(const char* labels) {
+  return util::metrics::Registry::instance().counter(
+      "wsnex_serve_jobs_finished_total", "Jobs reaching a terminal state",
+      labels);
+}
+
+util::metrics::Counter& unit_counter(const char* labels) {
+  return util::metrics::Registry::instance().counter(
+      "wsnex_serve_units_total",
+      "Scheduler work units (WRR grants and their outcomes)", labels);
+}
+
+util::metrics::Gauge& active_jobs_gauge() {
+  return util::metrics::Registry::instance().gauge(
+      "wsnex_serve_active_jobs", "Non-terminal (queued + running) jobs");
+}
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 // --- WeightedRoundRobin ----------------------------------------------------
 
@@ -69,6 +106,7 @@ util::Json JobProgress::to_json() const {
   json.set("priority", priority);
   json.set("units_done", units_done);
   json.set("units_total", units_total);
+  json.set("unit_wallclock_s", unit_wallclock_s);
   if (!error.empty()) json.set("error", error);
   util::Json names = util::Json::array();
   for (const std::string& name : scenarios) names.push_back(name);
@@ -110,6 +148,44 @@ std::string JobScheduler::shard_dir(const std::string& id) const {
 }
 
 JobScheduler::Admission JobScheduler::submit(JobSpec spec) {
+  Admission admission = submit_impl(std::move(spec));
+  switch (admission.code) {
+    case Admission::Code::kAccepted: {
+      static auto& accepted = submit_counter("outcome=\"accepted\"");
+      accepted.inc();
+      break;
+    }
+    case Admission::Code::kQueueFull: {
+      static auto& queue_full = submit_counter("outcome=\"queue_full\"");
+      queue_full.inc();
+      break;
+    }
+    case Admission::Code::kDuplicate: {
+      static auto& duplicate = submit_counter("outcome=\"duplicate\"");
+      duplicate.inc();
+      break;
+    }
+    case Admission::Code::kInvalid: {
+      static auto& invalid = submit_counter("outcome=\"invalid\"");
+      invalid.inc();
+      break;
+    }
+    case Admission::Code::kStopping: {
+      static auto& stopping = submit_counter("outcome=\"stopping\"");
+      stopping.inc();
+      break;
+    }
+  }
+  if (admission.code != Admission::Code::kAccepted) {
+    WSNEX_WARN() << "serve: admission rejected"
+                 << (admission.id.empty() ? std::string()
+                                          : " for job \"" + admission.id + "\"")
+                 << ": " << admission.message;
+  }
+  return admission;
+}
+
+JobScheduler::Admission JobScheduler::submit_impl(JobSpec spec) {
   Admission admission;
   if (spec.scenarios.empty()) {
     admission.code = Admission::Code::kInvalid;
@@ -202,6 +278,7 @@ JobScheduler::Admission JobScheduler::submit(JobSpec spec) {
   }
   wrr_.add(id, job->spec.priority);
   jobs_[id] = std::move(job);
+  active_jobs_gauge().set(static_cast<double>(active_jobs_locked()));
   cv_.notify_all();
   admission.code = Admission::Code::kAccepted;
   admission.id = id;
@@ -305,6 +382,7 @@ std::size_t JobScheduler::recover() {
                    << shard.string() << ": " << e.what();
     }
   }
+  active_jobs_gauge().set(static_cast<double>(active_jobs_locked()));
   if (requeued > 0) cv_.notify_all();
   return requeued;
 }
@@ -457,6 +535,8 @@ void JobScheduler::worker_loop() {
     job.claimed[unit] = true;
     ++job.units_running;
     log_.push_back(id + ":" + job.unit_names[unit]);
+    static auto& claimed = unit_counter("outcome=\"claimed\"");
+    claimed.inc();
     if (std::find(job.claimed.begin(), job.claimed.end(), false) ==
         job.claimed.end()) {
       wrr_.remove(id);  // nothing left to grant; in-flight units finish
@@ -469,17 +549,28 @@ void JobScheduler::worker_loop() {
 
     lk.unlock();
     if (record) persist_record(job, *record);
-    const std::string error = run_unit(job, unit);
+    const double unit_start = now_s();
+    std::string error;
+    {
+      util::trace::Span span("unit", id + ":" + job.unit_names[unit]);
+      error = run_unit(job, unit);
+    }
+    const double unit_elapsed = now_s() - unit_start;
     lk.lock();
 
     --job.units_running;
+    job.unit_wallclock_s += unit_elapsed;
     if (error.empty()) {
       job.completed[unit] = true;
       ++job.units_done;
+      static auto& completed = unit_counter("outcome=\"completed\"");
+      completed.inc();
     } else {
       if (job.error.empty()) job.error = error;
       job.fail_requested = true;
       wrr_.remove(id);
+      static auto& unit_failed = unit_counter("outcome=\"failed\"");
+      unit_failed.inc();
     }
     if ((record = maybe_finalize(job))) {
       lk.unlock();
@@ -529,13 +620,20 @@ std::optional<JobRecord> JobScheduler::maybe_finalize(Job& job) {
   if (job.units_running > 0) return std::nullopt;
   if (job.fail_requested) {
     job.state = JobState::kFailed;
+    static auto& failed = finished_counter("state=\"failed\"");
+    failed.inc();
   } else if (job.units_done == job.completed.size()) {
     job.state = JobState::kComplete;
+    static auto& complete = finished_counter("state=\"complete\"");
+    complete.inc();
   } else if (job.cancel_requested) {
     job.state = JobState::kCancelled;
+    static auto& cancelled = finished_counter("state=\"cancelled\"");
+    cancelled.inc();
   } else {
     return std::nullopt;  // pending units remain; keep waiting
   }
+  active_jobs_gauge().set(static_cast<double>(active_jobs_locked()));
   return record_of(job);
 }
 
@@ -567,6 +665,7 @@ JobProgress JobScheduler::progress_of(const Job& job) const {
   progress.priority = job.spec.priority;
   progress.units_done = job.units_done;
   progress.units_total = job.unit_names.size();
+  progress.unit_wallclock_s = job.unit_wallclock_s;
   progress.error = job.error;
   progress.scenarios = job.unit_names;
   return progress;

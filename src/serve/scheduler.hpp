@@ -108,6 +108,10 @@ struct JobProgress {
   std::size_t priority = 1;
   std::size_t units_done = 0;
   std::size_t units_total = 0;
+  /// Wall-clock seconds spent executing this job's units so far, summed
+  /// over workers (in-memory observability only; not persisted in
+  /// job.json, so it restarts at zero after recover()).
+  double unit_wallclock_s = 0.0;
   std::string error;
   std::vector<std::string> scenarios;
 
@@ -188,6 +192,7 @@ class JobScheduler {
     std::vector<bool> completed;  ///< unit's results are on disk
     std::size_t units_done = 0;
     std::size_t units_running = 0;
+    double unit_wallclock_s = 0.0;  ///< accumulated run_unit wall clock
     bool cancel_requested = false;
     bool fail_requested = false;
     std::unique_ptr<scenario::ResultStore> store;
@@ -196,6 +201,7 @@ class JobScheduler {
     std::mutex io_mutex;
   };
 
+  Admission submit_impl(JobSpec spec);
   void worker_loop();
   /// Runs one claimed unit (no scheduler lock held). Returns an error
   /// message, empty on success.

@@ -1,8 +1,11 @@
 #include "serve/server.hpp"
 
+#include <chrono>
+#include <cstdio>
 #include <utility>
 
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
 
 namespace wsnex::serve {
 
@@ -10,6 +13,30 @@ namespace {
 
 util::HttpResponse json_response(int status, const util::Json& body) {
   return util::HttpResponse(status, body.dump() + "\n");
+}
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Label-safe method name; anything beyond the verbs this API routes is
+/// folded so a scanner cannot mint unbounded label values.
+const char* method_label(const std::string& method) {
+  if (method == "GET") return "GET";
+  if (method == "POST") return "POST";
+  if (method == "PUT") return "PUT";
+  if (method == "DELETE") return "DELETE";
+  if (method == "HEAD") return "HEAD";
+  return "other";
+}
+
+util::metrics::Histogram& request_seconds() {
+  return util::metrics::Registry::instance().histogram(
+      "wsnex_http_request_seconds",
+      "Request latency, connection claim to response written",
+      util::metrics::default_latency_bounds());
 }
 
 /// Splits an origin-form target into path segments ("/v1/jobs/x" ->
@@ -38,6 +65,27 @@ std::optional<std::vector<std::string>> split_target(
     begin = end + 1;
   }
   return segments;
+}
+
+/// Collapses a request target onto the fixed route set for metric labels
+/// ("/v1/jobs/abc123" -> "/v1/jobs/{id}"); unknown shapes fold to "other"
+/// so a scanner cannot mint unbounded label values.
+std::string route_pattern(const std::string& target) {
+  const std::optional<std::vector<std::string>> segments =
+      split_target(target);
+  if (!segments) return "other";
+  const std::vector<std::string>& path = *segments;
+  if (path.size() == 1 && path[0] == "healthz") return "/healthz";
+  if (path.size() == 1 && path[0] == "metrics") return "/metrics";
+  if (path.size() >= 2 && path[0] == "v1" && path[1] == "jobs") {
+    if (path.size() == 2) return "/v1/jobs";
+    if (path.size() == 3) return "/v1/jobs/{id}";
+    if (path.size() == 4 && path[3] == "results") {
+      return "/v1/jobs/{id}/results";
+    }
+    if (path.size() == 4 && path[3] == "cancel") return "/v1/jobs/{id}/cancel";
+  }
+  return "other";
 }
 
 util::HttpResponse admission_response(
@@ -170,37 +218,38 @@ void HttpServer::handler_loop() {
 }
 
 void HttpServer::handle_connection(util::TcpStream stream) {
+  const double start = now_s();
   stream.set_timeout_ms(options_.limits.io_timeout_ms);
   const util::HttpReadResult read =
       util::read_http_request(stream, options_.limits);
   if (!read.request) {
+    util::HttpResponse response;
     switch (read.error) {
       case util::HttpReadError::kClosed:
         return;  // peer connected and left; nothing to answer
       case util::HttpReadError::kHeadersTooLarge:
-        util::write_http_response(
-            stream, error_response(431, "request headers too large"));
-        return;
+        response = error_response(431, "request headers too large");
+        break;
       case util::HttpReadError::kBodyTooLarge:
-        util::write_http_response(
-            stream, error_response(413, "request body too large"));
-        return;
+        response = error_response(413, "request body too large");
+        break;
       case util::HttpReadError::kUnsupported:
-        util::write_http_response(
-            stream,
-            error_response(501, "unsupported transfer framing or version"));
-        return;
+        response =
+            error_response(501, "unsupported transfer framing or version");
+        break;
       case util::HttpReadError::kTimeout:
-        util::write_http_response(
-            stream, error_response(408, "timed out reading request"));
-        return;
+        response = error_response(408, "timed out reading request");
+        break;
       case util::HttpReadError::kMalformed:
       case util::HttpReadError::kTruncated:
-        util::write_http_response(
-            stream, error_response(400, std::string("malformed request: ") +
-                                            util::to_string(read.error)));
-        return;
+        response = error_response(400, std::string("malformed request: ") +
+                                           util::to_string(read.error));
+        break;
     }
+    // Unreadable requests carry no trustworthy method/target; they are
+    // accounted (and access-logged) under a sentinel route so rejected
+    // traffic still shows up on the daemon side.
+    respond(stream, response, "-", "-", "unreadable", start);
     return;
   }
 
@@ -214,7 +263,39 @@ void HttpServer::handle_connection(util::TcpStream stream) {
                   << " " << read.request->target << ": " << e.what();
     response = error_response(500, "internal error");
   }
+  respond(stream, response, read.request->method, read.request->target,
+          route_pattern(read.request->target), start);
+}
+
+void HttpServer::respond(util::TcpStream& stream,
+                         const util::HttpResponse& response,
+                         const std::string& method, const std::string& target,
+                         const std::string& route, double start_s) {
   util::write_http_response(stream, response);
+  const double elapsed = now_s() - start_s;
+
+  auto& registry = util::metrics::Registry::instance();
+  registry
+      .counter("wsnex_http_requests_total", "Requests by route and method",
+               "route=\"" + route + "\",method=\"" +
+                   method_label(method) + "\"")
+      .inc();
+  registry
+      .counter("wsnex_http_responses_total", "Responses by status code",
+               "status=\"" + std::to_string(response.status) + "\"")
+      .inc();
+  static auto& seconds = request_seconds();
+  seconds.observe(elapsed);
+
+  if (options_.access_log) {
+    char duration[32];
+    std::snprintf(duration, sizeof(duration), "%.3f", elapsed * 1e3);
+    util::log(util::LogLevel::kInfo,
+              "access method=" + method + " target=" + target + " route=" +
+                  route + " status=" + std::to_string(response.status) +
+                  " bytes=" + std::to_string(response.body.size()) +
+                  " duration_ms=" + duration);
+  }
 }
 
 util::HttpResponse HttpServer::route(const util::HttpRequest& request) {
@@ -234,6 +315,17 @@ util::HttpResponse HttpServer::route(const util::HttpRequest& request) {
     body.set("active_jobs", scheduler_.active_jobs());
     body.set("total_jobs", scheduler_.total_jobs());
     return json_response(200, body);
+  }
+
+  if (path.size() == 1 && path[0] == "metrics") {
+    if (request.method != "GET") {
+      return error_response(405, "metrics supports GET only");
+    }
+    util::HttpResponse response;
+    response.status = 200;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = util::metrics::Registry::instance().prometheus_text();
+    return response;
   }
 
   if (path.size() >= 2 && path[0] == "v1" && path[1] == "jobs") {

@@ -2,6 +2,8 @@
 // API over util::http, one exchange per connection.
 //
 //   GET  /healthz                 liveness + queue depth
+//   GET  /metrics                 Prometheus text exposition (the one
+//                                 non-JSON route)
 //   POST /v1/jobs                 submit a job (JobSpec body) -> 202
 //   GET  /v1/jobs                 list all jobs
 //   GET  /v1/jobs/<id>            one job's status/progress
@@ -44,6 +46,10 @@ struct ServerOptions {
   /// Accepted-but-unhandled connection bound; beyond it new connections
   /// are answered 503 immediately.
   std::size_t max_pending_connections = 16;
+  /// One structured line per handled request (method, route, status,
+  /// bytes, duration), emitted through util::logging at INFO — callers
+  /// enabling this should make sure the log level admits INFO.
+  bool access_log = false;
 };
 
 class HttpServer {
@@ -67,6 +73,11 @@ class HttpServer {
   void accept_loop();
   void handler_loop();
   void handle_connection(util::TcpStream stream);
+  /// Writes the response, then settles the request's metrics (route and
+  /// status counters, latency histogram) and optional access-log line.
+  void respond(util::TcpStream& stream, const util::HttpResponse& response,
+               const std::string& method, const std::string& target,
+               const std::string& route, double start_s);
   util::HttpResponse route(const util::HttpRequest& request);
   util::HttpResponse handle_submit(const util::HttpRequest& request);
 

@@ -1,12 +1,14 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
 
 namespace wsnex::util {
 namespace {
-
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -20,7 +22,40 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
+// The initial threshold honors WSNEX_LOG_LEVEL so a daemon can be turned
+// verbose without a rebuild; set_log_level() still overrides at runtime.
+LogLevel initial_level() {
+  const char* env = std::getenv("WSNEX_LOG_LEVEL");
+  if (env != nullptr) {
+    if (auto parsed = parse_log_level(env)) return *parsed;
+  }
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel> g_level{initial_level()};
+
+// Anchor for the monotonic timestamp prefix: captured once at static
+// initialization, so every line's stamp is seconds since process start.
+const std::chrono::steady_clock::time_point g_log_epoch =
+    std::chrono::steady_clock::now();
+
 }  // namespace
+
+std::optional<LogLevel> parse_log_level(std::string_view text) {
+  std::string lowered;
+  lowered.reserve(text.size());
+  for (char c : text) {
+    lowered.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lowered == "trace") return LogLevel::kTrace;
+  if (lowered == "debug") return LogLevel::kDebug;
+  if (lowered == "info") return LogLevel::kInfo;
+  if (lowered == "warn" || lowered == "warning") return LogLevel::kWarn;
+  if (lowered == "error") return LogLevel::kError;
+  if (lowered == "off" || lowered == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 
@@ -28,7 +63,22 @@ LogLevel log_level() { return g_level.load(); }
 
 void log(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
-  std::cerr << "[" << level_name(level) << "] " << message << '\n';
+  double elapsed_s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - g_log_epoch)
+                         .count();
+  char stamp[32];
+  std::snprintf(stamp, sizeof(stamp), "[%.3f] ", elapsed_s);
+  // One insertion per line so concurrent writers interleave whole lines,
+  // not fragments.
+  std::string line;
+  line.reserve(sizeof(stamp) + 10 + message.size());
+  line += stamp;
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::cerr << line;
 }
 
 }  // namespace wsnex::util

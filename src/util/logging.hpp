@@ -2,18 +2,29 @@
 // trace-level debugging of MAC state machines.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace wsnex::util {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
-/// Global minimum level; messages below it are discarded.
+/// Global minimum level; messages below it are discarded. The initial
+/// threshold is WSNEX_LOG_LEVEL (trace|debug|info|warn|error|off, case-
+/// insensitive) when set and valid, else kWarn.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emits `message` to stderr if `level` passes the global threshold.
+/// Case-insensitive level-name parse ("warning"/"none" are accepted
+/// aliases); nullopt on anything unrecognized.
+std::optional<LogLevel> parse_log_level(std::string_view text);
+
+/// Emits `message` to stderr if `level` passes the global threshold,
+/// prefixed with `[<seconds-since-process-start>] [<LEVEL>] ` — the
+/// timestamp is monotonic (steady clock), printed with millisecond
+/// resolution.
 void log(LogLevel level, const std::string& message);
 
 namespace detail {

@@ -1,0 +1,215 @@
+#include "util/metrics.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace wsnex::util::metrics {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw std::logic_error(
+          "metrics: histogram bounds must be strictly increasing");
+    }
+  }
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+std::vector<double> default_latency_bounds() {
+  return {1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2,
+          5e-2, 0.1,    0.25, 0.5,  1.0,    2.5,  5.0,  10.0};
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+struct Registry::Family {
+  std::string name;
+  std::string help;
+  const char* type;  // "counter" | "gauge" | "histogram"
+  std::vector<double> bounds;  // histograms only; fixed per family
+
+  struct Series {
+    std::string labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  std::vector<Series> series;
+
+  Series& series_of(const std::string& labels) {
+    for (auto& s : series) {
+      if (s.labels == labels) return s;
+    }
+    series.push_back(Series{labels, nullptr, nullptr, nullptr});
+    return series.back();
+  }
+};
+
+Registry::Registry() = default;
+Registry::~Registry() = default;
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Registry::Family& Registry::family_of(const std::string& name,
+                                      const std::string& help,
+                                      const char* type) {
+  for (auto& family : families_) {
+    if (family->name == name) {
+      if (std::string(family->type) != type) {
+        throw std::logic_error("metrics: '" + name + "' registered as " +
+                               family->type + ", requested as " + type);
+      }
+      return *family;
+    }
+  }
+  auto family = std::make_unique<Family>();
+  family->name = name;
+  family->help = help;
+  family->type = type;
+  families_.push_back(std::move(family));
+  return *families_.back();
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help,
+                           const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family::Series& series = family_of(name, help, "counter").series_of(labels);
+  if (!series.counter) series.counter = std::unique_ptr<Counter>(new Counter());
+  return *series.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help,
+                       const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family::Series& series = family_of(name, help, "gauge").series_of(labels);
+  if (!series.gauge) series.gauge = std::unique_ptr<Gauge>(new Gauge());
+  return *series.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::string& help,
+                               std::vector<double> bounds,
+                               const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& family = family_of(name, help, "histogram");
+  if (family.series.empty()) {
+    family.bounds = bounds;
+  } else if (family.bounds != bounds) {
+    throw std::logic_error("metrics: histogram '" + name +
+                           "' re-registered with different bounds");
+  }
+  Family::Series& series = family.series_of(labels);
+  if (!series.histogram) {
+    series.histogram =
+        std::unique_ptr<Histogram>(new Histogram(std::move(bounds)));
+  }
+  return *series.histogram;
+}
+
+namespace {
+
+// A sample line: `name{labels} value` (braces omitted when label-free).
+// `extra` is an additional label (histogram `le`) appended after `labels`.
+void append_sample(std::string& out, const std::string& name,
+                   const std::string& labels, const std::string& extra,
+                   double value) {
+  out += name;
+  if (!labels.empty() || !extra.empty()) {
+    out += '{';
+    out += labels;
+    if (!labels.empty() && !extra.empty()) out += ',';
+    out += extra;
+    out += '}';
+  }
+  out += ' ';
+  out += format_double_shortest(value);
+  out += '\n';
+}
+
+std::string le_label(double bound) {
+  return "le=\"" + format_double_shortest(bound) + "\"";
+}
+
+}  // namespace
+
+std::string Registry::prometheus_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& family : families_) {
+    out += "# HELP " + family->name + ' ' + family->help + '\n';
+    out += "# TYPE " + family->name + ' ' + family->type + '\n';
+    for (const auto& series : family->series) {
+      if (series.counter) {
+        append_sample(out, family->name, series.labels, std::string(),
+                      series.counter->value());
+      } else if (series.gauge) {
+        append_sample(out, family->name, series.labels, std::string(),
+                      series.gauge->value());
+      } else if (series.histogram) {
+        const Histogram& h = *series.histogram;
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += h.bucket_count(i);
+          append_sample(out, family->name + "_bucket", series.labels,
+                        le_label(h.bounds()[i]),
+                        static_cast<double>(cumulative));
+        }
+        cumulative += h.bucket_count(h.bounds().size());
+        append_sample(out, family->name + "_bucket", series.labels,
+                      "le=\"+Inf\"", static_cast<double>(cumulative));
+        append_sample(out, family->name + "_sum", series.labels, std::string(),
+                      h.sum());
+        append_sample(out, family->name + "_count", series.labels,
+                      std::string(), static_cast<double>(h.count()));
+      }
+    }
+  }
+  return out;
+}
+
+Json Registry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Json out = Json::object();
+  for (const auto& family : families_) {
+    Json entry = Json::object();
+    entry.set("type", family->type);
+    entry.set("help", family->help);
+    Json list = Json::array();
+    for (const auto& series : family->series) {
+      Json sample = Json::object();
+      sample.set("labels", series.labels);
+      if (series.counter) {
+        sample.set("value", series.counter->value());
+      } else if (series.gauge) {
+        sample.set("value", series.gauge->value());
+      } else if (series.histogram) {
+        const Histogram& h = *series.histogram;
+        Json bounds = Json::array();
+        Json counts = Json::array();
+        for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+          bounds.push_back(h.bounds()[i]);
+          counts.push_back(static_cast<std::size_t>(h.bucket_count(i)));
+        }
+        counts.push_back(
+            static_cast<std::size_t>(h.bucket_count(h.bounds().size())));
+        sample.set("bounds", std::move(bounds));
+        sample.set("buckets", std::move(counts));
+        sample.set("sum", h.sum());
+        sample.set("count", static_cast<std::size_t>(h.count()));
+      }
+      list.push_back(std::move(sample));
+    }
+    entry.set("series", std::move(list));
+    out.set(family->name, std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace wsnex::util::metrics

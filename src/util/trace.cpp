@@ -1,0 +1,169 @@
+#include "util/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "util/fsio.hpp"
+#include "util/json.hpp"
+#include "util/logging.hpp"
+
+namespace wsnex::util::trace {
+namespace {
+
+struct Event {
+  std::string name;
+  std::uint64_t ts_ns;
+  std::uint64_t dur_ns;
+};
+
+// One buffer per thread, created on the thread's first recorded span. The
+// buffer outlives its thread (shared_ptr held by the global list) so
+// stop() can always drain it; the per-buffer mutex is uncontended except
+// during that drain.
+struct ThreadBuffer {
+  std::mutex mutex;
+  int tid;
+  std::vector<Event> events;
+};
+
+std::atomic<bool> g_enabled{false};
+
+std::mutex g_mutex;  // guards everything below
+std::string g_path;
+std::vector<std::shared_ptr<ThreadBuffer>>& buffers() {
+  static auto* list = new std::vector<std::shared_ptr<ThreadBuffer>>();
+  return *list;
+}
+int g_next_tid = 1;
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Capture epoch, atomic so spans on other threads can read it while a
+// start()/stop() cycle is in flight without a data race.
+std::atomic<std::int64_t> g_epoch_ns{0};
+
+ThreadBuffer& local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto created = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(g_mutex);
+    created->tid = g_next_tid++;
+    buffers().push_back(created);
+    return created;
+  }();
+  return *buffer;
+}
+
+std::uint64_t now_ns() {
+  std::int64_t elapsed =
+      steady_now_ns() - g_epoch_ns.load(std::memory_order_relaxed);
+  return elapsed > 0 ? static_cast<std::uint64_t>(elapsed) : 0;
+}
+
+void record(std::string name, std::uint64_t start_ns, std::uint64_t end_ns) {
+  ThreadBuffer& buffer = local_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(
+      Event{std::move(name), start_ns, end_ns - start_ns});
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+bool start(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_enabled.load(std::memory_order_relaxed)) return false;
+  for (auto& buffer : buffers()) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+  }
+  g_path = path;
+  g_epoch_ns.store(steady_now_ns(), std::memory_order_relaxed);
+  g_enabled.store(true, std::memory_order_release);
+  return true;
+}
+
+bool stop() {
+  std::vector<std::pair<int, Event>> drained;
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (!g_enabled.load(std::memory_order_relaxed)) return false;
+    g_enabled.store(false, std::memory_order_release);
+    path = std::move(g_path);
+    g_path.clear();
+    for (auto& buffer : buffers()) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      for (auto& event : buffer->events) {
+        drained.emplace_back(buffer->tid, std::move(event));
+      }
+      buffer->events.clear();
+    }
+  }
+  std::stable_sort(drained.begin(), drained.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second.ts_ns < b.second.ts_ns;
+                   });
+
+  Json events = Json::array();
+  for (const auto& [tid, event] : drained) {
+    Json entry = Json::object();
+    entry.set("name", event.name);
+    entry.set("ph", "X");
+    // Trace Event Format timestamps are microseconds; fractional values
+    // keep sub-µs spans visible instead of rounding them to zero width.
+    entry.set("ts", static_cast<double>(event.ts_ns) / 1000.0);
+    entry.set("dur", static_cast<double>(event.dur_ns) / 1000.0);
+    entry.set("pid", 1);
+    entry.set("tid", tid);
+    events.push_back(std::move(entry));
+  }
+  Json document = Json::object();
+  document.set("traceEvents", std::move(events));
+  document.set("displayTimeUnit", "ms");
+  try {
+    write_file_atomic(path, document.dump(1) + "\n");
+  } catch (const FileError& error) {
+    WSNEX_ERROR() << "trace: " << error.what();
+    return false;
+  }
+  return true;
+}
+
+void init_from_env() {
+  const char* path = std::getenv("WSNEX_TRACE");
+  if (path == nullptr || *path == '\0') return;
+  if (!start(path)) return;
+  std::atexit([] { stop(); });
+}
+
+Span::Span(const char* name) {
+  if (!enabled()) return;
+  name_ = name;
+  start_ns_ = now_ns();
+  active_ = true;
+}
+
+Span::Span(const char* category, const std::string& detail) {
+  if (!enabled()) return;
+  name_ = std::string(category) + ':' + detail;
+  start_ns_ = now_ns();
+  active_ = true;
+}
+
+Span::~Span() {
+  if (!active_ || !enabled()) return;
+  record(std::move(name_), start_ns_, now_ns());
+}
+
+}  // namespace wsnex::util::trace

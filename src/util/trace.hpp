@@ -1,0 +1,72 @@
+// RAII span tracing flushed to Chrome trace_event JSON.
+//
+// Usage:
+//
+//   util::trace::start("/tmp/run.trace.json");   // or WSNEX_TRACE=path +
+//   {                                            // init_from_env()
+//     util::trace::Span span("evaluate");
+//     ...                                        // timed region
+//   }
+//   util::trace::stop();                         // drains + writes the file
+//
+// The output is the Trace Event Format's JSON-object form
+// (`{"traceEvents": [...]}`) using "X" complete events, loadable in
+// chrome://tracing and Perfetto. Spans recorded on the same thread nest
+// automatically in the viewer because they share a tid and overlap in time.
+//
+// Cost model: when tracing is disabled (the default), constructing a Span
+// is one relaxed atomic load and no allocation — cheap enough to leave in
+// hot-adjacent paths (per scenario-phase, per serve-request; NOT per DSE
+// evaluation). When enabled, each span closure appends one event to a
+// thread-local buffer under that buffer's (uncontended) mutex; the mutex
+// exists only so stop() can drain buffers of still-live threads.
+//
+// Tracing never alters computation — archives stay byte-identical with a
+// trace attached (the no-perturbation contract; enforced by cmp in CI).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wsnex::util::trace {
+
+/// True between start() and stop(). Relaxed load; safe from any thread.
+bool enabled();
+
+/// Begins capturing spans; events are buffered in memory and written to
+/// `path` by stop(). Returns false (and changes nothing) when tracing is
+/// already active. Any buffered events from a previous capture are
+/// discarded.
+bool start(const std::string& path);
+
+/// Stops capturing, drains every thread's buffer and writes the JSON
+/// file. Returns false when tracing was not active or the file could not
+/// be written. Spans still open on other threads when stop() runs are
+/// simply not recorded.
+bool stop();
+
+/// Honors WSNEX_TRACE=path: starts tracing and registers an atexit hook
+/// that flushes the file on normal process exit. No-op when the variable
+/// is unset or empty.
+void init_from_env();
+
+/// Timed region. Records one complete event from construction to
+/// destruction when tracing is enabled at construction time.
+class Span {
+ public:
+  /// `name` must outlive the span (string literals in practice).
+  explicit Span(const char* name);
+  /// Dynamic-name form; builds "<category>:<detail>" only when tracing is
+  /// enabled, so disabled builds never pay the concatenation.
+  Span(const char* category, const std::string& detail);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  std::string name_;
+  std::uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace wsnex::util::trace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -21,6 +22,21 @@ class CerrCapture {
   std::streambuf* old_;
 };
 
+/// Validates the monotonic-timestamp prefix ("[<seconds>.<millis>] ") and
+/// returns everything after it ("" when the shape is wrong, which no real
+/// message matches).
+std::string after_stamp(const std::string& line) {
+  if (line.size() < 2 || line[0] != '[') return {};
+  const std::size_t close = line.find("] ");
+  if (close == std::string::npos) return {};
+  const std::string stamp = line.substr(1, close - 1);
+  const std::size_t dot = stamp.find('.');
+  if (dot == std::string::npos || dot == 0) return {};
+  if (stamp.size() - dot - 1 != 3) return {};  // millisecond resolution
+  if (stamp.find_first_not_of("0123456789.") != std::string::npos) return {};
+  return line.substr(close + 2);
+}
+
 // Restores the global level after each test so ordering doesn't matter.
 class LoggingTest : public ::testing::Test {
  protected:
@@ -32,6 +48,9 @@ class LoggingTest : public ::testing::Test {
 };
 
 TEST_F(LoggingTest, DefaultLevelIsWarn) {
+  if (std::getenv("WSNEX_LOG_LEVEL") != nullptr) {
+    GTEST_SKIP() << "WSNEX_LOG_LEVEL overrides the default threshold";
+  }
   EXPECT_EQ(log_level(), LogLevel::kWarn);
 }
 
@@ -42,6 +61,29 @@ TEST_F(LoggingTest, SetLevelRoundTrips) {
   EXPECT_EQ(log_level(), LogLevel::kOff);
 }
 
+TEST_F(LoggingTest, ParseLogLevelAcceptsCanonicalNames) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, ParseLogLevelIsCaseInsensitiveWithAliases) {
+  EXPECT_EQ(parse_log_level("WARN"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("Warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, ParseLogLevelRejectsGarbage) {
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level("warn "), std::nullopt);
+  EXPECT_EQ(parse_log_level("3"), std::nullopt);
+}
+
 TEST_F(LoggingTest, MessageBelowThresholdIsDiscarded) {
   set_log_level(LogLevel::kWarn);
   CerrCapture capture;
@@ -49,11 +91,27 @@ TEST_F(LoggingTest, MessageBelowThresholdIsDiscarded) {
   EXPECT_TRUE(capture.str().empty());
 }
 
-TEST_F(LoggingTest, MessageAtThresholdIsEmittedWithLevelTag) {
+TEST_F(LoggingTest, MessageAtThresholdIsEmittedWithStampAndLevelTag) {
   set_log_level(LogLevel::kWarn);
   CerrCapture capture;
   log(LogLevel::kWarn, "battery low");
-  EXPECT_EQ(capture.str(), "[WARN] battery low\n");
+  EXPECT_EQ(after_stamp(capture.str()), "[WARN] battery low\n")
+      << "full line: " << capture.str();
+}
+
+TEST_F(LoggingTest, TimestampsAreMonotonicallyNonDecreasing) {
+  set_log_level(LogLevel::kWarn);
+  CerrCapture capture;
+  log(LogLevel::kWarn, "first");
+  log(LogLevel::kWarn, "second");
+  std::istringstream lines(capture.str());
+  std::string first, second;
+  ASSERT_TRUE(std::getline(lines, first));
+  ASSERT_TRUE(std::getline(lines, second));
+  const auto stamp_of = [](const std::string& line) {
+    return std::stod(line.substr(1, line.find(']') - 1));
+  };
+  EXPECT_GE(stamp_of(second), stamp_of(first));
 }
 
 TEST_F(LoggingTest, OffSilencesEvenErrors) {
@@ -67,7 +125,8 @@ TEST_F(LoggingTest, StreamMacroFormatsValues) {
   set_log_level(LogLevel::kInfo);
   CerrCapture capture;
   WSNEX_INFO() << "node " << 3 << " energy " << 1.5 << " uJ";
-  EXPECT_EQ(capture.str(), "[INFO] node 3 energy 1.5 uJ\n");
+  EXPECT_EQ(after_stamp(capture.str()), "[INFO] node 3 energy 1.5 uJ\n")
+      << "full line: " << capture.str();
 }
 
 TEST_F(LoggingTest, StreamMacroSkipsFilteredLevels) {
@@ -78,7 +137,8 @@ TEST_F(LoggingTest, StreamMacroSkipsFilteredLevels) {
   WSNEX_WARN() << "invisible";
   EXPECT_TRUE(capture.str().empty());
   WSNEX_ERROR() << "visible";
-  EXPECT_EQ(capture.str(), "[ERROR] visible\n");
+  EXPECT_EQ(after_stamp(capture.str()), "[ERROR] visible\n")
+      << "full line: " << capture.str();
 }
 
 }  // namespace

@@ -1,0 +1,193 @@
+// util::trace lifecycle and export: start/stop writes a Chrome
+// trace_event JSON file that parses, spans carry name/ph/ts/dur/pid/tid,
+// same-thread nesting produces containing time ranges, disabled spans
+// record nothing, and start() refuses to run two captures at once.
+#include "util/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "util/fsio.hpp"
+#include "util/json.hpp"
+
+namespace wsnex::util::trace {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TraceTest : public ::testing::Test {
+ protected:
+  fs::path path_ =
+      fs::path(::testing::TempDir()) /
+      (std::string("wsnex_trace_") +
+       ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+       ".json");
+
+  void TearDown() override {
+    // A failed assertion can leave a capture running; never leak it into
+    // the next test.
+    stop();
+    fs::remove(path_);
+  }
+
+  util::Json load() const {
+    return util::Json::parse(util::read_file(path_.string()));
+  }
+
+  /// The first event whose name matches, or FAILs.
+  static const util::Json* find_event(const util::Json::Array& events,
+                                      const std::string& name) {
+    for (const util::Json& event : events) {
+      if (event.at("name").as_string() == name) return &event;
+    }
+    ADD_FAILURE() << "no event named " << name;
+    return nullptr;
+  }
+};
+
+TEST_F(TraceTest, DisabledByDefaultAndSpansAreFree) {
+  EXPECT_FALSE(enabled());
+  {
+    Span span("never-recorded");
+  }
+  // stop() without start() reports failure and writes nothing.
+  EXPECT_FALSE(stop());
+  EXPECT_FALSE(fs::exists(path_));
+}
+
+TEST_F(TraceTest, StartStopWritesParseableChromeTrace) {
+  ASSERT_TRUE(start(path_.string()));
+  EXPECT_TRUE(enabled());
+  {
+    Span span("unit-test");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(stop());
+  EXPECT_FALSE(enabled());
+
+  const util::Json doc = load();
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+  const util::Json::Array& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 1u);
+  const util::Json& event = events[0];
+  EXPECT_EQ(event.at("name").as_string(), "unit-test");
+  EXPECT_EQ(event.at("ph").as_string(), "X");
+  EXPECT_GE(event.at("ts").as_double(), 0.0);
+  EXPECT_GE(event.at("dur").as_double(), 1000.0);  // ≥ 1ms in µs
+  EXPECT_EQ(event.at("pid").as_int64(), 1);
+  EXPECT_GE(event.at("tid").as_int64(), 1);
+}
+
+TEST_F(TraceTest, CategoryDetailConstructorJoinsWithColon) {
+  ASSERT_TRUE(start(path_.string()));
+  {
+    Span span("scenario", std::string("hospital_ward_2"));
+  }
+  ASSERT_TRUE(stop());
+  const util::Json doc = load();
+  const util::Json::Array& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].at("name").as_string(), "scenario:hospital_ward_2");
+}
+
+TEST_F(TraceTest, NestedSpansProduceContainingRanges) {
+  ASSERT_TRUE(start(path_.string()));
+  {
+    Span outer("outer");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    {
+      Span inner("inner");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(stop());
+
+  const util::Json doc = load();
+  const util::Json::Array& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 2u);
+  const util::Json* outer = find_event(events, "outer");
+  const util::Json* inner = find_event(events, "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  // Same thread, so Perfetto nests them; the time ranges must agree.
+  EXPECT_EQ(outer->at("tid").as_int64(), inner->at("tid").as_int64());
+  const double outer_begin = outer->at("ts").as_double();
+  const double outer_end = outer_begin + outer->at("dur").as_double();
+  const double inner_begin = inner->at("ts").as_double();
+  const double inner_end = inner_begin + inner->at("dur").as_double();
+  EXPECT_LE(outer_begin, inner_begin);
+  EXPECT_GE(outer_end, inner_end);
+}
+
+TEST_F(TraceTest, EventsFromWorkerThreadsCarryDistinctTids) {
+  ASSERT_TRUE(start(path_.string()));
+  {
+    Span main_span("on-main");
+    std::thread worker([] { Span span("on-worker"); });
+    worker.join();
+  }
+  ASSERT_TRUE(stop());
+
+  const util::Json doc = load();
+  const util::Json::Array& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 2u);
+  const util::Json* a = find_event(events, "on-main");
+  const util::Json* b = find_event(events, "on-worker");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a->at("tid").as_int64(), b->at("tid").as_int64());
+}
+
+TEST_F(TraceTest, SecondStartIsRefusedUntilStopped) {
+  ASSERT_TRUE(start(path_.string()));
+  EXPECT_FALSE(start((path_.parent_path() / "other.json").string()));
+  EXPECT_TRUE(enabled());  // the original capture is still live
+  ASSERT_TRUE(stop());
+  EXPECT_TRUE(start(path_.string()));
+  EXPECT_TRUE(stop());
+}
+
+TEST_F(TraceTest, RestartDropsSpansFromThePreviousCapture) {
+  ASSERT_TRUE(start(path_.string()));
+  {
+    Span span("stale");
+  }
+  ASSERT_TRUE(stop());
+  ASSERT_TRUE(start(path_.string()));
+  {
+    Span span("fresh");
+  }
+  ASSERT_TRUE(stop());
+  const util::Json doc = load();
+  const util::Json::Array& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].at("name").as_string(), "fresh");
+}
+
+TEST_F(TraceTest, SpanStartedBeforeStopIsSimplyDropped) {
+  ASSERT_TRUE(start(path_.string()));
+  {
+    Span span("straddler");
+    ASSERT_TRUE(stop());
+    // destructor runs with tracing disabled: nothing recorded, no crash
+  }
+  const util::Json doc = load();
+  EXPECT_EQ(doc.at("traceEvents").as_array().size(), 0u);
+}
+
+TEST_F(TraceTest, UnwritablePathReportsFailureAndDisables) {
+  ASSERT_TRUE(start("/nonexistent-dir/trace.json"));
+  {
+    Span span("lost");
+  }
+  EXPECT_FALSE(stop());
+  EXPECT_FALSE(enabled());  // capture is over even though the write failed
+}
+
+}  // namespace
+}  // namespace wsnex::util::trace

@@ -48,6 +48,7 @@
 #include "util/simd.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/trace.hpp"
 #include "validate/validation.hpp"
 
 #include "serve_commands.hpp"
@@ -67,10 +68,11 @@ int usage(std::FILE* to) {
                "  wsnex check <spec.json|preset>...\n"
                "  wsnex run <spec.json|preset>... -o DIR [--quick] "
                "[--threads N] [--jobs N] [--cache-dir DIR] "
-               "[--abort-after N] [--validate]\n"
+               "[--abort-after N] [--validate] [--trace PATH]\n"
                "  wsnex resume DIR [--threads N] [--jobs N] "
-               "[--cache-dir DIR] [--abort-after N] [--validate]\n"
-               "  wsnex report DIR\n"
+               "[--cache-dir DIR] [--abort-after N] [--validate] "
+               "[--trace PATH]\n"
+               "  wsnex report DIR [--metrics]\n"
                "  wsnex export <preset>... -o DIR\n"
                "  wsnex simulate <spec.json|preset> [--duration S] "
                "[--seed N]\n"
@@ -79,7 +81,8 @@ int usage(std::FILE* to) {
                "                 [--tolerance PCT] [--duration S] [--seed N]\n"
                "  wsnex serve --data DIR [--port N] [--slots N] [--threads N] "
                "[--max-queued N]\n"
-               "              [--cache-dir DIR] [--port-file PATH]\n"
+               "              [--cache-dir DIR] [--port-file PATH] "
+               "[--access-log]\n"
                "  wsnex submit --port N <spec.json|preset>... [--id ID] "
                "[--kind campaign|validation]\n"
                "               [--priority N] [--quick] [--replicates N] "
@@ -123,6 +126,16 @@ int usage(std::FILE* to) {
                "                    120; run --validate: default 60)\n"
                "      --seed N      base seed; replicate seeds are "
                "counter-derived from it\n"
+               "      --trace PATH  write a Chrome trace_event JSON timeline "
+               "of the campaign\n"
+               "                    (chrome://tracing / Perfetto; WSNEX_TRACE="
+               "PATH traces any command)\n"
+               "      --metrics     report: per-scenario wall-clock breakdown "
+               "from the summary\n"
+               "                    perf sections (evaluate/lifetime/persist, "
+               "evals/s)\n"
+               "      --access-log  serve: one structured log line per HTTP "
+               "request\n"
                "      --json        machine-readable `list` output\n"
                "\n"
                "Specs: JSON files (see examples/scenarios/) or built-in "
@@ -249,6 +262,8 @@ struct CommonFlags {
   std::vector<std::string> positional;
   std::string out_dir;
   std::string cache_dir;
+  std::string trace_path;
+  bool metrics = false;
   bool quick = false;
   std::optional<std::size_t> threads;
   std::size_t jobs = 1;
@@ -330,6 +345,10 @@ CommonFlags parse_flags(const std::vector<std::string>& args) {
       }
     } else if (a == "--cache-dir") {
       if (const auto v = next_value("--cache-dir")) flags.cache_dir = *v;
+    } else if (a == "--trace") {
+      if (const auto v = next_value("--trace")) flags.trace_path = *v;
+    } else if (a == "--metrics") {
+      flags.metrics = true;
     } else if (a == "--validate") {
       flags.validate = true;
     } else if (a == "--replicates") {
@@ -384,6 +403,31 @@ CommonFlags parse_flags(const std::vector<std::string>& args) {
   }
   return flags;
 }
+
+/// Scopes a --trace capture to one campaign run; the file is written even
+/// when the campaign throws (the trace of a failed run is the one you
+/// want). Inactive (and free) when no path was given — WSNEX_TRACE
+/// handled by init_from_env() still applies.
+class TraceGuard {
+ public:
+  explicit TraceGuard(const std::string& path) {
+    if (!path.empty()) {
+      active_ = util::trace::start(path);
+      if (!active_) {
+        std::fprintf(stderr,
+                     "--trace ignored: a trace capture is already active\n");
+      }
+    }
+  }
+  ~TraceGuard() {
+    if (active_) util::trace::stop();
+  }
+  TraceGuard(const TraceGuard&) = delete;
+  TraceGuard& operator=(const TraceGuard&) = delete;
+
+ private:
+  bool active_ = false;
+};
 
 void print_outcome(const scenario::CampaignOutcome& outcome) {
   if (outcome.skipped) {
@@ -453,6 +497,7 @@ int cmd_run(const std::vector<std::string>& args) {
   std::printf("campaign: %zu scenario(s) -> %s%s%s\n", specs.size(),
               options.out_dir.c_str(), options.quick ? " (quick)" : "",
               flags.validate ? " (+validation)" : "");
+  const TraceGuard trace(flags.trace_path);
   const auto report = scenario::run_campaign(specs, options, print_outcome);
   return report_outcome_summary(report, options.out_dir);
 }
@@ -474,6 +519,7 @@ int cmd_resume(const std::vector<std::string>& args) {
     overrides.post_scenario =
         validate::make_campaign_validation_hook(campaign_validation(flags));
   }
+  const TraceGuard trace(flags.trace_path);
   const auto report =
       scenario::resume_campaign(out_dir, overrides, print_outcome);
   return report_outcome_summary(report, out_dir);
@@ -622,6 +668,59 @@ int cmd_validate(const std::vector<std::string>& args) {
   return failures == 0 ? 0 : 1;
 }
 
+/// `report --metrics`: aggregates the per-scenario `perf` sections into a
+/// campaign-wide wall-clock breakdown (where did the time go, and at what
+/// evaluation throughput). Campaigns from before the perf block render
+/// "-" columns instead of failing.
+int report_metrics(const scenario::ResultStore& store,
+                   const scenario::CampaignManifest& manifest) {
+  util::Table table({"scenario", "wallclock [s]", "evaluate [s]",
+                     "lifetime [s]", "persist [s]", "evals/s"});
+  double total_wall = 0.0, total_evaluate = 0.0, total_lifetime = 0.0;
+  double total_persist = 0.0;
+  std::size_t total_evals = 0, complete = 0;
+  for (const auto& status : manifest.scenarios) {
+    if (!status.complete) {
+      table.add_row({status.name, "-", "-", "-", "-", "-"});
+      continue;
+    }
+    ++complete;
+    total_wall += status.wallclock_s;
+    total_evals += status.evaluations;
+    const util::Json summary = store.load_summary(status.name);
+    std::string evaluate = "-", lifetime = "-", persist = "-";
+    if (const util::Json* perf = summary.find("perf")) {
+      const double evaluate_s = perf->at("evaluate_s").as_double();
+      const double lifetime_s = perf->at("lifetime_s").as_double();
+      const double persist_s = perf->at("persist_s").as_double();
+      total_evaluate += evaluate_s;
+      total_lifetime += lifetime_s;
+      total_persist += persist_s;
+      evaluate = util::Table::num(evaluate_s, 3);
+      lifetime = util::Table::num(lifetime_s, 3);
+      persist = util::Table::num(persist_s, 3);
+    }
+    const double rate = status.wallclock_s > 0.0
+                            ? static_cast<double>(status.evaluations) /
+                                  status.wallclock_s
+                            : 0.0;
+    table.add_row({status.name, util::Table::num(status.wallclock_s, 3),
+                   evaluate, lifetime, persist, util::Table::num(rate, 0)});
+  }
+  table.add_row({"TOTAL", util::Table::num(total_wall, 3),
+                 util::Table::num(total_evaluate, 3),
+                 util::Table::num(total_lifetime, 3),
+                 util::Table::num(total_persist, 3),
+                 total_wall > 0.0
+                     ? util::Table::num(
+                           static_cast<double>(total_evals) / total_wall, 0)
+                     : "-"});
+  std::printf("campaign perf at %s (%zu/%zu scenario(s) complete)\n\n%s\n",
+              store.root().c_str(), complete, manifest.scenarios.size(),
+              table.render().c_str());
+  return 0;
+}
+
 int cmd_report(const std::vector<std::string>& args) {
   CommonFlags flags = parse_flags(args);
   if (!flags.ok) return 2;
@@ -636,6 +735,7 @@ int cmd_report(const std::vector<std::string>& args) {
     return 1;
   }
   const auto manifest = store.load_manifest();
+  if (flags.metrics) return report_metrics(store, manifest);
   util::Table table({"scenario", "status", "evals", "front", "feasible",
                      "best E_net [mJ/s]", "lifetime [days]", "validated",
                      "best config"});
@@ -707,6 +807,9 @@ int cmd_export(const std::vector<std::string>& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // WSNEX_TRACE=path captures the whole invocation (any subcommand);
+  // --trace on run/resume scopes the capture to the campaign instead.
+  wsnex::util::trace::init_from_env();
   std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty()) return usage(stderr);
   const std::string command = args.front();

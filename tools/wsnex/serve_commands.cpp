@@ -11,6 +11,7 @@
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "util/fsio.hpp"
+#include "util/logging.hpp"
 #include "util/table.hpp"
 
 namespace wsnex::cli {
@@ -83,6 +84,7 @@ struct ServeFlags {
   bool quick = false;
   bool wait = false;
   bool as_json = false;
+  bool access_log = false;
   std::optional<std::size_t> replicates;
   std::optional<double> duration_s;
   std::optional<double> tolerance_percent;
@@ -174,6 +176,8 @@ ServeFlags parse_serve_flags(const std::vector<std::string>& args) {
       flags.wait = true;
     } else if (a == "--json") {
       flags.as_json = true;
+    } else if (a == "--access-log") {
+      flags.access_log = true;
     } else if (!a.empty() && a[0] == '-') {
       std::fprintf(stderr, "unknown option: %s\n", a.c_str());
       flags.ok = false;
@@ -239,6 +243,12 @@ int cmd_serve(const std::vector<std::string>& args) {
 
   serve::ServerOptions server_options;
   server_options.port = flags.port;
+  server_options.access_log = flags.access_log;
+  if (flags.access_log && util::log_level() > util::LogLevel::kInfo) {
+    // Access lines are emitted at INFO; open the threshold unless the
+    // operator already asked for something more verbose.
+    util::set_log_level(util::LogLevel::kInfo);
+  }
   serve::HttpServer server(scheduler, server_options);
 
   scheduler.start();
