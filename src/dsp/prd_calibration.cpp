@@ -8,6 +8,8 @@
 #include <sstream>
 
 #include "dsp/quality.hpp"
+#include "util/failpoint.hpp"
+#include "util/fsio.hpp"
 #include "util/json.hpp"
 #include "util/logging.hpp"
 #include "util/metrics.hpp"
@@ -22,6 +24,15 @@ util::metrics::Counter& prd_cache_event(const char* labels) {
   return util::metrics::Registry::instance().counter(
       "wsnex_prd_cache_events_total",
       "PRD calibration disk-cache lookups by outcome", labels);
+}
+
+/// Counts cache *failures* that degraded to in-memory recompute — a cache
+/// that exists but cannot be read, or a write that did not stick. Plain
+/// misses and deliberate key mismatches are not degradation.
+util::metrics::Counter& cache_degraded(const char* labels) {
+  return util::metrics::Registry::instance().counter(
+      "wsnex_cache_degraded_total",
+      "Disk-cache failures degraded to in-memory recompute", labels);
 }
 
 /// Generates `count` zero-mean ECG windows of `window` samples.
@@ -197,6 +208,13 @@ PrdCurve curve_from_json(const util::Json& json) {
 }
 
 std::optional<DefaultPrdCurves> try_load_cache(const std::string& path) {
+  if (const auto fault = util::failpoint::evaluate("prd_cache.read")) {
+    WSNEX_WARN() << path << ": calibration cache read failed (injected), "
+                 << "recalibrating in memory";
+    static auto& degraded = cache_degraded("op=\"read\"");
+    degraded.inc();
+    return std::nullopt;
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
   std::ostringstream ss;
@@ -216,6 +234,10 @@ std::optional<DefaultPrdCurves> try_load_cache(const std::string& path) {
   } catch (const std::exception& e) {
     WSNEX_WARN() << path << ": unusable calibration cache (" << e.what()
                  << "), recalibrating";
+    // The file exists but cannot serve: torn write, corruption, or a
+    // read error — degradation, unlike a plain miss or key mismatch.
+    static auto& degraded = cache_degraded("op=\"read\"");
+    degraded.inc();
     return std::nullopt;
   }
 }
@@ -229,24 +251,13 @@ void try_save_cache(const std::string& dir, const std::string& path,
   json.set("cs", curve_to_json(curves.cs));
   try {
     std::filesystem::create_directories(dir);
-    const std::string tmp = path + ".tmp";
-    {
-      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-      if (!out) {
-        WSNEX_WARN() << "cannot write calibration cache " << tmp;
-        return;
-      }
-      out << json.dump(2);
-      out.flush();
-      if (!out) {
-        WSNEX_WARN() << "write failed for calibration cache " << tmp;
-        return;
-      }
-    }
-    std::filesystem::rename(tmp, path);
+    util::write_file_atomic(path, json.dump(2), "prd_cache.write");
   } catch (const std::exception& e) {
-    // The cache is an accelerator, never a correctness dependency.
+    // The cache is an accelerator, never a correctness dependency: a
+    // failed write degrades to recomputing the calibration next process.
     WSNEX_WARN() << "calibration cache write failed: " << e.what();
+    static auto& degraded = cache_degraded("op=\"write\"");
+    degraded.inc();
   }
 }
 

@@ -2,13 +2,17 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <cstring>
 #include <mutex>
 
 #include "dse/objectives.hpp"
 #include "dsp/prd_calibration.hpp"
 #include "model/lifetime.hpp"
 #include "util/csv.hpp"
+#include "util/failpoint.hpp"
+#include "util/fsio.hpp"
 #include "util/json.hpp"
 #include "util/logging.hpp"
 #include "util/metrics.hpp"
@@ -197,6 +201,15 @@ ScenarioStatus execute_scenario(const ScenarioSpec& spec,
                       run.space);
     write_archive_csv(store.feasible_csv_path(spec.name), run.result.archive,
                       feasible, lifetime_days, run.space);
+    // Mid-persist fault site: archives on disk, summary + manifest not yet
+    // written — the scenario stays pending and a resume regenerates the
+    // CSVs bit-identically. Torn counts as an error here (the CSV writer
+    // is not atomic; a partial archive must abort, not "succeed").
+    if (const auto fault = util::failpoint::evaluate("campaign.persist")) {
+      errno = fault.error_errno != 0 ? fault.error_errno : EIO;
+      throw util::FileError(std::string("persist of ") + spec.name +
+                            " failed (injected): " + std::strerror(errno));
+    }
   }
   perf.persist_s = now_s() - phase_start;
   store.write_summary(spec.name,
@@ -487,6 +500,7 @@ CampaignReport resume_campaign(
                         ": no campaign manifest (campaign.json) to resume");
   }
   ResultStore store(out_dir);
+  store.sweep_stale_temp_files();
   const CampaignManifest manifest = store.load_manifest();
   if (manifest.simd_reassociation != util::simd::reassociation_enabled()) {
     // A resume re-runs only the pending scenarios; under a different gate

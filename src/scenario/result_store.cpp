@@ -14,21 +14,11 @@ namespace fs = std::filesystem;
 
 namespace {
 
-std::string read_file(const std::string& path) {
-  try {
-    return util::read_file(path);
-  } catch (const util::FileError& e) {
-    throw ScenarioError(e.what());
-  }
-}
-
-void write_file_atomic(const std::string& path, const std::string& contents) {
-  try {
-    util::write_file_atomic(path, contents);
-  } catch (const util::FileError& e) {
-    throw ScenarioError(e.what());
-  }
-}
+// util::FileError propagates unwrapped from every store operation: the
+// serve scheduler classifies it as transient (retryable), unlike
+// ScenarioError which marks the unit's inputs as bad.
+using util::read_file;
+using util::write_file_atomic;
 
 util::Json status_to_json(const ScenarioStatus& s) {
   util::Json json = util::Json::object();
@@ -148,6 +138,14 @@ void ResultStore::ensure_result_dir(const std::string& name) const {
 
 void ResultStore::initialize(const std::vector<ScenarioSpec>& specs,
                              bool quick) {
+  if (fs::exists(root_)) {
+    // A writer that crashed mid-write left `.tmp.*` debris; clear it
+    // before anything reads or re-writes the shards. Keyed on the
+    // directory, not the manifest — a crash during the very first
+    // initialize() (spec frozen, manifest never written) leaves debris
+    // in a store that exists() does not yet acknowledge.
+    sweep_stale_temp_files();
+  }
   if (ResultStore::exists(root_)) {
     // Existing campaign: it must be *this* campaign (same scenarios with
     // the same contents and options), in which case prior progress stands.
@@ -198,7 +196,8 @@ void ResultStore::initialize(const std::vector<ScenarioSpec>& specs,
   }
   fs::create_directories(scenario_dir());
   for (const ScenarioSpec& spec : specs) {
-    write_file_atomic(spec_path(spec.name), spec.to_json().dump(2));
+    write_file_atomic(spec_path(spec.name), spec.to_json().dump(2),
+                      "result_store.spec");
   }
   CampaignManifest manifest;
   manifest.quick = quick;
@@ -263,7 +262,8 @@ void ResultStore::record_complete(const ScenarioStatus& status) {
 void ResultStore::write_validation(const std::string& name,
                                    const util::Json& report) const {
   ensure_result_dir(name);
-  write_file_atomic(validation_json_path(name), report.dump(2));
+  write_file_atomic(validation_json_path(name), report.dump(2),
+                    "result_store.validation");
 }
 
 util::Json ResultStore::load_validation(const std::string& name) const {
@@ -281,7 +281,8 @@ bool ResultStore::has_validation(const std::string& name) const {
 void ResultStore::write_summary(const std::string& name,
                                 const util::Json& summary) const {
   ensure_result_dir(name);
-  write_file_atomic(summary_path(name), summary.dump(2));
+  write_file_atomic(summary_path(name), summary.dump(2),
+                    "result_store.summary");
 }
 
 util::Json ResultStore::load_summary(const std::string& name) const {
@@ -302,7 +303,11 @@ void ResultStore::save_manifest(const CampaignManifest& manifest) const {
     scenarios.push_back(status_to_json(s));
   }
   json.set("scenarios", std::move(scenarios));
-  write_file_atomic(manifest_path(), json.dump(2));
+  write_file_atomic(manifest_path(), json.dump(2), "result_store.manifest");
+}
+
+std::size_t ResultStore::sweep_stale_temp_files() const {
+  return util::remove_stale_temp_files(root_);
 }
 
 }  // namespace wsnex::scenario

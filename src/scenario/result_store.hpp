@@ -118,6 +118,12 @@ class ResultStore {
   util::Json load_validation(const std::string& name) const;
   bool has_validation(const std::string& name) const;
 
+  /// Removes `.tmp.*` debris left anywhere under the root by writers that
+  /// crashed mid-write_file_atomic. Returns the number of files removed.
+  /// Called from initialize() on an existing store and from resume paths;
+  /// safe only while no writer is live.
+  std::size_t sweep_stale_temp_files() const;
+
  private:
   void save_manifest(const CampaignManifest& manifest) const;
 

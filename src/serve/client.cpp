@@ -1,57 +1,107 @@
 #include "serve/client.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <random>
 #include <thread>
 
 #include "serve/job.hpp"
 #include "util/http.hpp"
+#include "util/logging.hpp"
+#include "util/socket.hpp"
 
 namespace wsnex::serve {
 
 util::Json Client::request(const std::string& method,
-                           const std::string& target,
-                           const std::string& body) const {
-  const util::HttpResponse response =
-      util::http_exchange(port_, method, target, body, timeout_ms_);
-  util::Json parsed;
-  try {
-    parsed = util::Json::parse(response.body);
-  } catch (const util::JsonParseError& e) {
-    throw ServeApiError(0, "unparseable response (HTTP " +
-                               std::to_string(response.status) +
-                               "): " + e.what());
-  }
-  if (response.status >= 400) {
-    std::string message = "HTTP " + std::to_string(response.status);
-    if (const util::Json* error = parsed.find("error")) {
-      if (const util::Json* text = error->find("message")) {
-        if (text->is_string()) message = text->as_string();
-      }
+                           const std::string& target, const std::string& body,
+                           bool idempotent) const {
+  const int attempts =
+      idempotent ? std::max(1, retry_.max_attempts) : 1;
+  // Deterministic per-(client, target) jitter: spreads concurrent callers
+  // without making test runs flaky.
+  std::minstd_rand jitter_rng(
+      static_cast<unsigned>(port_) * 2654435761u +
+      static_cast<unsigned>(std::hash<std::string>{}(target)));
+  for (int attempt = 1;; ++attempt) {
+    util::HttpResponse response;
+    try {
+      response = util::http_exchange(port_, method, target, body, timeout_ms_);
+    } catch (const util::SocketError& e) {
+      if (attempt >= attempts) throw;
+      const int backoff = std::min(
+          retry_.max_delay_ms, retry_.base_delay_ms * (1 << (attempt - 1)));
+      const int delay =
+          backoff / 2 + static_cast<int>(jitter_rng() %
+                                         static_cast<unsigned>(backoff / 2 + 1));
+      WSNEX_WARN() << "serve client: " << method << " " << target
+                   << " failed (" << e.what() << "); retry " << attempt << "/"
+                   << (attempts - 1) << " in " << delay << " ms";
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      continue;
     }
-    throw ServeApiError(response.status, message);
+    util::Json parsed;
+    try {
+      parsed = util::Json::parse(response.body);
+    } catch (const util::JsonParseError& e) {
+      throw ServeApiError(0, "unparseable response (HTTP " +
+                                 std::to_string(response.status) +
+                                 "): " + e.what());
+    }
+    if (response.status >= 400) {
+      std::string message = "HTTP " + std::to_string(response.status);
+      if (const util::Json* error = parsed.find("error")) {
+        if (const util::Json* text = error->find("message")) {
+          if (text->is_string()) message = text->as_string();
+        }
+      }
+      throw ServeApiError(response.status, message);
+    }
+    return parsed;
   }
-  return parsed;
 }
 
 util::Json Client::submit(const util::Json& job) const {
-  return request("POST", "/v1/jobs", job.dump());
+  // Only id-bearing submits are idempotent: resending the same body hits
+  // the scheduler's duplicate check instead of enqueueing a second job.
+  const util::Json* id = job.find("id");
+  const bool idempotent =
+      id != nullptr && id->is_string() && !id->as_string().empty();
+  if (!idempotent) return request("POST", "/v1/jobs", job.dump(), false);
+  try {
+    return request("POST", "/v1/jobs", job.dump(), true);
+  } catch (const ServeApiError& e) {
+    // 409 after a transport-level retry: some earlier attempt was
+    // actually admitted (the response just never reached us). The job
+    // exists — report its live state instead of a phantom conflict.
+    if (e.status() != 409 || retry_.max_attempts <= 1) throw;
+    WSNEX_WARN() << "serve client: submit of \"" << id->as_string()
+                 << "\" answered 409 under retry; treating as already "
+                    "admitted";
+    return status(id->as_string());
+  }
 }
 
 util::Json Client::status(const std::string& id) const {
-  return request("GET", "/v1/jobs/" + id, "");
+  return request("GET", "/v1/jobs/" + id, "", true);
 }
 
-util::Json Client::list() const { return request("GET", "/v1/jobs", ""); }
+util::Json Client::list() const {
+  return request("GET", "/v1/jobs", "", true);
+}
 
 util::Json Client::results(const std::string& id) const {
-  return request("GET", "/v1/jobs/" + id + "/results", "");
+  return request("GET", "/v1/jobs/" + id + "/results", "", true);
 }
 
 util::Json Client::cancel(const std::string& id) const {
-  return request("POST", "/v1/jobs/" + id + "/cancel", "");
+  // Cancellation is idempotent by scheduler contract: repeated cancels
+  // report the settled state.
+  return request("POST", "/v1/jobs/" + id + "/cancel", "", true);
 }
 
-util::Json Client::health() const { return request("GET", "/healthz", ""); }
+util::Json Client::health() const {
+  return request("GET", "/healthz", "", true);
+}
 
 util::Json Client::wait(const std::string& id, int poll_ms,
                         int timeout_ms) const {

@@ -27,14 +27,31 @@ class ServeApiError : public std::runtime_error {
   int status_ = 0;
 };
 
+/// Transport-retry knobs. Retries apply only to *idempotent* requests
+/// (every GET, cancel, and submits carrying a client-supplied id) and
+/// only to transport failures (util::SocketError) — an HTTP error status
+/// is an answer, not an outage. Backoff is exponential with deterministic
+/// per-client jitter.
+struct RetryPolicy {
+  int max_attempts = 1;  ///< total tries; 1 = no retries (the default)
+  int base_delay_ms = 50;
+  int max_delay_ms = 2000;
+};
+
 class Client {
  public:
-  explicit Client(std::uint16_t port, int timeout_ms = 30000)
-      : port_(port), timeout_ms_(timeout_ms) {}
+  explicit Client(std::uint16_t port, int timeout_ms = 30000,
+                  RetryPolicy retry = {})
+      : port_(port), timeout_ms_(timeout_ms), retry_(retry) {}
 
   std::uint16_t port() const { return port_; }
 
   /// POST /v1/jobs; returns the acceptance body {"id","state"}.
+  /// Under a retry policy, submits with a client-supplied "id" are
+  /// idempotent: a 409 Duplicate on a retry attempt means an earlier
+  /// attempt's request actually landed, and is resolved to success via
+  /// GET status. Submits without an id are never retried (a retry could
+  /// enqueue the job twice under two auto-assigned ids).
   util::Json submit(const util::Json& job) const;
   util::Json status(const std::string& id) const;   ///< GET /v1/jobs/<id>
   util::Json list() const;                          ///< GET /v1/jobs
@@ -50,10 +67,11 @@ class Client {
 
  private:
   util::Json request(const std::string& method, const std::string& target,
-                     const std::string& body) const;
+                     const std::string& body, bool idempotent) const;
 
   std::uint16_t port_ = 0;
   int timeout_ms_ = 30000;
+  RetryPolicy retry_;
 };
 
 }  // namespace wsnex::serve

@@ -88,7 +88,7 @@ JobSpec JobSpec::from_json(const util::Json& json) {
     static constexpr const char* known[] = {
         "id",     "kind",       "priority",   "quick",
         "scenarios", "replicates", "duration_s", "tolerance_percent",
-        "seed"};
+        "seed", "deadline_s"};
     bool ok = false;
     for (const char* k : known) ok = ok || key == k;
     if (!ok) throw ServeError("job: unknown field \"" + key + "\"");
@@ -108,6 +108,7 @@ JobSpec JobSpec::from_json(const util::Json& json) {
     if (!quick->is_bool()) throw ServeError("job: \"quick\" must be a bool");
     spec.quick = quick->as_bool();
   }
+  spec.deadline_s = require_positive(json, "deadline_s", 0.0);
 
   const util::Json& scenarios = require(json, "scenarios");
   if (!scenarios.is_array() || scenarios.as_array().empty()) {
@@ -142,6 +143,7 @@ util::Json JobSpec::to_json() const {
   json.set("kind", to_string(kind));
   json.set("priority", priority);
   if (quick) json.set("quick", true);
+  if (deadline_s > 0.0) json.set("deadline_s", deadline_s);
   util::Json list = util::Json::array();
   for (const scenario::ScenarioSpec& spec : scenarios) {
     list.push_back(spec.to_json());
@@ -171,6 +173,10 @@ JobRecord JobRecord::from_json(const util::Json& json) {
     record.priority =
         static_cast<std::size_t>(json.at("priority").as_int64());
     record.quick = json.at("quick").as_bool();
+    // Optional: records written before the deadline field lack it.
+    if (const util::Json* deadline = json.find("deadline_s")) {
+      record.deadline_s = deadline->as_double();
+    }
     record.state = job_state_from_string(json.at("state").as_string());
     if (const util::Json* error = json.find("error")) {
       record.error = error->as_string();
@@ -198,6 +204,7 @@ util::Json JobRecord::to_json() const {
   json.set("kind", to_string(kind));
   json.set("priority", priority);
   json.set("quick", quick);
+  if (deadline_s > 0.0) json.set("deadline_s", deadline_s);
   json.set("state", to_string(state));
   if (!error.empty()) json.set("error", error);
   util::Json names = util::Json::array();

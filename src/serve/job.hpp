@@ -70,6 +70,11 @@ struct JobSpec {
   /// priority-1 job gets while both have work pending.
   std::size_t priority = 1;
   bool quick = false;  ///< campaign jobs: smoke-test optimizer budgets
+  /// Wall-clock budget in seconds from the moment the job starts running
+  /// (0 = none). A job past its deadline is failed by the scheduler's
+  /// watchdog; in-flight units are abandoned cooperatively (their results
+  /// still persist, but cannot resurrect the job).
+  double deadline_s = 0.0;
   std::vector<scenario::ScenarioSpec> scenarios;
   JobValidationSettings validation;  ///< used by kValidation jobs
 
@@ -89,6 +94,7 @@ struct JobRecord {
   JobKind kind = JobKind::kCampaign;
   std::size_t priority = 1;
   bool quick = false;
+  double deadline_s = 0.0;  ///< wall-clock budget (0 = none)
   JobState state = JobState::kQueued;
   std::string error;  ///< failure message when state == kFailed
   std::vector<std::string> scenario_names;

@@ -10,6 +10,7 @@
 #include "scenario/campaign.hpp"
 #include "util/fsio.hpp"
 #include "util/logging.hpp"
+#include "util/socket.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
 #include "validate/validation.hpp"
@@ -41,6 +42,18 @@ util::metrics::Counter& unit_counter(const char* labels) {
 util::metrics::Gauge& active_jobs_gauge() {
   return util::metrics::Registry::instance().gauge(
       "wsnex_serve_active_jobs", "Non-terminal (queued + running) jobs");
+}
+
+util::metrics::Counter& unit_retries_counter() {
+  return util::metrics::Registry::instance().counter(
+      "wsnex_serve_unit_retries_total",
+      "Units re-queued after a transient (I/O) failure");
+}
+
+util::metrics::Counter& deadline_counter() {
+  return util::metrics::Registry::instance().counter(
+      "wsnex_serve_deadline_exceeded_total",
+      "Jobs failed for exceeding their deadline_s budget");
 }
 
 double now_s() {
@@ -253,6 +266,7 @@ JobScheduler::Admission JobScheduler::submit_impl(JobSpec spec) {
   }
   job->claimed.assign(job->unit_names.size(), false);
   job->completed.assign(job->unit_names.size(), false);
+  job->attempts.assign(job->unit_names.size(), 0);
   try {
     const std::string shard = shard_dir(id);
     // A shard with no job.json is debris from a submit that died between
@@ -289,10 +303,11 @@ void JobScheduler::start() {
   std::lock_guard<std::mutex> lk(mutex_);
   if (started_ || stopping_) return;
   started_ = true;
-  workers_.reserve(options_.slots);
+  workers_.reserve(options_.slots + 1);
   for (std::size_t i = 0; i < options_.slots; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  workers_.emplace_back([this] { watchdog_loop(); });
 }
 
 std::size_t JobScheduler::recover() {
@@ -309,8 +324,12 @@ std::size_t JobScheduler::recover() {
   std::size_t requeued = 0;
   std::lock_guard<std::mutex> lk(mutex_);
   for (const fs::path& shard : shards) {
+    if (shard.filename().string().ends_with(".quarantined")) continue;
     const fs::path record_path = shard / "job.json";
     if (!fs::exists(record_path)) continue;  // aborted submit, no admission
+    // A writer that died mid-write left `.tmp.*` debris in the shard;
+    // clear it before anything reads or re-writes the artifacts.
+    util::remove_stale_temp_files(shard.string());
     try {
       const JobRecord record = JobRecord::from_json(
           util::Json::parse(util::read_file(record_path.string())));
@@ -325,6 +344,7 @@ std::size_t JobScheduler::recover() {
       job->spec.priority = std::clamp<std::size_t>(record.priority, 1,
                                                    options_.max_priority);
       job->spec.quick = record.quick;
+      job->spec.deadline_s = record.deadline_s;
       job->spec.validation = record.validation;
       job->unit_names = record.scenario_names;
       job->store = std::make_unique<scenario::ResultStore>(shard.string());
@@ -332,6 +352,7 @@ std::size_t JobScheduler::recover() {
       job->error = record.error;
       job->claimed.assign(job->unit_names.size(), false);
       job->completed.assign(job->unit_names.size(), false);
+      job->attempts.assign(job->unit_names.size(), 0);
 
       const scenario::CampaignManifest manifest = job->store->load_manifest();
       for (std::size_t i = 0;
@@ -378,8 +399,26 @@ std::size_t JobScheduler::recover() {
       }
       jobs_[record.id] = std::move(job);
     } catch (const std::exception& e) {
-      WSNEX_WARN() << "serve: skipping unrecoverable job shard "
-                   << shard.string() << ": " << e.what();
+      // Unreadable record or store (truncated job.json, missing frozen
+      // spec, ...): move the shard aside so its id cannot wedge future
+      // submits, and keep serving everything else.
+      const fs::path quarantined = shard.string() + ".quarantined";
+      std::error_code rename_ec;
+      std::error_code exists_ec;
+      if (fs::exists(quarantined, exists_ec)) {
+        fs::remove_all(quarantined, rename_ec);
+        rename_ec.clear();
+      }
+      fs::rename(shard, quarantined, rename_ec);
+      if (rename_ec) {
+        WSNEX_WARN() << "serve: skipping unrecoverable job shard "
+                     << shard.string() << ": " << e.what()
+                     << " (quarantine failed: " << rename_ec.message() << ")";
+      } else {
+        WSNEX_WARN() << "serve: quarantined unrecoverable job shard "
+                     << shard.string() << " -> " << quarantined.string()
+                     << ": " << e.what();
+      }
     }
   }
   active_jobs_gauge().set(static_cast<double>(active_jobs_locked()));
@@ -544,29 +583,58 @@ void JobScheduler::worker_loop() {
     std::optional<JobRecord> record;
     if (job.state == JobState::kQueued) {
       job.state = JobState::kRunning;
+      job.running_since_s = now_s();
       record = record_of(job);
     }
 
     lk.unlock();
     if (record) persist_record(job, *record);
     const double unit_start = now_s();
-    std::string error;
+    UnitOutcome outcome;
     {
       util::trace::Span span("unit", id + ":" + job.unit_names[unit]);
-      error = run_unit(job, unit);
+      outcome = run_unit(job, unit);
     }
     const double unit_elapsed = now_s() - unit_start;
     lk.lock();
 
     --job.units_running;
     job.unit_wallclock_s += unit_elapsed;
-    if (error.empty()) {
+    // Deadline check at unit completion: deterministic (no watchdog
+    // latency) for jobs whose units do finish — the watchdog only has to
+    // catch units that never return.
+    if (!is_terminal(job.state) && !job.fail_requested &&
+        job.spec.deadline_s > 0.0 &&
+        now_s() - job.running_since_s > job.spec.deadline_s) {
+      if (job.error.empty()) {
+        job.error = "deadline of " + std::to_string(job.spec.deadline_s) +
+                    "s exceeded";
+      }
+      job.fail_requested = true;
+      wrr_.remove(id);
+      deadline_counter().inc();
+    }
+    if (outcome.error.empty()) {
       job.completed[unit] = true;
       ++job.units_done;
       static auto& completed = unit_counter("outcome=\"completed\"");
       completed.inc();
+    } else if (outcome.transient && !job.fail_requested &&
+               !job.cancel_requested && !is_terminal(job.state) &&
+               job.attempts[unit] < options_.unit_retries) {
+      // Transient environment failure: give the unit back to the WRR for
+      // a bounded number of fresh grants instead of failing the job.
+      ++job.attempts[unit];
+      job.claimed[unit] = false;
+      WSNEX_WARN() << "serve: unit " << id << ":" << job.unit_names[unit]
+                   << " hit a transient error (attempt "
+                   << job.attempts[unit] << "/" << options_.unit_retries
+                   << "): " << outcome.error;
+      unit_retries_counter().inc();
+      if (!wrr_.contains(id)) wrr_.add(id, job.spec.priority);
+      cv_.notify_all();
     } else {
-      if (job.error.empty()) job.error = error;
+      if (job.error.empty()) job.error = outcome.error;
       job.fail_requested = true;
       wrr_.remove(id);
       static auto& unit_failed = unit_counter("outcome=\"failed\"");
@@ -580,7 +648,56 @@ void JobScheduler::worker_loop() {
   }
 }
 
-std::string JobScheduler::run_unit(Job& job, std::size_t unit) {
+void JobScheduler::watchdog_loop() {
+  std::unique_lock<std::mutex> lk(mutex_);
+  while (!stopping_) {
+    cv_.wait_for(lk,
+                 std::chrono::duration<double>(options_.watchdog_interval_s),
+                 [this] { return stopping_; });
+    if (stopping_) return;
+    const double now = now_s();
+    std::vector<std::pair<Job*, JobRecord>> expired;
+    for (auto& [id, job] : jobs_) {
+      Job& j = *job;
+      if (j.state != JobState::kRunning || j.spec.deadline_s <= 0.0) continue;
+      if (now - j.running_since_s <= j.spec.deadline_s) continue;
+      // A stuck unit cannot be preempted (cancellation is cooperative),
+      // so the terminal state is published immediately instead of via
+      // maybe_finalize; the unit's eventual result lands on a job that is
+      // already failed, which is harmless.
+      if (j.error.empty()) {
+        j.error = "deadline of " + std::to_string(j.spec.deadline_s) +
+                  "s exceeded";
+      }
+      j.fail_requested = true;
+      wrr_.remove(id);
+      deadline_counter().inc();
+      j.state = JobState::kFailed;
+      static auto& failed = finished_counter("state=\"failed\"");
+      failed.inc();
+      WSNEX_WARN() << "serve: job \"" << id << "\" failed by watchdog: "
+                   << j.error << " (" << j.units_running
+                   << " unit(s) still in flight)";
+      expired.emplace_back(&j, record_of(j));
+    }
+    if (!expired.empty()) {
+      active_jobs_gauge().set(static_cast<double>(active_jobs_locked()));
+      // Job pointers stay valid unlocked: jobs_ never erases entries.
+      lk.unlock();
+      for (auto& [job, record] : expired) {
+        try {
+          persist_record(*job, record);
+        } catch (const std::exception& e) {
+          WSNEX_WARN() << "serve: failed to persist watchdog verdict for \""
+                       << record.id << "\": " << e.what();
+        }
+      }
+      lk.lock();
+    }
+  }
+}
+
+JobScheduler::UnitOutcome JobScheduler::run_unit(Job& job, std::size_t unit) {
   const scenario::ScenarioSpec& spec = job.spec.scenarios[unit];
   try {
     if (job.spec.kind == JobKind::kCampaign) {
@@ -610,8 +727,12 @@ std::string JobScheduler::run_unit(Job& job, std::size_t unit) {
       job.store->record_complete(status);
     }
     return {};
+  } catch (const util::FileError& e) {
+    return {e.what(), /*transient=*/true};
+  } catch (const util::SocketError& e) {
+    return {e.what(), /*transient=*/true};
   } catch (const std::exception& e) {
-    return e.what();
+    return {e.what(), /*transient=*/false};
   }
 }
 
@@ -643,6 +764,7 @@ JobRecord JobScheduler::record_of(const Job& job) const {
   record.kind = job.spec.kind;
   record.priority = job.spec.priority;
   record.quick = job.spec.quick;
+  record.deadline_s = job.spec.deadline_s;
   record.state = job.state;
   record.error = job.error;
   record.scenario_names = job.unit_names;
@@ -654,7 +776,7 @@ void JobScheduler::persist_record(Job& job, const JobRecord& record) {
   std::lock_guard<std::mutex> io(job.io_mutex);
   util::write_file_atomic(
       (fs::path(job.store->root()) / "job.json").string(),
-      record.to_json().dump(2) + "\n");
+      record.to_json().dump(2) + "\n", "serve.job_record");
 }
 
 JobProgress JobScheduler::progress_of(const Job& job) const {

@@ -23,6 +23,13 @@
 //    racing completion) just reports the settled state;
 //  * a unit that throws fails its job after in-flight siblings drain;
 //    other jobs are untouched (per-job isolation);
+//  * a unit failing with a *transient* error (util::FileError /
+//    util::SocketError — the environment, not the inputs) is re-queued
+//    and retried up to unit_retries times before failing the job;
+//  * a job with deadline_s > 0 is failed once its wall-clock budget runs
+//    out — at the next unit completion, or by the watchdog thread when a
+//    unit is stuck (cooperative preemption: the stuck unit's eventual
+//    result persists but cannot resurrect the failed job);
 //  * drain() (SIGTERM path) stops claiming new units, lets in-flight
 //    units finish and checkpoint through the ResultStore manifest
 //    protocol, rewinds non-terminal jobs to "queued" on disk and joins
@@ -98,6 +105,13 @@ struct SchedulerOptions {
   /// On-disk PRD calibration cache directory ("" = none): makes daemon
   /// *restarts* warm, not just jobs after the first.
   std::string cache_dir;
+  /// Retries per unit for *transient* errors (I/O, socket) before the
+  /// job fails. Bad inputs (ScenarioError et al.) never retry.
+  std::size_t unit_retries = 1;
+  /// Deadline-watchdog poll period. Jobs also check their deadline at
+  /// every unit completion, so tiny deadlines fail deterministically
+  /// even with a coarse watchdog.
+  double watchdog_interval_s = 0.25;
 };
 
 /// Status snapshot of one job (what GET /v1/jobs/<id> serves).
@@ -193,6 +207,8 @@ class JobScheduler {
     std::size_t units_done = 0;
     std::size_t units_running = 0;
     double unit_wallclock_s = 0.0;  ///< accumulated run_unit wall clock
+    double running_since_s = 0.0;   ///< when kQueued -> kRunning happened
+    std::vector<std::size_t> attempts;  ///< transient retries used per unit
     bool cancel_requested = false;
     bool fail_requested = false;
     std::unique_ptr<scenario::ResultStore> store;
@@ -203,9 +219,18 @@ class JobScheduler {
 
   Admission submit_impl(JobSpec spec);
   void worker_loop();
-  /// Runs one claimed unit (no scheduler lock held). Returns an error
-  /// message, empty on success.
-  std::string run_unit(Job& job, std::size_t unit);
+  /// Fails every running job past its deadline (stuck units cannot be
+  /// preempted, so the terminal state is published immediately).
+  void watchdog_loop();
+  /// What one unit execution reported. `transient` marks environment
+  /// failures (file/socket I/O) eligible for bounded retry, as opposed
+  /// to deterministic bad-input failures that would just recur.
+  struct UnitOutcome {
+    std::string error;  ///< empty on success
+    bool transient = false;
+  };
+  /// Runs one claimed unit (no scheduler lock held).
+  UnitOutcome run_unit(Job& job, std::size_t unit);
   /// Terminal-state transition once nothing is running; returns the
   /// record to persist (caller writes it outside the scheduler lock).
   std::optional<JobRecord> maybe_finalize(Job& job);

@@ -1,14 +1,15 @@
 // Small file-I/O helpers shared by the result store, the serve job
 // shards and the PRD disk cache: whole-file reads and crash-safe
-// (temp-file + rename) writes.
+// (temp-file + fsync + rename) writes.
 #pragma once
 
+#include <cstddef>
 #include <stdexcept>
 #include <string>
 
 namespace wsnex::util {
 
-/// I/O failure (message names the path).
+/// I/O failure (message names the path and carries strerror(errno)).
 class FileError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
@@ -21,7 +22,28 @@ std::string read_file(const std::string& path);
 /// reader (or a crash) never observes a half-written file. The temp file
 /// name embeds the writing thread, so two threads writing *different*
 /// final paths in one directory never collide; two writers racing on the
-/// *same* final path still last-write-win atomically. Throws FileError.
-void write_file_atomic(const std::string& path, const std::string& contents);
+/// *same* final path still last-write-win atomically.
+///
+/// Durability: the temp file is fsync'd before the rename and the parent
+/// directory is fsync'd after it, so once this returns the new contents
+/// survive power loss (POSIX; on other platforms the write is atomic but
+/// only as durable as the OS page cache).
+///
+/// `site` optionally names a util::failpoint evaluated around the write:
+/// `<site>` fires before the payload hits the temp file (error(E) throws
+/// FileError with that errno; torn@N persists only the first N bytes and
+/// then *succeeds*, simulating a lost tail) and `<site>.rename` fires
+/// before the rename. Pass nullptr (default) for no instrumentation.
+///
+/// Throws FileError naming the failing step, path and strerror(errno).
+void write_file_atomic(const std::string& path, const std::string& contents,
+                       const char* site = nullptr);
+
+/// Recursively removes `*.tmp` / `*.tmp.*` debris left under `dir` by
+/// writers that crashed between creating a temp file and renaming it.
+/// Never throws: unremovable entries are skipped (warn-logged). Returns
+/// the number of files removed. Call only from startup/recovery paths —
+/// it races with live write_file_atomic writers by design.
+std::size_t remove_stale_temp_files(const std::string& dir);
 
 }  // namespace wsnex::util

@@ -11,12 +11,23 @@
 #include <cstring>
 #include <utility>
 
+#include "util/failpoint.hpp"
+#include "util/logging.hpp"
+#include "util/metrics.hpp"
+
 namespace wsnex::util {
 
 namespace {
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw SocketError(what + ": " + std::strerror(errno));
+}
+
+metrics::Counter& accept_errors(const char* stage) {
+  return metrics::Registry::instance().counter(
+      "wsnex_accept_errors_total",
+      "Listener poll()/accept() failures survived by the accept loop",
+      std::string("stage=\"") + stage + "\"");
 }
 
 void set_socket_timeout(int fd, int optname, int timeout_ms) {
@@ -116,13 +127,16 @@ void TcpStream::close() {
 TcpListener::~TcpListener() { close(); }
 
 TcpListener::TcpListener(TcpListener&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), port_(std::exchange(other.port_, 0)) {}
+    : fd_(std::exchange(other.fd_, -1)),
+      port_(std::exchange(other.port_, 0)),
+      error_logged_(std::exchange(other.error_logged_, false)) {}
 
 TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
     port_ = std::exchange(other.port_, 0);
+    error_logged_ = std::exchange(other.error_logged_, false);
   }
   return *this;
 }
@@ -167,10 +181,42 @@ std::optional<TcpStream> TcpListener::accept(int timeout_ms) {
   pollfd pfd{};
   pfd.fd = fd_;
   pfd.events = POLLIN;
-  const int rc = ::poll(&pfd, 1, timeout_ms);
-  if (rc <= 0) return std::nullopt;  // timeout or (transient) poll error
+  int rc = ::poll(&pfd, 1, timeout_ms);
+  int poll_errno = rc < 0 ? errno : 0;
+  if (const auto fault = failpoint::evaluate("socket.accept")) {
+    // Simulate poll() failing with the injected errno.
+    rc = -1;
+    poll_errno = fault.error_errno != 0 ? fault.error_errno : EBADF;
+  }
+  if (rc == 0) return std::nullopt;  // timeout: the loop polls its stop flag
+  if (rc < 0) {
+    if (poll_errno == EINTR) return std::nullopt;  // signal, not a fault
+    accept_errors("poll").inc();
+    if (!error_logged_) {
+      error_logged_ = true;
+      WSNEX_WARN() << "poll on listener port " << port_
+                   << " failed: " << std::strerror(poll_errno)
+                   << " (further accept errors counted, not logged)";
+    }
+    return std::nullopt;
+  }
   const int client = ::accept(fd_, nullptr, nullptr);
-  if (client < 0) return std::nullopt;  // raced with close(), or peer reset
+  if (client < 0) {
+    const int err = errno;
+    // A connection that died between poll and accept is business as
+    // usual; everything else is an accept-path fault worth counting.
+    if (err != EINTR && err != EAGAIN && err != EWOULDBLOCK &&
+        err != ECONNABORTED && err != EPROTO) {
+      accept_errors("accept").inc();
+      if (!error_logged_) {
+        error_logged_ = true;
+        WSNEX_WARN() << "accept on listener port " << port_
+                     << " failed: " << std::strerror(err)
+                     << " (further accept errors counted, not logged)";
+      }
+    }
+    return std::nullopt;
+  }
   const int one = 1;
   ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return TcpStream(client);

@@ -85,7 +85,10 @@ class TcpListener {
 
   /// Waits up to timeout_ms for a connection; nullopt on timeout (the
   /// accept loop uses the timeout to poll its stop flag) or when the
-  /// listener has been closed from another thread.
+  /// listener has been closed from another thread. poll()/accept()
+  /// errors also yield nullopt — the loop must keep serving — but are
+  /// counted (wsnex_accept_errors_total) and the first persistent one
+  /// is logged with its errno instead of being swallowed silently.
   std::optional<TcpStream> accept(int timeout_ms);
 
   void close();
@@ -93,6 +96,7 @@ class TcpListener {
  private:
   int fd_ = -1;
   std::uint16_t port_ = 0;
+  bool error_logged_ = false;  ///< first persistent accept error logged
 };
 
 }  // namespace wsnex::util

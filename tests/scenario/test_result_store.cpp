@@ -1,18 +1,25 @@
-// ResultStore::shard_id collision safety. The serve layer feeds it
+// ResultStore::shard_id collision safety — the serve layer feeds it
 // arbitrary campaign/job ids, so the mapping must (a) keep the historical
 // layout for every already-safe name, (b) never let two distinct ids
 // share a directory — even when their sanitized spellings coincide — and
-// (c) never emit anything that can escape the store root.
+// (c) never emit anything that can escape the store root — plus the
+// leftover-temp-file hygiene of initialize() on an existing store.
 #include "scenario/result_store.hpp"
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "scenario/registry.hpp"
+
 namespace wsnex::scenario {
 namespace {
+
+namespace fs = std::filesystem;
 
 TEST(ShardId, SafeIdsMapToThemselves) {
   for (const std::string& id : std::vector<std::string>{
@@ -85,6 +92,66 @@ TEST(ShardId, PathAccessorsUseTheShardedName) {
   const std::string spec = store.spec_path("a/b");
   EXPECT_EQ(spec.find("/tmp/does-not-exist-root/scenarios/"), 0u);
   EXPECT_EQ(spec.find("a/b"), std::string::npos);
+}
+
+class StoreSweepTest : public ::testing::Test {
+ protected:
+  fs::path root_ =
+      fs::path(::testing::TempDir()) /
+      (std::string("wsnex_store_") +
+       ::testing::UnitTest::GetInstance()->current_test_info()->name());
+
+  void TearDown() override { fs::remove_all(root_); }
+
+  static void touch(const fs::path& path) {
+    std::ofstream out(path, std::ios::binary);
+    out << "debris";
+  }
+};
+
+TEST_F(StoreSweepTest, ReinitializeSweepsCrashDebrisAndKeepsLiveArtifacts) {
+  const std::vector<ScenarioSpec> specs{preset("hospital_ward_2")};
+  ResultStore store(root_.string());
+  store.initialize(specs, /*quick=*/true);
+
+  // A writer that died between creating its temp file and renaming it
+  // leaves `<file>.tmp.<thread>` debris — next to the manifest, inside
+  // the scenarios dir, and deep inside a result shard.
+  touch(root_ / "campaign.json.tmp.140213834082624");
+  touch(root_ / "scenarios" / "hospital_ward_2.json.tmp.7");
+  fs::create_directories(root_ / "results" / "hospital_ward_2");
+  touch(root_ / "results" / "hospital_ward_2" / "summary.json.tmp.9");
+
+  // Reissuing initialize() on the existing store (the run/resume path)
+  // sweeps the debris before doing anything else.
+  ResultStore reopened(root_.string());
+  reopened.initialize(specs, /*quick=*/true);
+
+  EXPECT_FALSE(fs::exists(root_ / "campaign.json.tmp.140213834082624"));
+  EXPECT_FALSE(fs::exists(root_ / "scenarios" / "hospital_ward_2.json.tmp.7"));
+  EXPECT_FALSE(
+      fs::exists(root_ / "results" / "hospital_ward_2" / "summary.json.tmp.9"));
+
+  // The live store is untouched: manifest, frozen spec and progress all
+  // still load.
+  const CampaignManifest manifest = reopened.load_manifest();
+  ASSERT_EQ(manifest.scenarios.size(), 1u);
+  EXPECT_EQ(manifest.scenarios[0].name, "hospital_ward_2");
+  EXPECT_FALSE(manifest.scenarios[0].complete);
+  EXPECT_EQ(reopened.load_spec("hospital_ward_2").name, "hospital_ward_2");
+}
+
+TEST_F(StoreSweepTest, SweepReportsCountAndLeavesNonDebrisAlone) {
+  const std::vector<ScenarioSpec> specs{preset("hospital_ward_2")};
+  ResultStore store(root_.string());
+  store.initialize(specs, /*quick=*/true);
+
+  touch(root_ / "campaign.json.tmp.1");
+  touch(root_ / "scenarios" / "stale.tmp");
+  EXPECT_EQ(store.sweep_stale_temp_files(), 2u);
+  EXPECT_EQ(store.sweep_stale_temp_files(), 0u);
+  EXPECT_TRUE(fs::exists(root_ / "campaign.json"));
+  EXPECT_TRUE(fs::exists(root_ / "scenarios" / "hospital_ward_2.json"));
 }
 
 }  // namespace

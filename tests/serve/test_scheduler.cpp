@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "scenario/registry.hpp"
+#include "util/failpoint.hpp"
 
 namespace wsnex::serve {
 namespace {
@@ -328,6 +329,162 @@ TEST_F(SchedulerTest, ResultsAndStatusReflectProgressCounters) {
   EXPECT_FALSE(scheduler.status("missing").has_value());
   EXPECT_FALSE(scheduler.results("missing").has_value());
   EXPECT_EQ(scheduler.list().size(), 1u);
+}
+
+TEST_F(SchedulerTest, RecoverQuarantinesCorruptShardAndServesOn) {
+  {
+    JobScheduler first(options());
+    ASSERT_EQ(first.submit(validation_job("good", {"hospital_ward_2"})).code,
+              JobScheduler::Admission::Code::kAccepted);
+    ASSERT_EQ(first.submit(validation_job("bad", {"hospital_ward_2"})).code,
+              JobScheduler::Admission::Code::kAccepted);
+    first.drain();
+  }
+  // A crash mid-write (pre-atomic-writer debris, bitrot, operator error):
+  // the bad job's record is truncated JSON.
+  const fs::path bad_shard = [&] {
+    JobScheduler probe(options());
+    return fs::path(probe.shard_dir("bad"));
+  }();
+  {
+    std::ofstream out(bad_shard / "job.json",
+                      std::ios::binary | std::ios::trunc);
+    out << "{\"id\": \"bad\", \"kin";
+  }
+
+  JobScheduler second(options());
+  EXPECT_EQ(second.recover(), 1u);  // only the healthy job re-enqueues
+  // The corrupt shard was moved aside, not deleted — its artifacts stay
+  // inspectable — and its id no longer resolves.
+  EXPECT_FALSE(fs::exists(bad_shard));
+  EXPECT_TRUE(fs::exists(bad_shard.string() + ".quarantined"));
+  EXPECT_FALSE(second.status("bad").has_value());
+  second.start();
+  EXPECT_EQ(wait_terminal(second, "good").state, JobState::kComplete);
+
+  // A third generation must not trip over (or re-quarantine) the moved
+  // shard, and the freed id is submittable again.
+  JobScheduler third(options());
+  EXPECT_EQ(third.recover(), 0u);
+  EXPECT_TRUE(fs::exists(bad_shard.string() + ".quarantined"));
+  EXPECT_EQ(third.submit(validation_job("bad", {"hospital_ward_2"})).code,
+            JobScheduler::Admission::Code::kAccepted);
+}
+
+TEST_F(SchedulerTest, RecoverSweepsTempDebrisFromShards) {
+  {
+    JobScheduler first(options());
+    ASSERT_EQ(first
+                  .submit(validation_job("dusty", {"hospital_ward_2"}))
+                  .code,
+              JobScheduler::Admission::Code::kAccepted);
+    first.drain();
+  }
+  const fs::path shard = [&] {
+    JobScheduler probe(options());
+    return fs::path(probe.shard_dir("dusty"));
+  }();
+  const fs::path debris = shard / "campaign.json.tmp.140213834082624";
+  {
+    std::ofstream out(debris, std::ios::binary);
+    out << "{ half a mani";
+  }
+
+  JobScheduler second(options());
+  EXPECT_EQ(second.recover(), 1u);
+  EXPECT_FALSE(fs::exists(debris));  // swept before anything read the shard
+  second.start();
+  EXPECT_EQ(wait_terminal(second, "dusty").state, JobState::kComplete);
+}
+
+TEST_F(SchedulerTest, ResultsAnswerEvenWhenArtifactsAreUnreadable) {
+  JobScheduler scheduler(options());
+  ASSERT_EQ(scheduler.submit(validation_job("gappy", {"hospital_ward_2"}))
+                .code,
+            JobScheduler::Admission::Code::kAccepted);
+  scheduler.start();
+  ASSERT_EQ(wait_terminal(scheduler, "gappy").state, JobState::kComplete);
+  // Lose the manifest after completion: results() must degrade to an
+  // error field in the body, not throw or wedge the daemon.
+  fs::remove(fs::path(scheduler.shard_dir("gappy")) / "campaign.json");
+  const std::optional<util::Json> results = scheduler.results("gappy");
+  ASSERT_TRUE(results.has_value());
+  const util::Json* error = results->find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_NE(error->as_string().find("results unreadable"), std::string::npos);
+  // And the scheduler still serves other requests.
+  EXPECT_EQ(scheduler.list().size(), 1u);
+}
+
+TEST_F(SchedulerTest, DeadlineExceededFailsTheJob) {
+  SchedulerOptions o = options();
+  o.watchdog_interval_s = 0.05;  // tight loop so the test settles fast
+  JobScheduler scheduler(o);
+  JobSpec spec =
+      validation_job("rushed", {"hospital_ward_2", "hospital_ward_3"});
+  spec.deadline_s = 0.01;  // far below one unit's runtime
+  ASSERT_EQ(scheduler.submit(spec).code,
+            JobScheduler::Admission::Code::kAccepted);
+  ASSERT_EQ(scheduler.submit(validation_job("calm", {"hospital_ward_2"})).code,
+            JobScheduler::Admission::Code::kAccepted);
+  scheduler.start();
+  const JobProgress rushed = wait_terminal(scheduler, "rushed");
+  EXPECT_EQ(rushed.state, JobState::kFailed);
+  EXPECT_NE(rushed.error.find("deadline"), std::string::npos) << rushed.error;
+  // An undeadlined job sharing the scheduler is untouched.
+  EXPECT_EQ(wait_terminal(scheduler, "calm").state, JobState::kComplete);
+  // The verdict and the budget survive in the on-disk record.
+  const std::string record =
+      read_file(fs::path(scheduler.shard_dir("rushed")) / "job.json");
+  EXPECT_NE(record.find("\"failed\""), std::string::npos);
+  EXPECT_NE(record.find("deadline_s"), std::string::npos);
+}
+
+/// Disarms every failpoint when a test exits, pass or fail.
+struct FailpointGuard {
+  FailpointGuard() { util::failpoint::reset(); }
+  ~FailpointGuard() { util::failpoint::reset(); }
+};
+
+TEST_F(SchedulerTest, TransientUnitFailureIsRetriedToSuccess) {
+  if (!util::failpoint::compiled_in()) {
+    GTEST_SKIP() << "built without WSNEX_FAILPOINTS";
+  }
+  FailpointGuard guard;
+  // First validation-report write fails with an injected I/O error; the
+  // retry re-runs the unit and the second write goes through.
+  util::failpoint::configure("result_store.validation=error(EIO)#1");
+  JobScheduler scheduler(options());
+  ASSERT_EQ(scheduler.submit(validation_job("flaky", {"hospital_ward_2"}))
+                .code,
+            JobScheduler::Admission::Code::kAccepted);
+  scheduler.start();
+  const JobProgress done = wait_terminal(scheduler, "flaky");
+  EXPECT_EQ(done.state, JobState::kComplete);
+  EXPECT_EQ(done.error, "");
+  // The unit really ran twice.
+  EXPECT_EQ(scheduler.execution_log(),
+            (std::vector<std::string>{"flaky:hospital_ward_2",
+                                      "flaky:hospital_ward_2"}));
+}
+
+TEST_F(SchedulerTest, ExhaustedTransientRetriesFailTheJob) {
+  if (!util::failpoint::compiled_in()) {
+    GTEST_SKIP() << "built without WSNEX_FAILPOINTS";
+  }
+  FailpointGuard guard;
+  // Every write fails: the single default retry burns out and the job
+  // fails with the injected error, after exactly 1 + unit_retries runs.
+  util::failpoint::configure("result_store.validation=error(ENOSPC)");
+  JobScheduler scheduler(options());
+  ASSERT_EQ(scheduler.submit(validation_job("doomed", {"hospital_ward_2"}))
+                .code,
+            JobScheduler::Admission::Code::kAccepted);
+  scheduler.start();
+  const JobProgress done = wait_terminal(scheduler, "doomed");
+  EXPECT_EQ(done.state, JobState::kFailed);
+  EXPECT_NE(done.error.find("injected"), std::string::npos) << done.error;
+  EXPECT_EQ(scheduler.execution_log().size(), 2u);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <string>
 #include <thread>
@@ -263,6 +264,64 @@ TEST_F(AdversarialTest, ConcurrentHostileClientsCannotWedgeTheServer) {
   // The server must still answer within the client timeout.
   const Client client(port, /*timeout_ms=*/10000);
   EXPECT_EQ(client.health().at("status").as_string(), "ok");
+}
+
+TEST_F(AdversarialTest, RetryingClientRidesOutALateStartingServer) {
+  // Reserve an ephemeral port, then release it: until the real server
+  // binds it again, every connect is refused — the transport failure the
+  // retry policy exists for.
+  std::uint16_t port = 0;
+  {
+    const util::TcpListener probe = util::TcpListener::listen_loopback(0);
+    port = probe.port();
+  }
+  JobScheduler scheduler(scheduler_options());
+  std::atomic<bool> stop{false};
+  std::thread late([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    ServerOptions o = server_options();
+    o.port = port;
+    HttpServer server(scheduler, o);
+    server.start();
+    while (!stop.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    server.stop();
+  });
+
+  RetryPolicy retry;
+  retry.max_attempts = 10;
+  retry.base_delay_ms = 50;
+  retry.max_delay_ms = 200;
+  const Client client(port, /*timeout_ms=*/5000, retry);
+  util::Json health;
+  try {
+    health = client.health();
+  } catch (...) {
+    stop = true;
+    late.join();
+    throw;
+  }
+  EXPECT_EQ(health.at("status").as_string(), "ok");
+  stop = true;
+  late.join();
+}
+
+TEST_F(AdversarialTest, ExhaustedRetriesSurfaceTheTransportError) {
+  // Nothing ever listens here: the client must re-throw SocketError (the
+  // transport truth) after its attempts, not convert it into an API error
+  // or hang.
+  std::uint16_t port = 0;
+  {
+    const util::TcpListener probe = util::TcpListener::listen_loopback(0);
+    port = probe.port();
+  }
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.base_delay_ms = 10;
+  retry.max_delay_ms = 20;
+  const Client client(port, /*timeout_ms=*/500, retry);
+  EXPECT_THROW(client.health(), util::SocketError);
 }
 
 }  // namespace

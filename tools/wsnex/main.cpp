@@ -45,6 +45,7 @@
 #include "scenario/registry.hpp"
 #include "scenario/result_store.hpp"
 #include "sim/network.hpp"
+#include "util/failpoint.hpp"
 #include "util/simd.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -87,7 +88,8 @@ int usage(std::FILE* to) {
                "[--kind campaign|validation]\n"
                "               [--priority N] [--quick] [--replicates N] "
                "[--duration S]\n"
-               "               [--tolerance PCT] [--seed N] [--wait]\n"
+               "               [--tolerance PCT] [--seed N] [--deadline S] "
+               "[--wait]\n"
                "  wsnex status --port N [ID] [--json]\n"
                "  wsnex results --port N ID\n"
                "  wsnex cancel --port N ID\n"
@@ -134,6 +136,10 @@ int usage(std::FILE* to) {
                "from the summary\n"
                "                    perf sections (evaluate/lifetime/persist, "
                "evals/s)\n"
+               "      --deadline S  submit: wall-clock budget for the job; "
+               "past it the daemon's\n"
+               "                    watchdog fails the job (0/absent = no "
+               "deadline)\n"
                "      --access-log  serve: one structured log line per HTTP "
                "request\n"
                "      --json        machine-readable `list` output\n"
@@ -810,6 +816,10 @@ int main(int argc, char** argv) {
   // WSNEX_TRACE=path captures the whole invocation (any subcommand);
   // --trace on run/resume scopes the capture to the campaign instead.
   wsnex::util::trace::init_from_env();
+  // Arm fault-injection sites from WSNEX_FAILPOINTS up front: in a build
+  // without -DWSNEX_FAILPOINTS=ON this warns that nothing will be armed
+  // instead of silently ignoring the variable.
+  wsnex::util::failpoint::configure_from_env();
   std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty()) return usage(stderr);
   const std::string command = args.front();

@@ -22,6 +22,13 @@ volatile std::sig_atomic_t g_stop_requested = 0;
 
 extern "C" void handle_stop_signal(int) { g_stop_requested = 1; }
 
+/// CLI requests ride out transient daemon hiccups (restart, listener
+/// backlog overflow): 3 tries with exponential backoff. Only idempotent
+/// requests retry — see serve::Client.
+constexpr serve::RetryPolicy kCliRetry{/*max_attempts=*/3,
+                                       /*base_delay_ms=*/100,
+                                       /*max_delay_ms=*/2000};
+
 /// Strict non-negative integer flag value (same contract as main.cpp's
 /// campaign flag parser).
 std::optional<std::size_t> parse_count(const std::string& value,
@@ -89,6 +96,7 @@ struct ServeFlags {
   std::optional<double> duration_s;
   std::optional<double> tolerance_percent;
   std::optional<std::size_t> seed;
+  std::optional<double> deadline_s;
   bool ok = true;
 };
 
@@ -158,6 +166,14 @@ ServeFlags parse_serve_flags(const std::vector<std::string>& args) {
       if (const auto v = next_value("--duration")) {
         if (const auto d = parse_real(*v, "--duration")) {
           flags.duration_s = *d;
+        } else {
+          flags.ok = false;
+        }
+      }
+    } else if (a == "--deadline") {
+      if (const auto v = next_value("--deadline")) {
+        if (const auto d = parse_real(*v, "--deadline")) {
+          flags.deadline_s = *d;
         } else {
           flags.ok = false;
         }
@@ -310,8 +326,9 @@ int cmd_submit(const std::vector<std::string>& args) {
   if (flags.seed) {
     body.set("seed", static_cast<std::int64_t>(*flags.seed));
   }
+  if (flags.deadline_s) body.set("deadline_s", *flags.deadline_s);
 
-  const serve::Client client(flags.port);
+  const serve::Client client(flags.port, 30000, kCliRetry);
   const util::Json accepted = client.submit(body);
   const std::string id = accepted.at("id").as_string();
   std::printf("submitted %s job %s (%zu scenario(s))\n", flags.kind.c_str(),
@@ -340,7 +357,7 @@ int cmd_status(const std::vector<std::string>& args) {
     std::fprintf(stderr, "status: at most one job id expected\n");
     return 2;
   }
-  const serve::Client client(flags.port);
+  const serve::Client client(flags.port, 30000, kCliRetry);
   if (flags.positional.size() == 1) {
     const util::Json job = client.status(flags.positional.front());
     if (flags.as_json) {
@@ -378,7 +395,7 @@ int cmd_results(const std::vector<std::string>& args) {
     std::fprintf(stderr, "results: exactly one job id expected\n");
     return 2;
   }
-  const serve::Client client(flags.port);
+  const serve::Client client(flags.port, 30000, kCliRetry);
   std::printf("%s\n",
               client.results(flags.positional.front()).dump(2).c_str());
   return 0;
@@ -392,7 +409,7 @@ int cmd_cancel(const std::vector<std::string>& args) {
     std::fprintf(stderr, "cancel: exactly one job id expected\n");
     return 2;
   }
-  const serve::Client client(flags.port);
+  const serve::Client client(flags.port, 30000, kCliRetry);
   const util::Json job = client.cancel(flags.positional.front());
   std::printf("job %s: %s\n", job.at("id").as_string().c_str(),
               job.at("state").as_string().c_str());
