@@ -184,6 +184,35 @@ class BatchRunner {
   std::vector<std::uint8_t> counts_;
 };
 
+/// Fires the progress sink with a read-only snapshot of the run. Called
+/// outside all PRNG draws and archive mutations, and only reads `result`,
+/// so attaching a sink never perturbs the run.
+void notify_progress(const ProgressSink& sink, std::size_t generation,
+                     const DseResult& result, const Stopwatch& watch) {
+  if (!sink) return;
+  ProgressSnapshot snap;
+  snap.generation = generation;
+  snap.evaluations = result.evaluations;
+  snap.infeasible = result.infeasible_count;
+  snap.archive_size = result.archive.size();
+  snap.objective_count = result.archive.arity();
+  const std::vector<double>& flat = result.archive.objectives_flat();
+  const std::size_t m = snap.objective_count;
+  for (std::size_t i = 0; i < snap.archive_size; ++i) {
+    const double* row = flat.data() + i * m;
+    for (std::size_t k = 0; k < m; ++k) {
+      if (i == 0 || row[k] < snap.best[k]) snap.best[k] = row[k];
+    }
+  }
+  snap.elapsed_s = watch.elapsed_s();
+  snap.evals_per_s = snap.elapsed_s > 1e-9
+                         ? static_cast<double>(result.evaluations) /
+                               snap.elapsed_s
+                         : 0.0;
+  snap.archive = &result.archive;
+  sink(snap);
+}
+
 DseResult run_nsga2_batch(const DesignSpace& space,
                           const BatchObjectiveFunction& fn,
                           const Nsga2Options& options) {
@@ -221,6 +250,7 @@ DseResult run_nsga2_batch(const DesignSpace& space,
   runner.evaluate(pending);
   absorb_pending(population);
   ranker.rank(population);
+  notify_progress(options.progress, 0, result, watch);
 
   auto tournament = [&]() -> const Individual& {
     const Individual& a = population[rng.index(population.size())];
@@ -252,6 +282,7 @@ DseResult run_nsga2_batch(const DesignSpace& space,
                 return better(a, b);
               });
     population.resize(options.population);
+    notify_progress(options.progress, gen + 1, result, watch);
   }
   result.wallclock_s = watch.elapsed_s();
   return result;
@@ -306,6 +337,8 @@ DseResult run_mosa_batch(const DesignSpace& space,
 
   double temperature = options.initial_temperature;
   std::size_t it = 0;
+  std::size_t round = 0;
+  notify_progress(options.progress, round, result, watch);
   while (it < options.iterations) {
     const std::size_t b_count = std::min(width, options.iterations - it);
     for (std::size_t b = 0; b < b_count; ++b) {
@@ -358,6 +391,7 @@ DseResult run_mosa_batch(const DesignSpace& space,
       // Rejected with the uniform consumed — the speculation assumption
       // held; the next proposal in the batch is already valid.
     }
+    notify_progress(options.progress, ++round, result, watch);
   }
   result.wallclock_s = watch.elapsed_s();
   return result;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "dse/objectives.hpp"
@@ -31,6 +32,36 @@ struct DseResult {
   std::size_t infeasible_count = 0;  ///< designs rejected as infeasible
   double wallclock_s = 0.0;          ///< wall-clock time of the run, seconds
 };
+
+/// Read-only view of a run's state handed to a ProgressSink once per
+/// generation (NSGA-II) or speculative batch round (MOSA). Everything in
+/// here is a copy except `archive`, which points at the live archive and is
+/// valid only for the duration of the callback.
+struct ProgressSnapshot {
+  /// Generation (NSGA-II: 0 is the evaluated initial population) or MOSA
+  /// batch-round index.
+  std::size_t generation = 0;
+  std::size_t evaluations = 0;  ///< objective calls issued so far
+  std::size_t infeasible = 0;   ///< infeasible designs rejected so far
+  std::size_t archive_size = 0;
+  /// Ideal point: per-objective minima over the archive (undefined entries
+  /// beyond `objective_count`; all zero when the archive is empty).
+  double best[kMaxObjectives] = {};
+  std::size_t objective_count = 0;
+  double elapsed_s = 0.0;
+  double evals_per_s = 0.0;  ///< evaluations / elapsed_s (0 while elapsed ~ 0)
+  /// Live archive, for derived statistics (hypervolume, feasible counts).
+  /// Do not retain past the callback.
+  const ParetoArchive* archive = nullptr;
+};
+
+/// Per-generation observer. Strictly read-only: the optimizers invoke it
+/// outside all PRNG draws and archive mutations, so attaching a sink (or
+/// not) never changes results — archives stay byte-identical either way.
+/// The sink runs on the optimizer's thread; keep it cheap, and note that
+/// with an external pool several concurrent runs may each invoke their own
+/// sink from different threads.
+using ProgressSink = std::function<void(const ProgressSnapshot&)>;
 
 /// Tuning knobs for run_nsga2(). All defaults reproduce the paper's setup
 /// (a few thousand evaluations explore the ~10^4-10^6 point case-study
@@ -68,6 +99,10 @@ struct Nsga2Options {
   /// ignored and the objective's worker_slots() must cover pool->size().
   /// Results are unchanged either way; the pool must outlive the run.
   util::ThreadPool* pool = nullptr;
+  /// Optional convergence observer, called after the initial population is
+  /// ranked (generation 0) and after every subsequent generation. See
+  /// ProgressSink for the no-perturbation contract.
+  ProgressSink progress;
 };
 
 /// NSGA-II (Deb et al. 2002): fast non-dominated sorting, crowding-distance
@@ -116,6 +151,10 @@ struct MosaOptions {
   std::size_t threads = 0;
   /// Optional externally owned evaluation pool — see Nsga2Options::pool.
   util::ThreadPool* pool = nullptr;
+  /// Optional convergence observer, called once per speculative batch round
+  /// (so roughly every `threads` proposals; every proposal when serial).
+  /// See ProgressSink for the no-perturbation contract.
+  ProgressSink progress;
 };
 
 /// Archive-based multi-objective simulated annealing: a mutated neighbour

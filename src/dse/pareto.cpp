@@ -382,7 +382,92 @@ double hypervolume_2d(std::vector<Objectives> front, const Objectives& ref) {
   return volume;
 }
 
+/// Dominated area of the staircase (xs ascending, ys strictly descending)
+/// w.r.t. the upper-right corner (ref_x, ref_y).
+double staircase_area(const std::vector<double>& xs,
+                      const std::vector<double>& ys, double ref_x,
+                      double ref_y) {
+  double area = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double x_next = i + 1 < xs.size() ? xs[i + 1] : ref_x;
+    area += (x_next - xs[i]) * (ref_y - ys[i]);
+  }
+  return area;
+}
+
+/// Inserts (x, y) into the staircase unless a step already dominates it;
+/// evicts steps the new point dominates. Returns true when the staircase
+/// changed (so callers can skip the area recompute otherwise).
+bool staircase_insert(std::vector<double>& xs, std::vector<double>& ys,
+                      double x, double y) {
+  // Steps with step_x <= x sit before upper_bound(x); the last of them has
+  // the smallest y among them (ys is descending), so it alone decides
+  // whether the new point is dominated.
+  const auto ub = std::upper_bound(xs.begin(), xs.end(), x);
+  const std::size_t before = static_cast<std::size_t>(ub - xs.begin());
+  if (before > 0 && ys[before - 1] <= y) return false;
+
+  // Steps dominated by (x, y) — step_x >= x and step_y >= y — form a
+  // contiguous run starting at lower_bound(x).
+  const auto lb = std::lower_bound(xs.begin(), xs.end(), x);
+  const std::size_t at = static_cast<std::size_t>(lb - xs.begin());
+  std::size_t end = at;
+  while (end < xs.size() && ys[end] >= y) ++end;
+  xs.erase(xs.begin() + static_cast<std::ptrdiff_t>(at),
+           xs.begin() + static_cast<std::ptrdiff_t>(end));
+  ys.erase(ys.begin() + static_cast<std::ptrdiff_t>(at),
+           ys.begin() + static_cast<std::ptrdiff_t>(end));
+  xs.insert(xs.begin() + static_cast<std::ptrdiff_t>(at), x);
+  ys.insert(ys.begin() + static_cast<std::ptrdiff_t>(at), y);
+  return true;
+}
+
 }  // namespace
+
+double hypervolume3_flat(const double* flat, std::size_t n, std::size_t stride,
+                         const double* ref, Hypervolume3Scratch& scratch) {
+  if (stride < 3) throw std::invalid_argument("hypervolume3_flat: stride < 3");
+  std::vector<std::uint32_t>& order = scratch.order;
+  order.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = flat + i * stride;
+    if (row[0] < ref[0] && row[1] < ref[1] && row[2] < ref[2]) {
+      order.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  if (order.empty()) return 0.0;
+  std::sort(order.begin(), order.end(),
+            [flat, stride](std::uint32_t a, std::uint32_t b) {
+              const double za = flat[a * stride + 2];
+              const double zb = flat[b * stride + 2];
+              if (za != zb) return za < zb;
+              return a < b;  // deterministic tie-break
+            });
+
+  // Sweep ascending z, maintaining the (o0, o1) dominance staircase of the
+  // points seen so far. Between consecutive z values the dominated area is
+  // constant, so each distinct level contributes area * dz.
+  std::vector<double>& xs = scratch.stair_x;
+  std::vector<double>& ys = scratch.stair_y;
+  xs.clear();
+  ys.clear();
+  double volume = 0.0;
+  double area = 0.0;
+  double z_prev = flat[order.front() * stride + 2];
+  for (const std::uint32_t idx : order) {
+    const double* row = flat + idx * stride;
+    const double z = row[2];
+    if (z > z_prev) {
+      volume += area * (z - z_prev);
+      z_prev = z;
+    }
+    if (staircase_insert(xs, ys, row[0], row[1])) {
+      area = staircase_area(xs, ys, ref[0], ref[1]);
+    }
+  }
+  volume += area * (ref[2] - z_prev);
+  return volume;
+}
 
 double hypervolume(const std::vector<Objectives>& front,
                    const Objectives& ref) {
@@ -395,29 +480,25 @@ double hypervolume(const std::vector<Objectives>& front,
   if (m != 3) {
     throw std::invalid_argument("hypervolume: only 2 or 3 objectives");
   }
-  // 3-D: slice along the third objective. Sort unique z-levels; between
-  // consecutive levels the dominated area in (x, y) is constant and equals
-  // the 2-D hypervolume of the points with z <= level.
-  std::vector<double> levels;
+  std::vector<double> flat;
+  flat.reserve(front.size() * 3);
   for (const Objectives& p : front) {
-    if (p[2] < ref[2]) levels.push_back(p[2]);
+    flat.insert(flat.end(), p.begin(), p.end());
   }
-  if (levels.empty()) return 0.0;
-  std::sort(levels.begin(), levels.end());
-  levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+  Hypervolume3Scratch scratch;
+  return hypervolume3_flat(flat.data(), front.size(), 3, ref.data(), scratch);
+}
 
-  double volume = 0.0;
-  for (std::size_t k = 0; k < levels.size(); ++k) {
-    const double z_lo = levels[k];
-    const double z_hi = k + 1 < levels.size() ? levels[k + 1] : ref[2];
-    std::vector<Objectives> slice;
-    for (const Objectives& p : front) {
-      if (p[2] <= z_lo) slice.push_back({p[0], p[1]});
-    }
-    volume += hypervolume_2d(std::move(slice), {ref[0], ref[1]}) *
-              (z_hi - z_lo);
+double hypervolume(const ParetoArchive& archive,
+                   const Objectives& reference_point) {
+  if (archive.empty()) return 0.0;
+  if (reference_point.size() != 3 || archive.arity() != 3) {
+    throw std::invalid_argument(
+        "hypervolume(archive): requires 3-objective archive and reference");
   }
-  return volume;
+  Hypervolume3Scratch scratch;
+  return hypervolume3_flat(archive.objectives_flat().data(), archive.size(), 3,
+                           reference_point.data(), scratch);
 }
 
 }  // namespace wsnex::dse

@@ -120,6 +120,14 @@ class ParetoArchive {
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
 
+  /// Contiguous row-major mirror of the members' objective vectors
+  /// (arity()-strided, same order as entries()). Exposed for read-only
+  /// whole-archive statistics (hypervolume, ideal point) without per-entry
+  /// indirection.
+  const std::vector<double>& objectives_flat() const { return flat_; }
+  /// Objective arity shared by all members; 0 while the archive is empty.
+  std::size_t arity() const { return arity_; }
+
   /// True iff `objectives` is dominated by (or equal to) a member.
   bool covered(const Objectives& objectives) const;
 
@@ -156,7 +164,34 @@ double coverage_fraction(const std::vector<Objectives>& candidate,
 /// Hypervolume (minimization) dominated by `front` w.r.t. `reference_point`,
 /// exact for 2 and 3 objectives. Points at or beyond the reference point
 /// in any coordinate contribute nothing. Returns 0 for an empty front.
+/// The 3-objective case delegates to hypervolume3_flat().
 double hypervolume(const std::vector<Objectives>& front,
+                   const Objectives& reference_point);
+
+/// Reusable buffers for hypervolume3_flat() — the per-generation progress
+/// path calls it once per snapshot, and persistent scratch keeps that
+/// allocation-free after warm-up.
+struct Hypervolume3Scratch {
+  std::vector<std::uint32_t> order;
+  std::vector<double> stair_x;
+  std::vector<double> stair_y;
+};
+
+/// Exact hypervolume of n three-objective rows stored `stride`-strided in
+/// `flat` (row i is flat[i*stride .. i*stride+2]), w.r.t. `reference`
+/// (length 3). Sweeps the points in ascending third-objective order while
+/// maintaining the 2D dominance staircase of the first two objectives
+/// incrementally — O(n log n) sort plus O(n·k) staircase maintenance where
+/// k is the staircase width, replacing the level-slicing routine's
+/// per-level front rebuild. Dominated rows, duplicates and rows at or
+/// beyond the reference point are handled (they contribute nothing).
+double hypervolume3_flat(const double* flat, std::size_t n, std::size_t stride,
+                         const double* reference, Hypervolume3Scratch& scratch);
+
+/// Convenience over an archive's flat objective mirror; `reference_point`
+/// must have length 3 and the archive arity must be 3 (or the archive
+/// empty). Allocates its own scratch.
+double hypervolume(const ParetoArchive& archive,
                    const Objectives& reference_point);
 
 }  // namespace wsnex::dse

@@ -7,10 +7,15 @@
 #include <cstring>
 #include <mutex>
 
+#include <fstream>
+#include <memory>
+
 #include "dse/objectives.hpp"
 #include "dsp/prd_calibration.hpp"
 #include "model/lifetime.hpp"
+#include "util/build_info.hpp"
 #include "util/csv.hpp"
+#include "util/events.hpp"
 #include "util/failpoint.hpp"
 #include "util/fsio.hpp"
 #include "util/json.hpp"
@@ -142,6 +147,9 @@ util::Json make_summary(const ScenarioSpec& spec, const ScenarioRun& run,
   perf_json.set("evaluate_s", perf.evaluate_s);
   perf_json.set("lifetime_s", perf.lifetime_s);
   perf_json.set("persist_s", perf.persist_s);
+  // Build provenance: the same facts the wsnex_build_info gauge exports,
+  // so an artifact is self-describing without the process that wrote it.
+  perf_json.set("build", util::build_info_json());
   summary.set("perf", std::move(perf_json));
   if (!feasible.empty()) {
     const dse::ArchiveEntry& best =
@@ -157,7 +165,105 @@ util::Json make_summary(const ScenarioSpec& spec, const ScenarioRun& run,
   return summary;
 }
 
+/// Per-scenario state shared by the convergence sink's invocations (the
+/// sink runs on the scenario's own task thread, so no locking is needed;
+/// the shared_ptr only extends lifetime into the capturing lambda).
+struct ConvergenceState {
+  std::ofstream out;  ///< progress.jsonl stream (closed when disabled)
+  dse::Objectives reference;
+  ClinicalConstraints constraints;
+  std::string scenario;
+  std::string job_id;
+  util::events::EventRing* events = nullptr;
+  dse::Hypervolume3Scratch scratch;
+};
+
+/// Builds the per-generation convergence observer for one scenario: a
+/// progress.jsonl line (flushed, so the file tails live) and/or an event
+/// published into the campaign's ring. Returns an empty sink when both
+/// outputs are disabled. Strictly read-only w.r.t. the optimizer run.
+dse::ProgressSink make_convergence_sink(const ScenarioSpec& spec,
+                                        const CampaignOptions& options,
+                                        ResultStore& store) {
+  if (!options.progress && options.events == nullptr) return {};
+  auto state = std::make_shared<ConvergenceState>();
+  state->reference = hv_reference_point(spec);
+  state->constraints = spec.constraints;
+  state->scenario = spec.name;
+  state->job_id = options.event_job_id;
+  state->events = options.events;
+  if (options.progress) {
+    store.ensure_result_dir(spec.name);
+    state->out.open(store.progress_jsonl_path(spec.name),
+                    std::ios::out | std::ios::trunc);
+  }
+  return [state](const dse::ProgressSnapshot& snap) {
+    // Clinically feasible members of the current archive. Arity is 3 for
+    // every campaign objective; guard anyway so a 2-objective adapter run
+    // degrades to zeros instead of reading out of bounds.
+    std::size_t feasible = 0;
+    double hv = 0.0;
+    if (snap.objective_count == 3 && snap.archive != nullptr) {
+      for (const dse::ArchiveEntry& e : snap.archive->entries()) {
+        if (e.objectives[1] <= state->constraints.max_prd_percent &&
+            e.objectives[2] <= state->constraints.max_delay_s) {
+          ++feasible;
+        }
+      }
+      hv = dse::hypervolume3_flat(snap.archive->objectives_flat().data(),
+                                  snap.archive->size(), 3,
+                                  state->reference.data(), state->scratch);
+    }
+    if (state->out.is_open()) {
+      util::Json line = util::Json::object();
+      line.set("scenario", state->scenario);
+      line.set("generation", snap.generation);
+      line.set("evaluations", snap.evaluations);
+      line.set("infeasible", snap.infeasible);
+      line.set("archive_size", snap.archive_size);
+      line.set("feasible", feasible);
+      if (snap.objective_count == 3 && snap.archive_size > 0) {
+        util::Json best = util::Json::object();
+        best.set("e_net_mj_per_s", snap.best[0]);
+        best.set("prd_net_percent", snap.best[1]);
+        best.set("d_net_s", snap.best[2]);
+        line.set("best", std::move(best));
+      }
+      line.set("hypervolume", hv);
+      line.set("elapsed_s", snap.elapsed_s);
+      line.set("evals_per_s", snap.evals_per_s);
+      state->out << line.dump() << '\n';
+      state->out.flush();
+    }
+    if (state->events != nullptr) {
+      util::events::Event e = util::events::make_event(
+          util::events::Kind::kGeneration, state->job_id, state->scenario, "");
+      e.generation = snap.generation;
+      e.evaluations = snap.evaluations;
+      e.archive_size = snap.archive_size;
+      e.feasible = feasible;
+      e.hypervolume = hv;
+      e.evals_per_s = snap.evals_per_s;
+      state->events->publish(e);
+    }
+  };
+}
+
 }  // namespace
+
+util::metrics::Histogram& scenario_seconds_histogram() {
+  return scenario_seconds();
+}
+
+dse::Objectives hv_reference_point(const ScenarioSpec& spec) {
+  // [E_net mJ/s, PRD_net %, D_net s]. PRD and delay ceilings come straight
+  // from the clinical constraints; the energy ceiling is the per-node
+  // drain rate that would flatten the spec's battery within one day — far
+  // beyond any deployable configuration, so no realistic archive member is
+  // clipped, yet finite so the hypervolume integral is bounded.
+  return {spec.battery.usable_energy_mj() / 86400.0,
+          spec.constraints.max_prd_percent, spec.constraints.max_delay_s};
+}
 
 ScenarioStatus execute_scenario(const ScenarioSpec& spec,
                                 const CampaignOptions& options,
@@ -166,11 +272,19 @@ ScenarioStatus execute_scenario(const ScenarioSpec& spec,
   util::trace::Span scenario_span("scenario", spec.name);
   ScenarioPerf perf;
   const double scenario_start = now_s();
+  if (options.events != nullptr) {
+    options.events->publish(util::events::make_event(
+        util::events::Kind::kScenarioStarted, options.event_job_id, spec.name,
+        ""));
+  }
 
   double phase_start = now_s();
+  const dse::ProgressSink convergence =
+      make_convergence_sink(spec, options, store);
   ScenarioRun run = [&] {
     util::trace::Span span("evaluate");
-    return run_scenario(spec, options.quick, options.threads, pool, cache);
+    return run_scenario(spec, options.quick, options.threads, pool, cache,
+                        convergence);
   }();
   perf.evaluate_s = now_s() - phase_start;
 
@@ -222,6 +336,12 @@ ScenarioStatus execute_scenario(const ScenarioSpec& spec,
   static auto& seconds = scenario_seconds();
   executed.inc();
   seconds.observe(now_s() - scenario_start);
+  if (options.events != nullptr) {
+    options.events->publish(util::events::make_event(
+        util::events::Kind::kScenarioFinished, options.event_job_id, spec.name,
+        "front=" + std::to_string(run.result.archive.size()) +
+            " evals=" + std::to_string(run.result.evaluations)));
+  }
 
   ScenarioStatus status;
   status.name = spec.name;
@@ -414,8 +534,8 @@ std::vector<std::size_t> feasible_entries(
 
 ScenarioRun run_scenario(const ScenarioSpec& spec, bool quick,
                          std::optional<std::size_t> threads_override,
-                         util::ThreadPool* pool,
-                         dse::SharedEvalCache* cache) {
+                         util::ThreadPool* pool, dse::SharedEvalCache* cache,
+                         const dse::ProgressSink& progress) {
   spec.validate();
   const ScenarioSpec effective = quick ? quick_variant(spec) : spec;
   const std::size_t threads =
@@ -448,6 +568,7 @@ ScenarioRun run_scenario(const ScenarioSpec& spec, bool quick,
       o.seed = opt.seed;
       o.threads = workers;
       o.pool = pool;
+      o.progress = progress;
       result = dse::run_nsga2(space, *make_memo(), o);
       break;
     }
@@ -460,6 +581,7 @@ ScenarioRun run_scenario(const ScenarioSpec& spec, bool quick,
       o.seed = opt.seed;
       o.threads = workers;
       o.pool = pool;
+      o.progress = progress;
       result = dse::run_mosa(space, *make_memo(), o);
       break;
     }
@@ -526,6 +648,7 @@ CampaignReport resume_campaign(
   options.abort_after = overrides.abort_after;
   options.jobs = overrides.jobs;
   options.cache_dir = overrides.cache_dir;
+  options.progress = overrides.progress;
   options.post_scenario = overrides.post_scenario;
   return drive_campaign(specs, options, store, progress);
 }

@@ -33,7 +33,13 @@
 
 namespace wsnex::util {
 class ThreadPool;
+namespace events {
+class EventRing;
 }
+namespace metrics {
+class Histogram;
+}
+}  // namespace wsnex::util
 
 namespace wsnex::scenario {
 
@@ -52,10 +58,14 @@ struct ScenarioRun {
 /// `pool` (campaign mode) runs the evaluation batches on an external
 /// shared pool instead of a run-private one; `cache` shares the app-layer
 /// table and MAC models across scenarios. Neither changes results.
+/// `progress`, when set, is attached to the optimizer as its per-generation
+/// convergence observer (dse::ProgressSink). Strictly read-only: results
+/// are byte-identical with or without it.
 ScenarioRun run_scenario(const ScenarioSpec& spec, bool quick = false,
                          std::optional<std::size_t> threads_override = {},
                          util::ThreadPool* pool = nullptr,
-                         dse::SharedEvalCache* cache = nullptr);
+                         dse::SharedEvalCache* cache = nullptr,
+                         const dse::ProgressSink& progress = {});
 
 /// The spec with its optimizer budget shrunk to smoke-test size (NSGA-II
 /// 16x8, MOSA/random 256 evaluations). Used by `wsnex run --quick` and CI.
@@ -67,6 +77,22 @@ ScenarioSpec quick_variant(ScenarioSpec spec);
 /// ranking of the hospital_ward example.
 std::vector<std::size_t> feasible_entries(const dse::ParetoArchive& archive,
                                           const ClinicalConstraints& constraints);
+
+/// Hypervolume reference point derived purely from the spec's service
+/// ceilings, objective layout [E_net mJ/s, PRD_net %, D_net s]: the PRD and
+/// delay coordinates are the clinical constraint ceilings; the energy
+/// coordinate is the per-node drain rate that would exhaust the spec's
+/// battery in one day (a design that costs more is clinically worthless).
+/// A pure function of the spec, so progress.jsonl trajectories from
+/// different runs of the same scenario are directly comparable.
+dse::Objectives hv_reference_point(const ScenarioSpec& spec);
+
+/// The process-wide "wsnex_scenario_seconds" histogram (wall-clock of one
+/// executed scenario, evaluation through persist). Exposed so the serve
+/// layer's job-status quantiles read the exact registration the campaign
+/// layer feeds — the metrics registry rejects a re-registration whose help
+/// text or bucket bounds differ.
+util::metrics::Histogram& scenario_seconds_histogram();
 
 /// Called after a scenario's result files are on disk but *before* the
 /// manifest marks it complete — a crash mid-hook leaves the scenario
@@ -103,6 +129,20 @@ struct CampaignOptions {
   /// re-running the codecs. Bit-identical results either way. Empty =
   /// no disk cache.
   std::string cache_dir;
+  /// Convergence telemetry (`wsnex run`, default on; `--no-progress`
+  /// disables): each executed scenario streams a per-generation progress
+  /// record — evaluations, archive size, feasible count, ideal point,
+  /// hypervolume w.r.t. hv_reference_point() — to
+  /// results/<name>/progress.jsonl, one JSON object per line, flushed per
+  /// generation so the file can be tailed live. Strictly observational:
+  /// pareto.csv/feasible.csv stay byte-identical either way (CI cmps this).
+  bool progress = true;
+  /// Optional event ring: scenario lifecycle and generation-progress
+  /// events are published here (the serve scheduler passes each job's
+  /// ring). Not owned; must outlive the campaign. Null = no events.
+  util::events::EventRing* events = nullptr;
+  /// Job id stamped into published events (serve mode; empty otherwise).
+  std::string event_job_id;
   /// Optional per-scenario post-processing (see PostScenarioHook).
   PostScenarioHook post_scenario;
 };
@@ -154,6 +194,9 @@ struct ResumeOverrides {
   std::size_t abort_after = 0;
   std::size_t jobs = 1;
   std::string cache_dir;
+  /// Convergence telemetry for the re-executed scenarios (see
+  /// CampaignOptions::progress; never changes result files).
+  bool progress = true;
   /// Re-installed on resume (hooks are code, not manifest state; a resume
   /// that wants `--validate` behavior passes the hook again).
   PostScenarioHook post_scenario;

@@ -124,6 +124,10 @@ std::string ResultStore::summary_path(const std::string& name) const {
   return (fs::path(result_dir(name)) / "summary.json").string();
 }
 
+std::string ResultStore::progress_jsonl_path(const std::string& name) const {
+  return (fs::path(result_dir(name)) / "progress.jsonl").string();
+}
+
 std::string ResultStore::validation_json_path(const std::string& name) const {
   return (fs::path(result_dir(name)) / "validation.json").string();
 }

@@ -98,6 +98,12 @@ class ResultStore {
   std::string pareto_csv_path(const std::string& name) const;
   std::string feasible_csv_path(const std::string& name) const;
   std::string summary_path(const std::string& name) const;
+  /// Per-generation convergence history (JSONL, one record per optimizer
+  /// generation), streamed live while the scenario runs. Telemetry, not a
+  /// result: absent when the campaign ran with progress disabled, and
+  /// excluded from the store's byte-identity contract (it carries
+  /// wall-clock fields).
+  std::string progress_jsonl_path(const std::string& name) const;
   /// Monte Carlo validation artifacts (written by the validate subsystem;
   /// absent unless `wsnex validate -o` / `wsnex run --validate` ran).
   std::string validation_json_path(const std::string& name) const;

@@ -12,9 +12,10 @@
 
 namespace wsnex::serve {
 
-util::Json Client::request(const std::string& method,
-                           const std::string& target, const std::string& body,
-                           bool idempotent) const {
+util::HttpResponse Client::exchange(const std::string& method,
+                                    const std::string& target,
+                                    const std::string& body,
+                                    bool idempotent) const {
   const int attempts =
       idempotent ? std::max(1, retry_.max_attempts) : 1;
   // Deterministic per-(client, target) jitter: spreads concurrent callers
@@ -23,9 +24,8 @@ util::Json Client::request(const std::string& method,
       static_cast<unsigned>(port_) * 2654435761u +
       static_cast<unsigned>(std::hash<std::string>{}(target)));
   for (int attempt = 1;; ++attempt) {
-    util::HttpResponse response;
     try {
-      response = util::http_exchange(port_, method, target, body, timeout_ms_);
+      return util::http_exchange(port_, method, target, body, timeout_ms_);
     } catch (const util::SocketError& e) {
       if (attempt >= attempts) throw;
       const int backoff = std::min(
@@ -37,27 +37,54 @@ util::Json Client::request(const std::string& method,
                    << " failed (" << e.what() << "); retry " << attempt << "/"
                    << (attempts - 1) << " in " << delay << " ms";
       std::this_thread::sleep_for(std::chrono::milliseconds(delay));
-      continue;
     }
-    util::Json parsed;
-    try {
-      parsed = util::Json::parse(response.body);
-    } catch (const util::JsonParseError& e) {
-      throw ServeApiError(0, "unparseable response (HTTP " +
-                                 std::to_string(response.status) +
-                                 "): " + e.what());
-    }
-    if (response.status >= 400) {
-      std::string message = "HTTP " + std::to_string(response.status);
-      if (const util::Json* error = parsed.find("error")) {
-        if (const util::Json* text = error->find("message")) {
-          if (text->is_string()) message = text->as_string();
-        }
-      }
-      throw ServeApiError(response.status, message);
-    }
-    return parsed;
   }
+}
+
+namespace {
+
+/// Maps an error-status response onto ServeApiError with the server's
+/// {"error":{"message"}} text when the body carries one.
+[[noreturn]] void throw_api_error(const util::HttpResponse& response) {
+  std::string message = "HTTP " + std::to_string(response.status);
+  try {
+    const util::Json parsed = util::Json::parse(response.body);
+    if (const util::Json* error = parsed.find("error")) {
+      if (const util::Json* text = error->find("message")) {
+        if (text->is_string()) message = text->as_string();
+      }
+    }
+  } catch (const util::JsonParseError&) {
+    // Keep the status-only message.
+  }
+  throw ServeApiError(response.status, message);
+}
+
+}  // namespace
+
+util::Json Client::request(const std::string& method,
+                           const std::string& target, const std::string& body,
+                           bool idempotent) const {
+  const util::HttpResponse response = exchange(method, target, body,
+                                               idempotent);
+  util::Json parsed;
+  try {
+    parsed = util::Json::parse(response.body);
+  } catch (const util::JsonParseError& e) {
+    throw ServeApiError(0, "unparseable response (HTTP " +
+                               std::to_string(response.status) +
+                               "): " + e.what());
+  }
+  if (response.status >= 400) {
+    std::string message = "HTTP " + std::to_string(response.status);
+    if (const util::Json* error = parsed.find("error")) {
+      if (const util::Json* text = error->find("message")) {
+        if (text->is_string()) message = text->as_string();
+      }
+    }
+    throw ServeApiError(response.status, message);
+  }
+  return parsed;
 }
 
 util::Json Client::submit(const util::Json& job) const {
@@ -101,6 +128,44 @@ util::Json Client::cancel(const std::string& id) const {
 
 util::Json Client::health() const {
   return request("GET", "/healthz", "", true);
+}
+
+util::Json Client::events(const std::string& id, std::uint64_t since,
+                          int wait_ms) const {
+  std::string target = "/v1/jobs/" + id + "/events?since=" +
+                       std::to_string(since);
+  if (wait_ms > 0) target += "&wait=" + std::to_string(wait_ms);
+  const util::HttpResponse response = exchange("GET", target, "", true);
+  if (response.status >= 400) throw_api_error(response);
+  // NDJSON: a {"since","next","dropped"} meta line, then one event per
+  // line. Reassembled into a single object for callers.
+  util::Json out;
+  util::Json events = util::Json::array();
+  std::size_t begin = 0;
+  bool first = true;
+  while (begin < response.body.size()) {
+    std::size_t end = response.body.find('\n', begin);
+    if (end == std::string::npos) end = response.body.size();
+    const std::string line = response.body.substr(begin, end - begin);
+    begin = end + 1;
+    if (line.empty()) continue;
+    util::Json parsed;
+    try {
+      parsed = util::Json::parse(line);
+    } catch (const util::JsonParseError& e) {
+      throw ServeApiError(0, "unparseable event stream line: " +
+                                 std::string(e.what()));
+    }
+    if (first) {
+      out = std::move(parsed);
+      first = false;
+    } else {
+      events.push_back(std::move(parsed));
+    }
+  }
+  if (first) throw ServeApiError(0, "empty event stream response");
+  out.set("events", std::move(events));
+  return out;
 }
 
 util::Json Client::wait(const std::string& id, int poll_ms,

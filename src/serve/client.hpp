@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/http.hpp"
 #include "util/json.hpp"
 
 namespace wsnex::serve {
@@ -65,9 +66,23 @@ class Client {
   util::Json wait(const std::string& id, int poll_ms = 100,
                   int timeout_ms = 600000) const;
 
+  /// GET /v1/jobs/<id>/events?since=SEQ[&wait=MS]: one page of the job's
+  /// event stream, parsed from NDJSON into
+  /// {"since","next","dropped","events":[...]} — feed "next" back as the
+  /// next call's `since` to resume the cursor. `wait_ms` > 0 long-polls
+  /// (the server clamps it to 30 s); "dropped" > 0 means the ring wrapped
+  /// past the cursor and that many events were lost.
+  util::Json events(const std::string& id, std::uint64_t since = 0,
+                    int wait_ms = 0) const;
+
  private:
   util::Json request(const std::string& method, const std::string& target,
                      const std::string& body, bool idempotent) const;
+  /// The transport/retry loop shared by request() and events(): returns
+  /// the raw response once a status line arrives (whatever the status).
+  util::HttpResponse exchange(const std::string& method,
+                              const std::string& target,
+                              const std::string& body, bool idempotent) const;
 
   std::uint16_t port_ = 0;
   int timeout_ms_ = 30000;

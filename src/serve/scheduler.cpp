@@ -1,6 +1,7 @@
 #include "serve/scheduler.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <filesystem>
 #include <set>
 
@@ -61,6 +62,9 @@ double now_s() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+using util::events::Kind;
+using util::events::make_event;
 
 }  // namespace
 
@@ -124,6 +128,19 @@ util::Json JobProgress::to_json() const {
   util::Json names = util::Json::array();
   for (const std::string& name : scenarios) names.push_back(name);
   json.set("scenarios", std::move(names));
+  // Process-wide unit-duration quantiles (the wsnex_scenario_seconds
+  // histogram, bucket-interpolated). Omitted while the histogram is empty
+  // — before the first campaign unit lands, and in metrics-off builds.
+  const util::metrics::Histogram& durations =
+      scenario::scenario_seconds_histogram();
+  const double p50 = util::metrics::histogram_quantile(durations, 0.50);
+  if (std::isfinite(p50)) {
+    util::Json quantiles = util::Json::object();
+    quantiles.set("p50", p50);
+    quantiles.set("p95", util::metrics::histogram_quantile(durations, 0.95));
+    quantiles.set("p99", util::metrics::histogram_quantile(durations, 0.99));
+    json.set("unit_seconds", std::move(quantiles));
+  }
   return json;
 }
 
@@ -144,6 +161,7 @@ JobScheduler::JobScheduler(SchedulerOptions options)
   if (options_.max_priority == 0) options_.max_priority = 1;
   if (!options_.cache_dir.empty() &&
       !dsp::set_default_prd_cache_dir(options_.cache_dir)) {
+    cache_dir_degraded_ = true;
     WSNEX_DEBUG() << "serve: cache dir ignored for this process: the PRD "
                      "calibration was already computed";
   }
@@ -160,8 +178,9 @@ std::string JobScheduler::shard_dir(const std::string& id) const {
   return (fs::path(jobs_dir()) / scenario::ResultStore::shard_id(id)).string();
 }
 
-JobScheduler::Admission JobScheduler::submit(JobSpec spec) {
-  Admission admission = submit_impl(std::move(spec));
+JobScheduler::Admission JobScheduler::submit(JobSpec spec,
+                                             const std::string& request_id) {
+  Admission admission = submit_impl(std::move(spec), request_id);
   switch (admission.code) {
     case Admission::Code::kAccepted: {
       static auto& accepted = submit_counter("outcome=\"accepted\"");
@@ -198,7 +217,8 @@ JobScheduler::Admission JobScheduler::submit(JobSpec spec) {
   return admission;
 }
 
-JobScheduler::Admission JobScheduler::submit_impl(JobSpec spec) {
+JobScheduler::Admission JobScheduler::submit_impl(
+    JobSpec spec, const std::string& request_id) {
   Admission admission;
   if (spec.scenarios.empty()) {
     admission.code = Admission::Code::kInvalid;
@@ -289,6 +309,14 @@ JobScheduler::Admission JobScheduler::submit_impl(JobSpec spec) {
     admission.code = Admission::Code::kInvalid;
     admission.message = e.what();
     return admission;
+  }
+  job->events->publish(make_event(
+      Kind::kJobQueued, id, "",
+      request_id.empty() ? std::string() : "req=" + request_id));
+  if (cache_dir_degraded_) {
+    job->events->publish(make_event(
+        Kind::kCacheDegraded, id, "",
+        "prd cache dir ignored: calibration already computed in-process"));
   }
   wrr_.add(id, job->spec.priority);
   jobs_[id] = std::move(job);
@@ -386,6 +414,17 @@ std::size_t JobScheduler::recover() {
         }
       }
 
+      // Event rings are in-memory only, so a recovered job starts a fresh
+      // stream: one synthetic event telling watchers where it stands.
+      if (is_terminal(job->state)) {
+        job->events->publish(make_event(
+            Kind::kJobFinished, record.id, "",
+            std::string("recovered: ") + to_string(job->state)));
+      } else {
+        job->events->publish(
+            make_event(Kind::kJobQueued, record.id, "", "recovered"));
+      }
+
       // Keep auto ids ahead of every recovered "job-<n>".
       if (record.id.rfind("job-", 0) == 0) {
         const std::string tail = record.id.substr(4);
@@ -454,6 +493,14 @@ std::optional<JobProgress> JobScheduler::cancel(const std::string& id) {
     }
   }
   return progress_of(job);
+}
+
+std::shared_ptr<util::events::EventRing> JobScheduler::events(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return nullptr;
+  return it->second->events;
 }
 
 std::optional<util::Json> JobScheduler::results(const std::string& id) const {
@@ -585,7 +632,10 @@ void JobScheduler::worker_loop() {
       job.state = JobState::kRunning;
       job.running_since_s = now_s();
       record = record_of(job);
+      job.events->publish(make_event(Kind::kJobStarted, id, "", ""));
     }
+    job.events->publish(
+        make_event(Kind::kUnitStarted, id, job.unit_names[unit], ""));
 
     lk.unlock();
     if (record) persist_record(job, *record);
@@ -613,12 +663,16 @@ void JobScheduler::worker_loop() {
       job.fail_requested = true;
       wrr_.remove(id);
       deadline_counter().inc();
+      job.events->publish(
+          make_event(Kind::kDeadlineExceeded, id, "", job.error));
     }
     if (outcome.error.empty()) {
       job.completed[unit] = true;
       ++job.units_done;
       static auto& completed = unit_counter("outcome=\"completed\"");
       completed.inc();
+      job.events->publish(
+          make_event(Kind::kUnitFinished, id, job.unit_names[unit], ""));
     } else if (outcome.transient && !job.fail_requested &&
                !job.cancel_requested && !is_terminal(job.state) &&
                job.attempts[unit] < options_.unit_retries) {
@@ -631,6 +685,8 @@ void JobScheduler::worker_loop() {
                    << job.attempts[unit] << "/" << options_.unit_retries
                    << "): " << outcome.error;
       unit_retries_counter().inc();
+      job.events->publish(make_event(Kind::kUnitRetried, id,
+                                     job.unit_names[unit], outcome.error));
       if (!wrr_.contains(id)) wrr_.add(id, job.spec.priority);
       cv_.notify_all();
     } else {
@@ -639,6 +695,9 @@ void JobScheduler::worker_loop() {
       wrr_.remove(id);
       static auto& unit_failed = unit_counter("outcome=\"failed\"");
       unit_failed.inc();
+      job.events->publish(make_event(Kind::kUnitFinished, id,
+                                     job.unit_names[unit],
+                                     "failed: " + outcome.error));
     }
     if ((record = maybe_finalize(job))) {
       lk.unlock();
@@ -672,9 +731,12 @@ void JobScheduler::watchdog_loop() {
       j.fail_requested = true;
       wrr_.remove(id);
       deadline_counter().inc();
+      j.events->publish(make_event(Kind::kDeadlineExceeded, id, "", j.error));
       j.state = JobState::kFailed;
       static auto& failed = finished_counter("state=\"failed\"");
       failed.inc();
+      j.events->publish(
+          make_event(Kind::kJobFinished, id, "", to_string(j.state)));
       WSNEX_WARN() << "serve: job \"" << id << "\" failed by watchdog: "
                    << j.error << " (" << j.units_running
                    << " unit(s) still in flight)";
@@ -704,6 +766,8 @@ JobScheduler::UnitOutcome JobScheduler::run_unit(Job& job, std::size_t unit) {
       scenario::CampaignOptions copts;
       copts.quick = job.spec.quick;
       copts.threads = options_.threads;
+      copts.events = job.events.get();
+      copts.event_job_id = job.spec.id;
       const scenario::ScenarioStatus status =
           scenario::execute_scenario(spec, copts, *job.store, &pool_, &cache_);
       std::lock_guard<std::mutex> io(job.io_mutex);
@@ -754,6 +818,8 @@ std::optional<JobRecord> JobScheduler::maybe_finalize(Job& job) {
   } else {
     return std::nullopt;  // pending units remain; keep waiting
   }
+  job.events->publish(make_event(Kind::kJobFinished, job.spec.id, "",
+                                 to_string(job.state)));
   active_jobs_gauge().set(static_cast<double>(active_jobs_locked()));
   return record_of(job);
 }

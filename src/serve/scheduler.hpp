@@ -57,6 +57,7 @@
 #include "dse/eval_cache.hpp"
 #include "scenario/result_store.hpp"
 #include "serve/job.hpp"
+#include "util/events.hpp"
 #include "util/thread_pool.hpp"
 
 namespace wsnex::serve {
@@ -151,8 +152,10 @@ class JobScheduler {
 
   /// Validates, persists (shard store + job.json) and enqueues a job.
   /// Never throws on bad input — admission outcomes are data, the server
-  /// maps them to status codes.
-  Admission submit(JobSpec spec);
+  /// maps them to status codes. `request_id`, when non-empty, is stamped
+  /// into the job_queued event so the submission can be correlated with
+  /// the server's access log.
+  Admission submit(JobSpec spec, const std::string& request_id = "");
 
   /// Spawns the worker threads. Jobs submitted (or recovered) before
   /// start() simply wait in the queue — tests use that window to build a
@@ -177,6 +180,12 @@ class JobScheduler {
   /// Per-scenario results of a job (summaries + validation reports for
   /// completed scenarios); nullopt when the id is unknown.
   std::optional<util::Json> results(const std::string& id) const;
+
+  /// The job's event ring (lifecycle, unit progress, per-generation
+  /// convergence); nullptr when the id is unknown. The ring is shared-
+  /// owned: it stays valid (and terminal events stay readable) for the
+  /// scheduler's lifetime, and readers never block publishers.
+  std::shared_ptr<util::events::EventRing> events(const std::string& id) const;
 
   /// SIGTERM path; see the file comment. Idempotent.
   void drain();
@@ -211,13 +220,18 @@ class JobScheduler {
     std::vector<std::size_t> attempts;  ///< transient retries used per unit
     bool cancel_requested = false;
     bool fail_requested = false;
+    /// Bounded per-job event ring (job/unit lifecycle + per-generation
+    /// progress published by the campaign layer). Readers that fall
+    /// behind lose the oldest events, never block writers.
+    std::shared_ptr<util::events::EventRing> events =
+        std::make_shared<util::events::EventRing>(1024);
     std::unique_ptr<scenario::ResultStore> store;
     /// Serializes this job's store writes (manifest record_complete,
     /// validation artifacts) and job.json rewrites across workers.
     std::mutex io_mutex;
   };
 
-  Admission submit_impl(JobSpec spec);
+  Admission submit_impl(JobSpec spec, const std::string& request_id);
   void worker_loop();
   /// Fails every running job past its deadline (stuck units cannot be
   /// preempted, so the terminal state is published immediately).
@@ -252,6 +266,10 @@ class JobScheduler {
   std::size_t next_auto_id_ = 0;
   bool started_ = false;
   bool stopping_ = false;
+  /// The PRD calibration cache dir was requested but could not take
+  /// effect (calibration already computed); surfaced as a cache_degraded
+  /// event on every subsequent submission.
+  bool cache_dir_degraded_ = false;
 };
 
 }  // namespace wsnex::serve

@@ -1,9 +1,11 @@
 #include "serve/server.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <utility>
 
+#include "util/events.hpp"
 #include "util/logging.hpp"
 #include "util/metrics.hpp"
 
@@ -39,42 +41,104 @@ util::metrics::Histogram& request_seconds() {
       util::metrics::default_latency_bounds());
 }
 
-/// Splits an origin-form target into path segments ("/v1/jobs/x" ->
-/// ["v1", "jobs", "x"]). Empty segments ("//"), ".."/"." segments, query
-/// strings and fragments all yield nullopt — this API has no use for any
-/// of them, and rejecting beats normalizing.
-std::optional<std::vector<std::string>> split_target(
-    const std::string& target) {
-  if (target.empty() || target[0] != '/') return std::nullopt;
-  if (target.find_first_of("?#") != std::string::npos) return std::nullopt;
+/// An origin-form target split into path segments and query string
+/// ("/v1/jobs/x/events?since=3" -> {["v1","jobs","x","events"],
+/// "since=3"}). Empty segments ("//"), ".."/"." segments and fragments
+/// all yield nullopt — this API has no use for any of them, and rejecting
+/// beats normalizing. Queries are only *split off* here; route() rejects
+/// them with 400 on every route except the one that defines query
+/// parameters (the events stream).
+struct TargetParts {
   std::vector<std::string> segments;
+  std::string query;       ///< without the '?'; empty when absent
+  bool has_query = false;  ///< distinguishes "/x?" from "/x"
+};
+
+std::optional<TargetParts> split_target(const std::string& target) {
+  if (target.empty() || target[0] != '/') return std::nullopt;
+  if (target.find('#') != std::string::npos) return std::nullopt;
+  TargetParts parts;
+  std::string path = target;
+  const std::size_t question = target.find('?');
+  if (question != std::string::npos) {
+    parts.has_query = true;
+    parts.query = target.substr(question + 1);
+    if (parts.query.find('?') != std::string::npos) return std::nullopt;
+    path = target.substr(0, question);
+  }
   std::size_t begin = 1;
-  while (begin <= target.size()) {
-    const std::size_t end = target.find('/', begin);
+  while (begin <= path.size()) {
+    const std::size_t end = path.find('/', begin);
     const std::string segment =
-        target.substr(begin, end == std::string::npos ? std::string::npos
-                                                      : end - begin);
-    if (end == std::string::npos && segment.empty() && segments.empty()) {
-      return segments;  // bare "/"
+        path.substr(begin, end == std::string::npos ? std::string::npos
+                                                    : end - begin);
+    if (end == std::string::npos && segment.empty() &&
+        parts.segments.empty()) {
+      return parts;  // bare "/"
     }
     if (segment.empty() || segment == "." || segment == "..") {
       return std::nullopt;
     }
-    segments.push_back(segment);
+    parts.segments.push_back(segment);
     if (end == std::string::npos) break;
     begin = end + 1;
   }
-  return segments;
+  return parts;
+}
+
+bool is_events_route(const std::vector<std::string>& path) {
+  return path.size() == 4 && path[0] == "v1" && path[1] == "jobs" &&
+         path[3] == "events";
+}
+
+/// Parses the events query ("since=N", "wait=MS", '&'-joined, each at
+/// most once). Returns false (with a message) on anything else — the
+/// strictness the rest of the target grammar applies. `wait` is clamped
+/// to 30 s so a watcher cannot park a handler thread indefinitely.
+bool parse_events_query(const std::string& query, std::uint64_t* since,
+                        int* wait_ms, std::string* error) {
+  *since = 0;
+  *wait_ms = 0;
+  bool saw_since = false;
+  bool saw_wait = false;
+  std::size_t begin = 0;
+  while (begin <= query.size()) {
+    if (begin == query.size()) break;
+    const std::size_t end = query.find('&', begin);
+    const std::string pair = query.substr(
+        begin, end == std::string::npos ? std::string::npos : end - begin);
+    const std::size_t eq = pair.find('=');
+    const std::string key = pair.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? std::string() : pair.substr(eq + 1);
+    const bool numeric =
+        !value.empty() && value.size() <= 18 &&
+        value.find_first_not_of("0123456789") == std::string::npos;
+    if (key == "since" && !saw_since && numeric) {
+      saw_since = true;
+      *since = std::stoull(value);
+    } else if (key == "wait" && !saw_wait && numeric) {
+      saw_wait = true;
+      *wait_ms = static_cast<int>(
+          std::min<unsigned long long>(std::stoull(value), 30000));
+    } else {
+      *error = "events query accepts since=<seq> and wait=<ms> only";
+      return false;
+    }
+    if (end == std::string::npos) break;
+    begin = end + 1;
+  }
+  return true;
 }
 
 /// Collapses a request target onto the fixed route set for metric labels
 /// ("/v1/jobs/abc123" -> "/v1/jobs/{id}"); unknown shapes fold to "other"
 /// so a scanner cannot mint unbounded label values.
 std::string route_pattern(const std::string& target) {
-  const std::optional<std::vector<std::string>> segments =
-      split_target(target);
-  if (!segments) return "other";
-  const std::vector<std::string>& path = *segments;
+  const std::optional<TargetParts> parts = split_target(target);
+  if (!parts) return "other";
+  const std::vector<std::string>& path = parts->segments;
+  if (parts->has_query && !is_events_route(path)) return "other";
   if (path.size() == 1 && path[0] == "healthz") return "/healthz";
   if (path.size() == 1 && path[0] == "metrics") return "/metrics";
   if (path.size() >= 2 && path[0] == "v1" && path[1] == "jobs") {
@@ -83,6 +147,7 @@ std::string route_pattern(const std::string& target) {
     if (path.size() == 4 && path[3] == "results") {
       return "/v1/jobs/{id}/results";
     }
+    if (path.size() == 4 && path[3] == "events") return "/v1/jobs/{id}/events";
     if (path.size() == 4 && path[3] == "cancel") return "/v1/jobs/{id}/cancel";
   }
   return "other";
@@ -219,6 +284,10 @@ void HttpServer::handler_loop() {
 
 void HttpServer::handle_connection(util::TcpStream stream) {
   const double start = now_s();
+  const std::string request_id =
+      "req-" + std::to_string(
+                   next_request_id_.fetch_add(1, std::memory_order_relaxed) +
+                   1);
   stream.set_timeout_ms(options_.limits.io_timeout_ms);
   const util::HttpReadResult read =
       util::read_http_request(stream, options_.limits);
@@ -249,13 +318,13 @@ void HttpServer::handle_connection(util::TcpStream stream) {
     // Unreadable requests carry no trustworthy method/target; they are
     // accounted (and access-logged) under a sentinel route so rejected
     // traffic still shows up on the daemon side.
-    respond(stream, response, "-", "-", "unreadable", start);
+    respond(stream, response, "-", "-", "unreadable", request_id, start);
     return;
   }
 
   util::HttpResponse response;
   try {
-    response = route(*read.request);
+    response = route(*read.request, request_id);
   } catch (const std::exception& e) {
     // Routing must not leak exceptions to the connection loop; anything
     // unexpected is this server's bug, reported as such.
@@ -264,13 +333,14 @@ void HttpServer::handle_connection(util::TcpStream stream) {
     response = error_response(500, "internal error");
   }
   respond(stream, response, read.request->method, read.request->target,
-          route_pattern(read.request->target), start);
+          route_pattern(read.request->target), request_id, start);
 }
 
 void HttpServer::respond(util::TcpStream& stream,
                          const util::HttpResponse& response,
                          const std::string& method, const std::string& target,
-                         const std::string& route, double start_s) {
+                         const std::string& route,
+                         const std::string& request_id, double start_s) {
   util::write_http_response(stream, response);
   const double elapsed = now_s() - start_s;
 
@@ -291,20 +361,26 @@ void HttpServer::respond(util::TcpStream& stream,
     char duration[32];
     std::snprintf(duration, sizeof(duration), "%.3f", elapsed * 1e3);
     util::log(util::LogLevel::kInfo,
-              "access method=" + method + " target=" + target + " route=" +
-                  route + " status=" + std::to_string(response.status) +
+              "access req=" + request_id + " method=" + method + " target=" +
+                  target + " route=" + route +
+                  " status=" + std::to_string(response.status) +
                   " bytes=" + std::to_string(response.body.size()) +
                   " duration_ms=" + duration);
   }
 }
 
-util::HttpResponse HttpServer::route(const util::HttpRequest& request) {
-  const std::optional<std::vector<std::string>> segments =
-      split_target(request.target);
-  if (!segments) {
+util::HttpResponse HttpServer::route(const util::HttpRequest& request,
+                                     const std::string& request_id) {
+  const std::optional<TargetParts> parts = split_target(request.target);
+  if (!parts) {
     return error_response(400, "unsupported request target");
   }
-  const std::vector<std::string>& path = *segments;
+  const std::vector<std::string>& path = parts->segments;
+  // Queries only mean something on the events stream; anywhere else they
+  // are a malformed target, same as "//" or "..".
+  if (parts->has_query && !is_events_route(path)) {
+    return error_response(400, "unsupported request target");
+  }
 
   if (path.size() == 1 && path[0] == "healthz") {
     if (request.method != "GET") {
@@ -330,7 +406,7 @@ util::HttpResponse HttpServer::route(const util::HttpRequest& request) {
 
   if (path.size() >= 2 && path[0] == "v1" && path[1] == "jobs") {
     if (path.size() == 2) {
-      if (request.method == "POST") return handle_submit(request);
+      if (request.method == "POST") return handle_submit(request, request_id);
       if (request.method == "GET") {
         util::Json jobs = util::Json::array();
         for (const JobProgress& progress : scheduler_.list()) {
@@ -359,6 +435,39 @@ util::HttpResponse HttpServer::route(const util::HttpRequest& request) {
       if (!results) return error_response(404, "unknown job \"" + id + "\"");
       return json_response(200, *results);
     }
+    if (path.size() == 4 && path[3] == "events") {
+      if (request.method != "GET") {
+        return error_response(405, "job events supports GET only");
+      }
+      std::uint64_t since = 0;
+      int wait_ms = 0;
+      std::string query_error;
+      if (!parse_events_query(parts->query, &since, &wait_ms, &query_error)) {
+        return error_response(400, query_error);
+      }
+      const std::shared_ptr<util::events::EventRing> ring =
+          scheduler_.events(id);
+      if (!ring) return error_response(404, "unknown job \"" + id + "\"");
+      std::vector<util::events::Event> batch;
+      std::uint64_t dropped = 0;
+      std::uint64_t next = ring->read_since(since, batch, &dropped);
+      if (batch.empty() && wait_ms > 0) {
+        // Long poll: park (bounded) until something newer is published,
+        // then page again. Dropped events are accounted, never blocked
+        // on — the ring stays bounded whatever the reader does.
+        ring->wait_for(since, static_cast<double>(wait_ms) / 1000.0);
+        next = ring->read_since(since, batch, &dropped);
+      }
+      util::Json meta = util::Json::object();
+      meta.set("since", static_cast<std::int64_t>(since));
+      meta.set("next", static_cast<std::int64_t>(next));
+      meta.set("dropped", static_cast<std::int64_t>(dropped));
+      util::HttpResponse response;
+      response.status = 200;
+      response.content_type = "application/x-ndjson";
+      response.body = meta.dump() + "\n" + util::events::events_to_jsonl(batch);
+      return response;
+    }
     if (path.size() == 4 && path[3] == "cancel") {
       if (request.method != "POST") {
         return error_response(405, "job cancel supports POST only");
@@ -372,8 +481,8 @@ util::HttpResponse HttpServer::route(const util::HttpRequest& request) {
   return error_response(404, "no such endpoint: " + request.target);
 }
 
-util::HttpResponse HttpServer::handle_submit(
-    const util::HttpRequest& request) {
+util::HttpResponse HttpServer::handle_submit(const util::HttpRequest& request,
+                                             const std::string& request_id) {
   util::Json body;
   try {
     body = util::Json::parse(request.body);
@@ -386,7 +495,7 @@ util::HttpResponse HttpServer::handle_submit(
   } catch (const std::exception& e) {
     return error_response(400, e.what());
   }
-  return admission_response(scheduler_.submit(std::move(spec)));
+  return admission_response(scheduler_.submit(std::move(spec), request_id));
 }
 
 }  // namespace wsnex::serve

@@ -8,9 +8,15 @@
 //   GET  /v1/jobs                 list all jobs
 //   GET  /v1/jobs/<id>            one job's status/progress
 //   GET  /v1/jobs/<id>/results    per-scenario summaries + validation
+//   GET  /v1/jobs/<id>/events     event stream page (NDJSON; the other
+//                                 non-JSON route). ?since=SEQ resumes a
+//                                 cursor, ?wait=MS long-polls (bounded)
 //   POST /v1/jobs/<id>/cancel     request cancellation (idempotent)
 //
 // Every response is JSON; failures are {"error":{"code":N,"message":..}}.
+// Query strings are accepted only where they mean something — the events
+// route; everywhere else they are rejected with 400, like every other
+// target irregularity.
 // Admission outcomes map onto status codes — 202 accepted, 400 invalid,
 // 404 unknown id/route, 405 wrong method, 409 duplicate id, 413/431 too
 // large, 408 stalled peer, 429 queue full, 501 unsupported framing, 503
@@ -26,6 +32,7 @@
 // accept thread answers 503 inline instead of queueing unboundedly.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -42,13 +49,17 @@ namespace wsnex::serve {
 struct ServerOptions {
   std::uint16_t port = 0;  ///< 0 = kernel-assigned ephemeral port
   util::HttpLimits limits;
-  std::size_t handler_threads = 2;
+  /// Sized so a couple of long-polling events watchers (GET .../events
+  /// with ?wait=) cannot starve the control plane.
+  std::size_t handler_threads = 4;
   /// Accepted-but-unhandled connection bound; beyond it new connections
   /// are answered 503 immediately.
   std::size_t max_pending_connections = 16;
-  /// One structured line per handled request (method, route, status,
-  /// bytes, duration), emitted through util::logging at INFO — callers
-  /// enabling this should make sure the log level admits INFO.
+  /// One structured line per handled request (request id, method, route,
+  /// status, response bytes, duration), emitted through util::logging at
+  /// INFO — callers enabling this should make sure the log level admits
+  /// INFO. The request id is also stamped into the job_queued event of a
+  /// submission it carried, so event streams correlate back to log lines.
   bool access_log = false;
 };
 
@@ -77,9 +88,12 @@ class HttpServer {
   /// status counters, latency histogram) and optional access-log line.
   void respond(util::TcpStream& stream, const util::HttpResponse& response,
                const std::string& method, const std::string& target,
-               const std::string& route, double start_s);
-  util::HttpResponse route(const util::HttpRequest& request);
-  util::HttpResponse handle_submit(const util::HttpRequest& request);
+               const std::string& route, const std::string& request_id,
+               double start_s);
+  util::HttpResponse route(const util::HttpRequest& request,
+                           const std::string& request_id);
+  util::HttpResponse handle_submit(const util::HttpRequest& request,
+                                   const std::string& request_id);
 
   JobScheduler& scheduler_;
   ServerOptions options_;
@@ -92,6 +106,8 @@ class HttpServer {
   bool started_ = false;
   std::thread acceptor_;
   std::vector<std::thread> handlers_;
+  /// Monotone per-process request id source ("req-<n>" in the access log).
+  std::atomic<std::uint64_t> next_request_id_{0};
 };
 
 /// {"error":{"code":status,"message":message}} with the matching status.

@@ -1,5 +1,7 @@
 #include "util/metrics.hpp"
 
+#include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -20,6 +22,47 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
 std::vector<double> default_latency_bounds() {
   return {1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2,
           5e-2, 0.1,    0.25, 0.5,  1.0,    2.5,  5.0,  10.0};
+}
+
+double bucket_quantile(const std::vector<double>& bounds,
+                       const std::vector<std::uint64_t>& buckets, double q) {
+  if (buckets.size() != bounds.size() + 1) {
+    throw std::logic_error(
+        "metrics: bucket_quantile needs bounds.size() + 1 buckets");
+  }
+  std::uint64_t total = 0;
+  for (std::uint64_t c : buckets) total += c;
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const double in_bucket = static_cast<double>(buckets[i]);
+    if (cumulative + in_bucket < rank && i + 1 < buckets.size()) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i == bounds.size()) {
+      // Rank falls in the +Inf bucket: the best available estimate is the
+      // highest finite edge (bounds are never empty in practice, but guard).
+      return bounds.empty() ? std::numeric_limits<double>::quiet_NaN()
+                            : bounds.back();
+    }
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    const double upper = bounds[i];
+    if (in_bucket <= 0.0) return upper;
+    return lower + (upper - lower) * ((rank - cumulative) / in_bucket);
+  }
+  return bounds.back();
+}
+
+double histogram_quantile(const Histogram& histogram, double q) {
+  std::vector<std::uint64_t> buckets(histogram.bounds().size() + 1);
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    buckets[i] = histogram.bucket_count(i);
+  }
+  return bucket_quantile(histogram.bounds(), buckets, q);
 }
 
 // ---------------------------------------------------------------------------

@@ -126,6 +126,19 @@ class Histogram {
 /// dashboards can overlay them.
 std::vector<double> default_latency_bounds();
 
+/// Bucket-interpolated quantile estimate over a histogram's non-cumulative
+/// bucket counts (`buckets.size() == bounds.size() + 1`, the last entry being
+/// the implicit +Inf bucket). `q` is clamped to [0, 1]. Linear interpolation
+/// inside the bucket holding rank q*count, matching Prometheus'
+/// histogram_quantile(): the first bucket interpolates from 0, and ranks
+/// landing in the +Inf bucket are clamped to the highest finite edge.
+/// Returns NaN when the histogram is empty.
+double bucket_quantile(const std::vector<double>& bounds,
+                       const std::vector<std::uint64_t>& buckets, double q);
+
+/// Convenience overload reading a live histogram's buckets.
+double histogram_quantile(const Histogram& histogram, double q);
+
 /// Find-or-create registry of instruments, grouped into families by metric
 /// name. `labels` is a preformatted Prometheus label body without braces
 /// (e.g. `route="/v1/jobs",method="POST"`; empty for none); each distinct

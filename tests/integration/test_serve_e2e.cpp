@@ -176,7 +176,9 @@ void wait_units(const Client& client, const std::string& id,
 }
 
 /// The deterministic result bytes of a job shard: every file under
-/// results/, minus summary.json (which records wallclock).
+/// results/, minus summary.json and progress.jsonl (both record wallclock —
+/// the convergence history is telemetry, excluded from the byte-identity
+/// contract like the summary).
 std::vector<std::pair<std::string, std::string>> result_bytes(
     const fs::path& shard) {
   std::vector<std::pair<std::string, std::string>> files;
@@ -184,6 +186,7 @@ std::vector<std::pair<std::string, std::string>> result_bytes(
        fs::recursive_directory_iterator(shard / "results")) {
     if (!entry.is_regular_file()) continue;
     if (entry.path().filename() == "summary.json") continue;
+    if (entry.path().filename() == "progress.jsonl") continue;
     files.emplace_back(fs::relative(entry.path(), shard).string(),
                        read_file(entry.path()));
   }

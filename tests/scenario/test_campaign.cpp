@@ -13,7 +13,10 @@
 #include <vector>
 
 #include "scenario/registry.hpp"
+#include "util/events.hpp"
+#include "util/json.hpp"
 #include "util/simd.hpp"
+#include "util/trace.hpp"
 
 namespace wsnex::scenario {
 namespace {
@@ -381,6 +384,177 @@ TEST_F(CampaignTest, CorruptManifestFailsWithClearError) {
     out << "{ not json";
   }
   EXPECT_THROW(resume_campaign(dir("a")), ScenarioError);
+}
+
+TEST_F(CampaignTest, ProgressJsonlSchemaAndMonotoneHypervolume) {
+  run_campaign({preset("hospital_ward_2")}, options(dir("a")));
+  ResultStore store(dir("a"));
+  const fs::path path = store.progress_jsonl_path("hospital_ward_2");
+  ASSERT_TRUE(fs::exists(path));
+  std::ifstream in(path, std::ios::binary);
+  std::string line;
+  std::int64_t expected_generation = 0;
+  std::int64_t last_evaluations = 0;
+  double last_hv = -1.0;
+  std::size_t records = 0;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    const util::Json record = util::Json::parse(line);
+    EXPECT_EQ(record.at("scenario").as_string(), "hospital_ward_2");
+    // One record per generation, in order, starting at generation 0.
+    EXPECT_EQ(record.at("generation").as_int64(), expected_generation++);
+    const std::int64_t evaluations = record.at("evaluations").as_int64();
+    EXPECT_GT(evaluations, last_evaluations);
+    last_evaluations = evaluations;
+    EXPECT_GE(record.at("infeasible").as_int64(), 0);
+    EXPECT_GT(record.at("archive_size").as_int64(), 0);
+    EXPECT_GE(record.at("feasible").as_int64(), 0);
+    const util::Json& best = record.at("best");
+    EXPECT_TRUE(best.find("e_net_mj_per_s") != nullptr);
+    EXPECT_TRUE(best.find("prd_net_percent") != nullptr);
+    EXPECT_TRUE(best.find("d_net_s") != nullptr);
+    // The archive only grows toward the front: HV never decreases.
+    const double hv = record.at("hypervolume").as_double();
+    EXPECT_GE(hv, last_hv - 1e-12);
+    last_hv = hv;
+    EXPECT_GE(record.at("elapsed_s").as_double(), 0.0);
+    EXPECT_GT(record.at("evals_per_s").as_double(), 0.0);
+    ++records;
+  }
+  EXPECT_GT(records, 1u);
+  EXPECT_GT(last_hv, 0.0);
+}
+
+TEST_F(CampaignTest, ProgressTelemetryNeverPerturbsArchives) {
+  const auto specs = small_campaign();
+  CampaignOptions with = options(dir("with"));
+  with.progress = true;
+  CampaignOptions without = options(dir("without"));
+  without.progress = false;
+  run_campaign(specs, with);
+  run_campaign(specs, without);
+  ResultStore store_with(dir("with")), store_without(dir("without"));
+  for (const auto& spec : specs) {
+    EXPECT_EQ(read_file(store_with.pareto_csv_path(spec.name)),
+              read_file(store_without.pareto_csv_path(spec.name)))
+        << spec.name;
+    EXPECT_EQ(read_file(store_with.feasible_csv_path(spec.name)),
+              read_file(store_without.feasible_csv_path(spec.name)))
+        << spec.name;
+    EXPECT_TRUE(fs::exists(store_with.progress_jsonl_path(spec.name)));
+    EXPECT_FALSE(fs::exists(store_without.progress_jsonl_path(spec.name)));
+  }
+}
+
+TEST_F(CampaignTest, EventRingCapturesLifecycleAndGenerations) {
+  util::events::EventRing ring(1024);
+  CampaignOptions o = options(dir("a"));
+  o.events = &ring;
+  o.event_job_id = "job-42";
+  run_campaign({preset("hospital_ward_2"), preset("hospital_ward_3")}, o);
+
+  std::vector<util::events::Event> events;
+  std::uint64_t dropped = 1;
+  ring.read_since(0, events, &dropped);
+  EXPECT_EQ(dropped, 0u);
+  ASSERT_FALSE(events.empty());
+
+  std::uint64_t last_seq = 0;
+  std::size_t started = 0, finished = 0, generations = 0;
+  for (const auto& event : events) {
+    EXPECT_GT(event.seq, last_seq);  // strictly monotone
+    last_seq = event.seq;
+    EXPECT_STREQ(event.job, "job-42");
+    switch (event.kind) {
+      case util::events::Kind::kScenarioStarted: ++started; break;
+      case util::events::Kind::kScenarioFinished: ++finished; break;
+      case util::events::Kind::kGeneration:
+        ++generations;
+        EXPECT_GT(event.evaluations, 0u);
+        EXPECT_GT(event.archive_size, 0u);
+        break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(started, 2u);
+  EXPECT_EQ(finished, 2u);
+  // Quick NSGA-II runs 8 generations after the initial population — at
+  // least that many generation events per scenario.
+  EXPECT_GE(generations, 2u * 8u);
+  // Each scenario's stream is ordered: started < all generations < finished.
+  const auto find_kind = [&](util::events::Kind kind, const char* scenario) {
+    for (const auto& event : events) {
+      if (event.kind == kind &&
+          std::string(event.scenario) == scenario) {
+        return event.seq;
+      }
+    }
+    return std::uint64_t{0};
+  };
+  for (const char* name : {"hospital_ward_2", "hospital_ward_3"}) {
+    const std::uint64_t begin =
+        find_kind(util::events::Kind::kScenarioStarted, name);
+    const std::uint64_t end =
+        find_kind(util::events::Kind::kScenarioFinished, name);
+    ASSERT_GT(begin, 0u) << name;
+    ASSERT_GT(end, begin) << name;
+    for (const auto& event : events) {
+      if (event.kind == util::events::Kind::kGeneration &&
+          std::string(event.scenario) == name) {
+        EXPECT_GT(event.seq, begin);
+        EXPECT_LT(event.seq, end);
+      }
+    }
+  }
+}
+
+// Trace spans must nest correctly even when two scenarios run concurrently:
+// every evaluate/lifetime/persist span lies inside a scenario span on the
+// *same thread*, and both scenario spans appear.
+TEST_F(CampaignTest, TraceSpansNestUnderParallelJobs) {
+  const fs::path trace_path = root_ / "campaign.trace.json";
+  fs::create_directories(root_);
+  ASSERT_TRUE(util::trace::start(trace_path.string()));
+  CampaignOptions o = options(dir("a"));
+  o.jobs = 2;
+  run_campaign({preset("hospital_ward_2"), preset("hospital_ward_3")}, o);
+  ASSERT_TRUE(util::trace::stop());
+
+  const util::Json trace = util::Json::parse(read_file(trace_path));
+  const auto& spans = trace.at("traceEvents").as_array();
+  struct Rec {
+    std::string name;
+    std::int64_t tid = 0;
+    double ts = 0.0, dur = 0.0;
+  };
+  std::vector<Rec> scenario_spans, phase_spans;
+  for (const util::Json& span : spans) {
+    Rec rec;
+    rec.name = span.at("name").as_string();
+    rec.tid = span.at("tid").as_int64();
+    rec.ts = span.at("ts").as_double();
+    rec.dur = span.at("dur").as_double();
+    if (rec.name.rfind("scenario:", 0) == 0) {
+      scenario_spans.push_back(rec);
+    } else if (rec.name == "evaluate" || rec.name == "lifetime" ||
+               rec.name == "persist") {
+      phase_spans.push_back(rec);
+    }
+  }
+  ASSERT_EQ(scenario_spans.size(), 2u);
+  ASSERT_FALSE(phase_spans.empty());
+  for (const Rec& phase : phase_spans) {
+    bool nested = false;
+    for (const Rec& parent : scenario_spans) {
+      if (phase.tid == parent.tid && phase.ts >= parent.ts &&
+          phase.ts + phase.dur <= parent.ts + parent.dur + 1.0) {
+        nested = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(nested) << phase.name << " span not nested in any scenario "
+                        << "span on its thread";
+  }
 }
 
 }  // namespace

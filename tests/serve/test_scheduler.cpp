@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "scenario/registry.hpp"
+#include "util/events.hpp"
 #include "util/failpoint.hpp"
 
 namespace wsnex::serve {
@@ -466,6 +467,62 @@ TEST_F(SchedulerTest, TransientUnitFailureIsRetriedToSuccess) {
   EXPECT_EQ(scheduler.execution_log(),
             (std::vector<std::string>{"flaky:hospital_ward_2",
                                       "flaky:hospital_ward_2"}));
+}
+
+TEST_F(SchedulerTest, EventRingRecordsTheWholeJobLifecycle) {
+  JobScheduler scheduler(options());
+  JobSpec spec;
+  spec.id = "observed";
+  spec.kind = JobKind::kCampaign;
+  spec.quick = true;
+  spec.scenarios.push_back(scenario::preset("hospital_ward_2"));
+  ASSERT_EQ(scheduler.submit(spec, "req-abc").code,
+            JobScheduler::Admission::Code::kAccepted);
+  scheduler.start();
+  EXPECT_EQ(wait_terminal(scheduler, "observed").state, JobState::kComplete);
+
+  EXPECT_EQ(scheduler.events("no-such-job"), nullptr);
+  const auto ring = scheduler.events("observed");
+  ASSERT_NE(ring, nullptr);
+  std::vector<util::events::Event> events;
+  std::uint64_t dropped = 1;
+  ring->read_since(0, events, &dropped);
+  EXPECT_EQ(dropped, 0u);
+  ASSERT_GE(events.size(), 5u);
+
+  // Strictly monotone sequence, all stamped with the job id.
+  std::uint64_t last_seq = 0;
+  for (const auto& event : events) {
+    EXPECT_GT(event.seq, last_seq);
+    last_seq = event.seq;
+    EXPECT_STREQ(event.job, "observed");
+  }
+  // The stream begins with admission (carrying the request id for access-
+  // log correlation) and ends with the terminal state.
+  EXPECT_EQ(events.front().kind, util::events::Kind::kJobQueued);
+  EXPECT_STREQ(events.front().detail, "req=req-abc");
+  EXPECT_EQ(events.back().kind, util::events::Kind::kJobFinished);
+  EXPECT_STREQ(events.back().detail, "complete");
+  // Start / unit lifecycle and optimizer generations appear in between.
+  const auto count_kind = [&](util::events::Kind kind) {
+    std::size_t n = 0;
+    for (const auto& event : events) {
+      if (event.kind == kind) ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count_kind(util::events::Kind::kJobStarted), 1u);
+  EXPECT_EQ(count_kind(util::events::Kind::kUnitStarted), 1u);
+  EXPECT_EQ(count_kind(util::events::Kind::kUnitFinished), 1u);
+  EXPECT_GE(count_kind(util::events::Kind::kGeneration), 8u);
+
+  // The ring stays readable after the job is terminal (watch clients may
+  // connect late), and the cursor resumes mid-stream without loss.
+  std::vector<util::events::Event> tail;
+  ring->read_since(events[2].seq, tail, &dropped);
+  EXPECT_EQ(dropped, 0u);
+  ASSERT_EQ(tail.size(), events.size() - 3);
+  EXPECT_EQ(tail.front().seq, events[3].seq);
 }
 
 TEST_F(SchedulerTest, ExhaustedTransientRetriesFailTheJob) {

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <string>
 #include <thread>
@@ -305,6 +306,110 @@ TEST_F(AdversarialTest, RetryingClientRidesOutALateStartingServer) {
   EXPECT_EQ(health.at("status").as_string(), "ok");
   stop = true;
   late.join();
+}
+
+// The events endpoint is the one route that accepts a query string — and
+// only `since`/`wait` with digit values. Everything else about it must obey
+// the same strictness as the rest of the API: NDJSON pages with a meta
+// line, strictly monotone sequences, cursor resumption without replay, and
+// well-formed errors for unknown jobs, bad queries and wrong methods.
+TEST_F(AdversarialTest, EventStreamPagesResumeOverRealSockets) {
+  JobScheduler scheduler(scheduler_options());
+  scheduler.start();
+  ServerOptions options = server_options();
+  options.limits.io_timeout_ms = 5000;  // long-poll needs headroom
+  HttpServer server(scheduler, options);
+  server.start();
+  const std::uint16_t port = server.port();
+  const Client client(port, /*timeout_ms=*/10000);
+
+  util::Json job = util::Json::object();
+  job.set("id", "streamed");
+  job.set("kind", "campaign");
+  job.set("quick", true);
+  util::Json scenarios = util::Json::array();
+  scenarios.push_back(util::Json("hospital_ward_2"));
+  job.set("scenarios", std::move(scenarios));
+  ASSERT_EQ(client.submit(job).at("state").as_string(), "queued");
+  client.wait("streamed", /*poll_ms=*/50, /*timeout_ms=*/120000);
+
+  // Full page from seq 0: meta + events, strictly monotone, terminal tail.
+  const util::Json page = client.events("streamed");
+  EXPECT_EQ(page.at("since").as_int64(), 0);
+  EXPECT_EQ(page.at("dropped").as_int64(), 0);
+  const auto& events = page.at("events").as_array();
+  ASSERT_GT(events.size(), 3u);
+  EXPECT_EQ(page.at("next").as_int64(), events.back().at("seq").as_int64());
+  std::int64_t last_seq = 0;
+  for (const util::Json& event : events) {
+    const std::int64_t seq = event.at("seq").as_int64();
+    EXPECT_GT(seq, last_seq);
+    last_seq = seq;
+  }
+  EXPECT_EQ(events.back().at("kind").as_string(), "job_finished");
+
+  // Cursor resumption: a mid-stream cursor yields exactly the suffix, and
+  // the final cursor yields an empty page with an unchanged `next`.
+  const std::int64_t mid = events[1].at("seq").as_int64();
+  const util::Json suffix =
+      client.events("streamed", static_cast<std::uint64_t>(mid));
+  EXPECT_EQ(suffix.at("events").as_array().size(), events.size() - 2);
+  EXPECT_EQ(suffix.at("events").as_array().front().at("seq").as_int64(),
+            events[2].at("seq").as_int64());
+  const util::Json drained = client.events(
+      "streamed", static_cast<std::uint64_t>(page.at("next").as_int64()));
+  EXPECT_EQ(drained.at("events").as_array().size(), 0u);
+  EXPECT_EQ(drained.at("next").as_int64(), page.at("next").as_int64());
+
+  // Raw wire shape: NDJSON content type, first line is the meta object.
+  const std::string raw = raw_exchange(
+      port, "GET /v1/jobs/streamed/events?since=0&wait=0 HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(raw_status(raw), 200);
+  EXPECT_NE(raw.find("application/x-ndjson"), std::string::npos);
+  const std::size_t body_at = raw.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  const std::string body = raw.substr(body_at + 4);
+  const util::Json meta =
+      util::Json::parse(body.substr(0, body.find('\n')));
+  EXPECT_EQ(meta.at("since").as_int64(), 0);
+
+  // Error surface: unknown job, junk queries, wrong method — all strict.
+  try {
+    client.events("phantom");
+    FAIL() << "events on an unknown job must 404";
+  } catch (const ServeApiError& e) {
+    EXPECT_EQ(e.status(), 404);
+  }
+  expect_error_body(
+      raw_exchange(port,
+                   "GET /v1/jobs/streamed/events?since=abc HTTP/1.1\r\n\r\n"),
+      400);
+  expect_error_body(
+      raw_exchange(port,
+                   "GET /v1/jobs/streamed/events?evil=1 HTTP/1.1\r\n\r\n"),
+      400);
+  expect_error_body(
+      raw_exchange(port,
+                   "POST /v1/jobs/streamed/events?since=0 HTTP/1.1\r\n\r\n"),
+      405);
+  // Queries on every other route stay rejected.
+  expect_error_body(
+      raw_exchange(port, "GET /v1/jobs/streamed?since=0 HTTP/1.1\r\n\r\n"),
+      400);
+
+  // Long-poll: a waiter on the end-of-stream cursor of a terminal job
+  // times out empty (no new events will ever arrive) instead of hanging.
+  const auto before = std::chrono::steady_clock::now();
+  const util::Json idle = client.events(
+      "streamed", static_cast<std::uint64_t>(page.at("next").as_int64()),
+      /*wait_ms=*/300);
+  const auto elapsed = std::chrono::steady_clock::now() - before;
+  EXPECT_EQ(idle.at("events").as_array().size(), 0u);
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            250);
+  server.stop();
+  scheduler.drain();
 }
 
 TEST_F(AdversarialTest, ExhaustedRetriesSurfaceTheTransportError) {

@@ -1,0 +1,255 @@
+// EventRing: the bounded lock-free broadcast buffer under the serve-layer
+// event streams and progress telemetry. The tests pin the contract the
+// readers rely on — globally monotone sequence numbers, loss-with-accounting
+// on wrap, torn-slot suppression under concurrent writers — and the JSONL
+// wire schema the CLI and CI smoke checks parse.
+#include "util/events.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace events = wsnex::util::events;
+using events::Event;
+using events::EventRing;
+using events::Kind;
+using events::make_event;
+
+namespace {
+
+TEST(EventRingTest, PublishAssignsMonotoneSequenceFromOne) {
+  EventRing ring(8);
+  EXPECT_EQ(ring.last_seq(), 0u);
+  EXPECT_EQ(ring.publish(make_event(Kind::kJobQueued, "j", "", "")), 1u);
+  EXPECT_EQ(ring.publish(make_event(Kind::kJobStarted, "j", "", "")), 2u);
+  EXPECT_EQ(ring.last_seq(), 2u);
+}
+
+TEST(EventRingTest, ReadSinceReturnsOnlyNewerEventsInOrder) {
+  EventRing ring(16);
+  for (int i = 0; i < 5; ++i) {
+    ring.publish(make_event(Kind::kGeneration, "job", "scen",
+                            "d" + std::to_string(i)));
+  }
+  std::vector<Event> out;
+  std::uint64_t dropped = 99;
+  const std::uint64_t next = ring.read_since(2, out, &dropped);
+  EXPECT_EQ(next, 5u);
+  EXPECT_EQ(dropped, 0u);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].seq, 3u);
+  EXPECT_EQ(out[1].seq, 4u);
+  EXPECT_EQ(out[2].seq, 5u);
+  EXPECT_STREQ(out[0].job, "job");
+  EXPECT_STREQ(out[0].scenario, "scen");
+  EXPECT_STREQ(out[0].detail, "d2");
+}
+
+TEST(EventRingTest, EmptyReadKeepsCursor) {
+  EventRing ring(8);
+  ring.publish(make_event(Kind::kJobQueued, "j", "", ""));
+  std::vector<Event> out;
+  EXPECT_EQ(ring.read_since(1, out), 1u);
+  EXPECT_TRUE(out.empty());
+  // A cursor beyond last_seq also stays put instead of going backwards.
+  EXPECT_EQ(ring.read_since(7, out), 7u);
+}
+
+TEST(EventRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(EventRing(3).capacity(), 4u);
+  EXPECT_EQ(EventRing(8).capacity(), 8u);
+  EXPECT_EQ(EventRing(9).capacity(), 16u);
+  EXPECT_GE(EventRing(0).capacity(), 1u);
+}
+
+TEST(EventRingTest, OverflowDropsOldestAndAccountsForThem) {
+  EventRing ring(4);  // capacity 4
+  for (int i = 0; i < 10; ++i) {
+    ring.publish(make_event(Kind::kUnitFinished, "j", "", ""));
+  }
+  EXPECT_EQ(ring.overwritten(), 6u);
+  std::vector<Event> out;
+  std::uint64_t dropped = 0;
+  const std::uint64_t next = ring.read_since(0, out, &dropped);
+  EXPECT_EQ(next, 10u);
+  EXPECT_EQ(dropped, 6u);  // seq 1..6 overwritten
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out.front().seq, 7u);
+  EXPECT_EQ(out.back().seq, 10u);
+  // A reader whose cursor is inside the retained window loses nothing.
+  out.clear();
+  dropped = 99;
+  ring.read_since(8, out, &dropped);
+  EXPECT_EQ(dropped, 0u);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(EventRingTest, StringFieldsTruncateNotOverflow) {
+  EventRing ring(4);
+  const std::string long_name(500, 'x');
+  const Event event =
+      make_event(Kind::kJobQueued, long_name, long_name, long_name);
+  EXPECT_EQ(std::strlen(event.job), sizeof(event.job) - 1);
+  EXPECT_EQ(std::strlen(event.scenario), sizeof(event.scenario) - 1);
+  EXPECT_EQ(std::strlen(event.detail), sizeof(event.detail) - 1);
+  ring.publish(event);
+  std::vector<Event> out;
+  ring.read_since(0, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(std::strlen(out[0].job), sizeof(out[0].job) - 1);
+}
+
+// Many writers hammer a deliberately tiny ring while readers poll with a
+// moving cursor: every event a reader sees must be well-formed (valid kind,
+// self-consistent payload) and sequences must be strictly increasing per
+// read — torn slots must be suppressed, never surfaced.
+TEST(EventRingTest, ConcurrentWritersNeverSurfaceTornEvents) {
+  EventRing ring(8);
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 2000;
+  std::atomic<bool> start{false};
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&ring, &start, w] {
+      while (!start.load()) {
+      }
+      const std::string tag = "writer" + std::to_string(w);
+      for (int i = 0; i < kPerWriter; ++i) {
+        Event event = make_event(Kind::kGeneration, tag, tag, tag);
+        event.generation = static_cast<std::uint64_t>(w);
+        event.evaluations = static_cast<std::uint64_t>(w);
+        ring.publish(event);
+      }
+    });
+  }
+  std::thread reader([&ring, &start, &stop, &torn] {
+    while (!start.load()) {
+    }
+    std::uint64_t cursor = 0;
+    std::vector<Event> out;
+    while (!stop.load()) {
+      out.clear();
+      cursor = ring.read_since(cursor, out);
+      std::uint64_t prev = 0;
+      for (const Event& event : out) {
+        if (event.kind != Kind::kGeneration) ++torn;
+        if (event.seq <= prev) ++torn;
+        prev = event.seq;
+        // Payload words were written together: writer index must agree
+        // across fields or the slot was torn.
+        const std::string job(event.job);
+        if (job != "writer" + std::to_string(event.generation)) ++torn;
+        if (event.generation != event.evaluations) ++torn;
+      }
+    }
+  });
+  start.store(true);
+  for (auto& thread : writers) thread.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_EQ(ring.last_seq(),
+            static_cast<std::uint64_t>(kWriters) * kPerWriter);
+}
+
+TEST(EventRingTest, WaitForReturnsOnPublishAndOnTimeout) {
+  EventRing ring(8);
+  // Nothing newer: times out false (keep the timeout tiny).
+  EXPECT_FALSE(ring.wait_for(0, 0.01));
+  ring.publish(make_event(Kind::kJobQueued, "j", "", ""));
+  // Already satisfied: returns immediately.
+  EXPECT_TRUE(ring.wait_for(0, 0.0));
+  // Satisfied by a publish from another thread while blocked.
+  std::thread publisher([&ring] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ring.publish(make_event(Kind::kJobFinished, "j", "", ""));
+  });
+  EXPECT_TRUE(ring.wait_for(1, 5.0));
+  publisher.join();
+}
+
+TEST(EventJsonTest, LifecycleEventSchema) {
+  EventRing ring(4);
+  ring.publish(make_event(Kind::kUnitRetried, "job-1", "ward", "timeout"));
+  std::vector<Event> out;
+  ring.read_since(0, out);
+  ASSERT_EQ(out.size(), 1u);
+  const wsnex::util::Json json = events::event_to_json(out[0]);
+  EXPECT_EQ(json.at("seq").as_int64(), 1);
+  EXPECT_GE(json.at("t").as_double(), 0.0);
+  EXPECT_EQ(json.at("kind").as_string(), "unit_retried");
+  EXPECT_EQ(json.at("job").as_string(), "job-1");
+  EXPECT_EQ(json.at("scenario").as_string(), "ward");
+  EXPECT_EQ(json.at("detail").as_string(), "timeout");
+  // Progress fields are generation-only — absent here.
+  EXPECT_EQ(json.find("generation"), nullptr);
+  EXPECT_EQ(json.find("hypervolume"), nullptr);
+}
+
+TEST(EventJsonTest, GenerationEventCarriesProgressFields) {
+  Event event = make_event(Kind::kGeneration, "j", "s", "");
+  event.seq = 7;
+  event.generation = 3;
+  event.evaluations = 64;
+  event.archive_size = 12;
+  event.feasible = 5;
+  event.hypervolume = 123.5;
+  event.evals_per_s = 1000.0;
+  const wsnex::util::Json json = events::event_to_json(event);
+  EXPECT_EQ(json.at("kind").as_string(), "generation");
+  EXPECT_EQ(json.at("generation").as_int64(), 3);
+  EXPECT_EQ(json.at("evaluations").as_int64(), 64);
+  EXPECT_EQ(json.at("archive_size").as_int64(), 12);
+  EXPECT_EQ(json.at("feasible").as_int64(), 5);
+  EXPECT_DOUBLE_EQ(json.at("hypervolume").as_double(), 123.5);
+  EXPECT_DOUBLE_EQ(json.at("evals_per_s").as_double(), 1000.0);
+}
+
+TEST(EventJsonTest, JsonlIsOneParseableObjectPerLine) {
+  EventRing ring(8);
+  ring.publish(make_event(Kind::kJobQueued, "j", "", ""));
+  ring.publish(make_event(Kind::kScenarioStarted, "j", "s", ""));
+  ring.publish(make_event(Kind::kScenarioFinished, "j", "s", "front=3"));
+  std::vector<Event> out;
+  ring.read_since(0, out);
+  const std::string jsonl = events::events_to_jsonl(out);
+  ASSERT_FALSE(jsonl.empty());
+  EXPECT_EQ(jsonl.back(), '\n');
+  std::size_t begin = 0;
+  std::set<std::int64_t> seqs;
+  while (begin < jsonl.size()) {
+    const std::size_t end = jsonl.find('\n', begin);
+    ASSERT_NE(end, std::string::npos);
+    const wsnex::util::Json parsed =
+        wsnex::util::Json::parse(jsonl.substr(begin, end - begin));
+    seqs.insert(parsed.at("seq").as_int64());
+    begin = end + 1;
+  }
+  EXPECT_EQ(seqs, (std::set<std::int64_t>{1, 2, 3}));
+}
+
+TEST(EventKindTest, WireNamesAreStable) {
+  EXPECT_STREQ(events::kind_name(Kind::kJobQueued), "job_queued");
+  EXPECT_STREQ(events::kind_name(Kind::kJobStarted), "job_started");
+  EXPECT_STREQ(events::kind_name(Kind::kJobFinished), "job_finished");
+  EXPECT_STREQ(events::kind_name(Kind::kUnitStarted), "unit_started");
+  EXPECT_STREQ(events::kind_name(Kind::kUnitFinished), "unit_finished");
+  EXPECT_STREQ(events::kind_name(Kind::kUnitRetried), "unit_retried");
+  EXPECT_STREQ(events::kind_name(Kind::kScenarioStarted), "scenario_started");
+  EXPECT_STREQ(events::kind_name(Kind::kScenarioFinished),
+               "scenario_finished");
+  EXPECT_STREQ(events::kind_name(Kind::kGeneration), "generation");
+  EXPECT_STREQ(events::kind_name(Kind::kDeadlineExceeded),
+               "deadline_exceeded");
+  EXPECT_STREQ(events::kind_name(Kind::kCacheDegraded), "cache_degraded");
+}
+
+}  // namespace

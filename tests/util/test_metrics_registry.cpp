@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -57,6 +58,54 @@ TEST(HistogramTest, ObservationsLandInInclusiveUpperEdgeBuckets) {
   EXPECT_EQ(h.bucket_count(3), 1u);  // bounds().size() == +Inf
   EXPECT_EQ(h.count(), 4u);
   EXPECT_DOUBLE_EQ(h.sum(), 100.65);
+}
+
+TEST(QuantileTest, InterpolatesInsideTheRankBucket) {
+  // 10 observations in (0, 1], 10 in (1, 2]: the median sits exactly at
+  // the 1.0 edge and p75 halfway through the second bucket.
+  const std::vector<double> bounds{1.0, 2.0};
+  const std::vector<std::uint64_t> buckets{10, 10, 0};
+  EXPECT_DOUBLE_EQ(bucket_quantile(bounds, buckets, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(bucket_quantile(bounds, buckets, 0.75), 1.5);
+  // First bucket interpolates from 0 (no lower edge).
+  EXPECT_DOUBLE_EQ(bucket_quantile(bounds, buckets, 0.25), 0.5);
+  EXPECT_DOUBLE_EQ(bucket_quantile(bounds, buckets, 1.0), 2.0);
+}
+
+TEST(QuantileTest, InfBucketClampsToHighestFiniteEdge) {
+  const std::vector<double> bounds{1.0, 2.0};
+  const std::vector<std::uint64_t> buckets{1, 1, 8};  // 80% beyond 2.0
+  EXPECT_DOUBLE_EQ(bucket_quantile(bounds, buckets, 0.99), 2.0);
+  EXPECT_DOUBLE_EQ(bucket_quantile(bounds, buckets, 0.5), 2.0);
+}
+
+TEST(QuantileTest, EmptyHistogramIsNaNAndQIsClamped) {
+  const std::vector<double> bounds{1.0};
+  EXPECT_TRUE(std::isnan(bucket_quantile(bounds, {0, 0}, 0.5)));
+  const std::vector<std::uint64_t> buckets{4, 0};
+  // Out-of-range q clamps instead of reading out of bounds.
+  EXPECT_DOUBLE_EQ(bucket_quantile(bounds, buckets, -1.0),
+                   bucket_quantile(bounds, buckets, 0.0));
+  EXPECT_DOUBLE_EQ(bucket_quantile(bounds, buckets, 2.0),
+                   bucket_quantile(bounds, buckets, 1.0));
+}
+
+TEST(QuantileTest, LiveHistogramOverloadTracksObservations) {
+  Registry registry;
+  Histogram& h = registry.histogram("q_lat", "Latency.",
+                                    {0.1, 0.5, 1.0, 5.0});
+  EXPECT_TRUE(std::isnan(histogram_quantile(h, 0.5)));
+  // 90 fast observations, 10 slow: p50 in the first bucket, p95 past 1.0.
+  for (int i = 0; i < 90; ++i) h.observe(0.05);
+  for (int i = 0; i < 10; ++i) h.observe(2.0);
+  const double p50 = histogram_quantile(h, 0.50);
+  const double p95 = histogram_quantile(h, 0.95);
+  const double p99 = histogram_quantile(h, 0.99);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, 0.1);
+  EXPECT_GT(p95, 1.0);
+  EXPECT_LE(p95, 5.0);
+  EXPECT_GE(p99, p95);  // quantiles are monotone in q
 }
 
 TEST(RegistryTest, SameNameAndLabelsReturnsSameInstrument) {

@@ -7,6 +7,7 @@
 //   wsnex run <spec.json|preset>... -o DIR  run a campaign into DIR
 //   wsnex resume DIR                        finish an interrupted campaign
 //   wsnex report DIR                        summarize a campaign's results
+//   wsnex watch <DIR|--port N ID>           live convergence/event stream
 //   wsnex export <preset>... -o DIR         write presets as spec JSON
 //   wsnex simulate <spec.json|preset>       one packet-level replay
 //   wsnex validate <spec.json|preset>...    Monte Carlo model validation
@@ -46,6 +47,8 @@
 #include "scenario/result_store.hpp"
 #include "sim/network.hpp"
 #include "util/failpoint.hpp"
+#include "util/json.hpp"
+#include "util/metrics.hpp"
 #include "util/simd.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -69,11 +72,13 @@ int usage(std::FILE* to) {
                "  wsnex check <spec.json|preset>...\n"
                "  wsnex run <spec.json|preset>... -o DIR [--quick] "
                "[--threads N] [--jobs N] [--cache-dir DIR] "
-               "[--abort-after N] [--validate] [--trace PATH]\n"
+               "[--abort-after N] [--validate] [--no-progress] "
+               "[--trace PATH]\n"
                "  wsnex resume DIR [--threads N] [--jobs N] "
                "[--cache-dir DIR] [--abort-after N] [--validate] "
-               "[--trace PATH]\n"
-               "  wsnex report DIR [--metrics]\n"
+               "[--no-progress] [--trace PATH]\n"
+               "  wsnex report DIR [--metrics] [--convergence]\n"
+               "  wsnex watch DIR | wsnex watch --port N JOB_ID\n"
                "  wsnex export <preset>... -o DIR\n"
                "  wsnex simulate <spec.json|preset> [--duration S] "
                "[--seed N]\n"
@@ -136,6 +141,14 @@ int usage(std::FILE* to) {
                "from the summary\n"
                "                    perf sections (evaluate/lifetime/persist, "
                "evals/s)\n"
+               "      --convergence report: hypervolume trajectory from each "
+               "scenario's\n"
+               "                    progress.jsonl (final HV, time to "
+               "50/90/99%% of it)\n"
+               "      --no-progress run/resume: skip the per-generation "
+               "progress.jsonl\n"
+               "                    telemetry (archives are byte-identical "
+               "either way)\n"
                "      --deadline S  submit: wall-clock budget for the job; "
                "past it the daemon's\n"
                "                    watchdog fails the job (0/absent = no "
@@ -270,6 +283,8 @@ struct CommonFlags {
   std::string cache_dir;
   std::string trace_path;
   bool metrics = false;
+  bool convergence = false;
+  bool no_progress = false;
   bool quick = false;
   std::optional<std::size_t> threads;
   std::size_t jobs = 1;
@@ -355,6 +370,10 @@ CommonFlags parse_flags(const std::vector<std::string>& args) {
       if (const auto v = next_value("--trace")) flags.trace_path = *v;
     } else if (a == "--metrics") {
       flags.metrics = true;
+    } else if (a == "--convergence") {
+      flags.convergence = true;
+    } else if (a == "--no-progress") {
+      flags.no_progress = true;
     } else if (a == "--validate") {
       flags.validate = true;
     } else if (a == "--replicates") {
@@ -496,6 +515,7 @@ int cmd_run(const std::vector<std::string>& args) {
   options.abort_after = flags.abort_after;
   options.jobs = flags.jobs;
   options.cache_dir = flags.cache_dir;
+  options.progress = !flags.no_progress;
   if (flags.validate) {
     options.post_scenario =
         validate::make_campaign_validation_hook(campaign_validation(flags));
@@ -521,6 +541,7 @@ int cmd_resume(const std::vector<std::string>& args) {
   overrides.abort_after = flags.abort_after;
   overrides.jobs = flags.jobs;
   overrides.cache_dir = flags.cache_dir;
+  overrides.progress = !flags.no_progress;
   if (flags.validate) {
     overrides.post_scenario =
         validate::make_campaign_validation_hook(campaign_validation(flags));
@@ -674,6 +695,98 @@ int cmd_validate(const std::vector<std::string>& args) {
   return failures == 0 ? 0 : 1;
 }
 
+/// One parsed line of a scenario's progress.jsonl, reduced to the fields
+/// the convergence report needs.
+struct ProgressPoint {
+  long long generation = 0;
+  double hypervolume = 0.0;
+  double elapsed_s = 0.0;
+};
+
+/// Reads a scenario's progress.jsonl into points, skipping records without
+/// a finite hypervolume. Returns an empty vector when the file is missing
+/// (campaign ran with --no-progress) or holds no usable records.
+std::vector<ProgressPoint> load_progress(const scenario::ResultStore& store,
+                                         const std::string& name) {
+  std::vector<ProgressPoint> points;
+  std::ifstream in(store.progress_jsonl_path(name), std::ios::binary);
+  if (!in) return points;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    util::Json record;
+    try {
+      record = util::Json::parse(line);
+    } catch (const util::JsonParseError&) {
+      continue;  // torn trailing line from an interrupted run
+    }
+    const util::Json* hv = record.find("hypervolume");
+    if (hv == nullptr || !hv->is_number()) continue;
+    ProgressPoint point;
+    point.hypervolume = hv->as_double();
+    if (const util::Json* gen = record.find("generation")) {
+      point.generation = gen->as_int64();
+    }
+    if (const util::Json* elapsed = record.find("elapsed_s")) {
+      point.elapsed_s = elapsed->as_double();
+    }
+    points.push_back(point);
+  }
+  return points;
+}
+
+/// `report --convergence`: per-scenario hypervolume trajectory summary
+/// from progress.jsonl — final HV and the elapsed time at which the run
+/// first reached 50/90/99% of it. Scenarios without telemetry (run with
+/// --no-progress, or pre-telemetry campaigns) render "-" columns.
+int report_convergence(const scenario::ResultStore& store,
+                       const scenario::CampaignManifest& manifest) {
+  util::Table table({"scenario", "gens", "final HV", "t50% [s]", "t90% [s]",
+                     "t99% [s]", "wall [s]"});
+  std::size_t with_telemetry = 0;
+  for (const auto& status : manifest.scenarios) {
+    if (!status.complete) {
+      table.add_row({status.name, "-", "-", "-", "-", "-", "pending"});
+      continue;
+    }
+    const std::vector<ProgressPoint> points = load_progress(store, status.name);
+    if (points.empty()) {
+      table.add_row({status.name, "-", "-", "-", "-", "-",
+                     util::Table::num(status.wallclock_s, 2)});
+      continue;
+    }
+    ++with_telemetry;
+    const double final_hv = points.back().hypervolume;
+    // Time-to-fraction: first generation whose HV reaches frac * final.
+    // HV is monotone non-decreasing over generations, so the first hit is
+    // the answer.
+    const auto time_to = [&](double frac) -> std::string {
+      if (final_hv <= 0.0) return "-";
+      for (const ProgressPoint& point : points) {
+        if (point.hypervolume >= frac * final_hv) {
+          return util::Table::num(point.elapsed_s, 2);
+        }
+      }
+      return "-";
+    };
+    table.add_row({status.name, std::to_string(points.back().generation),
+                   util::Table::num(final_hv, 4), time_to(0.50),
+                   time_to(0.90), time_to(0.99),
+                   util::Table::num(status.wallclock_s, 2)});
+  }
+  std::printf(
+      "campaign convergence at %s (%zu/%zu scenario(s) with telemetry)\n\n"
+      "%s\n",
+      store.root().c_str(), with_telemetry, manifest.scenarios.size(),
+      table.render().c_str());
+  if (with_telemetry == 0) {
+    std::printf(
+        "no progress.jsonl telemetry found — re-run without --no-progress "
+        "to record it\n");
+  }
+  return 0;
+}
+
 /// `report --metrics`: aggregates the per-scenario `perf` sections into a
 /// campaign-wide wall-clock breakdown (where did the time go, and at what
 /// evaluation throughput). Campaigns from before the perf block render
@@ -724,6 +837,30 @@ int report_metrics(const scenario::ResultStore& store,
   std::printf("campaign perf at %s (%zu/%zu scenario(s) complete)\n\n%s\n",
               store.root().c_str(), complete, manifest.scenarios.size(),
               table.render().c_str());
+  if (complete > 0) {
+    // Bucket-interpolated scenario-duration quantiles, binned into the
+    // same latency edges the live wsnex_scenario_seconds histogram uses so
+    // offline reports and /metrics scrapes agree on methodology.
+    const std::vector<double> bounds = util::metrics::default_latency_bounds();
+    std::vector<std::uint64_t> buckets(bounds.size() + 1, 0);
+    for (const auto& status : manifest.scenarios) {
+      if (!status.complete) continue;
+      const std::size_t i = static_cast<std::size_t>(
+          std::lower_bound(bounds.begin(), bounds.end(), status.wallclock_s) -
+          bounds.begin());
+      ++buckets[i];
+    }
+    std::printf("scenario wallclock quantiles: p50 %s s, p95 %s s, p99 %s s\n",
+                util::Table::num(
+                    util::metrics::bucket_quantile(bounds, buckets, 0.50), 3)
+                    .c_str(),
+                util::Table::num(
+                    util::metrics::bucket_quantile(bounds, buckets, 0.95), 3)
+                    .c_str(),
+                util::Table::num(
+                    util::metrics::bucket_quantile(bounds, buckets, 0.99), 3)
+                    .c_str());
+  }
   return 0;
 }
 
@@ -742,6 +879,7 @@ int cmd_report(const std::vector<std::string>& args) {
   }
   const auto manifest = store.load_manifest();
   if (flags.metrics) return report_metrics(store, manifest);
+  if (flags.convergence) return report_convergence(store, manifest);
   util::Table table({"scenario", "status", "evals", "front", "feasible",
                      "best E_net [mJ/s]", "lifetime [days]", "validated",
                      "best config"});
@@ -841,6 +979,7 @@ int main(int argc, char** argv) {
     if (command == "status") return cli::cmd_status(args);
     if (command == "results") return cli::cmd_results(args);
     if (command == "cancel") return cli::cmd_cancel(args);
+    if (command == "watch") return cli::cmd_watch(args);
     if (command == "--help" || command == "-h" || command == "help") {
       return usage(stdout);
     }

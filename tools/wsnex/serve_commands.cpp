@@ -4,12 +4,17 @@
 #include <csignal>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <map>
 #include <optional>
+#include <sstream>
 #include <thread>
 
 #include "scenario/registry.hpp"
+#include "scenario/result_store.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
+#include "util/build_info.hpp"
 #include "util/fsio.hpp"
 #include "util/logging.hpp"
 #include "util/table.hpp"
@@ -245,6 +250,9 @@ int cmd_serve(const std::vector<std::string>& args) {
     return 2;
   }
 
+  // Publish the build-facts gauge before anything can scrape /metrics.
+  util::register_build_info_metric();
+
   serve::SchedulerOptions scheduler_options;
   scheduler_options.data_dir = flags.data_dir;
   scheduler_options.slots = flags.slots;
@@ -399,6 +407,151 @@ int cmd_results(const std::vector<std::string>& args) {
   std::printf("%s\n",
               client.results(flags.positional.front()).dump(2).c_str());
   return 0;
+}
+
+namespace {
+
+std::string json_text(const util::Json& obj, const char* key) {
+  const util::Json* v = obj.find(key);
+  return (v != nullptr && v->is_string()) ? v->as_string() : std::string();
+}
+
+std::int64_t json_count(const util::Json& obj, const char* key) {
+  const util::Json* v = obj.find(key);
+  return (v != nullptr && v->is_number()) ? v->as_int64() : 0;
+}
+
+double json_real(const util::Json& obj, const char* key) {
+  const util::Json* v = obj.find(key);
+  return (v != nullptr && v->is_number()) ? v->as_double() : 0.0;
+}
+
+/// One human line per event, shared by the daemon and directory watch
+/// modes (the directory mode synthesizes generation-shaped records).
+void print_event_line(const util::Json& event) {
+  const std::string kind = json_text(event, "kind");
+  const std::string scenario = json_text(event, "scenario");
+  const std::string detail = json_text(event, "detail");
+  // progress.jsonl records carry no "kind" — they are generation-shaped
+  // by construction.
+  if (kind == "generation" ||
+      (kind.empty() && event.find("generation") != nullptr)) {
+    std::printf("  [%-24s] gen %3lld  evals %6lld  front %3lld  feasible %3lld"
+                "  hv %.4g  (%.0f evals/s)\n",
+                scenario.c_str(),
+                static_cast<long long>(json_count(event, "generation")),
+                static_cast<long long>(json_count(event, "evaluations")),
+                static_cast<long long>(json_count(event, "archive_size")),
+                static_cast<long long>(json_count(event, "feasible")),
+                json_real(event, "hypervolume"),
+                json_real(event, "evals_per_s"));
+  } else {
+    std::printf("  [%.1fs] %s%s%s%s%s\n", json_real(event, "t"), kind.c_str(),
+                scenario.empty() ? "" : " ", scenario.c_str(),
+                detail.empty() ? "" : ": ", detail.c_str());
+  }
+  std::fflush(stdout);
+}
+
+/// Daemon mode: long-poll GET /v1/jobs/<id>/events with a resuming
+/// cursor until the stream carries job_finished.
+int watch_job(const serve::Client& client, const std::string& id) {
+  std::uint64_t cursor = 0;
+  std::printf("watching job %s (ctrl-c to stop; the job keeps running)\n",
+              id.c_str());
+  for (;;) {
+    const util::Json page = client.events(id, cursor, 5000);
+    const std::int64_t dropped = json_count(page, "dropped");
+    if (dropped > 0) {
+      std::printf("  ... %lld event(s) lost to ring wrap\n",
+                  static_cast<long long>(dropped));
+    }
+    std::string terminal_state;
+    for (const util::Json& event : page.at("events").as_array()) {
+      print_event_line(event);
+      if (json_text(event, "kind") == "job_finished") {
+        terminal_state = json_text(event, "detail");
+      }
+    }
+    cursor = static_cast<std::uint64_t>(json_count(page, "next"));
+    if (!terminal_state.empty()) {
+      return terminal_state.find("complete") != std::string::npos ? 0 : 1;
+    }
+  }
+}
+
+/// Directory mode: tail every scenario's progress.jsonl in a campaign
+/// store, rendering records as they are flushed, until the manifest marks
+/// the campaign complete.
+int watch_dir(const std::string& dir) {
+  scenario::ResultStore store(dir);
+  if (!scenario::ResultStore::exists(store.root())) {
+    std::fprintf(stderr, "%s: no campaign manifest (campaign.json)\n",
+                 store.root().c_str());
+    return 1;
+  }
+  std::printf("watching campaign at %s (ctrl-c to stop)\n",
+              store.root().c_str());
+  std::map<std::string, std::size_t> offsets;
+  for (;;) {
+    const scenario::CampaignManifest manifest = store.load_manifest();
+    bool all_complete = true;
+    for (const scenario::ScenarioStatus& status : manifest.scenarios) {
+      if (!status.complete) all_complete = false;
+      std::ifstream in(store.progress_jsonl_path(status.name),
+                       std::ios::binary);
+      if (!in) continue;
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      const std::string content = ss.str();
+      std::size_t begin = offsets[status.name];
+      // Only '\n'-terminated lines are consumed: a record caught
+      // mid-flush stays pending and is re-read whole on the next pass.
+      while (begin < content.size()) {
+        const std::size_t end = content.find('\n', begin);
+        if (end == std::string::npos) break;
+        const std::string line = content.substr(begin, end - begin);
+        begin = end + 1;
+        if (line.empty()) continue;
+        try {
+          print_event_line(util::Json::parse(line));
+        } catch (const util::JsonParseError&) {
+          // Torn or foreign line; skip it rather than abort the watch.
+        }
+      }
+      offsets[status.name] = begin;
+    }
+    if (all_complete) {
+      std::printf("campaign complete — inspect with: wsnex report %s\n",
+                  dir.c_str());
+      return 0;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  }
+}
+
+}  // namespace
+
+int cmd_watch(const std::vector<std::string>& args) {
+  const ServeFlags flags = parse_serve_flags(args);
+  if (!flags.ok) return 2;
+  if (flags.positional.size() != 1) {
+    std::fprintf(stderr,
+                 "watch: exactly one job id (with --port) or campaign "
+                 "directory expected\n");
+    return 2;
+  }
+  const std::string& target = flags.positional.front();
+  if (!flags.have_port) {
+    if (std::filesystem::is_directory(target)) return watch_dir(target);
+    std::fprintf(stderr,
+                 "watch: \"%s\" is not a campaign directory; to watch a "
+                 "daemon job pass --port N\n",
+                 target.c_str());
+    return 2;
+  }
+  const serve::Client client(flags.port, 60000, kCliRetry);
+  return watch_job(client, target);
 }
 
 int cmd_cancel(const std::vector<std::string>& args) {

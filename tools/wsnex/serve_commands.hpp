@@ -1,7 +1,7 @@
 // wsnex subcommands for the campaign service: the daemon itself (`wsnex
-// serve`) and its client verbs (`submit`, `status`, `results`, `cancel`).
-// Split out of main.cpp so the CLI glue for the service layer lives in
-// one place.
+// serve`) and its client verbs (`submit`, `status`, `results`, `cancel`,
+// `watch`). Split out of main.cpp so the CLI glue for the service layer
+// lives in one place.
 #pragma once
 
 #include <string>
@@ -14,5 +14,10 @@ int cmd_submit(const std::vector<std::string>& args);
 int cmd_status(const std::vector<std::string>& args);
 int cmd_results(const std::vector<std::string>& args);
 int cmd_cancel(const std::vector<std::string>& args);
+/// Live convergence view: `wsnex watch --port N JOB` long-polls the
+/// daemon's event stream; `wsnex watch DIR` tails a campaign store's
+/// progress.jsonl files. Exits when the job/campaign reaches a terminal
+/// state.
+int cmd_watch(const std::vector<std::string>& args);
 
 }  // namespace wsnex::cli
